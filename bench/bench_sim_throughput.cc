@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Simulator micro-benchmarks (google-benchmark): host-side throughput
+ * of the building blocks — PIF encoding, codeword generation, the
+ * stream matcher, the microcoded FS2 engine, and full unification.
+ * These measure the *simulator*, not the modeled hardware; they bound
+ * how large an experiment the benches can sweep.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "fs2/fs2_engine.hh"
+#include "pif/encoder.hh"
+#include "scw/codeword.hh"
+#include "storage/clause_file.hh"
+#include "term/term_reader.hh"
+#include "term/term_writer.hh"
+#include "unify/oracle.hh"
+#include "unify/pif_matcher.hh"
+#include "workload/kb_generator.hh"
+#include "workload/query_generator.hh"
+
+using namespace clare;
+
+namespace {
+
+/** Shared fixture data built once. */
+struct Corpus
+{
+    term::SymbolTable sym;
+    term::Program program;
+    term::PredicateId pred;
+    storage::ClauseFile file;
+    workload::GeneratedQuery query;
+    pif::EncodedArgs queryArgs;
+
+    Corpus()
+    {
+        workload::KbGenerator kbgen(sym);
+        workload::KbSpec spec;
+        spec.predicates = 1;
+        spec.clausesPerPredicate = 1000;
+        spec.varProb = 0.2;
+        spec.sharedVarProb = 0.3;
+        spec.structProb = 0.3;
+        spec.seed = 2;
+        program = kbgen.generate(spec);
+        pred = program.predicates()[0];
+
+        term::TermWriter writer(sym);
+        storage::ClauseFileBuilder builder(writer);
+        for (std::size_t i : program.clausesOf(pred))
+            builder.add(program.clause(i));
+        file = builder.finish();
+
+        workload::QuerySpec qspec;
+        qspec.boundArgProb = 0.5;
+        qspec.sharedVarProb = 0.4;
+        workload::QueryGenerator qgen(sym, qspec);
+        query = qgen.generate(program, pred);
+        pif::Encoder encoder;
+        queryArgs = encoder.encodeArgs(query.arena, query.goal,
+                                       pif::Side::Query);
+    }
+
+    static Corpus &
+    instance()
+    {
+        static Corpus corpus;
+        return corpus;
+    }
+};
+
+void
+BM_PifEncodeClauseHead(benchmark::State &state)
+{
+    Corpus &c = Corpus::instance();
+    pif::Encoder encoder;
+    std::size_t i = 0;
+    const auto &ordinals = c.program.clausesOf(c.pred);
+    for (auto _ : state) {
+        const term::Clause &clause = c.program.clause(
+            ordinals[i++ % ordinals.size()]);
+        benchmark::DoNotOptimize(encoder.encodeArgs(
+            clause.arena(), clause.head(), pif::Side::Db));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PifEncodeClauseHead);
+
+void
+BM_CodewordEncode(benchmark::State &state)
+{
+    Corpus &c = Corpus::instance();
+    scw::CodewordGenerator gen;
+    std::size_t i = 0;
+    const auto &ordinals = c.program.clausesOf(c.pred);
+    for (auto _ : state) {
+        const term::Clause &clause = c.program.clause(
+            ordinals[i++ % ordinals.size()]);
+        benchmark::DoNotOptimize(gen.encode(clause.arena(),
+                                            clause.head()));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CodewordEncode);
+
+void
+BM_StreamMatcherPerClause(benchmark::State &state)
+{
+    Corpus &c = Corpus::instance();
+    unify::PifMatcher matcher;
+    std::vector<pif::EncodedArgs> heads;
+    for (std::size_t i = 0; i < c.file.clauseCount(); ++i)
+        heads.push_back(c.file.decodeArgs(i));
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            matcher.match(heads[i++ % heads.size()], c.queryArgs));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StreamMatcherPerClause);
+
+void
+BM_Fs2EngineWholeFile(benchmark::State &state)
+{
+    Corpus &c = Corpus::instance();
+    for (auto _ : state) {
+        fs2::Fs2Engine engine;
+        engine.setQuery(c.queryArgs, c.pred);
+        benchmark::DoNotOptimize(engine.search(c.file));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(
+                                c.file.clauseCount()));
+}
+BENCHMARK(BM_Fs2EngineWholeFile);
+
+void
+BM_FullUnificationOracle(benchmark::State &state)
+{
+    Corpus &c = Corpus::instance();
+    const auto &ordinals = c.program.clausesOf(c.pred);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const term::Clause &clause = c.program.clause(
+            ordinals[i++ % ordinals.size()]);
+        benchmark::DoNotOptimize(
+            unify::wouldUnify(c.query.arena, c.query.goal, clause));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullUnificationOracle);
+
+} // namespace

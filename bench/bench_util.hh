@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses: program-to-store
+ * compilation and formatting.
+ */
+
+#ifndef CLARE_BENCH_BENCH_UTIL_HH
+#define CLARE_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "crs/server.hh"
+#include "crs/store.hh"
+#include "term/clause.hh"
+#include "term/symbol_table.hh"
+
+namespace clare::bench {
+
+/** A compiled store plus its server, owned together. */
+struct CompiledStore
+{
+    std::unique_ptr<crs::PredicateStore> store;
+    std::unique_ptr<crs::ClauseRetrievalServer> server;
+};
+
+/** Compile a program into a predicate store and bring up a CRS. */
+inline CompiledStore
+compileStore(term::SymbolTable &symbols, const term::Program &program,
+             scw::ScwConfig scw_config = {},
+             crs::CrsConfig crs_config = {})
+{
+    CompiledStore out;
+    out.store = std::make_unique<crs::PredicateStore>(
+        symbols, scw::CodewordGenerator(scw_config));
+    out.store->addProgram(program);
+    out.store->finalize();
+    out.server = std::make_unique<crs::ClauseRetrievalServer>(
+        symbols, *out.store, crs_config);
+    return out;
+}
+
+/** "12.34 ms" style human duration from ticks. */
+inline std::string
+formatTime(Tick t)
+{
+    char buf[64];
+    double ns = static_cast<double>(t) / kNanosecond;
+    if (ns < 1e3)
+        std::snprintf(buf, sizeof(buf), "%.0f ns", ns);
+    else if (ns < 1e6)
+        std::snprintf(buf, sizeof(buf), "%.2f us", ns / 1e3);
+    else if (ns < 1e9)
+        std::snprintf(buf, sizeof(buf), "%.2f ms", ns / 1e6);
+    else
+        std::snprintf(buf, sizeof(buf), "%.3f s", ns / 1e9);
+    return buf;
+}
+
+/** "4.25 MB/s" from a bytes-per-second rate. */
+inline std::string
+formatRate(double bytes_per_second)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f MB/s", bytes_per_second / 1e6);
+    return buf;
+}
+
+} // namespace clare::bench
+
+#endif // CLARE_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The CLARE board: FS1 and FS2 behind the VMEbus host interface.
+ *
+ * The board occupies a memory-mapped window (the paper gives the range
+ * 0xffff7e00-0xffff7fff in the SUN's /dev/vme24d16 space; the text
+ * also says "128k bytes in total", which contradicts the 512-byte hex
+ * range — we follow the hex range and note the discrepancy).  Both
+ * filter stages share the window and are mutually exclusive, selected
+ * by control-register bit b2.
+ *
+ * The ClareDriver below performs the documented host sequences:
+ * Microprogramming -> Set Query -> Search -> (b7?) -> Read Result.
+ */
+
+#ifndef CLARE_CLARE_BOARD_HH
+#define CLARE_CLARE_BOARD_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "clare/control_register.hh"
+#include "fs1/fs1_engine.hh"
+#include "fs2/fs2_engine.hh"
+#include "scw/index_file.hh"
+#include "storage/clause_file.hh"
+#include "storage/disk_model.hh"
+
+namespace clare::engine {
+
+/** VME window constants (see the file comment for the discrepancy). */
+constexpr std::uint32_t kVmeWindowBase = 0xffff7e00u;
+constexpr std::uint32_t kVmeWindowEnd = 0xffff7fffu;
+constexpr std::uint32_t kVmeWindowBytes = kVmeWindowEnd -
+    kVmeWindowBase + 1;
+
+/** Offset of the control register within the window. */
+constexpr std::uint32_t kControlRegisterOffset = 0;
+
+/** The plug-in board pair. */
+class ClareBoard
+{
+  public:
+    ClareBoard(scw::CodewordGenerator generator,
+               fs1::Fs1Config fs1_config = {},
+               fs2::Fs2Config fs2_config = {});
+
+    /** Host write to a window address (control register only). */
+    void write8(std::uint32_t address, std::uint8_t value);
+
+    /** Host read from a window address. */
+    std::uint8_t read8(std::uint32_t address) const;
+
+    OperationalMode mode() const { return control_.mode(); }
+    FilterSelect filter() const { return control_.filter(); }
+
+    fs1::Fs1Engine &fs1();
+    fs2::Fs2Engine &fs2();
+
+    /** Record that a search completed, updating b7. */
+    void noteSearchOutcome(bool match_found);
+
+  private:
+    ControlRegister control_;
+    fs1::Fs1Engine fs1_;
+    fs2::Fs2Engine fs2_;
+
+    void checkWindow(std::uint32_t address) const;
+};
+
+/** Performs the documented host driver sequences against the board. */
+class ClareDriver
+{
+  public:
+    explicit ClareDriver(ClareBoard &board) : board_(board) {}
+
+    /**
+     * Full FS2 retrieval sequence: select FS2, load the microprogram,
+     * set the query, run the search, and read the result flag.
+     */
+    fs2::Fs2SearchResult fs2Search(const term::TermArena &q_arena,
+                                   term::TermRef q_goal,
+                                   const storage::ClauseFile &file,
+                                   const storage::DiskModel *disk =
+                                       nullptr);
+
+    /** FS1 sequence: select FS1, set the query codeword, scan. */
+    fs1::Fs1Result fs1Search(const scw::Signature &query,
+                             const scw::SecondaryFile &index);
+
+    /** The modes the driver stepped through in its last sequence. */
+    const std::vector<OperationalMode> &lastSequence() const
+    {
+        return sequence_;
+    }
+
+  private:
+    ClareBoard &board_;
+    std::vector<OperationalMode> sequence_;
+
+    void setMode(OperationalMode mode, FilterSelect filter);
+};
+
+} // namespace clare::engine
+
+#endif // CLARE_CLARE_BOARD_HH

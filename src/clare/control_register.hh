@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The CLARE 8-bit control register (section 2.2/3).
+ *
+ * Bits b0/b1 select the operational mode of the enabled filter:
+ *
+ *   | mode             | b0 | b1 |
+ *   |------------------|----|----|
+ *   | Read Result      | 0  | 0  |
+ *   | Search           | 0  | 1  |
+ *   | Microprogramming | 1  | 0  |
+ *   | Set Query        | 1  | 1  |
+ *
+ * Bit b2 selects between the two mutually exclusive filters (0 = FS1,
+ * 1 = FS2), and bit b7 reports that a search found at least one match.
+ */
+
+#ifndef CLARE_CLARE_CONTROL_REGISTER_HH
+#define CLARE_CLARE_CONTROL_REGISTER_HH
+
+#include <cstdint>
+
+namespace clare::engine {
+
+/** Operational modes encoded in control-register bits b0/b1. */
+enum class OperationalMode : std::uint8_t
+{
+    ReadResult = 0,         ///< b0=0 b1=0
+    Search = 1,             ///< b0=0 b1=1
+    Microprogramming = 2,   ///< b0=1 b1=0
+    SetQuery = 3,           ///< b0=1 b1=1
+};
+
+/** Which filter board the register currently addresses. */
+enum class FilterSelect : std::uint8_t
+{
+    Fs1 = 0,    ///< b2 = 0
+    Fs2 = 1,    ///< b2 = 1
+};
+
+/** Human-readable mode name. */
+const char *operationalModeName(OperationalMode mode);
+
+/** Decode/encode helpers over the raw 8-bit register value. */
+class ControlRegister
+{
+  public:
+    std::uint8_t value() const { return value_; }
+    void write(std::uint8_t v) { value_ = v; }
+
+    OperationalMode
+    mode() const
+    {
+        // b0 is the most significant of the two-bit mode field.
+        std::uint8_t b0 = value_ & 0x01;
+        std::uint8_t b1 = (value_ >> 1) & 0x01;
+        return static_cast<OperationalMode>((b0 << 1) | b1);
+    }
+
+    FilterSelect
+    filter() const
+    {
+        return (value_ & 0x04) ? FilterSelect::Fs2 : FilterSelect::Fs1;
+    }
+
+    bool matchFound() const { return value_ & 0x80; }
+
+    void
+    setMatchFound(bool found)
+    {
+        if (found)
+            value_ |= 0x80;
+        else
+            value_ &= 0x7f;
+    }
+
+    /** Compose a register value from fields. */
+    static std::uint8_t
+    compose(OperationalMode mode, FilterSelect filter)
+    {
+        std::uint8_t m = static_cast<std::uint8_t>(mode);
+        std::uint8_t b0 = (m >> 1) & 1;
+        std::uint8_t b1 = m & 1;
+        std::uint8_t v = static_cast<std::uint8_t>(b0 | (b1 << 1));
+        if (filter == FilterSelect::Fs2)
+            v |= 0x04;
+        return v;
+    }
+
+  private:
+    std::uint8_t value_ = 0;
+};
+
+} // namespace clare::engine
+
+#endif // CLARE_CLARE_CONTROL_REGISTER_HH

@@ -1,0 +1,117 @@
+#include "crs/client_sim.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace clare::crs {
+
+ClientSimulation::ClientSimulation(term::SymbolTable &symbols,
+                                   const PredicateStore &store,
+                                   CrsConfig config)
+    : symbols_(symbols), store_(store),
+      server_(symbols, store, config)
+{
+}
+
+ClientId
+ClientSimulation::addClient()
+{
+    Client client;
+    client.id = nextId_++;
+    client.stats.id = client.id;
+    clients_.push_back(std::move(client));
+    return clients_.back().id;
+}
+
+void
+ClientSimulation::addJob(ClientId client, std::string query_text,
+                         bool exclusive)
+{
+    for (Client &c : clients_) {
+        if (c.id == client) {
+            c.jobs.push_back(ClientJob{std::move(query_text), exclusive});
+            return;
+        }
+    }
+    clare_fatal("unknown client %u", client);
+}
+
+SimulationResult
+ClientSimulation::run()
+{
+    SimulationResult result;
+    term::TermReader reader(symbols_);
+
+    bool work_left = true;
+    while (work_left) {
+        work_left = false;
+        ++result.rounds;
+        Tick round_longest = 0;
+
+        // Phase 1: every client attempts its next job's lock.
+        std::vector<std::pair<Client *, term::ParsedTerm>> admitted;
+        for (Client &client : clients_) {
+            if (client.jobs.empty())
+                continue;
+            work_left = true;
+            const ClientJob &job = client.jobs.front();
+            term::ParsedTerm goal = reader.parseTerm(job.queryText);
+
+            term::PredicateId pred;
+            if (goal.arena.kind(goal.root) == term::TermKind::Atom) {
+                pred = term::PredicateId{
+                    goal.arena.atomSymbol(goal.root), 0};
+            } else {
+                pred = term::PredicateId{goal.arena.functor(goal.root),
+                                         goal.arena.arity(goal.root)};
+            }
+            LockKind kind = job.exclusive ? LockKind::Exclusive
+                                          : LockKind::Shared;
+            if (!locks_.acquire(client.id, pred, kind)) {
+                ++client.stats.lockWaits;
+                ++result.totalWaits;
+                continue;
+            }
+            admitted.emplace_back(&client, std::move(goal));
+        }
+
+        // Phase 2: admitted jobs execute concurrently this round.
+        for (auto &entry : admitted) {
+            Client &client = *entry.first;
+            const ClientJob &job = client.jobs.front();
+            Tick elapsed = 0;
+            if (!job.exclusive) {
+                RetrievalResult r = server_.retrieveAuto(
+                    entry.second.arena, entry.second.root);
+                elapsed = r.elapsed;
+            } else {
+                // Updates are out of scope for the immutable store;
+                // charge a nominal write window.
+                elapsed = 5 * kMillisecond;
+            }
+            client.stats.busyTime += elapsed;
+            round_longest = std::max(round_longest, elapsed);
+            ++client.stats.completed;
+            ++result.totalJobs;
+            client.jobs.pop_front();
+        }
+
+        // Phase 3: locks release at the round boundary.
+        for (auto &entry : admitted)
+            locks_.releaseAll(entry.first->id);
+
+        result.makespan += round_longest;
+
+        // Deadlock-free by construction (single lock per job), but a
+        // round that admitted nothing while work remains would spin.
+        if (work_left && admitted.empty())
+            clare_panic("client simulation made no progress");
+    }
+
+    for (const Client &client : clients_)
+        result.clients.push_back(client.stats);
+    return result;
+}
+
+} // namespace clare::crs

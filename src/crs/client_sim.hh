@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Multi-client access simulation for the CRS.
+ *
+ * The paper: "The CRS will also support simultaneous access by
+ * multiple clients which involves procedures for concurrency control
+ * and transaction handling."  This module drives several clients,
+ * each with a queue of retrieval jobs (shared access) and update jobs
+ * (exclusive access), through the lock manager in synchronous rounds:
+ * every round each client attempts its next job, acquiring the goal
+ * predicate's lock; conflicting clients wait and retry.  Readers of
+ * one predicate proceed concurrently; a writer serializes them.
+ *
+ * The simulation reports per-client waits, total rounds, and a
+ * makespan that charges each round the longest job that ran in it
+ * (clients are independent machines sharing only the CLARE channel's
+ * lock table).
+ */
+
+#ifndef CLARE_CRS_CLIENT_SIM_HH
+#define CLARE_CRS_CLIENT_SIM_HH
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "crs/server.hh"
+#include "crs/transaction.hh"
+#include "term/term_reader.hh"
+
+namespace clare::crs {
+
+/** One queued job for a client. */
+struct ClientJob
+{
+    std::string queryText;
+    bool exclusive = false;     ///< update: needs an exclusive lock
+};
+
+/** Per-client outcome counters. */
+struct ClientStats
+{
+    ClientId id = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t lockWaits = 0;
+    Tick busyTime = 0;
+};
+
+/** Whole-simulation outcome. */
+struct SimulationResult
+{
+    std::uint64_t rounds = 0;
+    std::uint64_t totalJobs = 0;
+    std::uint64_t totalWaits = 0;
+    Tick makespan = 0;
+    std::vector<ClientStats> clients;
+};
+
+/** The round-based multi-client driver. */
+class ClientSimulation
+{
+  public:
+    ClientSimulation(term::SymbolTable &symbols,
+                     const PredicateStore &store, CrsConfig config = {});
+
+    /** Register a client; returns its id. */
+    ClientId addClient();
+
+    /** Queue a job for a client. */
+    void addJob(ClientId client, std::string query_text,
+                bool exclusive = false);
+
+    /** Run until every queue drains. */
+    SimulationResult run();
+
+  private:
+    term::SymbolTable &symbols_;
+    const PredicateStore &store_;
+    ClauseRetrievalServer server_;
+    LockManager locks_;
+
+    struct Client
+    {
+        ClientId id;
+        std::deque<ClientJob> jobs;
+        ClientStats stats;
+    };
+    std::vector<Client> clients_;
+    ClientId nextId_ = 1;
+};
+
+} // namespace clare::crs
+
+#endif // CLARE_CRS_CLIENT_SIM_HH

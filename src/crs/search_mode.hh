@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The four clause-retrieval search modes of section 2.2:
+ *
+ *   (a) software only — the CRS performs the search itself,
+ *   (b) FS1 only — the superimposed-codeword hardware,
+ *   (c) FS2 only — the partial test unification hardware,
+ *   (d) FS1 + FS2 — the two-stage hardware filter.
+ */
+
+#ifndef CLARE_CRS_SEARCH_MODE_HH
+#define CLARE_CRS_SEARCH_MODE_HH
+
+#include <cstdint>
+
+namespace clare::crs {
+
+/** The retrieval configurations the CRS can choose between. */
+enum class SearchMode : std::uint8_t
+{
+    SoftwareOnly,
+    Fs1Only,
+    Fs2Only,
+    TwoStage,
+};
+
+/** Human-readable mode name (paper lettering included). */
+constexpr const char *
+searchModeName(SearchMode mode)
+{
+    switch (mode) {
+      case SearchMode::SoftwareOnly: return "(a) software";
+      case SearchMode::Fs1Only: return "(b) FS1 only";
+      case SearchMode::Fs2Only: return "(c) FS2 only";
+      case SearchMode::TwoStage: return "(d) FS1+FS2";
+    }
+    return "?";
+}
+
+/** Number of modes (for sweeps). */
+constexpr std::size_t kSearchModeCount = 4;
+
+} // namespace clare::crs
+
+#endif // CLARE_CRS_SEARCH_MODE_HH

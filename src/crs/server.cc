@@ -1,0 +1,281 @@
+#include "crs/server.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "support/logging.hh"
+#include "unify/oracle.hh"
+#include "unify/pif_matcher.hh"
+
+namespace clare::crs {
+
+using term::TermArena;
+using term::TermKind;
+using term::TermRef;
+
+ClauseRetrievalServer::ClauseRetrievalServer(term::SymbolTable &symbols,
+                                             const PredicateStore &store,
+                                             CrsConfig config)
+    : symbols_(symbols), store_(store), config_(config)
+{
+}
+
+term::PredicateId
+ClauseRetrievalServer::goalPredicate(const TermArena &q_arena,
+                                     TermRef goal) const
+{
+    if (q_arena.kind(goal) == TermKind::Atom)
+        return term::PredicateId{q_arena.atomSymbol(goal), 0};
+    if (q_arena.kind(goal) == TermKind::Struct)
+        return term::PredicateId{q_arena.functor(goal),
+                                 q_arena.arity(goal)};
+    clare_fatal("retrieval goal must be an atom or structure");
+}
+
+namespace {
+
+void
+collectVars(const TermArena &arena, TermRef t,
+            std::set<term::VarId> &seen, bool &shared)
+{
+    switch (arena.kind(t)) {
+      case TermKind::Var:
+        if (!arena.isAnonymous(t) && !seen.insert(arena.varId(t)).second)
+            shared = true;
+        return;
+      case TermKind::Struct:
+      case TermKind::List:
+        for (std::uint32_t i = 0; i < arena.arity(t); ++i)
+            collectVars(arena, arena.arg(t, i), seen, shared);
+        if (arena.kind(t) == TermKind::List &&
+            arena.listTail(t) != term::kNoTerm) {
+            collectVars(arena, arena.listTail(t), seen, shared);
+        }
+        return;
+      default:
+        return;
+    }
+}
+
+bool
+containsVar(const TermArena &arena, TermRef t)
+{
+    switch (arena.kind(t)) {
+      case TermKind::Var:
+        return true;
+      case TermKind::Struct:
+      case TermKind::List:
+        for (std::uint32_t i = 0; i < arena.arity(t); ++i)
+            if (containsVar(arena, arena.arg(t, i)))
+                return true;
+        if (arena.kind(t) == TermKind::List &&
+            arena.listTail(t) != term::kNoTerm) {
+            return containsVar(arena, arena.listTail(t));
+        }
+        return false;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+QueryProfile
+ClauseRetrievalServer::profileQuery(const TermArena &q_arena, TermRef goal)
+{
+    QueryProfile profile;
+    if (q_arena.kind(goal) != TermKind::Struct)
+        return profile;
+    profile.arity = q_arena.arity(goal);
+
+    std::set<term::VarId> seen;
+    for (std::uint32_t i = 0; i < profile.arity; ++i) {
+        TermRef arg = q_arena.arg(goal, i);
+        TermKind k = q_arena.kind(arg);
+        if (k == TermKind::Var) {
+            ++profile.variableArgs;
+        } else if (!containsVar(q_arena, arg)) {
+            ++profile.groundArgs;
+        } else {
+            profile.hasVarBearingStructures = true;
+        }
+        collectVars(q_arena, arg, seen, profile.hasSharedVars);
+    }
+    return profile;
+}
+
+SearchMode
+ClauseRetrievalServer::selectMode(const TermArena &q_arena,
+                                  TermRef goal) const
+{
+    QueryProfile p = profileQuery(q_arena, goal);
+    term::PredicateId pred = goalPredicate(q_arena, goal);
+    double rule_fraction = store_.has(pred)
+        ? store_.predicate(pred).ruleFraction : 0.0;
+
+    // Nothing for a filter to discriminate on: every clause of the
+    // predicate is a candidate whatever we do.
+    if (p.arity == 0 || p.variableArgs == p.arity) {
+        if (p.hasSharedVars)
+            return SearchMode::Fs2Only;  // e.g. married_couple(S,S)
+        return SearchMode::SoftwareOnly;
+    }
+
+    // Shared variables and variable-bearing structures are invisible
+    // to the codeword index; partial test unification is required to
+    // keep the candidate set manageable.
+    if (p.hasSharedVars || p.hasVarBearingStructures) {
+        return p.groundArgs > 0 ? SearchMode::TwoStage
+                                : SearchMode::Fs2Only;
+    }
+
+    // Ground query against a rule-intensive predicate: variable head
+    // arguments set mask bits, so the index passes most clauses and
+    // the second stage pays for itself.
+    if (rule_fraction > 0.5)
+        return SearchMode::TwoStage;
+
+    return SearchMode::Fs1Only;
+}
+
+std::vector<std::uint32_t>
+ClauseRetrievalServer::runFs1(const StoredPredicate &stored,
+                              const TermArena &q_arena, TermRef goal,
+                              RetrievalResult &result) const
+{
+    const scw::CodewordGenerator &generator = store_.generator();
+    scw::Signature query_sig = generator.encode(q_arena, goal);
+    fs1::Fs1Engine engine(generator, config_.fs1);
+    fs1::Fs1Result fs1 = engine.search(stored.index, query_sig);
+
+    result.indexEntriesScanned = fs1.entriesScanned;
+    result.fs1Hits = fs1.ordinals.size();
+
+    // The index file streams from disk while FS1 scans on the fly.
+    const storage::DiskModel &disk = store_.indexDisk();
+    Tick transfer = disk.transferTime(fs1.bytesScanned);
+    result.indexTime = disk.accessTime() +
+        std::max(transfer, fs1.busyTime);
+    return fs1.ordinals;
+}
+
+void
+ClauseRetrievalServer::hostUnify(const StoredPredicate &stored,
+                                 const TermArena &q_arena, TermRef goal,
+                                 RetrievalResult &result) const
+{
+    term::TermReader reader(symbols_);
+    for (std::uint32_t ordinal : result.candidates) {
+        std::string text = stored.clauses.sourceText(ordinal);
+        term::Clause clause = reader.parseClause(text);
+        if (unify::wouldUnify(q_arena, goal, clause))
+            result.answers.push_back(ordinal);
+    }
+    result.hostUnifyTime = config_.host.perCandidateUnify *
+        result.candidates.size();
+}
+
+RetrievalResult
+ClauseRetrievalServer::retrieveAuto(const TermArena &q_arena,
+                                    TermRef goal)
+{
+    return retrieve(q_arena, goal, selectMode(q_arena, goal));
+}
+
+RetrievalResult
+ClauseRetrievalServer::retrieve(const TermArena &q_arena, TermRef goal,
+                                SearchMode mode)
+{
+    RetrievalResult result;
+    result.mode = mode;
+
+    term::PredicateId pred = goalPredicate(q_arena, goal);
+    const StoredPredicate &stored = store_.predicate(pred);
+    const storage::ClauseFile &file = stored.clauses;
+    const storage::DiskModel &data_disk = store_.dataDisk();
+
+    pif::Encoder encoder;
+    pif::EncodedArgs q_args = encoder.encodeArgs(q_arena, goal,
+                                                 pif::Side::Query);
+
+    switch (mode) {
+      case SearchMode::SoftwareOnly: {
+        // The CRS streams the whole clause file and performs partial
+        // matching in software before full unification.
+        unify::PifMatcher matcher(unify::PifMatchConfig{
+            config_.fs2.level, config_.fs2.crossBinding});
+        Tick scan_cost = 0;
+        for (std::size_t i = 0; i < file.clauseCount(); ++i) {
+            unify::PifMatchResult m = matcher.match(file.decodeArgs(i),
+                                                    q_args);
+            scan_cost += config_.host.perClause +
+                config_.host.perOp * m.datapathOps();
+            ++result.clausesExamined;
+            for (std::size_t o = 0; o < unify::kTueOpCount; ++o)
+                result.filterOps[o] += m.opCounts[o];
+            if (m.hit)
+                result.candidates.push_back(
+                    static_cast<std::uint32_t>(i));
+        }
+        Tick transfer = data_disk.transferTime(file.image().size());
+        result.filterTime = data_disk.accessTime() +
+            std::max(transfer, scan_cost);
+        break;
+      }
+
+      case SearchMode::Fs1Only: {
+        result.candidates = runFs1(stored, q_arena, goal, result);
+        // Fetch the candidate clauses: one sequential sweep of the
+        // spanned region, or a seek per candidate — whichever the
+        // disk finishes sooner.
+        if (!result.candidates.empty()) {
+            const auto &first = file.record(result.candidates.front());
+            const auto &last = file.record(result.candidates.back());
+            std::uint64_t span = last.offset + last.length - first.offset;
+            std::uint64_t selected = 0;
+            for (std::uint32_t c : result.candidates)
+                selected += file.record(c).length;
+            Tick sweep = data_disk.accessTime() +
+                data_disk.transferTime(span);
+            Tick seeks = data_disk.accessTime() *
+                result.candidates.size() +
+                data_disk.transferTime(selected);
+            result.filterTime = std::min(sweep, seeks);
+        }
+        break;
+      }
+
+      case SearchMode::Fs2Only: {
+        fs2::Fs2Engine engine(config_.fs2);
+        engine.setQuery(q_args, pred);
+        fs2::Fs2SearchResult r = engine.search(file, &data_disk,
+                                               stored.clauseFileOffset);
+        result.candidates = r.acceptedOrdinals;
+        result.clausesExamined = r.clausesExamined;
+        result.filterOps = r.ops;
+        result.filterTime = r.elapsed;
+        break;
+      }
+
+      case SearchMode::TwoStage: {
+        std::vector<std::uint32_t> fs1_hits = runFs1(stored, q_arena,
+                                                     goal, result);
+        fs2::Fs2Engine engine(config_.fs2);
+        engine.setQuery(q_args, pred);
+        fs2::Fs2SearchResult r = engine.searchSelected(
+            file, fs1_hits, &data_disk, stored.clauseFileOffset);
+        result.candidates = r.acceptedOrdinals;
+        result.clausesExamined = r.clausesExamined;
+        result.filterOps = r.ops;
+        result.filterTime = r.elapsed;
+        break;
+      }
+    }
+
+    hostUnify(stored, q_arena, goal, result);
+    result.elapsed = result.indexTime + result.filterTime +
+        result.hostUnifyTime;
+    return result;
+}
+
+} // namespace clare::crs

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The Clause Retrieval Server (CRS): the software module linking CLARE
+ * with the PDBM Prolog system (section 2.2).
+ *
+ * For each retrieval the CRS runs one of the four search modes —
+ * software-only, FS1-only, FS2-only, or the two-stage FS1+FS2 filter —
+ * and hands the resulting candidate set to host-side full unification.
+ * Mode selection follows the paper's criteria: the nature of the query
+ * (e.g. whether it contains cross-bound/shared variables or variable-
+ * bearing structures that the codeword index cannot see) and of the
+ * knowledge base (rule-intensive predicates defeat the index because
+ * variable arguments are masked).
+ *
+ * Host software costs are modeled with a simple per-clause/per-
+ * operation cost model representative of the M68020-class host;
+ * retrieval *correctness* (which clauses truly unify) is computed with
+ * the real unifier so that false-drop accounting is exact.
+ */
+
+#ifndef CLARE_CRS_SERVER_HH
+#define CLARE_CRS_SERVER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "crs/search_mode.hh"
+#include "crs/store.hh"
+#include "fs1/fs1_engine.hh"
+#include "fs2/fs2_engine.hh"
+#include "support/sim_time.hh"
+#include "term/term_reader.hh"
+#include "unify/tue_op.hh"
+
+namespace clare::crs {
+
+/**
+ * Host (M68020-class) software cost model.  A mid-80s workstation
+ * Prolog ran on the order of 10-20 KLIPS, i.e. 50-100 us per
+ * inference; a software partial-match visit is cheaper than a full
+ * resolution step but of the same order.
+ */
+struct HostCostModel
+{
+    /** Fixed software cost to visit one clause record. */
+    Tick perClause = 40 * kMicrosecond;
+    /** Cost per software term-comparison operation. */
+    Tick perOp = 5 * kMicrosecond;
+    /** Full unification cost per candidate clause. */
+    Tick perCandidateUnify = 100 * kMicrosecond;
+};
+
+/** CRS configuration. */
+struct CrsConfig
+{
+    HostCostModel host;
+    fs1::Fs1Config fs1;
+    fs2::Fs2Config fs2;
+};
+
+/** Characteristics of a query goal that drive mode selection. */
+struct QueryProfile
+{
+    std::uint32_t arity = 0;
+    std::uint32_t groundArgs = 0;
+    std::uint32_t variableArgs = 0;
+    bool hasSharedVars = false;          ///< a variable occurs twice
+    bool hasVarBearingStructures = false; ///< complex arg containing vars
+};
+
+/** Outcome of one retrieval. */
+struct RetrievalResult
+{
+    SearchMode mode = SearchMode::SoftwareOnly;
+
+    /** Ordinals handed to full unification, in clause order. */
+    std::vector<std::uint32_t> candidates;
+    /** Ordinals that truly unify (the answer set), in clause order. */
+    std::vector<std::uint32_t> answers;
+
+    std::uint64_t indexEntriesScanned = 0;
+    std::uint64_t fs1Hits = 0;
+    std::uint64_t clausesExamined = 0;  ///< by FS2 or software matching
+    unify::TueOpCounts filterOps{};
+
+    Tick indexTime = 0;     ///< FS1 stage elapsed
+    Tick filterTime = 0;    ///< FS2 / software scan elapsed
+    Tick hostUnifyTime = 0; ///< modeled full-unification cost
+    Tick elapsed = 0;       ///< total retrieval latency
+
+    std::uint64_t
+    falseDrops() const
+    {
+        return candidates.size() - answers.size();
+    }
+
+    double
+    falseDropRate() const
+    {
+        return candidates.empty()
+            ? 0.0
+            : static_cast<double>(falseDrops()) /
+              static_cast<double>(candidates.size());
+    }
+};
+
+/** The retrieval server. */
+class ClauseRetrievalServer
+{
+  public:
+    /**
+     * @param symbols shared symbol table (non-const: candidate clauses
+     *        are re-parsed for host-side unification)
+     */
+    ClauseRetrievalServer(term::SymbolTable &symbols,
+                          const PredicateStore &store,
+                          CrsConfig config = {});
+
+    /** Retrieve with an explicit mode. */
+    RetrievalResult retrieve(const term::TermArena &q_arena,
+                             term::TermRef goal, SearchMode mode);
+
+    /** Retrieve with the CRS choosing the mode. */
+    RetrievalResult retrieveAuto(const term::TermArena &q_arena,
+                                 term::TermRef goal);
+
+    /** The mode-selection heuristic (exposed for tests/benches). */
+    SearchMode selectMode(const term::TermArena &q_arena,
+                          term::TermRef goal) const;
+
+    /** Analyze a goal's filter-relevant characteristics. */
+    static QueryProfile profileQuery(const term::TermArena &q_arena,
+                                     term::TermRef goal);
+
+    const CrsConfig &config() const { return config_; }
+
+  private:
+    term::SymbolTable &symbols_;
+    const PredicateStore &store_;
+    CrsConfig config_;
+
+    term::PredicateId goalPredicate(const term::TermArena &q_arena,
+                                    term::TermRef goal) const;
+
+    /** FS1 stage: scan the index, return candidate ordinals. */
+    std::vector<std::uint32_t> runFs1(const StoredPredicate &stored,
+                                      const term::TermArena &q_arena,
+                                      term::TermRef goal,
+                                      RetrievalResult &result) const;
+
+    /** Host full unification over candidates; fills answers + time. */
+    void hostUnify(const StoredPredicate &stored,
+                   const term::TermArena &q_arena, term::TermRef goal,
+                   RetrievalResult &result) const;
+};
+
+} // namespace clare::crs
+
+#endif // CLARE_CRS_SERVER_HH

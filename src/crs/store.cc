@@ -1,0 +1,129 @@
+#include "crs/store.hh"
+
+#include "support/logging.hh"
+
+namespace clare::crs {
+
+PredicateStore::PredicateStore(const term::SymbolTable &symbols,
+                               scw::CodewordGenerator generator,
+                               storage::DiskGeometry geometry)
+    : symbols_(symbols), generator_(std::move(generator)),
+      writer_(symbols_), dataDisk_(geometry), indexDisk_(geometry)
+{
+}
+
+void
+PredicateStore::addProgram(const term::Program &program)
+{
+    clare_assert(!finalized_, "store already finalized");
+    for (const term::PredicateId &pred : program.predicates()) {
+        if (preds_.count(pred))
+            clare_fatal("predicate %s/%u stored twice",
+                        symbols_.name(pred.functor).c_str(), pred.arity);
+
+        storage::ClauseFileBuilder builder(writer_);
+        std::vector<scw::Signature> signatures;
+        std::size_t rules = 0;
+        const auto &ordinals = program.clausesOf(pred);
+        for (std::size_t i : ordinals) {
+            const term::Clause &clause = program.clause(i);
+            builder.add(clause);
+            signatures.push_back(generator_.encode(clause.arena(),
+                                                   clause.head()));
+            if (!clause.isFact())
+                ++rules;
+        }
+
+        StoredPredicate stored;
+        stored.clauses = builder.finish();
+        stored.index = scw::SecondaryFile::build(generator_, signatures,
+                                                 stored.clauses);
+        stored.ruleFraction = ordinals.empty()
+            ? 0.0
+            : static_cast<double>(rules) /
+              static_cast<double>(ordinals.size());
+        preds_.emplace(pred, std::move(stored));
+        order_.push_back(pred);
+    }
+}
+
+void
+PredicateStore::addStored(const term::PredicateId &pred,
+                          storage::ClauseFile clauses,
+                          scw::SecondaryFile index)
+{
+    clare_assert(!finalized_, "store already finalized");
+    if (preds_.count(pred))
+        clare_fatal("predicate %s/%u stored twice",
+                    symbols_.name(pred.functor).c_str(), pred.arity);
+    StoredPredicate stored;
+    std::size_t rules = 0;
+    for (std::size_t i = 0; i < clauses.clauseCount(); ++i)
+        rules += clauses.record(i).isFact() ? 0 : 1;
+    stored.ruleFraction = clauses.clauseCount() == 0
+        ? 0.0
+        : static_cast<double>(rules) /
+          static_cast<double>(clauses.clauseCount());
+    stored.clauses = std::move(clauses);
+    stored.index = std::move(index);
+    preds_.emplace(pred, std::move(stored));
+    order_.push_back(pred);
+}
+
+void
+PredicateStore::finalize()
+{
+    clare_assert(!finalized_, "store already finalized");
+    std::vector<std::uint8_t> data_image;
+    std::vector<std::uint8_t> index_image;
+    for (const term::PredicateId &pred : order_) {
+        StoredPredicate &stored = preds_.at(pred);
+        stored.clauseFileOffset = data_image.size();
+        data_image.insert(data_image.end(),
+                          stored.clauses.image().begin(),
+                          stored.clauses.image().end());
+        stored.indexFileOffset = index_image.size();
+        index_image.insert(index_image.end(),
+                           stored.index.image().begin(),
+                           stored.index.image().end());
+    }
+    dataDisk_.load(std::move(data_image));
+    indexDisk_.load(std::move(index_image));
+    finalized_ = true;
+}
+
+bool
+PredicateStore::has(const term::PredicateId &pred) const
+{
+    return preds_.count(pred) != 0;
+}
+
+const StoredPredicate &
+PredicateStore::predicate(const term::PredicateId &pred) const
+{
+    auto it = preds_.find(pred);
+    if (it == preds_.end())
+        clare_fatal("predicate %s/%u is not stored",
+                    symbols_.name(pred.functor).c_str(), pred.arity);
+    return it->second;
+}
+
+std::uint64_t
+PredicateStore::dataBytes() const
+{
+    std::uint64_t n = 0;
+    for (const auto &kv : preds_)
+        n += kv.second.clauses.image().size();
+    return n;
+}
+
+std::uint64_t
+PredicateStore::indexBytes() const
+{
+    std::uint64_t n = 0;
+    for (const auto &kv : preds_)
+        n += kv.second.index.image().size();
+    return n;
+}
+
+} // namespace clare::crs

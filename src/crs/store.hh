@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Disk-resident predicate storage managed by the CRS: per predicate, a
+ * compiled clause file plus its secondary (codeword) file, laid out on
+ * a modeled disk.
+ */
+
+#ifndef CLARE_CRS_STORE_HH
+#define CLARE_CRS_STORE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "scw/codeword.hh"
+#include "scw/index_file.hh"
+#include "storage/clause_file.hh"
+#include "storage/disk_model.hh"
+#include "term/clause.hh"
+#include "term/symbol_table.hh"
+#include "term/term_writer.hh"
+
+namespace clare::crs {
+
+/** One predicate's on-disk artifacts. */
+struct StoredPredicate
+{
+    storage::ClauseFile clauses;
+    scw::SecondaryFile index;
+    std::uint64_t clauseFileOffset = 0; ///< placement on the data disk
+    std::uint64_t indexFileOffset = 0;  ///< placement on the index disk
+
+    /** Fraction of clauses that are rules (body-carrying). */
+    double ruleFraction = 0.0;
+};
+
+/**
+ * The predicate store: builds clause and secondary files from parsed
+ * programs and lays them out on a pair of modeled disks (data and
+ * index regions of one spindle in the real system; two images here
+ * for clarity of accounting).
+ */
+class PredicateStore
+{
+  public:
+    PredicateStore(const term::SymbolTable &symbols,
+                   scw::CodewordGenerator generator,
+                   storage::DiskGeometry geometry =
+                       storage::DiskGeometry::fujitsuM2351A());
+
+    /** Compile and store every predicate of a program. */
+    void addProgram(const term::Program &program);
+
+    /**
+     * Insert an already-compiled predicate (the store-loading path);
+     * the rule fraction is re-derived from the record flags.
+     */
+    void addStored(const term::PredicateId &pred,
+                   storage::ClauseFile clauses,
+                   scw::SecondaryFile index);
+
+    /** Finish layout: load the concatenated images onto the disks. */
+    void finalize();
+
+    bool has(const term::PredicateId &pred) const;
+    const StoredPredicate &predicate(const term::PredicateId &pred) const;
+    const std::vector<term::PredicateId> &predicates() const
+    {
+        return order_;
+    }
+
+    const storage::DiskModel &dataDisk() const { return dataDisk_; }
+    const storage::DiskModel &indexDisk() const { return indexDisk_; }
+    const scw::CodewordGenerator &generator() const { return generator_; }
+
+    /** Total bytes of clause data stored. */
+    std::uint64_t dataBytes() const;
+    /** Total bytes of index data stored. */
+    std::uint64_t indexBytes() const;
+
+  private:
+    const term::SymbolTable &symbols_;
+    scw::CodewordGenerator generator_;
+    term::TermWriter writer_;
+    storage::DiskModel dataDisk_;
+    storage::DiskModel indexDisk_;
+    std::map<term::PredicateId, StoredPredicate> preds_;
+    std::vector<term::PredicateId> order_;
+    bool finalized_ = false;
+};
+
+} // namespace clare::crs
+
+#endif // CLARE_CRS_STORE_HH

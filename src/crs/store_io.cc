@@ -1,0 +1,122 @@
+#include "crs/store_io.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "scw/codeword.hh"
+#include "storage/file_io.hh"
+#include "support/logging.hh"
+
+namespace clare::crs {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string
+predicateStem(const term::PredicateId &pred)
+{
+    // Functor names can contain anything; file stems use the id.
+    return "pred_" + std::to_string(pred.functor) + "_" +
+        std::to_string(pred.arity);
+}
+
+} // namespace
+
+void
+saveStore(const std::string &directory, const PredicateStore &store,
+          const term::SymbolTable &symbols)
+{
+    std::error_code ec;
+    fs::create_directories(directory, ec);
+    if (ec)
+        clare_fatal("cannot create store directory '%s': %s",
+                    directory.c_str(), ec.message().c_str());
+
+    storage::saveSymbolTable(directory + "/symbols.tbl", symbols);
+
+    const scw::ScwConfig &config = store.generator().config();
+    std::ostringstream manifest;
+    manifest << "clare-store 1\n";
+    manifest << "scw " << config.fieldBits << ' ' << config.bitsPerTerm
+             << ' ' << config.encodedArgs << ' ' << config.seed << '\n';
+    for (const term::PredicateId &pred : store.predicates()) {
+        const StoredPredicate &stored = store.predicate(pred);
+        std::string stem = predicateStem(pred);
+        manifest << "pred " << pred.functor << ' ' << pred.arity << ' '
+                 << stem << '\n';
+        storage::saveClauseFile(directory + "/" + stem + ".kbc",
+                                stored.clauses);
+        storage::writeBytes(directory + "/" + stem + ".idx",
+                            stored.index.image());
+    }
+    std::ofstream out(directory + "/manifest.txt");
+    if (!out)
+        clare_fatal("cannot write '%s/manifest.txt'", directory.c_str());
+    out << manifest.str();
+}
+
+PredicateStore
+loadStore(const std::string &directory, term::SymbolTable &symbols)
+{
+    storage::loadSymbolTable(directory + "/symbols.tbl", symbols);
+
+    std::ifstream in(directory + "/manifest.txt");
+    if (!in)
+        clare_fatal("cannot read '%s/manifest.txt'", directory.c_str());
+
+    std::string word;
+    int version = 0;
+    if (!(in >> word >> version) || word != "clare-store" ||
+        version != 1) {
+        clare_fatal("'%s/manifest.txt' has an unsupported header",
+                    directory.c_str());
+    }
+
+    scw::ScwConfig config;
+    if (!(in >> word >> config.fieldBits >> config.bitsPerTerm >>
+          config.encodedArgs >> config.seed) ||
+        word != "scw") {
+        clare_fatal("'%s/manifest.txt' is missing the scw line",
+                    directory.c_str());
+    }
+
+    PredicateStore store(symbols, scw::CodewordGenerator(config));
+    std::uint32_t functor = 0;
+    std::uint32_t arity = 0;
+    std::string stem;
+    while (in >> word >> functor >> arity >> stem) {
+        if (word != "pred")
+            clare_fatal("'%s/manifest.txt': unexpected entry '%s'",
+                        directory.c_str(), word.c_str());
+        storage::ClauseFile clauses = storage::loadClauseFile(
+            directory + "/" + stem + ".kbc");
+        term::PredicateId pred{functor, arity};
+        if (!(clauses.predicate() == pred))
+            clare_fatal("'%s': %s.kbc does not hold %u/%u",
+                        directory.c_str(), stem.c_str(), functor, arity);
+
+        // Rebuild the secondary file from the persisted raw image by
+        // re-deriving entries against the clause directory (the image
+        // is position-independent, so a size check suffices).
+        std::vector<std::uint8_t> index_image = storage::readBytes(
+            directory + "/" + stem + ".idx");
+        scw::CodewordGenerator generator(config);
+        std::size_t entry_bytes = generator.signatureBytes() + 8;
+        if (index_image.size() != entry_bytes * clauses.clauseCount())
+            clare_fatal("'%s': %s.idx has %zu bytes, expected %zu",
+                        directory.c_str(), stem.c_str(),
+                        index_image.size(),
+                        entry_bytes * clauses.clauseCount());
+        scw::SecondaryFile index = scw::SecondaryFile::fromImage(
+            std::move(index_image), clauses.clauseCount(), entry_bytes);
+
+        store.addStored(pred, std::move(clauses), std::move(index));
+    }
+    store.finalize();
+    return store;
+}
+
+} // namespace clare::crs

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Whole-store persistence: save a compiled PredicateStore — symbol
+ * table, SCW configuration, and every predicate's clause and
+ * secondary files — into a directory, and load it back in a fresh
+ * process.  This is the "build the knowledge base once, open it per
+ * session" usage the PDBM's disk-resident modules imply.
+ *
+ * Layout of a store directory:
+ *
+ *   symbols.tbl          interned atom names and float constants
+ *   manifest.txt         SCW parameters + one line per predicate
+ *   <functor>_<arity>.kbc    clause file (storage::saveClauseFile)
+ *   <functor>_<arity>.idx    secondary file image
+ */
+
+#ifndef CLARE_CRS_STORE_IO_HH
+#define CLARE_CRS_STORE_IO_HH
+
+#include <string>
+
+#include "crs/store.hh"
+
+namespace clare::crs {
+
+/** Persist a finalized store (and its symbol table) to a directory. */
+void saveStore(const std::string &directory, const PredicateStore &store,
+               const term::SymbolTable &symbols);
+
+/**
+ * Load a persisted store.
+ *
+ * @param symbols a *fresh* symbol table to repopulate (ids must come
+ *        out dense and identical to the saved ones; loading into a
+ *        table that already interned other names is rejected)
+ * @return a finalized PredicateStore backed by the loaded images
+ */
+PredicateStore loadStore(const std::string &directory,
+                         term::SymbolTable &symbols);
+
+} // namespace clare::crs
+
+#endif // CLARE_CRS_STORE_IO_HH

@@ -1,0 +1,159 @@
+#include "crs/transaction.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace clare::crs {
+
+bool
+LockManager::acquire(ClientId client, const term::PredicateId &pred,
+                     LockKind kind)
+{
+    Entry &entry = locks_[pred];
+    if (kind == LockKind::Shared) {
+        if (entry.exclusive && entry.exclusiveOwner != client)
+            return false;
+        if (entry.exclusive)
+            return true;    // owner already has exclusive access
+        entry.sharers.insert(client);
+        return true;
+    }
+    // Exclusive.
+    if (entry.exclusive)
+        return entry.exclusiveOwner == client;
+    if (!entry.sharers.empty() &&
+        !(entry.sharers.size() == 1 && entry.sharers.count(client))) {
+        return false;
+    }
+    entry.sharers.clear();
+    entry.exclusive = true;
+    entry.exclusiveOwner = client;
+    return true;
+}
+
+bool
+LockManager::upgrade(ClientId client, const term::PredicateId &pred)
+{
+    auto it = locks_.find(pred);
+    if (it == locks_.end() || !it->second.sharers.count(client))
+        return false;
+    return acquire(client, pred, LockKind::Exclusive);
+}
+
+void
+LockManager::release(ClientId client, const term::PredicateId &pred)
+{
+    auto it = locks_.find(pred);
+    clare_assert(it != locks_.end(), "releasing an unheld lock");
+    Entry &entry = it->second;
+    if (entry.exclusive) {
+        clare_assert(entry.exclusiveOwner == client,
+                     "client %u releasing client %u's exclusive lock",
+                     client, entry.exclusiveOwner);
+        entry.exclusive = false;
+        entry.exclusiveOwner = 0;
+    } else {
+        clare_assert(entry.sharers.erase(client) == 1,
+                     "client %u releasing an unheld shared lock",
+                     client);
+    }
+    if (!entry.exclusive && entry.sharers.empty())
+        locks_.erase(it);
+}
+
+void
+LockManager::releaseAll(ClientId client)
+{
+    std::vector<term::PredicateId> to_release;
+    for (const auto &kv : locks_) {
+        if ((kv.second.exclusive && kv.second.exclusiveOwner == client) ||
+            kv.second.sharers.count(client)) {
+            to_release.push_back(kv.first);
+        }
+    }
+    for (const auto &pred : to_release)
+        release(client, pred);
+}
+
+bool
+LockManager::holds(ClientId client, const term::PredicateId &pred) const
+{
+    auto it = locks_.find(pred);
+    if (it == locks_.end())
+        return false;
+    return (it->second.exclusive &&
+            it->second.exclusiveOwner == client) ||
+        it->second.sharers.count(client) != 0;
+}
+
+std::size_t
+LockManager::holders(const term::PredicateId &pred) const
+{
+    auto it = locks_.find(pred);
+    if (it == locks_.end())
+        return 0;
+    return it->second.exclusive ? 1 : it->second.sharers.size();
+}
+
+Transaction::~Transaction()
+{
+    if (active_)
+        abort();
+}
+
+bool
+Transaction::acquire(const term::PredicateId &pred, LockKind kind)
+{
+    clare_assert(active_, "operation on a finished transaction");
+    if (!manager_.acquire(client_, pred, kind))
+        return false;
+    held_.push_back(pred);
+    return true;
+}
+
+bool
+Transaction::acquireAll(std::vector<term::PredicateId> preds,
+                        LockKind kind)
+{
+    clare_assert(active_, "operation on a finished transaction");
+    std::sort(preds.begin(), preds.end());
+    preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+    std::vector<term::PredicateId> got;
+    for (const auto &pred : preds) {
+        if (!manager_.acquire(client_, pred, kind)) {
+            for (const auto &p : got)
+                manager_.release(client_, p);
+            return false;
+        }
+        got.push_back(pred);
+    }
+    held_.insert(held_.end(), got.begin(), got.end());
+    return true;
+}
+
+void
+Transaction::releaseHeld()
+{
+    for (const auto &pred : held_)
+        manager_.release(client_, pred);
+    held_.clear();
+}
+
+void
+Transaction::commit()
+{
+    clare_assert(active_, "commit of a finished transaction");
+    releaseHeld();
+    active_ = false;
+}
+
+void
+Transaction::abort()
+{
+    clare_assert(active_, "abort of a finished transaction");
+    releaseHeld();
+    active_ = false;
+}
+
+} // namespace clare::crs

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Concurrency control for multi-client access to the CRS.
+ *
+ * The paper notes the CRS "will also support simultaneous access by
+ * multiple clients which involves procedures for concurrency control
+ * and transaction handling".  This module provides the classical
+ * building blocks: a per-predicate shared/exclusive lock manager with
+ * deadlock avoidance by ordered acquisition, and transactions that
+ * release everything on commit or abort.
+ */
+
+#ifndef CLARE_CRS_TRANSACTION_HH
+#define CLARE_CRS_TRANSACTION_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "term/clause.hh"
+
+namespace clare::crs {
+
+/** Client identity. */
+using ClientId = std::uint32_t;
+
+/** Lock strength. */
+enum class LockKind : std::uint8_t
+{
+    Shared,     ///< concurrent readers
+    Exclusive,  ///< single writer
+};
+
+/**
+ * Per-predicate shared/exclusive locks.  Non-blocking interface: a
+ * client either acquires a lock or is told it must wait; the caller
+ * (a scheduler or test harness) decides what to do next.
+ */
+class LockManager
+{
+  public:
+    /** Try to acquire; returns false on conflict. */
+    bool acquire(ClientId client, const term::PredicateId &pred,
+                 LockKind kind);
+
+    /** Upgrade a held shared lock to exclusive (fails on conflict). */
+    bool upgrade(ClientId client, const term::PredicateId &pred);
+
+    /** Release one lock (must be held by the client). */
+    void release(ClientId client, const term::PredicateId &pred);
+
+    /** Release everything a client holds. */
+    void releaseAll(ClientId client);
+
+    /** Does the client hold a lock on the predicate? */
+    bool holds(ClientId client, const term::PredicateId &pred) const;
+
+    /** Number of clients holding locks on the predicate. */
+    std::size_t holders(const term::PredicateId &pred) const;
+
+  private:
+    struct Entry
+    {
+        std::set<ClientId> sharers;
+        ClientId exclusiveOwner = 0;
+        bool exclusive = false;
+    };
+
+    std::map<term::PredicateId, Entry> locks_;
+};
+
+/**
+ * A transaction: accumulates predicate locks (acquired in a canonical
+ * order to avoid deadlock when pre-declared), releases them on commit
+ * or abort.
+ */
+class Transaction
+{
+  public:
+    Transaction(LockManager &manager, ClientId client)
+        : manager_(manager), client_(client)
+    {}
+
+    Transaction(const Transaction &) = delete;
+    Transaction &operator=(const Transaction &) = delete;
+
+    ~Transaction();
+
+    /**
+     * Acquire the given predicates (sorted canonically) with one
+     * strength.  All-or-nothing: on any conflict, locks acquired by
+     * this call are released and false is returned.
+     */
+    bool acquireAll(std::vector<term::PredicateId> preds, LockKind kind);
+
+    /** Acquire a single lock. */
+    bool acquire(const term::PredicateId &pred, LockKind kind);
+
+    void commit();
+    void abort();
+
+    bool active() const { return active_; }
+    ClientId client() const { return client_; }
+
+  private:
+    LockManager &manager_;
+    ClientId client_;
+    std::vector<term::PredicateId> held_;
+    bool active_ = true;
+
+    void releaseHeld();
+};
+
+} // namespace clare::crs
+
+#endif // CLARE_CRS_TRANSACTION_HH

@@ -1,0 +1,38 @@
+#include "fs1/fs1_engine.hh"
+
+namespace clare::fs1 {
+
+Fs1Engine::Fs1Engine(scw::CodewordGenerator generator, Fs1Config config)
+    : generator_(std::move(generator)), config_(config)
+{
+}
+
+Fs1Result
+Fs1Engine::search(const scw::SecondaryFile &index,
+                  const scw::Signature &query) const
+{
+    Fs1Result result;
+    for (std::size_t i = 0; i < index.entryCount(); ++i) {
+        scw::IndexEntry entry = index.entry(generator_, i);
+        if (generator_.matches(query, entry.signature)) {
+            result.clauseOffsets.push_back(entry.clauseOffset);
+            result.ordinals.push_back(entry.ordinal);
+        }
+    }
+    result.entriesScanned = index.entryCount();
+    result.bytesScanned = index.image().size();
+    double seconds = static_cast<double>(result.bytesScanned) /
+        config_.scanRate;
+    result.busyTime = static_cast<Tick>(seconds * kSecond);
+
+    stats_.scalar("searches", "index scans performed") += 1;
+    stats_.scalar("entriesScanned", "index entries examined") +=
+        result.entriesScanned;
+    stats_.scalar("hits", "entries passing the codeword match") +=
+        result.ordinals.size();
+    stats_.scalar("bytesScanned", "secondary file bytes streamed") +=
+        result.bytesScanned;
+    return result;
+}
+
+} // namespace clare::fs1

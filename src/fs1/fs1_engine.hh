@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The first stage filter (FS1): hardware index scanning over the
+ * secondary file using superimposed codewords plus mask bits.
+ *
+ * The prototype described in the paper searches at up to 4.5 Mbyte/s
+ * using PLAs and MSI parts.  This model applies the SCW+MB match rule
+ * to every index entry streamed past it and collects the clause
+ * addresses of the matches; its busy time is the scanned byte count
+ * divided by the scan rate.  The caller (the Clause Retrieval Server)
+ * combines that busy time with the disk streaming time — the engine
+ * can only be as fast as the disk feeds it.
+ */
+
+#ifndef CLARE_FS1_FS1_ENGINE_HH
+#define CLARE_FS1_FS1_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "scw/codeword.hh"
+#include "scw/index_file.hh"
+#include "support/sim_time.hh"
+#include "support/stats.hh"
+
+namespace clare::fs1 {
+
+/** FS1 configuration. */
+struct Fs1Config
+{
+    /** Hardware scan rate in bytes per second (paper: 4.5 MB/s). */
+    double scanRate = 4.5e6;
+};
+
+/** Outcome of one FS1 index scan. */
+struct Fs1Result
+{
+    /** Clause-file offsets of the matching clauses, in file order. */
+    std::vector<std::uint32_t> clauseOffsets;
+    /** Clause ordinals of the matching clauses, in file order. */
+    std::vector<std::uint32_t> ordinals;
+
+    std::uint64_t entriesScanned = 0;
+    std::uint64_t bytesScanned = 0;
+    /** Pure hardware time (bytes / scan rate). */
+    Tick busyTime = 0;
+};
+
+/** The FS1 codeword-matching engine. */
+class Fs1Engine
+{
+  public:
+    explicit Fs1Engine(scw::CodewordGenerator generator,
+                       Fs1Config config = {});
+
+    const Fs1Config &config() const { return config_; }
+    const scw::CodewordGenerator &generator() const { return generator_; }
+
+    /** Scan a secondary file against a query signature. */
+    Fs1Result search(const scw::SecondaryFile &index,
+                     const scw::Signature &query) const;
+
+    /** Cumulative statistics across searches. */
+    StatGroup &stats() { return stats_; }
+
+  private:
+    scw::CodewordGenerator generator_;
+    Fs1Config config_;
+    mutable StatGroup stats_{"fs1"};
+};
+
+} // namespace clare::fs1
+
+#endif // CLARE_FS1_FS1_ENGINE_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The FS2 Test Unification Engine datapath timing model.
+ *
+ * Table 1's execution times are not free parameters: the paper derives
+ * them from component propagation delays along the routes of figures
+ * 6-12.  This model encodes those component delays and routes, and
+ * *computes* each operation's execution time as
+ *
+ *     sum over cycles of max(database route, query route)  +  final
+ *     action (comparison or memory write)
+ *
+ * exactly as the figures do.  The Table-1 reproduction bench asserts
+ * the computed values equal the published ones (105, 95, 115, 105,
+ * 170, 170, 235 ns).
+ */
+
+#ifndef CLARE_FS2_DATAPATH_HH
+#define CLARE_FS2_DATAPATH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/sim_time.hh"
+#include "unify/tue_op.hh"
+
+namespace clare::fs2 {
+
+/** Datapath components with their propagation delays. */
+enum class Component : std::uint8_t
+{
+    DoubleBufferOut,    ///< Double Buffer output register, 20 ns
+    Sel1,               ///< selector, 20 ns
+    Sel2,
+    Sel3,
+    Sel4,
+    Sel5,
+    Sel6,
+    QueryMemoryRead,    ///< Query Memory access, 35 ns
+    QueryMemoryWrite,   ///< Query Memory write, 35 ns
+    DbMemoryRead,       ///< DB Memory access, 25 ns
+    DbMemoryWrite,      ///< DB Memory write, 20 ns
+    Reg1,               ///< register clock-to-out, 20 ns
+    Reg2,
+    Reg3,
+    Comparator,         ///< ALS comparator, 30 ns
+    MicroBits,          ///< microinstruction bits 13-20, 0 ns
+};
+
+/** Propagation delay of a component in nanoseconds. */
+std::uint64_t componentDelayNs(Component c);
+
+/** Short component name as used in the figures. */
+const char *componentName(Component c);
+
+/** One route: an ordered chain of components data flows through. */
+struct Route
+{
+    std::vector<Component> legs;
+
+    /** Total propagation delay along the route in nanoseconds. */
+    std::uint64_t delayNs() const;
+
+    /** "Double Buffer -> Sel1 -> ..." rendering. */
+    std::string describe() const;
+};
+
+/** One microprogram cycle: database and query routes run in parallel. */
+struct Cycle
+{
+    Route dbRoute;
+    Route queryRoute;
+
+    /** Cycle time: the slower of the two parallel routes. */
+    std::uint64_t delayNs() const;
+};
+
+/** The final action that closes an operation. */
+enum class FinalAction : std::uint8_t
+{
+    Comparison,         ///< comparator settles, 30 ns
+    DbMemoryWrite,      ///< binding written to DB Memory, 20 ns
+    QueryMemoryWrite,   ///< binding written to Query Memory, 35 ns
+};
+
+/** Full datapath specification of one TUE operation. */
+struct OperationSpec
+{
+    unify::TueOp op;
+    int figure;                 ///< paper figure number (6-12)
+    std::vector<Cycle> cycles;
+    FinalAction finalAction;
+
+    /** The figures' accounting: per-cycle critical path + final action. */
+    std::uint64_t executionTimeNs() const;
+};
+
+/** The specification of one of the seven operations (Skip panics). */
+const OperationSpec &operationSpec(unify::TueOp op);
+
+/** Execution time of an operation in simulation ticks. */
+Tick operationTime(unify::TueOp op);
+
+/** Execution time in nanoseconds (Table 1 column). */
+std::uint64_t operationTimeNs(unify::TueOp op);
+
+/**
+ * The paper's worst-case rate argument (section 4): treating the
+ * slowest operation as the per-byte processing cost, the filter rate
+ * in bytes/second is 1e9 / t_ns.  235 ns yields ~4.26 MB/s, quoted as
+ * "approximately 4.25 Mbytes/second".
+ */
+double worstCaseFilterRate();
+
+} // namespace clare::fs2
+
+#endif // CLARE_FS2_DATAPATH_HH

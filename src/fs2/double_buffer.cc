@@ -1,0 +1,54 @@
+#include "fs2/double_buffer.hh"
+
+#include "support/logging.hh"
+
+namespace clare::fs2 {
+
+DoubleBuffer::DoubleBuffer(std::uint32_t bank_bytes)
+    : bankBytes_(bank_bytes)
+{
+    clare_assert(bank_bytes > 0, "bank size must be positive");
+}
+
+Tick
+DoubleBuffer::admit(Tick delivered, Tick processing,
+                    std::uint32_t clause_bytes)
+{
+    if (clause_bytes > bankBytes_)
+        clare_fatal("clause record of %u bytes exceeds the %u-byte "
+                    "Double Buffer bank", clause_bytes, bankBytes_);
+
+    // Examination starts once the clause has arrived and the engine
+    // finished the previous clause.
+    Tick start = delivered > busyUntil_ ? delivered : busyUntil_;
+    if (delivered > busyUntil_)
+        stallTime_ += delivered - busyUntil_;
+
+    // Overrun check: with two banks, this clause's delivery must not
+    // complete while the clause *before the previous one* is still
+    // being examined.  Equivalently, the previous examination must
+    // have started (freeing the third-oldest bank) by now; we track it
+    // conservatively as "previous examination still running past this
+    // delivery while its own delivery was already complete".
+    if (havePrev_ && busyUntil_ > delivered && prevDelivered_ < delivered)
+        ++overruns_;
+
+    busyUntil_ = start + processing;
+    prevDelivered_ = delivered;
+    havePrev_ = true;
+    ++clauses_;
+    return busyUntil_;
+}
+
+void
+DoubleBuffer::reset()
+{
+    busyUntil_ = 0;
+    prevDelivered_ = 0;
+    havePrev_ = false;
+    stallTime_ = 0;
+    overruns_ = 0;
+    clauses_ = 0;
+}
+
+} // namespace clare::fs2

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The Double Buffer (figure 4): two alternating memory banks between
+ * the disk and the Test Unification Engine.
+ *
+ * While one bank fills with the clause streaming from disk, the other
+ * bank's previous clause is examined.  The model tracks, clause by
+ * clause, when data became available (disk delivery time) and when the
+ * engine finished the previous clause, yielding per-clause start
+ * times, total stall (engine waiting on disk), and overrun events
+ * (disk delivering a new clause before its bank was freed — the
+ * situation the paper's "filter faster than disk" argument exists to
+ * preclude).
+ */
+
+#ifndef CLARE_FS2_DOUBLE_BUFFER_HH
+#define CLARE_FS2_DOUBLE_BUFFER_HH
+
+#include <cstdint>
+
+#include "support/sim_time.hh"
+
+namespace clare::fs2 {
+
+/** Timing bookkeeping for the two-bank pipeline. */
+class DoubleBuffer
+{
+  public:
+    /** @param bank_bytes capacity of each bank */
+    explicit DoubleBuffer(std::uint32_t bank_bytes = 8192);
+
+    std::uint32_t bankBytes() const { return bankBytes_; }
+
+    /**
+     * Account one clause passing through the buffer.
+     *
+     * @param delivered time the disk finished writing the input bank
+     * @param processing how long the TUE will examine the clause
+     * @param clause_bytes record size (must fit one bank)
+     * @return the time examination of this clause completes
+     */
+    Tick admit(Tick delivered, Tick processing,
+               std::uint32_t clause_bytes);
+
+    /** Time the engine spent waiting for the disk. */
+    Tick stallTime() const { return stallTime_; }
+
+    /**
+     * Number of clauses whose bank was still being examined when the
+     * next delivery completed (the disk would have overrun it).
+     */
+    std::uint64_t overruns() const { return overruns_; }
+
+    /** Clauses admitted. */
+    std::uint64_t clauses() const { return clauses_; }
+
+    /** Completion time of the most recent examination. */
+    Tick lastCompletion() const { return busyUntil_; }
+
+    void reset();
+
+  private:
+    std::uint32_t bankBytes_;
+    Tick busyUntil_ = 0;        ///< when the output bank frees
+    Tick prevDelivered_ = 0;
+    bool havePrev_ = false;
+    Tick stallTime_ = 0;
+    std::uint64_t overruns_ = 0;
+    std::uint64_t clauses_ = 0;
+};
+
+} // namespace clare::fs2
+
+#endif // CLARE_FS2_DOUBLE_BUFFER_HH

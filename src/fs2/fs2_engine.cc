@@ -1,0 +1,188 @@
+#include "fs2/fs2_engine.hh"
+
+#include "support/logging.hh"
+
+namespace clare::fs2 {
+
+using storage::ClauseFile;
+using storage::ClauseRecord;
+using storage::DiskModel;
+
+double
+Fs2SearchResult::filterRate() const
+{
+    Tick busy = tueBusyTime + sequencerTime;
+    return busy == 0 ? 0.0 : bytesPerSecond(bytesStreamed, busy);
+}
+
+Fs2Engine::Fs2Engine(Fs2Config config)
+    : config_(config),
+      tue_(config.level, config.crossBinding),
+      wcs_(WcsConfig{config.sequencerOverhead, 1u << 20}),
+      doubleBuffer_(config.doubleBufferBank),
+      resultMemory_(config.resultMemoryBytes, config.resultSlotBytes)
+{
+    // Microprogramming mode: translate the matching algorithm into
+    // control-store words and program the map ROM.
+    RoutineAddresses routines;
+    program_ = assembleMatchProgram(config_.level, routines);
+    wcs_.loadProgram(program_);
+    wcs_.loadMapRom(MapRom::program(config_.level, config_.crossBinding,
+                                    routines));
+}
+
+void
+Fs2Engine::setQuery(const term::TermArena &q_arena, term::TermRef q_goal)
+{
+    pif::Encoder encoder;
+    pif::EncodedArgs args = encoder.encodeArgs(q_arena, q_goal,
+                                               pif::Side::Query);
+    term::PredicateId pred;
+    if (q_arena.kind(q_goal) == term::TermKind::Atom) {
+        pred = term::PredicateId{q_arena.atomSymbol(q_goal), 0};
+    } else {
+        pred = term::PredicateId{q_arena.functor(q_goal),
+                                 q_arena.arity(q_goal)};
+    }
+    setQuery(std::move(args), pred);
+}
+
+void
+Fs2Engine::setQuery(pif::EncodedArgs query, term::PredicateId predicate)
+{
+    query_ = std::move(query);
+    predicate_ = predicate;
+    queryLoaded_ = true;
+}
+
+Fs2SearchResult
+Fs2Engine::search(const ClauseFile &file, const DiskModel *disk,
+                  std::uint64_t file_offset)
+{
+    std::vector<std::uint32_t> all;
+    all.reserve(file.clauseCount());
+    for (std::size_t i = 0; i < file.clauseCount(); ++i)
+        all.push_back(static_cast<std::uint32_t>(i));
+    return runStream(file, all, disk, file_offset);
+}
+
+Fs2SearchResult
+Fs2Engine::searchSelected(const ClauseFile &file,
+                          const std::vector<std::uint32_t> &ordinals,
+                          const DiskModel *disk, std::uint64_t file_offset)
+{
+    for (std::size_t i = 1; i < ordinals.size(); ++i)
+        clare_assert(ordinals[i - 1] < ordinals[i],
+                     "selected ordinals must be ascending");
+    return runStream(file, ordinals, disk, file_offset);
+}
+
+Fs2SearchResult
+Fs2Engine::runStream(const ClauseFile &file,
+                     const std::vector<std::uint32_t> &ordinals,
+                     const DiskModel *disk, std::uint64_t file_offset)
+{
+    clare_assert(queryLoaded_, "search started before Set Query");
+    if (!(file.predicate() == predicate_))
+        clare_fatal("clause file predicate does not match the query "
+                    "(functor %u/%u vs %u/%u)",
+                    file.predicate().functor, file.predicate().arity,
+                    predicate_.functor, predicate_.arity);
+
+    Fs2SearchResult result;
+    tue_.resetStats();
+    wcs_.resetStats();
+    doubleBuffer_.reset();
+    resultMemory_.reset();
+
+    if (ordinals.empty())
+        return result;
+
+    // Disk timing.  Two fetch strategies are available to the CRS:
+    // one sequential sweep over the spanned region (each record is
+    // delivered when the head has streamed past its end), or a seek
+    // per selected record.  The cheaper one is used — a full-file
+    // search always sweeps; a sparse candidate fetch may seek.
+    std::uint64_t span_start = file.record(ordinals.front()).offset;
+    const ClauseRecord &last_rec = file.record(ordinals.back());
+    std::uint64_t span_end = last_rec.offset + last_rec.length;
+    Tick access = disk ? disk->accessTime() : 0;
+
+    std::uint64_t selected_bytes = 0;
+    for (std::uint32_t ordinal : ordinals)
+        selected_bytes += file.record(ordinal).length;
+    Tick sweep_total = 0;
+    Tick seek_total = 0;
+    bool per_record = false;
+    if (disk) {
+        sweep_total = access + disk->transferTime(span_end - span_start);
+        seek_total = access * ordinals.size() +
+            disk->transferTime(selected_bytes);
+        per_record = seek_total < sweep_total;
+    }
+
+    std::uint64_t fetched_bytes = 0;
+    std::size_t fetched_records = 0;
+    for (std::uint32_t ordinal : ordinals) {
+        const ClauseRecord &rec = file.record(ordinal);
+        pif::EncodedArgs db_args = ClauseFile::decodeArgsAt(file.image(),
+                                                            rec);
+
+        Tick delivered = 0;
+        fetched_bytes += rec.length;
+        ++fetched_records;
+        if (disk) {
+            if (per_record) {
+                delivered = access * fetched_records +
+                    disk->transferTime(fetched_bytes);
+            } else {
+                std::uint64_t rec_end = rec.offset + rec.length;
+                delivered = access +
+                    disk->transferTime(rec_end - span_start);
+            }
+        }
+
+        // The parallel copy into the Result Memory happens while the
+        // record streams in.
+        resultMemory_.beginClause(file.image().data() + rec.offset,
+                                  rec.length);
+
+        tue_.resetForClause(db_args.varSlots, query_.varSlots);
+        Tick busy_before = tue_.busyTime() + wcs_.sequencerTime();
+        ClauseVerdict verdict = wcs_.runClause(tue_, db_args.items,
+                                               rec.arity, query_);
+        Tick processing = (tue_.busyTime() + wcs_.sequencerTime()) -
+            busy_before;
+
+        doubleBuffer_.admit(delivered, processing, rec.length);
+
+        ++result.clausesExamined;
+        result.bytesStreamed += rec.length;
+        if (verdict == ClauseVerdict::Accepted) {
+            result.acceptedOrdinals.push_back(ordinal);
+            resultMemory_.commit();
+        } else {
+            resultMemory_.discard();
+        }
+    }
+
+    result.ops = tue_.opCounts();
+    result.tueBusyTime = tue_.busyTime();
+    result.sequencerTime = wcs_.sequencerTime();
+    result.microInstructions = wcs_.instructionsExecuted();
+    result.stallTime = doubleBuffer_.stallTime();
+    result.overruns = doubleBuffer_.overruns();
+    if (disk) {
+        result.diskTime = per_record ? seek_total : sweep_total;
+        result.elapsed = std::max(result.diskTime,
+                                  doubleBuffer_.lastCompletion());
+    } else {
+        result.elapsed = doubleBuffer_.lastCompletion();
+    }
+    result.satisfiers = resultMemory_.satisfierCount();
+    result.resultOverflow = resultMemory_.overflowed();
+    (void)file_offset;
+    return result;
+}
+
+} // namespace clare::fs2

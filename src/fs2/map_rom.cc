@@ -1,0 +1,72 @@
+#include "fs2/map_rom.hh"
+
+namespace clare::fs2 {
+
+using pif::TagClass;
+
+namespace {
+
+bool
+isDbVarClass(TagClass cls)
+{
+    return cls == TagClass::FirstDbVar || cls == TagClass::SubDbVar;
+}
+
+bool
+isQueryVarClass(TagClass cls)
+{
+    return cls == TagClass::FirstQueryVar || cls == TagClass::SubQueryVar;
+}
+
+bool
+isInlineComplexClass(TagClass cls)
+{
+    return cls == TagClass::StructInline ||
+           cls == TagClass::TermListInline ||
+           cls == TagClass::UntermListInline;
+}
+
+} // namespace
+
+MapRom
+MapRom::program(int level, bool cross_binding,
+                const RoutineAddresses &routines)
+{
+    MapRom rom;
+    for (std::size_t d = 0; d < pif::kTagClassCount; ++d) {
+        for (std::size_t q = 0; q < pif::kTagClassCount; ++q) {
+            TagClass dc = static_cast<TagClass>(d);
+            TagClass qc = static_cast<TagClass>(q);
+
+            // Query-variable classes never appear in a database
+            // stream, and vice versa: trap those addresses.
+            if (isQueryVarClass(dc) || isDbVarClass(qc))
+                continue;
+
+            std::uint16_t target;
+            if (dc == TagClass::AnonymousVar ||
+                qc == TagClass::AnonymousVar) {
+                target = routines.skip;
+            } else if (dc == TagClass::FirstDbVar) {
+                target = cross_binding ? routines.dbStore : routines.skip;
+            } else if (dc == TagClass::SubDbVar) {
+                target = cross_binding ? routines.dbFetch : routines.skip;
+            } else if (qc == TagClass::FirstQueryVar) {
+                target = cross_binding ? routines.queryStore
+                                       : routines.skip;
+            } else if (qc == TagClass::SubQueryVar) {
+                target = cross_binding ? routines.queryFetch
+                                       : routines.skip;
+            } else if (level >= 3 && isInlineComplexClass(dc) &&
+                       isInlineComplexClass(qc)) {
+                target = routines.matchComplex;
+            } else {
+                target = routines.matchSimple;
+            }
+            rom.entries_[index(dc, qc)] = target;
+        }
+    }
+    return rom;
+}
+
+} // namespace clare::fs2

@@ -1,0 +1,76 @@
+#include "fs2/result_memory.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace clare::fs2 {
+
+ResultMemory::ResultMemory(std::uint32_t bytes, std::uint32_t slot_bytes)
+    : slotBytes_(slot_bytes), slotCount_(bytes / slot_bytes),
+      memory_(bytes, 0), slotLengths_(slotCount_, 0)
+{
+    clare_assert(slot_bytes > 0 && bytes >= slot_bytes,
+                 "result memory must hold at least one slot");
+}
+
+void
+ResultMemory::beginClause(const std::uint8_t *data, std::uint32_t length)
+{
+    if (satisfiers_ >= slotCount_) {
+        // The 6-bit counter is exhausted; nothing more can be captured.
+        if (length > 0)
+            pendingLength_ = length;
+        return;
+    }
+    std::uint32_t n = std::min(length, slotBytes_);
+    if (length > slotBytes_)
+        truncated_ = true;
+    std::memcpy(memory_.data() +
+                static_cast<std::size_t>(satisfiers_) * slotBytes_,
+                data, n);
+    pendingLength_ = n;
+}
+
+void
+ResultMemory::commit()
+{
+    if (satisfiers_ >= slotCount_) {
+        overflowed_ = true;
+        return;
+    }
+    slotLengths_[satisfiers_] = pendingLength_;
+    ++satisfiers_;
+    pendingLength_ = 0;
+}
+
+void
+ResultMemory::discard()
+{
+    pendingLength_ = 0;
+}
+
+std::vector<std::uint8_t>
+ResultMemory::slot(std::uint32_t i) const
+{
+    clare_assert(i < satisfiers_, "satisfier %u out of range (%u)",
+                 i, satisfiers_);
+    auto begin = memory_.begin() +
+        static_cast<std::ptrdiff_t>(static_cast<std::size_t>(i) *
+                                    slotBytes_);
+    return std::vector<std::uint8_t>(begin, begin + slotLengths_[i]);
+}
+
+void
+ResultMemory::reset()
+{
+    std::fill(memory_.begin(), memory_.end(), 0);
+    std::fill(slotLengths_.begin(), slotLengths_.end(), 0);
+    satisfiers_ = 0;
+    pendingLength_ = 0;
+    overflowed_ = false;
+    truncated_ = false;
+}
+
+} // namespace clare::fs2

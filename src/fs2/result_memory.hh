@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The Result Memory (figure 4): 32 Kbytes capturing clause satisfiers.
+ *
+ * While disk data transfers to the Double Buffer, a copy is written to
+ * the Result Memory in parallel.  The Address Generator is two
+ * counters: a 6-bit counter forming the upper address bits (one slot
+ * per satisfier, incremented when the TUE accepts a clause — its final
+ * value is the satisfier count) and a 9-bit counter forming the lower
+ * bits (the byte offset within the slot, reset after every clause).
+ * 32 KB / 512-byte slots = 64 satisfiers: exactly the worst case of
+ * one disk track of minimum-size clauses, which the paper cites as the
+ * sizing rationale.
+ */
+
+#ifndef CLARE_FS2_RESULT_MEMORY_HH
+#define CLARE_FS2_RESULT_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace clare::fs2 {
+
+/** The satisfier-capture memory with its two-counter address generator. */
+class ResultMemory
+{
+  public:
+    /**
+     * @param bytes total capacity (paper: 32 K)
+     * @param slot_bytes bytes addressed by the lower counter (paper:
+     *        9 bits = 512)
+     */
+    explicit ResultMemory(std::uint32_t bytes = 32 * 1024,
+                          std::uint32_t slot_bytes = 512);
+
+    std::uint32_t slotCount() const { return slotCount_; }
+    std::uint32_t slotBytes() const { return slotBytes_; }
+
+    /**
+     * Stream one clause's bytes into the current slot (the parallel
+     * copy during disk transfer).  Bytes beyond the slot size are
+     * dropped and flagged, as the real offset counter would wrap.
+     */
+    void beginClause(const std::uint8_t *data, std::uint32_t length);
+
+    /** The TUE accepted the clause: advance the satisfier counter. */
+    void commit();
+
+    /** The TUE rejected the clause: the slot will be overwritten. */
+    void discard();
+
+    /** Satisfiers captured (the 6-bit counter's value). */
+    std::uint32_t satisfierCount() const { return satisfiers_; }
+
+    /** A satisfier arrived after the 6-bit counter was exhausted. */
+    bool overflowed() const { return overflowed_; }
+
+    /** A clause exceeded the slot size (bytes were dropped). */
+    bool clauseTruncated() const { return truncated_; }
+
+    /** Read Result mode: the captured bytes of satisfier @p i. */
+    std::vector<std::uint8_t> slot(std::uint32_t i) const;
+
+    void reset();
+
+  private:
+    std::uint32_t slotBytes_;
+    std::uint32_t slotCount_;
+    std::vector<std::uint8_t> memory_;
+    std::vector<std::uint32_t> slotLengths_;
+    std::uint32_t satisfiers_ = 0;
+    std::uint32_t pendingLength_ = 0;
+    bool overflowed_ = false;
+    bool truncated_ = false;
+};
+
+} // namespace clare::fs2
+
+#endif // CLARE_FS2_RESULT_MEMORY_HH

@@ -1,0 +1,125 @@
+#include "fs2/tue.hh"
+
+#include "support/logging.hh"
+
+namespace clare::fs2 {
+
+using pif::PifItem;
+using unify::TueOp;
+
+const char *
+microTueOpName(MicroTueOp op)
+{
+    switch (op) {
+      case MicroTueOp::None: return "NONE";
+      case MicroTueOp::Match: return "MATCH";
+      case MicroTueOp::DbStore: return "DB_STORE";
+      case MicroTueOp::QueryStore: return "QUERY_STORE";
+      case MicroTueOp::DbFetchMatch: return "DB_FETCH_MATCH";
+      case MicroTueOp::QueryFetchMatch: return "QUERY_FETCH_MATCH";
+      case MicroTueOp::SkipPair: return "SKIP_PAIR";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Render an operation's routes as the figures print them. */
+std::string
+describeRoutes(TueOp op)
+{
+    if (op == TueOp::Skip)
+        return "(sequencer skip, no TUE activity)";
+    const OperationSpec &spec = operationSpec(op);
+    std::string s;
+    for (std::size_t i = 0; i < spec.cycles.size(); ++i) {
+        if (i)
+            s += " ; ";
+        if (spec.cycles.size() > 1) {
+            s += "cycle ";
+            s += std::to_string(i + 1);
+            s += ": ";
+        }
+        s += "db: " + spec.cycles[i].dbRoute.describe();
+        s += " | query: " + spec.cycles[i].queryRoute.describe();
+    }
+    return s;
+}
+
+} // namespace
+
+TestUnificationEngine::TestUnificationEngine(int level, bool cross_binding)
+    : engine_(level, cross_binding)
+{
+}
+
+void
+TestUnificationEngine::resetForClause(std::uint32_t db_slots,
+                                      std::uint32_t q_slots)
+{
+    // The DB Memory is "reset to pointing to itself at the beginning
+    // of each clause input"; the microprogram re-initializes the
+    // query-variable cells likewise.
+    engine_.reset(db_slots, q_slots);
+}
+
+bool
+TestUnificationEngine::execute(MicroTueOp op, const PifItem &db_item,
+                               const PifItem &q_item)
+{
+    // Validate that the map ROM dispatched sensibly.
+    switch (op) {
+      case MicroTueOp::None:
+        clare_panic("TUE executed with no operation selected");
+      case MicroTueOp::SkipPair:
+        clare_assert(pif::isAnonVarItem(db_item) ||
+                     pif::isAnonVarItem(q_item) ||
+                     !engine_.crossBinding(),
+                     "SKIP_PAIR dispatched on a non-skippable pair");
+        break;
+      case MicroTueOp::DbStore:
+      case MicroTueOp::DbFetchMatch:
+        clare_assert(pif::isDbVarItem(db_item),
+                     "%s dispatched without a db variable",
+                     microTueOpName(op));
+        break;
+      case MicroTueOp::QueryStore:
+      case MicroTueOp::QueryFetchMatch:
+        clare_assert(pif::isQueryVarItem(q_item),
+                     "%s dispatched without a query variable",
+                     microTueOpName(op));
+        break;
+      case MicroTueOp::Match:
+        clare_assert(!pif::isNamedVarItem(db_item) &&
+                     !pif::isNamedVarItem(q_item) &&
+                     !pif::isAnonVarItem(db_item) &&
+                     !pif::isAnonVarItem(q_item),
+                     "MATCH dispatched on a variable item");
+        break;
+    }
+
+    bool hit = engine_.matchPair(db_item, q_item,
+        [this, &db_item, &q_item](TueOp performed) {
+            ++opCounts_[static_cast<std::size_t>(performed)];
+            Tick t = operationTime(performed);
+            busyTime_ += t;
+            if (tracing_) {
+                trace_.push_back(TueTraceEntry{
+                    performed, db_item, q_item, true,
+                    operationTimeNs(performed),
+                    describeRoutes(performed)});
+            }
+        });
+    if (tracing_ && !trace_.empty())
+        trace_.back().hit = hit;
+    return hit;
+}
+
+void
+TestUnificationEngine::resetStats()
+{
+    busyTime_ = 0;
+    opCounts_ = unify::TueOpCounts{};
+}
+
+} // namespace clare::fs2

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Structural model of the Test Unification Engine (figure 5).
+ *
+ * The TUE consists of the dual-port DB Memory (run-time bindings of
+ * database variables), the Query Memory (pre-loaded query items and
+ * query-variable bindings), an 8-bit comparator, three registers and
+ * six selectors.  The microprogram invokes one of the micro-level
+ * operations below per item pair; the TUE resolves the
+ * fetch-or-cross-bound distinction internally (as the hardware does by
+ * branching on the fetched type field), performs the figure-6..12
+ * datapath routing, accumulates the corresponding execution time, and
+ * reports the Table-1 operation that actually occurred.
+ *
+ * Matching semantics are delegated to the shared PairEngine, so the
+ * hardware model and the functional model agree by construction.
+ */
+
+#ifndef CLARE_FS2_TUE_HH
+#define CLARE_FS2_TUE_HH
+
+#include <string>
+#include <vector>
+
+#include "fs2/datapath.hh"
+#include "pif/pif_item.hh"
+#include "support/sim_time.hh"
+#include "unify/pair_engine.hh"
+#include "unify/tue_op.hh"
+
+namespace clare::fs2 {
+
+/** The operations a microinstruction can ask the TUE to perform. */
+enum class MicroTueOp : std::uint8_t
+{
+    None = 0,
+    Match,              ///< both sides non-variable
+    DbStore,            ///< database side is a first-occurrence DV
+    QueryStore,         ///< query side is a first-occurrence QV
+    DbFetchMatch,       ///< database side is a subsequent DV
+    QueryFetchMatch,    ///< query side is a subsequent QV
+    SkipPair,           ///< anonymous variable on either side
+};
+
+/** Name of a MicroTueOp (for traces). */
+const char *microTueOpName(MicroTueOp op);
+
+/** One entry of the optional datapath trace. */
+struct TueTraceEntry
+{
+    unify::TueOp op;
+    pif::PifItem dbItem;
+    pif::PifItem queryItem;
+    bool hit;
+    std::uint64_t timeNs;
+    std::string route;  ///< "db: ... | query: ..." per cycle
+};
+
+/** The TUE structural model. */
+class TestUnificationEngine
+{
+  public:
+    explicit TestUnificationEngine(int level = 3,
+                                   bool cross_binding = true);
+
+    /** Reset binding cells at the start of each clause. */
+    void resetForClause(std::uint32_t db_slots, std::uint32_t q_slots);
+
+    /**
+     * Execute a micro operation on an item pair.
+     *
+     * @return the comparator HIT outcome (true for the store ops).
+     */
+    bool execute(MicroTueOp op, const pif::PifItem &db_item,
+                 const pif::PifItem &q_item);
+
+    /** Accumulated datapath busy time. */
+    Tick busyTime() const { return busyTime_; }
+
+    /** Table-1 operation counts performed so far. */
+    const unify::TueOpCounts &opCounts() const { return opCounts_; }
+
+    /** Reset time and counters (between searches). */
+    void resetStats();
+
+    /** Enable recording of a per-operation datapath trace. */
+    void setTracing(bool on) { tracing_ = on; }
+    const std::vector<TueTraceEntry> &trace() const { return trace_; }
+    void clearTrace() { trace_.clear(); }
+
+  private:
+    unify::PairEngine engine_;
+    Tick busyTime_ = 0;
+    unify::TueOpCounts opCounts_{};
+    bool tracing_ = false;
+    std::vector<TueTraceEntry> trace_;
+};
+
+} // namespace clare::fs2
+
+#endif // CLARE_FS2_TUE_HH

@@ -1,0 +1,125 @@
+#include "kb/arith.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "support/logging.hh"
+
+namespace clare::kb {
+
+using term::TermArena;
+using term::TermKind;
+using term::TermRef;
+
+namespace {
+
+Number
+evalBinary(const std::string &op, const Number &a, const Number &b)
+{
+    bool as_float = a.isFloat || b.isFloat;
+    if (op == "+") {
+        return as_float ? Number::ofFloat(a.asDouble() + b.asDouble())
+                        : Number::ofInt(a.intValue + b.intValue);
+    }
+    if (op == "-") {
+        return as_float ? Number::ofFloat(a.asDouble() - b.asDouble())
+                        : Number::ofInt(a.intValue - b.intValue);
+    }
+    if (op == "*") {
+        return as_float ? Number::ofFloat(a.asDouble() * b.asDouble())
+                        : Number::ofInt(a.intValue * b.intValue);
+    }
+    if (op == "/") {
+        if (as_float) {
+            if (b.asDouble() == 0.0)
+                clare_fatal("arithmetic: division by zero");
+            return Number::ofFloat(a.asDouble() / b.asDouble());
+        }
+        if (b.intValue == 0)
+            clare_fatal("arithmetic: division by zero");
+        return Number::ofInt(a.intValue / b.intValue);
+    }
+    if (op == "mod") {
+        if (as_float)
+            clare_fatal("arithmetic: mod requires integers");
+        if (b.intValue == 0)
+            clare_fatal("arithmetic: mod by zero");
+        return Number::ofInt(((a.intValue % b.intValue) + b.intValue) %
+                             b.intValue);
+    }
+    if (op == "min") {
+        return compareNumbers(a, b) <= 0 ? a : b;
+    }
+    if (op == "max") {
+        return compareNumbers(a, b) >= 0 ? a : b;
+    }
+    clare_fatal("arithmetic: unknown operator '%s'/2", op.c_str());
+}
+
+} // namespace
+
+Number
+evalArith(const term::SymbolTable &symbols, const TermArena &arena,
+          TermRef t, const unify::Bindings &bindings)
+{
+    t = bindings.deref(arena, t);
+    switch (arena.kind(t)) {
+      case TermKind::Int:
+        return Number::ofInt(arena.intValue(t));
+      case TermKind::Float:
+        return Number::ofFloat(symbols.floatValue(arena.floatId(t)));
+      case TermKind::Var:
+        clare_fatal("arithmetic: expression is not sufficiently "
+                    "instantiated");
+      case TermKind::Atom:
+        clare_fatal("arithmetic: atom '%s' is not a number",
+                    symbols.name(arena.atomSymbol(t)).c_str());
+      case TermKind::List:
+        clare_fatal("arithmetic: a list is not a number");
+      case TermKind::Struct: {
+        const std::string &op = symbols.name(arena.functor(t));
+        if (arena.arity(t) == 1) {
+            Number a = evalArith(symbols, arena, arena.arg(t, 0),
+                                 bindings);
+            if (op == "-") {
+                return a.isFloat ? Number::ofFloat(-a.floatValue)
+                                 : Number::ofInt(-a.intValue);
+            }
+            if (op == "abs") {
+                return a.isFloat
+                    ? Number::ofFloat(std::fabs(a.floatValue))
+                    : Number::ofInt(std::llabs(a.intValue));
+            }
+            clare_fatal("arithmetic: unknown operator '%s'/1",
+                        op.c_str());
+        }
+        if (arena.arity(t) == 2) {
+            Number a = evalArith(symbols, arena, arena.arg(t, 0),
+                                 bindings);
+            Number b = evalArith(symbols, arena, arena.arg(t, 1),
+                                 bindings);
+            return evalBinary(op, a, b);
+        }
+        clare_fatal("arithmetic: unknown operator '%s'/%u", op.c_str(),
+                    arena.arity(t));
+      }
+    }
+    clare_panic("unreachable term kind");
+}
+
+int
+compareNumbers(const Number &a, const Number &b)
+{
+    if (!a.isFloat && !b.isFloat) {
+        if (a.intValue < b.intValue)
+            return -1;
+        return a.intValue > b.intValue ? 1 : 0;
+    }
+    double x = a.asDouble();
+    double y = b.asDouble();
+    if (x < y)
+        return -1;
+    return x > y ? 1 : 0;
+}
+
+} // namespace clare::kb

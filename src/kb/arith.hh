@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Arithmetic evaluation for the is/2 and comparison built-ins.
+ *
+ * Evaluates ground arithmetic expressions over integers and floats:
+ * +, -, *, /, mod, min/2, max/2, abs/1.  Integer division truncates
+ * toward zero unless either operand is a float; an unbound variable
+ * or non-numeric leaf raises FatalError (Prolog's instantiation /
+ * type errors).
+ */
+
+#ifndef CLARE_KB_ARITH_HH
+#define CLARE_KB_ARITH_HH
+
+#include <cstdint>
+
+#include "term/symbol_table.hh"
+#include "term/term.hh"
+#include "unify/bindings.hh"
+
+namespace clare::kb {
+
+/** A numeric value: integer or float. */
+struct Number
+{
+    bool isFloat = false;
+    std::int64_t intValue = 0;
+    double floatValue = 0.0;
+
+    double
+    asDouble() const
+    {
+        return isFloat ? floatValue : static_cast<double>(intValue);
+    }
+
+    static Number
+    ofInt(std::int64_t v)
+    {
+        return Number{false, v, 0.0};
+    }
+
+    static Number
+    ofFloat(double v)
+    {
+        return Number{true, 0, v};
+    }
+};
+
+/**
+ * Evaluate a (dereferenced) arithmetic expression.
+ *
+ * @param symbols used to resolve operator names and float values
+ * @throws FatalError on unbound variables or non-arithmetic terms
+ */
+Number evalArith(const term::SymbolTable &symbols,
+                 const term::TermArena &arena, term::TermRef t,
+                 const unify::Bindings &bindings);
+
+/** Three-way comparison of two numbers (-1, 0, 1). */
+int compareNumbers(const Number &a, const Number &b);
+
+} // namespace clare::kb
+
+#endif // CLARE_KB_ARITH_HH

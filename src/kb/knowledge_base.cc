@@ -1,0 +1,279 @@
+#include "kb/knowledge_base.hh"
+
+#include "support/logging.hh"
+#include "unify/bindings.hh"
+#include "unify/unify.hh"
+
+namespace clare::kb {
+
+KnowledgeBase::KnowledgeBase(KbConfig config)
+    : config_(config), reader_(symbols_)
+{
+}
+
+void
+KnowledgeBase::consult(std::string_view text)
+{
+    if (compiled_)
+        clare_fatal("consult after compile(): the disk-resident store "
+                    "is immutable in this model");
+    for (term::Clause &clause : reader_.parseProgram(text))
+        program_.add(std::move(clause));
+}
+
+void
+KnowledgeBase::add(term::Clause clause)
+{
+    if (compiled_)
+        clare_fatal("add after compile(): the disk-resident store is "
+                    "immutable in this model");
+    program_.add(std::move(clause));
+}
+
+void
+KnowledgeBase::loadLibrary()
+{
+    consult(R"prolog(
+        append([], L, L).
+        append([H|T], L, [H|R]) :- append(T, L, R).
+
+        member(X, [X|_]).
+        member(X, [_|T]) :- member(X, T).
+
+        length([], 0).
+        length([_|T], N) :- length(T, M), N is M + 1.
+
+        reverse(L, R) :- reverse_acc(L, [], R).
+        reverse_acc([], A, A).
+        reverse_acc([H|T], A, R) :- reverse_acc(T, [H|A], R).
+
+        last([X], X).
+        last([_|T], X) :- last(T, X).
+
+        nth0(N, L, X) :- nth0_walk(L, 0, N, X).
+        nth0_walk([X|_], I, I, X).
+        nth0_walk([_|T], I, N, X) :- J is I + 1, nth0_walk(T, J, N, X).
+
+        select(X, [X|T], T).
+        select(X, [H|T], [H|R]) :- select(X, T, R).
+
+        sum_list([], 0).
+        sum_list([H|T], S) :- sum_list(T, R), S is R + H.
+
+        max_list([X], X).
+        max_list([H|T], M) :- max_list(T, N), M is max(H, N).
+
+        min_list([X], X).
+        min_list([H|T], M) :- min_list(T, N), M is min(H, N).
+    )prolog");
+}
+
+void
+KnowledgeBase::assertz(term::Clause clause)
+{
+    term::PredicateId pred = clause.predicate();
+    if (compiled_ && isLarge(pred))
+        clare_fatal("assert on disk-resident predicate %s/%u (the "
+                    "compiled store is immutable)",
+                    symbols_.name(pred.functor).c_str(), pred.arity);
+    program_.add(std::move(clause));
+}
+
+void
+KnowledgeBase::asserta(term::Clause clause)
+{
+    term::PredicateId pred = clause.predicate();
+    if (compiled_ && isLarge(pred))
+        clare_fatal("assert on disk-resident predicate %s/%u (the "
+                    "compiled store is immutable)",
+                    symbols_.name(pred.functor).c_str(), pred.arity);
+    program_.addFront(std::move(clause));
+}
+
+namespace {
+
+/** Build the right-nested ','/2 conjunction of a clause body. */
+term::TermRef
+bodyConjunction(term::TermArena &arena, term::SymbolTable &symbols,
+                const term::Clause &clause, term::VarId offset)
+{
+    if (clause.isFact())
+        return arena.makeAtom(symbols.intern("true"));
+    term::TermRef conj = arena.import(clause.arena(),
+                                      clause.body().back(), offset);
+    for (std::size_t i = clause.body().size() - 1; i-- > 0;) {
+        term::TermRef g = arena.import(clause.arena(),
+                                       clause.body()[i], offset);
+        term::TermRef args[] = {g, conj};
+        conj = arena.makeStruct(symbols.intern(","), args);
+    }
+    return conj;
+}
+
+} // namespace
+
+bool
+KnowledgeBase::retract(const term::TermArena &arena,
+                       term::TermRef pattern)
+{
+    // Split the pattern into head and body-conjunction parts.
+    term::TermRef head_pat = pattern;
+    term::TermRef body_pat = term::kNoTerm;
+    term::SymbolId neck = symbols_.intern(":-");
+    if (arena.kind(pattern) == term::TermKind::Struct &&
+        arena.functor(pattern) == neck && arena.arity(pattern) == 2) {
+        head_pat = arena.arg(pattern, 0);
+        body_pat = arena.arg(pattern, 1);
+    }
+
+    term::PredicateId pred;
+    term::TermKind hk = arena.kind(head_pat);
+    if (hk == term::TermKind::Atom) {
+        pred = term::PredicateId{arena.atomSymbol(head_pat), 0};
+    } else if (hk == term::TermKind::Struct) {
+        pred = term::PredicateId{arena.functor(head_pat),
+                                 arena.arity(head_pat)};
+    } else {
+        clare_fatal("retract pattern head must be an atom or structure");
+    }
+    if (compiled_ && isLarge(pred))
+        clare_fatal("retract on disk-resident predicate %s/%u (the "
+                    "compiled store is immutable)",
+                    symbols_.name(pred.functor).c_str(), pred.arity);
+
+    for (std::size_t ordinal : program_.clausesOf(pred)) {
+        const term::Clause &clause = program_.clause(ordinal);
+        // A bare-head pattern matches facts only (retract(H) is
+        // retract((H :- true))).
+        if (body_pat == term::kNoTerm && !clause.isFact())
+            continue;
+
+        // Standardize apart and unify head (and body when given).
+        term::TermArena scratch;
+        term::TermRef goal_head = scratch.import(arena, head_pat, 0);
+        term::VarId offset = arena.varCeiling();
+        term::TermRef clause_head = scratch.import(clause.arena(),
+                                                   clause.head(),
+                                                   offset);
+        unify::Bindings bindings;
+        if (!unify::unifyTerms(scratch, goal_head, clause_head,
+                               bindings)) {
+            continue;
+        }
+        if (body_pat != term::kNoTerm) {
+            term::TermRef goal_body = scratch.import(arena, body_pat, 0);
+            term::TermRef clause_body = bodyConjunction(
+                scratch, symbols_, clause, offset);
+            if (!unify::unifyTerms(scratch, goal_body, clause_body,
+                                   bindings)) {
+                continue;
+            }
+        }
+        program_.remove(ordinal);
+        return true;
+    }
+    return false;
+}
+
+void
+KnowledgeBase::compile()
+{
+    clare_assert(!compiled_, "knowledge base already compiled");
+
+    // Classify predicates by clause count.
+    term::Program large_program;
+    for (const term::PredicateId &pred : program_.predicates()) {
+        const auto &ordinals = program_.clausesOf(pred);
+        if (ordinals.size() >= config_.largeThreshold) {
+            largePreds_.push_back(pred);
+            for (std::size_t i : ordinals) {
+                // Clauses are copied into the store; the in-memory
+                // program keeps them too as the source of truth for
+                // introspection.
+                const term::Clause &c = program_.clause(i);
+                term::TermArena arena;
+                term::TermRef head = arena.import(c.arena(), c.head(), 0);
+                std::vector<term::TermRef> body;
+                for (term::TermRef g : c.body())
+                    body.push_back(arena.import(c.arena(), g, 0));
+                large_program.add(term::Clause(std::move(arena), head,
+                                               std::move(body)));
+            }
+        }
+    }
+
+    store_ = std::make_unique<crs::PredicateStore>(
+        symbols_, scw::CodewordGenerator(config_.scw), config_.disk);
+    store_->addProgram(large_program);
+    store_->finalize();
+    server_ = std::make_unique<crs::ClauseRetrievalServer>(
+        symbols_, *store_, config_.crs);
+    compiled_ = true;
+}
+
+bool
+KnowledgeBase::isLarge(const term::PredicateId &pred) const
+{
+    for (const auto &p : largePreds_)
+        if (p == pred)
+            return true;
+    return false;
+}
+
+const crs::PredicateStore &
+KnowledgeBase::store() const
+{
+    clare_assert(store_, "store accessed before compile()");
+    return *store_;
+}
+
+crs::ClauseRetrievalServer &
+KnowledgeBase::server()
+{
+    clare_assert(server_, "server accessed before compile()");
+    return *server_;
+}
+
+RetrievedClauses
+KnowledgeBase::clausesFor(const term::TermArena &q_arena,
+                          term::TermRef goal,
+                          std::optional<crs::SearchMode> mode)
+{
+    term::PredicateId pred;
+    if (q_arena.kind(goal) == term::TermKind::Atom) {
+        pred = term::PredicateId{q_arena.atomSymbol(goal), 0};
+    } else if (q_arena.kind(goal) == term::TermKind::Struct) {
+        pred = term::PredicateId{q_arena.functor(goal),
+                                 q_arena.arity(goal)};
+    } else {
+        clare_fatal("goal must be an atom or structure");
+    }
+
+    RetrievedClauses out;
+    if (compiled_ && isLarge(pred)) {
+        crs::RetrievalResult r = mode
+            ? server_->retrieve(q_arena, goal, *mode)
+            : server_->retrieveAuto(q_arena, goal);
+        const crs::StoredPredicate &stored = store_->predicate(pred);
+        for (std::uint32_t ordinal : r.candidates) {
+            std::string text = stored.clauses.sourceText(ordinal);
+            out.clauses.push_back(reader_.parseClause(text));
+        }
+        out.retrieval = std::move(r);
+        return out;
+    }
+
+    for (std::size_t i : program_.clausesOf(pred)) {
+        const term::Clause &c = program_.clause(i);
+        term::TermArena arena;
+        term::TermRef head = arena.import(c.arena(), c.head(), 0);
+        std::vector<term::TermRef> body;
+        for (term::TermRef g : c.body())
+            body.push_back(arena.import(c.arena(), g, 0));
+        out.clauses.push_back(term::Clause(std::move(arena), head,
+                                           std::move(body)));
+    }
+    return out;
+}
+
+} // namespace clare::kb

@@ -1,0 +1,88 @@
+#include "scw/analysis.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace clare::scw {
+
+double
+expectedFillFactor(std::uint32_t field_bits, std::uint32_t bits_per_term,
+                   double tokens_per_field)
+{
+    clare_assert(field_bits > 0, "field width must be positive");
+    double clear = std::pow(1.0 - 1.0 / field_bits,
+                            bits_per_term * tokens_per_field);
+    return 1.0 - clear;
+}
+
+double
+fieldFalseMatchProbability(const ScwConfig &config,
+                           double clause_tokens_per_field,
+                           double query_tokens_per_field)
+{
+    double fill = expectedFillFactor(config.fieldBits,
+                                     config.bitsPerTerm,
+                                     clause_tokens_per_field);
+    // Every one of the query's ~q*k hashed bits must land on a set
+    // bit of the unrelated clause field.
+    return std::pow(fill,
+                    config.bitsPerTerm * query_tokens_per_field);
+}
+
+double
+falseDropProbability(const ScwConfig &config,
+                     std::uint32_t constrained_fields,
+                     double clause_tokens_per_field,
+                     double query_tokens_per_field,
+                     double clause_mask_probability)
+{
+    double per_field = fieldFalseMatchProbability(
+        config, clause_tokens_per_field, query_tokens_per_field);
+    // A masked clause field matches regardless.
+    double effective = clause_mask_probability +
+        (1.0 - clause_mask_probability) * per_field;
+    return std::pow(effective, constrained_fields);
+}
+
+namespace {
+
+double
+countTokens(const term::TermArena &arena, term::TermRef t)
+{
+    switch (arena.kind(t)) {
+      case term::TermKind::Atom:
+      case term::TermKind::Int:
+      case term::TermKind::Float:
+        return 1.0;
+      case term::TermKind::Var:
+        return 0.0;
+      case term::TermKind::Struct:
+      case term::TermKind::List: {
+        double n = 1.0;     // the functor / list marker
+        for (std::uint32_t i = 0; i < arena.arity(t); ++i)
+            n += countTokens(arena, arena.arg(t, i));
+        return n;
+      }
+    }
+    clare_panic("unreachable term kind");
+}
+
+} // namespace
+
+double
+measuredTokensPerField(const term::TermArena &arena, term::TermRef head,
+                       const ScwConfig &config)
+{
+    if (arena.kind(head) != term::TermKind::Struct)
+        return 0.0;
+    std::uint32_t n = std::min(arena.arity(head), config.encodedArgs);
+    if (n == 0)
+        return 0.0;
+    double total = 0.0;
+    for (std::uint32_t i = 0; i < n; ++i)
+        total += countTokens(arena, arena.arg(head, i));
+    return total / n;
+}
+
+} // namespace clare::scw

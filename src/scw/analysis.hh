@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Analytic false-drop model for the SCW+MB scheme.
+ *
+ * The paper's companion work (Wong, TR 88/6; Ramamohanarao & Shepherd)
+ * derives expected false-drop rates from codeword parameters.  The
+ * standard superimposed-coding analysis:
+ *
+ *   - a field of w bits receives n tokens, each setting k (not
+ *     necessarily distinct) hashed bits, so a given bit stays clear
+ *     with probability (1 - 1/w)^(n k) and the expected fill factor is
+ *     p = 1 - (1 - 1/w)^(n k);
+ *   - a query token's k bits are all covered by an *unrelated* clause
+ *     field with probability ~ p^k, and a query field carrying q
+ *     tokens false-matches with probability ~ p^(q k);
+ *   - a clause false-drops when every constrained field false-matches:
+ *     the product over the query's ground fields (masked clause fields
+ *     match trivially and contribute factor 1).
+ *
+ * These estimates ignore bit-overlap correlations, which is the
+ * textbook approximation; the false-drop bench compares them against
+ * measured rates.
+ */
+
+#ifndef CLARE_SCW_ANALYSIS_HH
+#define CLARE_SCW_ANALYSIS_HH
+
+#include <cstdint>
+
+#include "scw/codeword.hh"
+
+namespace clare::scw {
+
+/** Expected fill factor of a w-bit field after n tokens of k bits. */
+double expectedFillFactor(std::uint32_t field_bits,
+                          std::uint32_t bits_per_term,
+                          double tokens_per_field);
+
+/**
+ * Probability that one *unrelated* clause field false-matches a query
+ * field carrying @p query_tokens tokens.
+ */
+double fieldFalseMatchProbability(const ScwConfig &config,
+                                  double clause_tokens_per_field,
+                                  double query_tokens_per_field);
+
+/**
+ * Expected whole-signature false-drop probability for a query with
+ * @p constrained_fields ground fields, against clauses whose fields
+ * carry @p clause_tokens_per_field tokens on average and are masked
+ * (variable-bearing) with probability @p clause_mask_probability.
+ */
+double falseDropProbability(const ScwConfig &config,
+                            std::uint32_t constrained_fields,
+                            double clause_tokens_per_field,
+                            double query_tokens_per_field,
+                            double clause_mask_probability = 0.0);
+
+/** Average token count per encoded argument of a clause head. */
+double measuredTokensPerField(const term::TermArena &arena,
+                              term::TermRef head,
+                              const ScwConfig &config);
+
+} // namespace clare::scw
+
+#endif // CLARE_SCW_ANALYSIS_HH

@@ -1,0 +1,66 @@
+#include "scw/index_file.hh"
+
+#include "support/logging.hh"
+
+namespace clare::scw {
+
+SecondaryFile
+SecondaryFile::build(const CodewordGenerator &generator,
+                     const std::vector<Signature> &signatures,
+                     const storage::ClauseFile &clauses)
+{
+    clare_assert(signatures.size() == clauses.clauseCount(),
+                 "signature count %zu != clause count %zu",
+                 signatures.size(), clauses.clauseCount());
+    SecondaryFile file;
+    file.entryBytes_ = generator.signatureBytes() + 8;
+    file.count_ = signatures.size();
+    file.image_.reserve(file.entryBytes_ * file.count_);
+    for (std::size_t i = 0; i < signatures.size(); ++i) {
+        generator.serialize(signatures[i], file.image_);
+        std::uint32_t off = clauses.record(i).offset;
+        std::uint32_t ord = clauses.record(i).ordinal;
+        for (int b = 0; b < 4; ++b)
+            file.image_.push_back(
+                static_cast<std::uint8_t>(off >> (8 * b)));
+        for (int b = 0; b < 4; ++b)
+            file.image_.push_back(
+                static_cast<std::uint8_t>(ord >> (8 * b)));
+    }
+    return file;
+}
+
+SecondaryFile
+SecondaryFile::fromImage(std::vector<std::uint8_t> image,
+                         std::size_t entry_count,
+                         std::size_t entry_bytes)
+{
+    clare_assert(image.size() == entry_count * entry_bytes,
+                 "index image of %zu bytes does not hold %zu entries "
+                 "of %zu bytes", image.size(), entry_count, entry_bytes);
+    SecondaryFile file;
+    file.image_ = std::move(image);
+    file.count_ = entry_count;
+    file.entryBytes_ = entry_bytes;
+    return file;
+}
+
+IndexEntry
+SecondaryFile::entry(const CodewordGenerator &generator,
+                     std::size_t i) const
+{
+    clare_assert(i < count_, "index entry %zu out of range", i);
+    IndexEntry e;
+    std::size_t at = i * entryBytes_;
+    e.signature = generator.deserialize(image_, at);
+    for (int b = 0; b < 4; ++b)
+        e.clauseOffset |=
+            static_cast<std::uint32_t>(image_[at + b]) << (8 * b);
+    at += 4;
+    for (int b = 0; b < 4; ++b)
+        e.ordinal |=
+            static_cast<std::uint32_t>(image_[at + b]) << (8 * b);
+    return e;
+}
+
+} // namespace clare::scw

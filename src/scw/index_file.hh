@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The secondary (index) file: fixed-size records associating each
+ * clause's codeword signature with its address in the compiled clause
+ * file.  FS1 scans this file — much smaller than the clause file —
+ * and emits the addresses of clauses whose codewords match the query.
+ *
+ * Record layout: signature wire form, then u32 clause offset, then
+ * u32 clause ordinal.
+ */
+
+#ifndef CLARE_SCW_INDEX_FILE_HH
+#define CLARE_SCW_INDEX_FILE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "scw/codeword.hh"
+#include "storage/clause_file.hh"
+
+namespace clare::scw {
+
+/** One decoded index entry. */
+struct IndexEntry
+{
+    Signature signature;
+    std::uint32_t clauseOffset = 0;
+    std::uint32_t ordinal = 0;
+};
+
+/** An immutable secondary file image plus decode helpers. */
+class SecondaryFile
+{
+  public:
+    SecondaryFile() = default;
+
+    /**
+     * Build the secondary file for a compiled clause file, parsing
+     * each record's source text is not needed: signatures are produced
+     * from the already-parsed clauses by the caller, so this overload
+     * takes them directly.
+     */
+    static SecondaryFile build(const CodewordGenerator &generator,
+                               const std::vector<Signature> &signatures,
+                               const storage::ClauseFile &clauses);
+
+    /** Reconstruct from a persisted image (store loading path). */
+    static SecondaryFile fromImage(std::vector<std::uint8_t> image,
+                                   std::size_t entry_count,
+                                   std::size_t entry_bytes);
+
+    const std::vector<std::uint8_t> &image() const { return image_; }
+    std::size_t entryCount() const { return count_; }
+    std::size_t entryBytes() const { return entryBytes_; }
+
+    /** Decode entry @p i (requires the generator that built it). */
+    IndexEntry entry(const CodewordGenerator &generator,
+                     std::size_t i) const;
+
+  private:
+    std::vector<std::uint8_t> image_;
+    std::size_t count_ = 0;
+    std::size_t entryBytes_ = 0;
+};
+
+} // namespace clare::scw
+
+#endif // CLARE_SCW_INDEX_FILE_HH

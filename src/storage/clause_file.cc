@@ -1,0 +1,185 @@
+#include "storage/clause_file.hh"
+
+#include "support/logging.hh"
+
+namespace clare::storage {
+
+namespace {
+
+void
+putU16(std::vector<std::uint8_t> &out, std::uint16_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint16_t
+getU16(const std::vector<std::uint8_t> &in, std::size_t at)
+{
+    return static_cast<std::uint16_t>(in[at] | (in[at + 1] << 8));
+}
+
+std::uint32_t
+getU32(const std::vector<std::uint8_t> &in, std::size_t at)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(in[at + i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+const ClauseRecord &
+ClauseFile::record(std::size_t i) const
+{
+    clare_assert(i < records_.size(), "clause index %zu out of range", i);
+    return records_[i];
+}
+
+ClauseRecord
+ClauseFile::parseHeader(const std::vector<std::uint8_t> &image,
+                        std::size_t offset)
+{
+    if (offset + kRecordHeaderBytes > image.size())
+        clare_fatal("clause record header truncated at offset %zu",
+                    offset);
+    ClauseRecord rec;
+    rec.offset = static_cast<std::uint32_t>(offset);
+    rec.ordinal = getU32(image, offset);
+    rec.functor = getU32(image, offset + 4);
+    rec.arity = image[offset + 8];
+    rec.flags = image[offset + 9];
+    rec.itemCount = getU16(image, offset + 10);
+    std::uint32_t item_bytes = getU32(image, offset + 12);
+    std::uint32_t source_bytes = getU32(image, offset + 16);
+    rec.length = static_cast<std::uint32_t>(kRecordHeaderBytes) +
+        item_bytes + source_bytes;
+    if (offset + rec.length > image.size())
+        clare_fatal("clause record body truncated at offset %zu", offset);
+    return rec;
+}
+
+pif::EncodedArgs
+ClauseFile::decodeArgsAt(const std::vector<std::uint8_t> &image,
+                         const ClauseRecord &rec)
+{
+    pif::EncodedArgs args;
+    std::size_t at = rec.offset + kRecordHeaderBytes;
+    for (std::uint16_t i = 0; i < rec.itemCount; ++i)
+        args.items.push_back(pif::deserializeItem(image, at));
+
+    // Rebuild the argument index and variable-slot count.
+    std::uint32_t max_slot = 0;
+    bool any_var = false;
+    for (const auto &item : args.items) {
+        pif::TagClass cls = pif::tagClass(item.tag);
+        if (cls == pif::TagClass::FirstQueryVar ||
+            cls == pif::TagClass::SubQueryVar ||
+            cls == pif::TagClass::FirstDbVar ||
+            cls == pif::TagClass::SubDbVar) {
+            any_var = true;
+            max_slot = std::max(max_slot, item.content);
+        }
+    }
+    args.varSlots = any_var ? max_slot + 1 : 0;
+
+    std::size_t idx = 0;
+    std::uint32_t seen = 0;
+    while (idx < args.items.size()) {
+        args.argIndex.push_back(idx);
+        idx += pif::itemWidth(args.items, idx);
+        ++seen;
+    }
+    clare_assert(seen == rec.arity,
+                 "decoded %u arguments but record arity is %u",
+                 seen, rec.arity);
+    return args;
+}
+
+pif::EncodedArgs
+ClauseFile::decodeArgs(std::size_t i) const
+{
+    return decodeArgsAt(image_, record(i));
+}
+
+std::string
+ClauseFile::sourceText(std::size_t i) const
+{
+    const ClauseRecord &rec = record(i);
+    std::uint32_t item_bytes = getU32(image_, rec.offset + 12);
+    std::uint32_t source_bytes = getU32(image_, rec.offset + 16);
+    std::size_t at = rec.offset + kRecordHeaderBytes + item_bytes;
+    return std::string(image_.begin() + static_cast<std::ptrdiff_t>(at),
+                       image_.begin() +
+                       static_cast<std::ptrdiff_t>(at + source_bytes));
+}
+
+void
+ClauseFileBuilder::add(const term::Clause &clause)
+{
+    term::PredicateId pred = clause.predicate();
+    if (!havePredicate_) {
+        file_.predicate_ = pred;
+        havePredicate_ = true;
+    } else if (!(pred == file_.predicate_)) {
+        clare_fatal("clause file mixes predicates (functor %u/%u vs "
+                    "%u/%u)", pred.functor, pred.arity,
+                    file_.predicate_.functor, file_.predicate_.arity);
+    }
+    if (pred.arity > 255)
+        clare_fatal("predicate arity %u exceeds the record limit",
+                    pred.arity);
+
+    pif::EncodedArgs args = encoder_.encodeArgs(clause.arena(),
+                                                clause.head(),
+                                                pif::Side::Db);
+    std::vector<std::uint8_t> items;
+    for (const auto &item : args.items)
+        pif::serializeItem(item, items);
+    std::string source = writer_.writeClause(clause);
+
+    ClauseRecord rec;
+    rec.ordinal = static_cast<std::uint32_t>(file_.records_.size());
+    rec.offset = static_cast<std::uint32_t>(file_.image_.size());
+    rec.functor = pred.functor;
+    rec.arity = static_cast<std::uint8_t>(pred.arity);
+    rec.flags = static_cast<std::uint8_t>(
+        (clause.isFact() ? 0x01 : 0x00) |
+        (clause.isGroundFact() ? 0x02 : 0x00));
+    if (args.items.size() > 0xffff)
+        clare_fatal("clause head compiles to %zu PIF items (limit 65535)",
+                    args.items.size());
+    rec.itemCount = static_cast<std::uint16_t>(args.items.size());
+    rec.length = static_cast<std::uint32_t>(
+        kRecordHeaderBytes + items.size() + source.size());
+
+    putU32(file_.image_, rec.ordinal);
+    putU32(file_.image_, rec.functor);
+    file_.image_.push_back(rec.arity);
+    file_.image_.push_back(rec.flags);
+    putU16(file_.image_, rec.itemCount);
+    putU32(file_.image_, static_cast<std::uint32_t>(items.size()));
+    putU32(file_.image_, static_cast<std::uint32_t>(source.size()));
+    file_.image_.insert(file_.image_.end(), items.begin(), items.end());
+    file_.image_.insert(file_.image_.end(), source.begin(), source.end());
+    file_.records_.push_back(rec);
+}
+
+ClauseFile
+ClauseFileBuilder::finish()
+{
+    ClauseFile out = std::move(file_);
+    file_ = ClauseFile();
+    havePredicate_ = false;
+    return out;
+}
+
+} // namespace clare::storage

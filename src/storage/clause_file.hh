@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The compiled clause file: one predicate's clauses in PIF, in source
+ * order, framed for on-the-fly filtering.
+ *
+ * "Predicates with the same functor names and arities are stored in a
+ * compiled clause file" (section 2.1).  Each record carries the
+ * compiled head-argument stream that FS2 matches, plus the clause's
+ * source text so the host can reconstruct the full clause (head and
+ * body) for final unification and resolution after retrieval.
+ *
+ * Record wire layout (little endian):
+ *
+ *   u32 ordinal       clause position within the predicate
+ *   u32 functor       symbol-table offset of the head functor
+ *   u8  arity
+ *   u8  flags         bit0 = fact (no body), bit1 = ground fact
+ *   u16 itemCount     number of PIF items that follow
+ *   u32 itemBytes     wire size of the PIF items
+ *   u32 sourceBytes   length of the source text
+ *   ...PIF items...
+ *   ...source text...
+ */
+
+#ifndef CLARE_STORAGE_CLAUSE_FILE_HH
+#define CLARE_STORAGE_CLAUSE_FILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pif/encoder.hh"
+#include "term/clause.hh"
+#include "term/term_writer.hh"
+
+namespace clare::storage {
+
+/** Size of the fixed record header in bytes. */
+constexpr std::size_t kRecordHeaderBytes = 4 + 4 + 1 + 1 + 2 + 4 + 4;
+
+/** Per-clause directory entry of a clause file. */
+struct ClauseRecord
+{
+    std::uint32_t ordinal = 0;
+    std::uint32_t offset = 0;       ///< byte offset of the record
+    std::uint32_t length = 0;       ///< total record bytes
+    std::uint32_t functor = 0;
+    std::uint8_t arity = 0;
+    std::uint8_t flags = 0;
+    std::uint16_t itemCount = 0;
+
+    bool isFact() const { return flags & 0x01; }
+    bool isGroundFact() const { return flags & 0x02; }
+};
+
+/**
+ * An immutable compiled clause file plus its record directory.
+ *
+ * The byte image is what the disk stores and the filters stream; the
+ * directory is what the host (and FS1's address list) uses to fetch
+ * individual clauses.
+ */
+class ClauseFile
+{
+  public:
+    ClauseFile() = default;
+
+    const std::vector<std::uint8_t> &image() const { return image_; }
+    std::size_t clauseCount() const { return records_.size(); }
+    const ClauseRecord &record(std::size_t i) const;
+
+    term::PredicateId predicate() const { return predicate_; }
+
+    /** Decode the compiled head-argument stream of clause @p i. */
+    pif::EncodedArgs decodeArgs(std::size_t i) const;
+
+    /** The stored source text of clause @p i. */
+    std::string sourceText(std::size_t i) const;
+
+    /** Parse one record starting at @p offset of an arbitrary image. */
+    static ClauseRecord parseHeader(const std::vector<std::uint8_t> &image,
+                                    std::size_t offset);
+
+    /** Decode a record's argument stream from an arbitrary image. */
+    static pif::EncodedArgs decodeArgsAt(
+        const std::vector<std::uint8_t> &image, const ClauseRecord &rec);
+
+  private:
+    friend class ClauseFileBuilder;
+    friend ClauseFile loadClauseFile(const std::string &path);
+
+    term::PredicateId predicate_;
+    std::vector<std::uint8_t> image_;
+    std::vector<ClauseRecord> records_;
+};
+
+/** Builds a clause file for one predicate, preserving clause order. */
+class ClauseFileBuilder
+{
+  public:
+    /**
+     * @param writer renders clause source text for the host-side copy
+     */
+    explicit ClauseFileBuilder(const term::TermWriter &writer)
+        : writer_(writer)
+    {}
+
+    /** Append a clause; all clauses must share one predicate. */
+    void add(const term::Clause &clause);
+
+    /** Number of clauses added so far. */
+    std::size_t size() const { return file_.records_.size(); }
+
+    /** Finish and return the file (builder becomes empty). */
+    ClauseFile finish();
+
+  private:
+    const term::TermWriter &writer_;
+    pif::Encoder encoder_;
+    ClauseFile file_;
+    bool havePredicate_ = false;
+};
+
+} // namespace clare::storage
+
+#endif // CLARE_STORAGE_CLAUSE_FILE_HH

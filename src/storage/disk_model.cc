@@ -1,0 +1,93 @@
+#include "storage/disk_model.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace clare::storage {
+
+DiskGeometry
+DiskGeometry::micropolis1325()
+{
+    DiskGeometry g;
+    g.name = "Micropolis 1325 (SCSI)";
+    g.bytesPerSector = 512;
+    g.sectorsPerTrack = 64;
+    g.rpm = 3600;
+    g.averageSeek = 28 * kMillisecond;
+    g.transferRate = 1.0e6;     // SCSI-era sustained rate, ~1 MB/s
+    return g;
+}
+
+DiskGeometry
+DiskGeometry::fujitsuM2351A()
+{
+    DiskGeometry g;
+    g.name = "Fujitsu M2351A (SMD)";
+    g.bytesPerSector = 512;
+    g.sectorsPerTrack = 64;
+    g.rpm = 3961;
+    g.averageSeek = 18 * kMillisecond;
+    g.transferRate = 2.0e6;     // the paper's "circa 2 Mbytes/second"
+    return g;
+}
+
+DiskModel::DiskModel(DiskGeometry geometry)
+    : geometry_(std::move(geometry))
+{
+    clare_assert(geometry_.transferRate > 0, "transfer rate must be > 0");
+}
+
+void
+DiskModel::load(std::vector<std::uint8_t> image)
+{
+    image_ = std::move(image);
+}
+
+Tick
+DiskModel::accessTime() const
+{
+    // Half a rotation of latency on average.
+    double rotation_s = 60.0 / geometry_.rpm;
+    Tick half_rotation = static_cast<Tick>(rotation_s / 2.0 * kSecond);
+    return geometry_.averageSeek + half_rotation;
+}
+
+Tick
+DiskModel::transferTime(std::uint64_t bytes) const
+{
+    double seconds = static_cast<double>(bytes) / geometry_.transferRate;
+    return static_cast<Tick>(seconds * kSecond);
+}
+
+Tick
+DiskModel::stream(std::uint64_t offset, std::uint64_t length,
+                  std::uint32_t chunk_bytes, Tick start,
+                  const std::function<void(const std::uint8_t *,
+                                           std::uint32_t, Tick)> &sink)
+    const
+{
+    clare_assert(chunk_bytes > 0, "chunk size must be positive");
+    if (length == 0)
+        return start;
+    clare_assert(offset + length <= image_.size(),
+                 "stream range [%llu, +%llu) exceeds image of %zu bytes",
+                 static_cast<unsigned long long>(offset),
+                 static_cast<unsigned long long>(length),
+                 image_.size());
+
+    Tick ready = start + accessTime();
+    std::uint64_t done = 0;
+    while (done < length) {
+        std::uint32_t n = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(chunk_bytes, length - done));
+        // Delivery completes once all bytes of the chunk have been
+        // transferred at the sustained rate.
+        Tick delivered = ready + transferTime(done + n);
+        sink(image_.data() + offset + done, n, delivered);
+        done += n;
+    }
+    return ready + transferTime(length);
+}
+
+} // namespace clare::storage

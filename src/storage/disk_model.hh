@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Parameterized model of the disks CLARE streams clauses from.
+ *
+ * The paper's target platform is a SUN3/160 with either a SCSI disk
+ * (e.g. Micropolis 1325) or a faster SMD disk (e.g. Fujitsu M2351A,
+ * peak transfer circa 2 Mbytes/s).  The evaluation argument rests on
+ * the sustained transfer rate — the filters must keep up with it — and
+ * on the one-track worst case used to size the Result Memory, so the
+ * model captures transfer rate, track geometry, and average access
+ * time, and delivers data in DMA chunks with timestamps.
+ */
+
+#ifndef CLARE_STORAGE_DISK_MODEL_HH
+#define CLARE_STORAGE_DISK_MODEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/sim_time.hh"
+
+namespace clare::storage {
+
+/** Static description of a disk. */
+struct DiskGeometry
+{
+    std::string name;
+    std::uint32_t bytesPerSector = 512;
+    std::uint32_t sectorsPerTrack = 64;     ///< 32 KB tracks by default
+    std::uint32_t rpm = 3600;
+    Tick averageSeek = 20 * kMillisecond;
+    /** Sustained transfer rate in bytes per second. */
+    double transferRate = 2.0e6;
+
+    std::uint32_t
+    trackBytes() const
+    {
+        return bytesPerSector * sectorsPerTrack;
+    }
+
+    /** SCSI disk option of the SUN3/160 (slower transfer). */
+    static DiskGeometry micropolis1325();
+
+    /** SMD disk option, tuned to its ~2 MB/s peak rate. */
+    static DiskGeometry fujitsuM2351A();
+};
+
+/**
+ * A disk holding one byte image, streamed in DMA chunks.
+ *
+ * The model is deliberately simple: an access (seek + half rotation)
+ * positions the head, then bytes arrive at the sustained transfer
+ * rate.  Chunk delivery times are exact fractions of the rate so that
+ * filter-vs-disk rate comparisons are faithful.
+ */
+class DiskModel
+{
+  public:
+    explicit DiskModel(DiskGeometry geometry);
+
+    const DiskGeometry &geometry() const { return geometry_; }
+
+    /** Replace the stored image. */
+    void load(std::vector<std::uint8_t> image);
+
+    const std::vector<std::uint8_t> &image() const { return image_; }
+
+    /** Average positioning time: seek plus half a rotation. */
+    Tick accessTime() const;
+
+    /** Pure transfer time for a byte count at the sustained rate. */
+    Tick transferTime(std::uint64_t bytes) const;
+
+    /**
+     * Stream a byte range as DMA chunks.
+     *
+     * @param offset,length range within the image
+     * @param chunk_bytes DMA chunk size (e.g. one Double Buffer bank)
+     * @param start simulated time the command is issued
+     * @param sink called per chunk with (data pointer, size,
+     *        delivery-complete time); delivery times include the
+     *        initial access time
+     * @return the time the final chunk completes (= start + access +
+     *         transfer of all bytes), or start for an empty range
+     */
+    Tick stream(std::uint64_t offset, std::uint64_t length,
+                std::uint32_t chunk_bytes, Tick start,
+                const std::function<void(const std::uint8_t *,
+                                         std::uint32_t, Tick)> &sink)
+        const;
+
+  private:
+    DiskGeometry geometry_;
+    std::vector<std::uint8_t> image_;
+};
+
+} // namespace clare::storage
+
+#endif // CLARE_STORAGE_DISK_MODEL_HH

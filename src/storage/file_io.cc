@@ -1,0 +1,193 @@
+#include "storage/file_io.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "support/logging.hh"
+
+namespace clare::storage {
+
+namespace {
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t
+getU32(const std::vector<std::uint8_t> &in, std::size_t at)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(in[at + i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+void
+writeBytes(const std::string &path,
+           const std::vector<std::uint8_t> &bytes)
+{
+    std::unique_ptr<std::FILE, int (*)(std::FILE *)> f(
+        std::fopen(path.c_str(), "wb"), &std::fclose);
+    if (!f)
+        clare_fatal("cannot open '%s' for writing", path.c_str());
+    if (!bytes.empty() &&
+        std::fwrite(bytes.data(), 1, bytes.size(), f.get()) !=
+            bytes.size()) {
+        clare_fatal("short write to '%s'", path.c_str());
+    }
+}
+
+std::vector<std::uint8_t>
+readBytes(const std::string &path)
+{
+    std::unique_ptr<std::FILE, int (*)(std::FILE *)> f(
+        std::fopen(path.c_str(), "rb"), &std::fclose);
+    if (!f)
+        clare_fatal("cannot open '%s' for reading", path.c_str());
+    std::fseek(f.get(), 0, SEEK_END);
+    long size = std::ftell(f.get());
+    if (size < 0)
+        clare_fatal("cannot size '%s'", path.c_str());
+    std::fseek(f.get(), 0, SEEK_SET);
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+    if (size > 0 &&
+        std::fread(bytes.data(), 1, bytes.size(), f.get()) !=
+            bytes.size()) {
+        clare_fatal("short read from '%s'", path.c_str());
+    }
+    return bytes;
+}
+
+void
+saveClauseFile(const std::string &path, const ClauseFile &file)
+{
+    std::vector<std::uint8_t> out;
+    putU32(out, kClauseFileMagic);
+    putU32(out, kClauseFileVersion);
+    putU32(out, file.predicate().functor);
+    putU32(out, file.predicate().arity);
+    putU32(out, static_cast<std::uint32_t>(file.clauseCount()));
+    putU32(out, static_cast<std::uint32_t>(file.image().size()));
+    out.insert(out.end(), file.image().begin(), file.image().end());
+    writeBytes(path, out);
+}
+
+ClauseFile
+loadClauseFile(const std::string &path)
+{
+    std::vector<std::uint8_t> in = readBytes(path);
+    if (in.size() < 24)
+        clare_fatal("'%s' is too short to be a clause file",
+                    path.c_str());
+    if (getU32(in, 0) != kClauseFileMagic)
+        clare_fatal("'%s' has a bad magic number", path.c_str());
+    if (getU32(in, 4) != kClauseFileVersion)
+        clare_fatal("'%s' has unsupported version %u", path.c_str(),
+                    getU32(in, 4));
+    std::uint32_t functor = getU32(in, 8);
+    std::uint32_t arity = getU32(in, 12);
+    std::uint32_t count = getU32(in, 16);
+    std::uint32_t image_size = getU32(in, 20);
+    if (in.size() != 24u + image_size)
+        clare_fatal("'%s' is truncated (%zu of %u image bytes)",
+                    path.c_str(), in.size() - 24, image_size);
+
+    ClauseFile file;
+    file.predicate_ = term::PredicateId{functor, arity};
+    file.image_.assign(in.begin() + 24, in.end());
+
+    // Re-derive the record directory by walking the image.
+    std::size_t offset = 0;
+    while (offset < file.image_.size()) {
+        ClauseRecord rec = ClauseFile::parseHeader(file.image_, offset);
+        if (rec.functor != functor || rec.arity != arity)
+            clare_fatal("'%s': record %u does not match the file "
+                        "predicate", path.c_str(), rec.ordinal);
+        file.records_.push_back(rec);
+        offset += rec.length;
+    }
+    if (file.records_.size() != count)
+        clare_fatal("'%s': directory count %zu != header count %u",
+                    path.c_str(), file.records_.size(), count);
+    return file;
+}
+
+void
+saveSymbolTable(const std::string &path,
+                const term::SymbolTable &symbols)
+{
+    std::vector<std::uint8_t> out;
+    putU32(out, 0x434c5359u);   // "CLSY"
+    putU32(out, 1);             // version
+    putU32(out, static_cast<std::uint32_t>(symbols.atomCount()));
+    putU32(out, static_cast<std::uint32_t>(symbols.floatCount()));
+    for (std::uint32_t i = 0; i < symbols.atomCount(); ++i) {
+        const std::string &name = symbols.name(i);
+        putU32(out, static_cast<std::uint32_t>(name.size()));
+        out.insert(out.end(), name.begin(), name.end());
+    }
+    for (std::uint32_t i = 0; i < symbols.floatCount(); ++i) {
+        double v = symbols.floatValue(i);
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        putU32(out, static_cast<std::uint32_t>(bits));
+        putU32(out, static_cast<std::uint32_t>(bits >> 32));
+    }
+    writeBytes(path, out);
+}
+
+void
+loadSymbolTable(const std::string &path, term::SymbolTable &symbols)
+{
+    if (symbols.atomCount() != 2 || symbols.floatCount() != 0)
+        clare_fatal("symbol table must be fresh before loading '%s'",
+                    path.c_str());
+    std::vector<std::uint8_t> in = readBytes(path);
+    if (in.size() < 16 || getU32(in, 0) != 0x434c5359u)
+        clare_fatal("'%s' is not a symbol table file", path.c_str());
+    if (getU32(in, 4) != 1)
+        clare_fatal("'%s' has unsupported version %u", path.c_str(),
+                    getU32(in, 4));
+    std::uint32_t atoms = getU32(in, 8);
+    std::uint32_t floats = getU32(in, 12);
+    std::size_t at = 16;
+    for (std::uint32_t i = 0; i < atoms; ++i) {
+        if (at + 4 > in.size())
+            clare_fatal("'%s' truncated in atom names", path.c_str());
+        std::uint32_t len = getU32(in, at);
+        at += 4;
+        if (at + len > in.size())
+            clare_fatal("'%s' truncated in atom names", path.c_str());
+        std::string name(in.begin() + static_cast<std::ptrdiff_t>(at),
+                         in.begin() + static_cast<std::ptrdiff_t>(
+                             at + len));
+        at += len;
+        term::SymbolId id = symbols.intern(name);
+        if (id != i)
+            clare_fatal("'%s': atom '%s' loaded with id %u, expected "
+                        "%u", path.c_str(), name.c_str(), id, i);
+    }
+    for (std::uint32_t i = 0; i < floats; ++i) {
+        if (at + 8 > in.size())
+            clare_fatal("'%s' truncated in float constants",
+                        path.c_str());
+        std::uint64_t bits = getU32(in, at) |
+            (static_cast<std::uint64_t>(getU32(in, at + 4)) << 32);
+        at += 8;
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        term::FloatId id = symbols.internFloat(v);
+        if (id != i)
+            clare_fatal("'%s': float %u loaded out of order",
+                        path.c_str(), i);
+    }
+}
+
+} // namespace clare::storage

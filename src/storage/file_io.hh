@@ -1,0 +1,60 @@
+/**
+ * @file
+ * On-disk persistence for compiled clause files and secondary files.
+ *
+ * In the PDBM system large modules live in operating-system files and
+ * are opened per session; these helpers serialize the in-memory images
+ * with a small header (magic, version, predicate identity) so a store
+ * can be built once and reloaded.
+ */
+
+#ifndef CLARE_STORAGE_FILE_IO_HH
+#define CLARE_STORAGE_FILE_IO_HH
+
+#include <string>
+#include <vector>
+
+#include "storage/clause_file.hh"
+#include "term/symbol_table.hh"
+
+namespace clare::storage {
+
+/** Magic number of a persisted clause file ("CLRE"). */
+constexpr std::uint32_t kClauseFileMagic = 0x434c5245u;
+/** Current on-disk format version. */
+constexpr std::uint32_t kClauseFileVersion = 1;
+
+/** Write raw bytes to a path (fatal on I/O failure). */
+void writeBytes(const std::string &path,
+                const std::vector<std::uint8_t> &bytes);
+
+/** Read a whole file (fatal on I/O failure). */
+std::vector<std::uint8_t> readBytes(const std::string &path);
+
+/**
+ * Persist a clause file: header (magic, version, functor, arity,
+ * clause count, image size) followed by the record image.
+ */
+void saveClauseFile(const std::string &path, const ClauseFile &file);
+
+/**
+ * Load a persisted clause file, re-deriving the record directory by
+ * walking the image.  Fatal on bad magic/version or a corrupt image.
+ */
+ClauseFile loadClauseFile(const std::string &path);
+
+/** Persist a symbol table (atom names and float constants). */
+void saveSymbolTable(const std::string &path,
+                     const term::SymbolTable &symbols);
+
+/**
+ * Repopulate a *fresh* symbol table from a persisted one; the interned
+ * ids come out identical to the saved ids.  Fatal if @p symbols has
+ * interned anything beyond the reserved entries.
+ */
+void loadSymbolTable(const std::string &path,
+                     term::SymbolTable &symbols);
+
+} // namespace clare::storage
+
+#endif // CLARE_STORAGE_FILE_IO_HH

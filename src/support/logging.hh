@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Status and error reporting for the CLARE simulator.
+ *
+ * Follows the gem5 convention: panic() marks an internal simulator bug
+ * and aborts; fatal() marks a user error (bad configuration, malformed
+ * input) and throws a FatalError so that embedders and tests can catch
+ * it; warn() and inform() report non-fatal conditions to stderr.
+ */
+
+#ifndef CLARE_SUPPORT_LOGGING_HH
+#define CLARE_SUPPORT_LOGGING_HH
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace clare {
+
+/** Exception thrown by fatal() for user-level errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+namespace detail {
+
+/** printf-style formatting into a std::string. */
+std::string vformat(const char *fmt, va_list ap);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Report an internal simulator bug and abort.  Use only for conditions
+ * that should never occur regardless of user input.
+ */
+[[noreturn]] void panicAt(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/**
+ * Report a user error (bad configuration, malformed knowledge base,
+ * invalid query) by throwing FatalError.
+ */
+[[noreturn]] void fatalAt(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Report a suspicious but survivable condition on stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status on stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (used by benches). */
+void setQuiet(bool quiet);
+
+#define clare_panic(...) ::clare::panicAt(__FILE__, __LINE__, __VA_ARGS__)
+#define clare_fatal(...) ::clare::fatalAt(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Assert an invariant; failure is a simulator bug (panics). */
+#define clare_assert(cond, fmt, ...)                                         \
+    do {                                                                     \
+        if (!(cond))                                                         \
+            ::clare::panicAt(__FILE__, __LINE__,                             \
+                             "assertion '%s' failed: " fmt,                  \
+                             #cond __VA_OPT__(,) __VA_ARGS__);               \
+    } while (0)
+
+} // namespace clare
+
+#endif // CLARE_SUPPORT_LOGGING_HH

@@ -1,0 +1,106 @@
+#include "support/random.hh"
+
+#include <bit>
+
+#include "support/logging.hh"
+
+namespace clare {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = std::rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    clare_assert(bound > 0, "Rng::below bound must be positive");
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+        std::uint64_t t = -bound % bound;
+        while (l < t) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            l = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t
+Rng::range(std::int64_t lo, std::int64_t hi)
+{
+    clare_assert(lo <= hi, "Rng::range requires lo <= hi");
+    std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+std::uint32_t
+Rng::geometric(double p, std::uint32_t cap)
+{
+    std::uint32_t n = 0;
+    while (n < cap && chance(p))
+        ++n;
+    return n;
+}
+
+std::string
+Rng::identifier(std::size_t len)
+{
+    std::string s;
+    s.reserve(len);
+    for (std::size_t i = 0; i < len; ++i)
+        s.push_back(static_cast<char>('a' + below(26)));
+    return s;
+}
+
+} // namespace clare

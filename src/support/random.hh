@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * Experiments must be reproducible run-to-run, so all stochastic
+ * workload generation draws from an explicitly seeded xoshiro256**
+ * generator rather than std::random_device.
+ */
+
+#ifndef CLARE_SUPPORT_RANDOM_HH
+#define CLARE_SUPPORT_RANDOM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace clare {
+
+/**
+ * xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+ * implementation, re-expressed).  Fast, high-quality, and trivially
+ * seedable via splitmix64.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) using Lemire rejection. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli trial with probability p. */
+    bool chance(double p);
+
+    /** Pick a uniformly random element of a non-empty vector. */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &v)
+    {
+        return v[below(v.size())];
+    }
+
+    /** Geometric-ish small value: number of successes before failure. */
+    std::uint32_t geometric(double p, std::uint32_t cap);
+
+    /** Random lowercase identifier of given length. */
+    std::string identifier(std::size_t len);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace clare
+
+#endif // CLARE_SUPPORT_RANDOM_HH

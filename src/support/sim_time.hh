@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Simulated-time representation.
+ *
+ * The CLARE hardware timing model works at the granularity of gate and
+ * memory propagation delays (tens of nanoseconds), but rate computations
+ * divide byte counts by times, so the base tick is one picosecond to
+ * keep integer arithmetic exact.
+ */
+
+#ifndef CLARE_SUPPORT_SIM_TIME_HH
+#define CLARE_SUPPORT_SIM_TIME_HH
+
+#include <cstdint>
+
+namespace clare {
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Ticks per picosecond / nanosecond / microsecond / millisecond / second. */
+constexpr Tick kPicosecond = 1;
+constexpr Tick kNanosecond = 1000 * kPicosecond;
+constexpr Tick kMicrosecond = 1000 * kNanosecond;
+constexpr Tick kMillisecond = 1000 * kMicrosecond;
+constexpr Tick kSecond = 1000 * kMillisecond;
+
+/** Convert a nanosecond count to ticks. */
+constexpr Tick
+nanoseconds(std::uint64_t ns)
+{
+    return ns * kNanosecond;
+}
+
+/** Convert ticks to (truncated) nanoseconds. */
+constexpr std::uint64_t
+toNanoseconds(Tick t)
+{
+    return t / kNanosecond;
+}
+
+/** Convert ticks to seconds as a double (for rate computations). */
+constexpr double
+toSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/**
+ * Bytes-per-second rate given a byte count and an elapsed time.
+ * Returns 0 for a zero elapsed time.
+ */
+constexpr double
+bytesPerSecond(std::uint64_t bytes, Tick elapsed)
+{
+    return elapsed == 0
+        ? 0.0
+        : static_cast<double>(bytes) / toSeconds(elapsed);
+}
+
+/**
+ * A monotonically advancing simulated clock.  Components share a clock
+ * by reference; advancing never moves backwards.
+ */
+class SimClock
+{
+  public:
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Advance the clock by a delta. */
+    void advance(Tick delta) { now_ += delta; }
+
+    /**
+     * Advance the clock to an absolute time if that time is in the
+     * future; otherwise leave it unchanged.
+     *
+     * @return the amount of time actually waited.
+     */
+    Tick
+    advanceTo(Tick when)
+    {
+        if (when <= now_)
+            return 0;
+        Tick waited = when - now_;
+        now_ = when;
+        return waited;
+    }
+
+    /** Reset to time zero (between independent experiment runs). */
+    void reset() { now_ = 0; }
+
+  private:
+    Tick now_ = 0;
+};
+
+} // namespace clare
+
+#endif // CLARE_SUPPORT_SIM_TIME_HH

@@ -1,0 +1,94 @@
+#include "support/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace clare {
+
+void
+Distribution::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+}
+
+void
+Distribution::reset()
+{
+    count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+double
+Distribution::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+Scalar &
+StatGroup::scalar(const std::string &name, const std::string &desc)
+{
+    auto it = scalars_.find(name);
+    if (it == scalars_.end()) {
+        order_.push_back(name);
+        it = scalars_.emplace(name, ScalarEntry{Scalar{}, desc}).first;
+    }
+    return it->second.stat;
+}
+
+Distribution &
+StatGroup::distribution(const std::string &name, const std::string &desc)
+{
+    auto it = dists_.find(name);
+    if (it == dists_.end()) {
+        order_.push_back(name);
+        it = dists_.emplace(name, DistEntry{Distribution{}, desc}).first;
+    }
+    return it->second.stat;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &name : order_) {
+        auto sit = scalars_.find(name);
+        if (sit != scalars_.end()) {
+            os << std::left << std::setw(44) << (name_ + "." + name)
+               << std::right << std::setw(16) << sit->second.stat.value();
+            if (!sit->second.desc.empty())
+                os << "  # " << sit->second.desc;
+            os << '\n';
+            continue;
+        }
+        auto dit = dists_.find(name);
+        if (dit != dists_.end()) {
+            const Distribution &d = dit->second.stat;
+            os << std::left << std::setw(44)
+               << (name_ + "." + name + ".mean")
+               << std::right << std::setw(16) << d.mean();
+            if (!dit->second.desc.empty())
+                os << "  # " << dit->second.desc;
+            os << '\n';
+            os << std::left << std::setw(44)
+               << (name_ + "." + name + ".count")
+               << std::right << std::setw(16) << d.count() << '\n';
+        }
+    }
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &kv : scalars_)
+        kv.second.stat.reset();
+    for (auto &kv : dists_)
+        kv.second.stat.reset();
+}
+
+} // namespace clare

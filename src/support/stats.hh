@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Lightweight statistics package for the CLARE simulator.
+ *
+ * Components declare named scalar counters and histograms inside a
+ * StatGroup; harnesses dump groups in a uniform text format.  Modeled
+ * loosely on the gem5 stats package but deliberately minimal.
+ */
+
+#ifndef CLARE_SUPPORT_STATS_HH
+#define CLARE_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace clare {
+
+/** A named monotonically increasing (or settable) scalar statistic. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator++() { ++value_; return *this; }
+    Scalar &operator+=(std::uint64_t n) { value_ += n; return *this; }
+    void set(std::uint64_t v) { value_ = v; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** A simple sample accumulator: count, sum, min, max, mean. */
+class Distribution
+{
+  public:
+    void sample(double v);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+    double mean() const;
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A named collection of statistics.  Registration returns references
+ * that stay valid for the lifetime of the group.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Register (or look up) a scalar statistic by name. */
+    Scalar &scalar(const std::string &name, const std::string &desc = "");
+
+    /** Register (or look up) a distribution statistic by name. */
+    Distribution &distribution(const std::string &name,
+                               const std::string &desc = "");
+
+    /** Dump all statistics, gem5 stats.txt style. */
+    void dump(std::ostream &os) const;
+
+    /** Reset all statistics to zero. */
+    void reset();
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct ScalarEntry { Scalar stat; std::string desc; };
+    struct DistEntry { Distribution stat; std::string desc; };
+
+    std::string name_;
+    std::vector<std::string> order_;
+    std::map<std::string, ScalarEntry> scalars_;
+    std::map<std::string, DistEntry> dists_;
+};
+
+} // namespace clare
+
+#endif // CLARE_SUPPORT_STATS_HH

@@ -1,0 +1,96 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+
+#include "support/logging.hh"
+
+namespace clare {
+
+void
+Table::header(std::vector<std::string> cols)
+{
+    header_ = std::move(cols);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    clare_assert(header_.empty() || cells.size() == header_.size(),
+                 "row has %zu cells, header has %zu",
+                 cells.size(), header_.size());
+    rows_.push_back(Row{std::move(cells), false});
+}
+
+void
+Table::rule()
+{
+    rows_.push_back(Row{{}, true});
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t i = 0; i < header_.size(); ++i)
+        widths[i] = header_[i].size();
+    for (const auto &r : rows_) {
+        if (r.isRule)
+            continue;
+        for (std::size_t i = 0; i < r.cells.size(); ++i)
+            widths[i] = std::max(widths[i], r.cells[i].size());
+    }
+
+    auto hline = [&](char c) {
+        os << '+';
+        for (std::size_t w : widths) {
+            for (std::size_t i = 0; i < w + 2; ++i)
+                os << c;
+            os << '+';
+        }
+        os << '\n';
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        os << '|';
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < cells.size() ? cells[i] : "";
+            os << ' ' << cell;
+            for (std::size_t p = cell.size(); p < widths[i] + 1; ++p)
+                os << ' ';
+            os << '|';
+        }
+        os << '\n';
+    };
+
+    os << "== " << title_ << " ==\n";
+    hline('-');
+    line(header_);
+    hline('=');
+    for (const auto &r : rows_) {
+        if (r.isRule)
+            hline('-');
+        else
+            line(r.cells);
+    }
+    hline('-');
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::num(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace clare

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * ASCII table rendering for benchmark harnesses.
+ *
+ * The benches reproduce the paper's tables (Table 1, the figure timing
+ * breakdowns, etc.) and print them in an aligned, titled format so the
+ * output can be compared side by side with the published numbers.
+ */
+
+#ifndef CLARE_SUPPORT_TABLE_HH
+#define CLARE_SUPPORT_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace clare {
+
+/** An aligned ASCII table with a title, a header row, and data rows. */
+class Table
+{
+  public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    /** Set the column headers (defines the column count). */
+    void header(std::vector<std::string> cols);
+
+    /** Append a data row; must match the header column count. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a separator rule between row groups. */
+    void rule();
+
+    /** Render with box-drawing, padded to column widths. */
+    void print(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Format a double with the given precision (helper for cells). */
+    static std::string num(double v, int precision = 2);
+
+    /** Format an integer (helper for cells). */
+    static std::string num(std::uint64_t v);
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool isRule = false;
+    };
+
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<Row> rows_;
+};
+
+} // namespace clare
+
+#endif // CLARE_SUPPORT_TABLE_HH

@@ -1,0 +1,130 @@
+#include "term/clause.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace clare::term {
+
+const std::vector<std::size_t> Program::kEmpty;
+
+Clause::Clause(TermArena arena, TermRef head, std::vector<TermRef> body)
+    : arena_(std::move(arena)), head_(head), body_(std::move(body))
+{
+    TermKind k = arena_.kind(head_);
+    if (k != TermKind::Atom && k != TermKind::Struct)
+        clare_fatal("clause head must be an atom or structure, got %s",
+                    termKindName(k));
+}
+
+bool
+Clause::groundTerm(const TermArena &arena, TermRef t)
+{
+    switch (arena.kind(t)) {
+      case TermKind::Atom:
+      case TermKind::Int:
+      case TermKind::Float:
+        return true;
+      case TermKind::Var:
+        return false;
+      case TermKind::Struct:
+        for (std::uint32_t i = 0; i < arena.arity(t); ++i)
+            if (!groundTerm(arena, arena.arg(t, i)))
+                return false;
+        return true;
+      case TermKind::List:
+        for (std::uint32_t i = 0; i < arena.arity(t); ++i)
+            if (!groundTerm(arena, arena.arg(t, i)))
+                return false;
+        return arena.isTerminatedList(t);
+    }
+    clare_panic("unreachable term kind");
+}
+
+bool
+Clause::isGroundFact() const
+{
+    return isFact() && groundTerm(arena_, head_);
+}
+
+PredicateId
+Clause::predicate() const
+{
+    if (arena_.kind(head_) == TermKind::Atom)
+        return PredicateId{arena_.atomSymbol(head_), 0};
+    return PredicateId{arena_.functor(head_), arena_.arity(head_)};
+}
+
+std::size_t
+Program::add(Clause clause)
+{
+    PredicateId pred = clause.predicate();
+    std::size_t ordinal = clauses_.size();
+    clauses_.push_back(std::move(clause));
+    auto it = byPred_.find(pred);
+    if (it == byPred_.end()) {
+        preds_.push_back(pred);
+        it = byPred_.emplace(pred, std::vector<std::size_t>{}).first;
+    }
+    it->second.push_back(ordinal);
+    return ordinal;
+}
+
+std::size_t
+Program::addFront(Clause clause)
+{
+    PredicateId pred = clause.predicate();
+    std::size_t ordinal = clauses_.size();
+    clauses_.push_back(std::move(clause));
+    auto it = byPred_.find(pred);
+    if (it == byPred_.end()) {
+        preds_.push_back(pred);
+        it = byPred_.emplace(pred, std::vector<std::size_t>{}).first;
+    }
+    it->second.insert(it->second.begin(), ordinal);
+    return ordinal;
+}
+
+void
+Program::remove(std::size_t ordinal)
+{
+    clare_assert(ordinal < clauses_.size(),
+                 "removing unknown clause %zu", ordinal);
+    PredicateId pred = clauses_[ordinal].predicate();
+    auto it = byPred_.find(pred);
+    clare_assert(it != byPred_.end(), "clause predicate not indexed");
+    auto &ordinals = it->second;
+    auto pos = std::find(ordinals.begin(), ordinals.end(), ordinal);
+    clare_assert(pos != ordinals.end(), "clause already removed");
+    ordinals.erase(pos);
+}
+
+const Clause &
+Program::clause(std::size_t i) const
+{
+    clare_assert(i < clauses_.size(), "clause ordinal %zu out of range", i);
+    return clauses_[i];
+}
+
+const std::vector<std::size_t> &
+Program::clausesOf(const PredicateId &pred) const
+{
+    auto it = byPred_.find(pred);
+    return it == byPred_.end() ? kEmpty : it->second;
+}
+
+bool
+Program::isMixedRelation(const PredicateId &pred) const
+{
+    bool sawGround = false;
+    bool sawOther = false;
+    for (std::size_t i : clausesOf(pred)) {
+        if (clauses_[i].isGroundFact())
+            sawGround = true;
+        else
+            sawOther = true;
+    }
+    return sawGround && sawOther;
+}
+
+} // namespace clare::term

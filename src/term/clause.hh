@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Clauses, predicates and programs.
+ *
+ * A Clause owns its term arena: every clause is independently
+ * relocatable and can be imported into a runtime arena (standardized
+ * apart) during resolution.  A Program groups clauses by predicate
+ * (functor/arity) while preserving the *global, user-specified clause
+ * order* — a property the paper's integrated knowledge base requires
+ * and coupled Prolog/DB systems lose.
+ */
+
+#ifndef CLARE_TERM_CLAUSE_HH
+#define CLARE_TERM_CLAUSE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "term/symbol_table.hh"
+#include "term/term.hh"
+
+namespace clare::term {
+
+/** Identity of a predicate: functor symbol plus arity. */
+struct PredicateId
+{
+    SymbolId functor = kNoSymbol;
+    std::uint32_t arity = 0;
+
+    auto operator<=>(const PredicateId &) const = default;
+};
+
+/** A clause: a head and zero or more body goals, over one arena. */
+class Clause
+{
+  public:
+    Clause() = default;
+
+    /** Construct from an arena (moved in), head, and body goals. */
+    Clause(TermArena arena, TermRef head, std::vector<TermRef> body);
+
+    const TermArena &arena() const { return arena_; }
+    TermRef head() const { return head_; }
+    const std::vector<TermRef> &body() const { return body_; }
+
+    /** True for a clause with no body goals. */
+    bool isFact() const { return body_.empty(); }
+
+    /**
+     * True for a ground fact: no body and no variables anywhere in the
+     * head.  Ground facts are what a coupled system would push to its
+     * extensional database.
+     */
+    bool isGroundFact() const;
+
+    /** Number of distinct variables in the clause. */
+    VarId varCount() const { return arena_.varCeiling(); }
+
+    /** The predicate this clause belongs to. */
+    PredicateId predicate() const;
+
+  private:
+    TermArena arena_;
+    TermRef head_ = kNoTerm;
+    std::vector<TermRef> body_;
+
+    static bool groundTerm(const TermArena &arena, TermRef t);
+};
+
+/**
+ * An ordered set of clauses.  Clause order is the order of addition
+ * (source order); per-predicate views preserve that relative order.
+ */
+class Program
+{
+  public:
+    /** Append a clause, returning its global ordinal. */
+    std::size_t add(Clause clause);
+
+    /**
+     * Add a clause at the *front* of its predicate's clause list
+     * (asserta).  The clause still gets the next global ordinal; only
+     * the per-predicate order puts it first.
+     */
+    std::size_t addFront(Clause clause);
+
+    /**
+     * Remove a clause from its predicate's list (retract).  The
+     * stored clause data remains addressable by ordinal; it is simply
+     * no longer part of the predicate.
+     */
+    void remove(std::size_t ordinal);
+
+    std::size_t size() const { return clauses_.size(); }
+    const Clause &clause(std::size_t i) const;
+
+    /** Global ordinals of a predicate's clauses, in source order. */
+    const std::vector<std::size_t> &
+    clausesOf(const PredicateId &pred) const;
+
+    /** All predicates, in first-appearance order. */
+    const std::vector<PredicateId> &predicates() const { return preds_; }
+
+    /**
+     * True if the predicate mixes ground facts with rules or non-ground
+     * facts — the "mixed relation" case coupled systems disallow.
+     */
+    bool isMixedRelation(const PredicateId &pred) const;
+
+  private:
+    std::vector<Clause> clauses_;
+    std::vector<PredicateId> preds_;
+    std::map<PredicateId, std::vector<std::size_t>> byPred_;
+
+    static const std::vector<std::size_t> kEmpty;
+};
+
+} // namespace clare::term
+
+#endif // CLARE_TERM_CLAUSE_HH

@@ -1,0 +1,34 @@
+#include "term/operators.hh"
+
+#include <map>
+
+namespace clare::term {
+
+const OperatorInfo *
+infixOperator(const std::string &name)
+{
+    static const std::map<std::string, OperatorInfo> table = {
+        {"=", {700, false}},   {"\\=", {700, false}},
+        {"==", {700, false}},  {"\\==", {700, false}},
+        {"=:=", {700, false}}, {"=\\=", {700, false}},
+        {"<", {700, false}},   {">", {700, false}},
+        {"=<", {700, false}},  {">=", {700, false}},
+        {"is", {700, false}},
+        {"+", {500, true}},    {"-", {500, true}},
+        {"*", {400, true}},    {"/", {400, true}},
+        {"mod", {400, true}},
+        {":-", {1200, false}},
+        {";", {1100, false, true}},
+        {",", {1000, false, true}},
+    };
+    auto it = table.find(name);
+    return it == table.end() ? nullptr : &it->second;
+}
+
+bool
+isPrefixNot(const std::string &name)
+{
+    return name == "\\+";
+}
+
+} // namespace clare::term

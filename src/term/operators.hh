@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The operator table shared by the reader (precedence parsing) and
+ * the writer (infix rendering).  Standard Prolog precedences for the
+ * operators the PDBM subset supports:
+ *
+ *   1200 xfx: :-
+ *   1100 xfy: ;
+ *   1000 xfy: ','         (as a term constructor, inside parentheses)
+ *   700 xfx:  =  \=  ==  \==  =:=  =\=  <  >  =<  >=  is
+ *   500 yfx:  +  -
+ *   400 yfx:  *  /  mod
+ *   900 fy :  \+          (prefix)
+ */
+
+#ifndef CLARE_TERM_OPERATORS_HH
+#define CLARE_TERM_OPERATORS_HH
+
+#include <string>
+
+namespace clare::term {
+
+/** Descriptor of an infix operator. */
+struct OperatorInfo
+{
+    int prec;
+    bool yfx;   ///< left-associative (left operand may equal prec)
+    bool xfy = false;   ///< right-associative (right operand may
+                        ///< equal prec): ',' and ';'
+};
+
+/** Look up an infix operator; nullptr when @p name is not one. */
+const OperatorInfo *infixOperator(const std::string &name);
+
+/** Precedence of the prefix \+ operator. */
+constexpr int kPrefixNotPrecedence = 900;
+
+/** Is @p name the prefix negation operator? */
+bool isPrefixNot(const std::string &name);
+
+} // namespace clare::term
+
+#endif // CLARE_TERM_OPERATORS_HH

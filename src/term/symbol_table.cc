@@ -1,0 +1,60 @@
+#include "term/symbol_table.hh"
+
+#include "support/logging.hh"
+
+namespace clare::term {
+
+SymbolTable::SymbolTable()
+{
+    SymbolId nil = intern("[]");
+    SymbolId dot = intern(".");
+    clare_assert(nil == kNil && dot == kDot,
+                 "reserved symbol ids misallocated");
+}
+
+SymbolId
+SymbolTable::intern(std::string_view name)
+{
+    auto it = byName_.find(std::string(name));
+    if (it != byName_.end())
+        return it->second;
+    SymbolId id = static_cast<SymbolId>(names_.size());
+    names_.emplace_back(name);
+    byName_.emplace(std::string(name), id);
+    return id;
+}
+
+SymbolId
+SymbolTable::lookup(std::string_view name) const
+{
+    auto it = byName_.find(std::string(name));
+    return it == byName_.end() ? kNoSymbol : it->second;
+}
+
+const std::string &
+SymbolTable::name(SymbolId id) const
+{
+    clare_assert(id < names_.size(), "symbol id %u out of range", id);
+    return names_[id];
+}
+
+FloatId
+SymbolTable::internFloat(double value)
+{
+    auto it = byFloat_.find(value);
+    if (it != byFloat_.end())
+        return it->second;
+    FloatId id = static_cast<FloatId>(floats_.size());
+    floats_.push_back(value);
+    byFloat_.emplace(value, id);
+    return id;
+}
+
+double
+SymbolTable::floatValue(FloatId id) const
+{
+    clare_assert(id < floats_.size(), "float id %u out of range", id);
+    return floats_[id];
+}
+
+} // namespace clare::term

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * A reader for a practical subset of Edinburgh Prolog syntax.
+ *
+ * Supported: atoms (unquoted, quoted, symbolic), integers, floats,
+ * variables (named and anonymous), structures, proper and partial
+ * lists, clauses ("head." / "head :- g1, g2."), queries with an
+ * optional "?-" prefix, "X = Y" sugar for =(X,Y), and both %-line and
+ * C-style block comments.  Operator-precedence parsing beyond '=' is
+ * deliberately out of scope: CLARE filters compiled clause heads, and
+ * head terms never need a full operator table.
+ */
+
+#ifndef CLARE_TERM_TERM_READER_HH
+#define CLARE_TERM_TERM_READER_HH
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "term/clause.hh"
+#include "term/symbol_table.hh"
+#include "term/term.hh"
+
+namespace clare::term {
+
+/** Result of parsing one standalone term. */
+struct ParsedTerm
+{
+    TermArena arena;
+    TermRef root = kNoTerm;
+    /** Source-name to VarId map (anonymous vars not included). */
+    std::map<std::string, VarId> varNames;
+};
+
+/** Result of parsing a query: a conjunction of goals. */
+struct ParsedQuery
+{
+    TermArena arena;
+    std::vector<TermRef> goals;
+    std::map<std::string, VarId> varNames;
+};
+
+/**
+ * Parses text into terms, clauses, and programs, interning symbols in
+ * the supplied table.  Malformed input raises FatalError with a
+ * line-numbered message.
+ */
+class TermReader
+{
+  public:
+    explicit TermReader(SymbolTable &symbols) : symbols_(symbols) {}
+
+    /** Parse exactly one term; trailing input is an error. */
+    ParsedTerm parseTerm(std::string_view text) const;
+
+    /** Parse exactly one clause terminated by '.'. */
+    Clause parseClause(std::string_view text) const;
+
+    /** Parse a sequence of clauses (a program / consulted file). */
+    std::vector<Clause> parseProgram(std::string_view text) const;
+
+    /** Parse a query: optional "?-", goals, optional final '.'. */
+    ParsedQuery parseQuery(std::string_view text) const;
+
+  private:
+    SymbolTable &symbols_;
+};
+
+} // namespace clare::term
+
+#endif // CLARE_TERM_TERM_READER_HH

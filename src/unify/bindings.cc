@@ -1,0 +1,65 @@
+#include "unify/bindings.hh"
+
+#include "support/logging.hh"
+
+namespace clare::unify {
+
+using term::kNoTerm;
+using term::TermArena;
+using term::TermKind;
+using term::TermRef;
+using term::VarId;
+
+void
+Bindings::grow(VarId ceiling)
+{
+    if (values_.size() < ceiling)
+        values_.resize(ceiling, kNoTerm);
+}
+
+bool
+Bindings::isBound(VarId var) const
+{
+    return var < values_.size() && values_[var] != kNoTerm;
+}
+
+TermRef
+Bindings::value(VarId var) const
+{
+    clare_assert(isBound(var), "reading unbound variable %u", var);
+    return values_[var];
+}
+
+void
+Bindings::bind(VarId var, TermRef value)
+{
+    grow(var + 1);
+    clare_assert(values_[var] == kNoTerm, "rebinding variable %u", var);
+    values_[var] = value;
+    trail_.push_back(var);
+}
+
+void
+Bindings::undo(TrailMark mark)
+{
+    clare_assert(mark <= trail_.size(), "trail mark %zu beyond trail",
+                 mark);
+    while (trail_.size() > mark) {
+        values_[trail_.back()] = kNoTerm;
+        trail_.pop_back();
+    }
+}
+
+TermRef
+Bindings::deref(const TermArena &arena, TermRef t) const
+{
+    while (arena.kind(t) == TermKind::Var) {
+        VarId var = arena.varId(t);
+        if (!isBound(var))
+            return t;
+        t = value(var);
+    }
+    return t;
+}
+
+} // namespace clare::unify

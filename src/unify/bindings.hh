@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Variable binding environment with an undo trail.
+ *
+ * Used by the full unifier and the resolution engine.  Bindings map
+ * VarIds to terms within one runtime arena; a trail records bound
+ * variables so choice points can be undone on backtracking.
+ */
+
+#ifndef CLARE_UNIFY_BINDINGS_HH
+#define CLARE_UNIFY_BINDINGS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "term/term.hh"
+
+namespace clare::unify {
+
+/** Mark in the trail, for undoing back to a choice point. */
+using TrailMark = std::size_t;
+
+/** Binding store over the variables of one runtime arena. */
+class Bindings
+{
+  public:
+    /** Ensure storage covers variables [0, ceiling). */
+    void grow(term::VarId ceiling);
+
+    /** Is the variable bound? */
+    bool isBound(term::VarId var) const;
+
+    /** The term a variable is bound to (must be bound). */
+    term::TermRef value(term::VarId var) const;
+
+    /** Bind a variable (must be unbound) and push it on the trail. */
+    void bind(term::VarId var, term::TermRef value);
+
+    /** Current trail position. */
+    TrailMark mark() const { return trail_.size(); }
+
+    /** Undo all bindings made since @p mark. */
+    void undo(TrailMark mark);
+
+    /**
+     * Dereference: follow variable bindings until reaching a non-var
+     * term or an unbound variable.
+     */
+    term::TermRef deref(const term::TermArena &arena,
+                        term::TermRef t) const;
+
+    std::size_t boundCount() const { return trail_.size(); }
+
+  private:
+    std::vector<term::TermRef> values_;
+    std::vector<term::VarId> trail_;
+};
+
+} // namespace clare::unify
+
+#endif // CLARE_UNIFY_BINDINGS_HH

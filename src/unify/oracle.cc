@@ -1,0 +1,23 @@
+#include "unify/oracle.hh"
+
+#include "unify/bindings.hh"
+#include "unify/unify.hh"
+
+namespace clare::unify {
+
+bool
+wouldUnify(const term::TermArena &q_arena, term::TermRef q_goal,
+           const term::Clause &clause)
+{
+    // Scratch arena: goal first, then the clause head standardized
+    // apart by offsetting its variable ids past the goal's.
+    term::TermArena scratch;
+    term::TermRef goal = scratch.import(q_arena, q_goal, 0);
+    term::VarId offset = q_arena.varCeiling();
+    term::TermRef head = scratch.import(clause.arena(), clause.head(),
+                                        offset);
+    Bindings bindings;
+    return unifyTerms(scratch, goal, head, bindings);
+}
+
+} // namespace clare::unify

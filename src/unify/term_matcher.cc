@@ -1,0 +1,324 @@
+#include "unify/term_matcher.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "pif/encoder.hh"
+#include "support/logging.hh"
+#include "unify/pif_matcher.hh"
+
+namespace clare::unify {
+
+using term::TermArena;
+using term::TermKind;
+using term::TermRef;
+
+namespace {
+
+/** Which side of the match a stored binding came from. */
+enum class Side : std::uint8_t { Db, Query };
+
+/** A level-4/5 binding cell: a term of either side, or unbound. */
+struct TCell
+{
+    bool bound = false;
+    Side side = Side::Db;
+    TermRef term = term::kNoTerm;
+};
+
+/**
+ * Recursive matcher for levels 4 and 5, which the paper's hardware
+ * deliberately does not implement (cost and complexity); this software
+ * version exists for the level-ablation experiment.
+ */
+class DeepMatcher
+{
+  public:
+    DeepMatcher(const MatchConfig &config, const TermArena &db,
+                const TermArena &query)
+        : config_(config), db_(db), q_(query),
+          crossBinding_(config.level >= 5 || config.crossBinding),
+          dbCells_(db.varCeiling()), qCells_(q_.varCeiling())
+    {}
+
+    bool
+    run(TermRef db_head, TermRef q_goal, TueOpCounts &counts)
+    {
+        bool hit = true;
+        std::uint32_t arity = db_.arity(db_head);
+        for (std::uint32_t i = 0; i < arity; ++i) {
+            if (!matchPair(db_.arg(db_head, i), q_.arg(q_goal, i))) {
+                hit = false;
+                break;
+            }
+        }
+        counts = counts_;
+        return hit;
+    }
+
+  private:
+    const MatchConfig &config_;
+    const TermArena &db_;
+    const TermArena &q_;
+    bool crossBinding_;
+    std::vector<TCell> dbCells_;
+    std::vector<TCell> qCells_;
+    TueOpCounts counts_{};
+
+    void op(TueOp o) { ++counts_[static_cast<std::size_t>(o)]; }
+
+    const TermArena &arenaOf(Side s) const { return s == Side::Db ? db_ : q_; }
+
+    std::vector<TCell> &
+    cellsOf(Side s)
+    {
+        return s == Side::Db ? dbCells_ : qCells_;
+    }
+
+    /**
+     * Follow variable bindings across sides to the ultimate value.
+     * Returns false when the chain ends unbound.
+     */
+    bool
+    ultimate(Side side, TermRef t, Side &out_side, TermRef &out)
+    {
+        std::size_t guard = dbCells_.size() + qCells_.size() + 2;
+        while (arenaOf(side).kind(t) == TermKind::Var) {
+            if (guard-- == 0)
+                return false;
+            const TermArena &arena = arenaOf(side);
+            if (arena.isAnonymous(t))
+                return false;
+            TCell &cell = cellsOf(side)[arena.varId(t)];
+            if (!cell.bound)
+                return false;
+            side = cell.side;
+            t = cell.term;
+        }
+        out_side = side;
+        out = t;
+        return true;
+    }
+
+    /** Variable-insensitive deep comparison of two resolved values. */
+    bool
+    compareValues(Side sa, TermRef a, Side sb, TermRef b)
+    {
+        const TermArena &aa = arenaOf(sa);
+        const TermArena &ab = arenaOf(sb);
+        TermKind ka = aa.kind(a);
+        TermKind kb = ab.kind(b);
+        if (ka == TermKind::Var || kb == TermKind::Var)
+            return true;
+        if (ka == TermKind::List && kb == TermKind::List)
+            return compareListsDeep(sa, a, sb, b, /*asValues=*/true);
+        if (ka != kb)
+            return false;
+        switch (ka) {
+          case TermKind::Atom:
+            return aa.atomSymbol(a) == ab.atomSymbol(b);
+          case TermKind::Int:
+            return aa.intValue(a) == ab.intValue(b);
+          case TermKind::Float:
+            return aa.floatId(a) == ab.floatId(b);
+          case TermKind::Struct: {
+            if (aa.functor(a) != ab.functor(b) ||
+                aa.arity(a) != ab.arity(b)) {
+                return false;
+            }
+            for (std::uint32_t i = 0; i < aa.arity(a); ++i)
+                if (!compareValues(sa, aa.arg(a, i), sb, ab.arg(b, i)))
+                    return false;
+            return true;
+          }
+          default:
+            clare_panic("unreachable kind");
+        }
+    }
+
+    /**
+     * Deep list comparison.  When @p asValues the element comparisons
+     * are variable-insensitive; otherwise they are full matchPair
+     * comparisons with variable tracking.
+     */
+    bool
+    compareListsDeep(Side sa, TermRef a, Side sb, TermRef b, bool asValues)
+    {
+        const TermArena &aa = arenaOf(sa);
+        const TermArena &ab = arenaOf(sb);
+        std::uint32_t na = aa.arity(a);
+        std::uint32_t nb = ab.arity(b);
+        bool ua = !aa.isTerminatedList(a);
+        bool ub = !ab.isTerminatedList(b);
+        if (!ua && !ub && na != nb)
+            return false;
+        if (!ua && ub && nb > na)
+            return false;
+        if (ua && !ub && na > nb)
+            return false;
+        std::uint32_t common = std::min(na, nb);
+        for (std::uint32_t i = 0; i < common; ++i) {
+            bool ok = asValues
+                ? compareValues(sa, aa.arg(a, i), sb, ab.arg(b, i))
+                : (sa == Side::Db
+                   ? matchPair(aa.arg(a, i), ab.arg(b, i))
+                   : matchPair(ab.arg(b, i), aa.arg(a, i)));
+            if (!ok)
+                return false;
+        }
+        // Tail variables are not tracked (cf. the stream matcher):
+        // the hardware counters carry only explicit arities.
+        return true;
+    }
+
+    /** Full matching of a db-side term against a query-side term. */
+    bool
+    matchPair(TermRef db_term, TermRef q_term)
+    {
+        TermKind dk = db_.kind(db_term);
+        TermKind qk = q_.kind(q_term);
+
+        if ((dk == TermKind::Var && db_.isAnonymous(db_term)) ||
+            (qk == TermKind::Var && q_.isAnonymous(q_term))) {
+            op(TueOp::Skip);
+            return true;
+        }
+
+        if (dk == TermKind::Var)
+            return matchVar(Side::Db, db_term, Side::Query, q_term);
+        if (qk == TermKind::Var)
+            return matchVar(Side::Query, q_term, Side::Db, db_term);
+
+        op(TueOp::Match);
+        if (dk == TermKind::List && qk == TermKind::List)
+            return compareListsDeep(Side::Db, db_term, Side::Query, q_term,
+                                    /*asValues=*/false);
+        if (dk != qk)
+            return false;
+        switch (dk) {
+          case TermKind::Atom:
+            return db_.atomSymbol(db_term) == q_.atomSymbol(q_term);
+          case TermKind::Int:
+            return db_.intValue(db_term) == q_.intValue(q_term);
+          case TermKind::Float:
+            return db_.floatId(db_term) == q_.floatId(q_term);
+          case TermKind::Struct: {
+            if (db_.functor(db_term) != q_.functor(q_term) ||
+                db_.arity(db_term) != q_.arity(q_term)) {
+                return false;
+            }
+            for (std::uint32_t i = 0; i < db_.arity(db_term); ++i)
+                if (!matchPair(db_.arg(db_term, i), q_.arg(q_term, i)))
+                    return false;
+            return true;
+          }
+          default:
+            clare_panic("unreachable kind");
+        }
+    }
+
+    /** Variable handling (fig. 1 cases 5 and 6) on the var's side. */
+    bool
+    matchVar(Side var_side, TermRef var_term, Side other_side,
+             TermRef other)
+    {
+        if (!crossBinding_) {
+            op(TueOp::Skip);
+            return true;
+        }
+        const TermArena &arena = arenaOf(var_side);
+        TCell &cell = cellsOf(var_side)[arena.varId(var_term)];
+        bool is_db = var_side == Side::Db;
+        if (!cell.bound) {
+            op(is_db ? TueOp::DbStore : TueOp::QueryStore);
+            cell.bound = true;
+            cell.side = other_side;
+            cell.term = other;
+            return true;
+        }
+        Side vside = cell.side;
+        TermRef value = cell.term;
+        if (arenaOf(vside).kind(value) == TermKind::Var) {
+            op(is_db ? TueOp::DbCrossBoundFetch
+                     : TueOp::QueryCrossBoundFetch);
+            Side fs;
+            TermRef fv;
+            if (!ultimate(vside, value, fs, fv))
+                return true;
+            // Resolve the other side through its bindings as well.
+            Side os = other_side;
+            TermRef ov = other;
+            if (arenaOf(os).kind(ov) == TermKind::Var &&
+                !ultimate(os, ov, os, ov)) {
+                return true;
+            }
+            return compareValues(fs, fv, os, ov);
+        }
+        op(is_db ? TueOp::DbFetch : TueOp::QueryFetch);
+        Side os = other_side;
+        TermRef ov = other;
+        if (arenaOf(os).kind(ov) == TermKind::Var &&
+            !ultimate(os, ov, os, ov)) {
+            return true;
+        }
+        return compareValues(vside, value, os, ov);
+    }
+};
+
+} // namespace
+
+TermMatcher::TermMatcher(MatchConfig config)
+    : config_(config)
+{
+    clare_assert(config_.level >= 1 && config_.level <= 5,
+                 "matching level must be 1-5, got %d", config_.level);
+}
+
+MatchResult
+TermMatcher::match(const TermArena &db_arena, TermRef db_head,
+                   const TermArena &q_arena, TermRef q_goal) const
+{
+    MatchResult result;
+
+    // Predicate-level test: functor and arity must agree.
+    TermKind dk = db_arena.kind(db_head);
+    TermKind qk = q_arena.kind(q_goal);
+    auto functor_of = [](const TermArena &a, TermRef t) {
+        return a.kind(t) == TermKind::Atom ? a.atomSymbol(t) : a.functor(t);
+    };
+    auto arity_of = [](const TermArena &a, TermRef t) {
+        return a.kind(t) == TermKind::Atom ? 0u : a.arity(t);
+    };
+    if (dk == TermKind::Var || qk == TermKind::Var ||
+        functor_of(db_arena, db_head) != functor_of(q_arena, q_goal) ||
+        arity_of(db_arena, db_head) != arity_of(q_arena, q_goal)) {
+        result.hit = false;
+        return result;
+    }
+    if (arity_of(db_arena, db_head) == 0) {
+        result.hit = true;
+        return result;
+    }
+
+    if (config_.level <= 3) {
+        // Delegate to the stream matcher so that the reference and the
+        // hardware-functional semantics agree by construction.
+        pif::Encoder encoder;
+        pif::EncodedArgs db = encoder.encodeArgs(db_arena, db_head,
+                                                 pif::Side::Db);
+        pif::EncodedArgs q = encoder.encodeArgs(q_arena, q_goal,
+                                                pif::Side::Query);
+        PifMatcher matcher(PifMatchConfig{config_.level,
+                                          config_.crossBinding});
+        PifMatchResult r = matcher.match(db, q);
+        result.hit = r.hit;
+        result.opCounts = r.opCounts;
+        return result;
+    }
+
+    DeepMatcher deep(config_, db_arena, q_arena);
+    result.hit = deep.run(db_head, q_goal, result.opCounts);
+    return result;
+}
+
+} // namespace clare::unify

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Software reference implementation of partial test unification at
+ * matching levels 1 through 5 (section 2.2 of the paper).
+ *
+ * The five levels trade selectivity against hardware cost:
+ *
+ *   Level 1 — type only.
+ *   Level 2 — type and content, ignoring complex structures.
+ *   Level 3 — type and content, catering for first-level structures.
+ *   Level 4 — type and content, including full structures.
+ *   Level 5 — level 4 plus variable cross-binding checks.
+ *
+ * The paper adopts level 3 *with cross-binding checks added*; that
+ * configuration (level=3, crossBinding=true) is what the FS2 hardware
+ * implements, and the PIF stream matcher must agree with it.
+ *
+ * A partial matcher is a *filter*: it may accept clauses that full
+ * unification later rejects (false drops), but it must never reject a
+ * clause that would unify (no false dismissals).  That invariant is
+ * property-tested against the full unifier.
+ */
+
+#ifndef CLARE_UNIFY_TERM_MATCHER_HH
+#define CLARE_UNIFY_TERM_MATCHER_HH
+
+#include "term/term.hh"
+#include "unify/tue_op.hh"
+
+namespace clare::unify {
+
+/** Configuration of the reference partial matcher. */
+struct MatchConfig
+{
+    /** Matching level, 1-5. */
+    int level = 3;
+
+    /**
+     * Track variable bindings (first/subsequent occurrences) and check
+     * cross bindings.  When false every variable occurrence matches
+     * anything, which is the "original algorithm" the paper extends.
+     * Level 5 implies cross-binding checks regardless of this flag.
+     */
+    bool crossBinding = true;
+};
+
+/** Result of matching one clause head against a query goal. */
+struct MatchResult
+{
+    bool hit = false;
+    TueOpCounts opCounts{};
+
+    std::uint64_t
+    count(TueOp op) const
+    {
+        return opCounts[static_cast<std::size_t>(op)];
+    }
+};
+
+/**
+ * Reference partial test unification over terms.
+ *
+ * Matches the arguments of a query goal against the arguments of a
+ * clause head.  Both terms must be atoms or structures; a functor or
+ * arity mismatch is an immediate miss (the predicate-level test the
+ * clause file organization already guarantees in practice).
+ */
+class TermMatcher
+{
+  public:
+    explicit TermMatcher(MatchConfig config = {});
+
+    /**
+     * @param db_arena,db_head the clause head (database side)
+     * @param q_arena,q_goal the query goal
+     */
+    MatchResult match(const term::TermArena &db_arena,
+                      term::TermRef db_head,
+                      const term::TermArena &q_arena,
+                      term::TermRef q_goal) const;
+
+    const MatchConfig &config() const { return config_; }
+
+  private:
+    MatchConfig config_;
+};
+
+} // namespace clare::unify
+
+#endif // CLARE_UNIFY_TERM_MATCHER_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The seven Test Unification Engine hardware operations (plus the
+ * anonymous-variable skip), shared between the reference matcher, the
+ * FS2 functional model, and the microarchitectural model.
+ */
+
+#ifndef CLARE_UNIFY_TUE_OP_HH
+#define CLARE_UNIFY_TUE_OP_HH
+
+#include <array>
+#include <cstdint>
+
+namespace clare::unify {
+
+/**
+ * TUE datapath operations as defined in sections 3.3.1-3.3.7 of the
+ * paper.  Skip is not a datapath operation: it is the sequencer
+ * consuming an anonymous variable without engaging the TUE.
+ */
+enum class TueOp : std::uint8_t
+{
+    Match,                  ///< Fig. 6, cases 1-4
+    DbStore,                ///< Fig. 7, case 5a
+    QueryStore,             ///< Fig. 8, case 6a
+    DbFetch,                ///< Fig. 9, case 5b
+    QueryFetch,             ///< Fig. 10, case 6b
+    DbCrossBoundFetch,      ///< Fig. 11, case 5c
+    QueryCrossBoundFetch,   ///< Fig. 12, case 6c
+    Skip,                   ///< anonymous variable, no TUE activity
+};
+
+/** Number of TueOp values (for counter arrays). */
+constexpr std::size_t kTueOpCount = 8;
+
+/** Per-operation counters indexed by TueOp. */
+using TueOpCounts = std::array<std::uint64_t, kTueOpCount>;
+
+/** Human-readable operation name as printed in Table 1. */
+constexpr const char *
+tueOpName(TueOp op)
+{
+    switch (op) {
+      case TueOp::Match: return "MATCH";
+      case TueOp::DbStore: return "DB_STORE";
+      case TueOp::QueryStore: return "QUERY_STORE";
+      case TueOp::DbFetch: return "DB_FETCH";
+      case TueOp::QueryFetch: return "QUERY_FETCH";
+      case TueOp::DbCrossBoundFetch: return "DB_CROSS_BOUND_FETCH";
+      case TueOp::QueryCrossBoundFetch: return "QUERY_CROSS_BOUND_FETCH";
+      case TueOp::Skip: return "SKIP";
+    }
+    return "?";
+}
+
+} // namespace clare::unify
+
+#endif // CLARE_UNIFY_TUE_OP_HH

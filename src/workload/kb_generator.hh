@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Synthetic knowledge-base generation.
+ *
+ * The paper's target scale comes from D.H.D. Warren's medium-size
+ * estimate — "of the order of 3000 predicates, 30000 rules, 3000000
+ * facts, and 30 Mbytes total size" — and its benchmarks [6,7] sweep
+ * database size and fact/rule mix.  These generators produce KBs with
+ * controlled predicate counts, arity, constant vocabulary, structure
+ * and list density, variable density, shared-variable probability and
+ * rule fraction, all deterministically seeded; plus a concrete family
+ * KB featuring the motivating married_couple predicate.
+ */
+
+#ifndef CLARE_WORKLOAD_KB_GENERATOR_HH
+#define CLARE_WORKLOAD_KB_GENERATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/random.hh"
+#include "term/clause.hh"
+#include "term/symbol_table.hh"
+
+namespace clare::workload {
+
+/** Parameters of a synthetic knowledge base. */
+struct KbSpec
+{
+    std::uint32_t predicates = 4;
+    std::uint32_t clausesPerPredicate = 1000;
+    std::uint32_t arityMin = 2;
+    std::uint32_t arityMax = 4;
+    std::uint32_t atomVocabulary = 200;     ///< distinct constants
+    std::uint32_t integerRange = 1000;      ///< ints drawn from [0, n)
+    double structProb = 0.15;   ///< argument is a structure
+    double listProb = 0.05;     ///< argument is a list
+    double floatProb = 0.02;    ///< argument is a float
+    double intProb = 0.15;      ///< argument is an integer
+    double varProb = 0.0;       ///< argument is a variable (non-ground)
+    double sharedVarProb = 0.0; ///< a new variable reuses an earlier one
+    double ruleFraction = 0.0;  ///< clauses that carry a body
+    std::uint32_t structArityMax = 3;
+    std::uint32_t listLenMax = 4;
+    std::uint64_t seed = 1;
+
+    /** Scaled-down Warren profile (ratios preserved, size bounded). */
+    static KbSpec warren(std::uint32_t facts_per_predicate,
+                         std::uint32_t predicates);
+};
+
+/** Generates programs from a spec. */
+class KbGenerator
+{
+  public:
+    explicit KbGenerator(term::SymbolTable &symbols)
+        : symbols_(symbols)
+    {}
+
+    /** Generate a full synthetic program. */
+    term::Program generate(const KbSpec &spec);
+
+    /**
+     * Generate one predicate's clauses (functor "p<index>") into an
+     * existing program.
+     */
+    void generatePredicate(term::Program &program, const KbSpec &spec,
+                           std::uint32_t index, Rng &rng);
+
+    /**
+     * A family knowledge base: person/parent facts plus the
+     * married_couple/2 predicate (including some reflexive couples so
+     * the shared-variable query has genuine answers) and ancestor
+     * rules.
+     *
+     * @param families number of family units generated
+     */
+    term::Program generateFamily(std::uint32_t families,
+                                 std::uint64_t seed = 7);
+
+  private:
+    term::SymbolTable &symbols_;
+
+    term::TermRef makeArg(term::TermArena &arena, const KbSpec &spec,
+                          Rng &rng, std::uint32_t &next_var,
+                          std::vector<term::VarId> &used_vars,
+                          int depth);
+};
+
+} // namespace clare::workload
+
+#endif // CLARE_WORKLOAD_KB_GENERATOR_HH

@@ -1,0 +1,63 @@
+#include "workload/query_generator.hh"
+
+#include "support/logging.hh"
+
+namespace clare::workload {
+
+using term::TermArena;
+using term::TermRef;
+
+GeneratedQuery
+QueryGenerator::generate(const term::Program &program,
+                         const term::PredicateId &pred)
+{
+    const auto &ordinals = program.clausesOf(pred);
+    clare_assert(!ordinals.empty(), "no clauses for query template");
+    const term::Clause &tmpl = program.clause(
+        ordinals[rng_.below(ordinals.size())]);
+
+    GeneratedQuery out;
+    TermRef head = out.arena.import(tmpl.arena(), tmpl.head(),
+                                    /*var_offset=*/0);
+    std::uint32_t arity = out.arena.arity(head);
+
+    std::uint32_t next_var = out.arena.varCeiling();
+    std::vector<term::VarId> shared_pool;
+    std::vector<TermRef> args;
+    args.reserve(arity);
+
+    for (std::uint32_t i = 0; i < arity; ++i) {
+        TermRef orig = out.arena.arg(head, i);
+        double roll = rng_.uniform();
+        if (roll < spec_.boundArgProb) {
+            args.push_back(orig);
+            continue;
+        }
+        roll -= spec_.boundArgProb;
+        if (roll < spec_.perturbProb) {
+            args.push_back(out.arena.makeAtom(symbols_.intern(
+                "zzz_mismatch_" + std::to_string(rng_.below(1u << 20)))));
+            continue;
+        }
+        roll -= spec_.perturbProb;
+        if (!shared_pool.empty() && rng_.chance(spec_.sharedVarProb)) {
+            term::VarId v = rng_.pick(shared_pool);
+            args.push_back(out.arena.makeVar(
+                v, symbols_.intern("Q" + std::to_string(v))));
+            continue;
+        }
+        term::VarId v = next_var++;
+        shared_pool.push_back(v);
+        args.push_back(out.arena.makeVar(
+            v, symbols_.intern("Q" + std::to_string(v))));
+    }
+
+    term::SymbolId functor = pred.arity == 0
+        ? pred.functor : out.arena.functor(head);
+    out.goal = arity == 0
+        ? out.arena.makeAtom(functor)
+        : out.arena.makeStruct(functor, args);
+    return out;
+}
+
+} // namespace clare::workload

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Synthetic query generation against generated knowledge bases.
+ *
+ * Queries are derived from stored clause heads so that a controllable
+ * fraction has non-empty answer sets: a generated query takes an
+ * existing head and rewrites each argument as either the original
+ * ground value (a bound argument), a fresh variable, a shared
+ * variable, or a perturbed value (guaranteeing mismatches).
+ */
+
+#ifndef CLARE_WORKLOAD_QUERY_GENERATOR_HH
+#define CLARE_WORKLOAD_QUERY_GENERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/random.hh"
+#include "term/clause.hh"
+#include "term/symbol_table.hh"
+#include "term/term.hh"
+
+namespace clare::workload {
+
+/** Parameters of query synthesis. */
+struct QuerySpec
+{
+    double boundArgProb = 0.5;      ///< keep the original argument
+    double sharedVarProb = 0.1;     ///< variable repeated across args
+    double perturbProb = 0.1;       ///< replace with a mismatching atom
+    std::uint64_t seed = 99;
+};
+
+/** A generated query goal. */
+struct GeneratedQuery
+{
+    term::TermArena arena;
+    term::TermRef goal = term::kNoTerm;
+};
+
+/** Generates query goals from a program's clause heads. */
+class QueryGenerator
+{
+  public:
+    QueryGenerator(term::SymbolTable &symbols, const QuerySpec &spec)
+        : symbols_(symbols), spec_(spec), rng_(spec.seed)
+    {}
+
+    /**
+     * Build one query against @p pred using a random clause of
+     * @p program as the template.
+     */
+    GeneratedQuery generate(const term::Program &program,
+                            const term::PredicateId &pred);
+
+  private:
+    term::SymbolTable &symbols_;
+    QuerySpec spec_;
+    Rng rng_;
+};
+
+} // namespace clare::workload
+
+#endif // CLARE_WORKLOAD_QUERY_GENERATOR_HH

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Host-interface tests: the control register encoding of section 3,
+ * the VME window, filter mutual exclusivity, and the driver's
+ * documented mode sequences.
+ */
+
+#include <gtest/gtest.h>
+
+#include "clare/board.hh"
+#include "clare/control_register.hh"
+#include "support/logging.hh"
+#include "term/term_reader.hh"
+#include "term/term_writer.hh"
+
+namespace clare::engine {
+namespace {
+
+TEST(ControlRegisterTest, ModeTableFromPaper)
+{
+    // | mode             | b0 | b1 |
+    ControlRegister reg;
+    reg.write(0x00);    // b0=0 b1=0
+    EXPECT_EQ(reg.mode(), OperationalMode::ReadResult);
+    reg.write(0x02);    // b0=0 b1=1
+    EXPECT_EQ(reg.mode(), OperationalMode::Search);
+    reg.write(0x01);    // b0=1 b1=0
+    EXPECT_EQ(reg.mode(), OperationalMode::Microprogramming);
+    reg.write(0x03);    // b0=1 b1=1
+    EXPECT_EQ(reg.mode(), OperationalMode::SetQuery);
+}
+
+TEST(ControlRegisterTest, FilterSelectBit)
+{
+    ControlRegister reg;
+    reg.write(0x00);
+    EXPECT_EQ(reg.filter(), FilterSelect::Fs1);
+    reg.write(0x04);
+    EXPECT_EQ(reg.filter(), FilterSelect::Fs2);
+}
+
+TEST(ControlRegisterTest, MatchFoundBit)
+{
+    ControlRegister reg;
+    EXPECT_FALSE(reg.matchFound());
+    reg.setMatchFound(true);
+    EXPECT_TRUE(reg.matchFound());
+    EXPECT_EQ(reg.value() & 0x80, 0x80);
+    reg.setMatchFound(false);
+    EXPECT_FALSE(reg.matchFound());
+}
+
+TEST(ControlRegisterTest, ComposeRoundTrip)
+{
+    for (auto mode : {OperationalMode::ReadResult,
+                      OperationalMode::Search,
+                      OperationalMode::Microprogramming,
+                      OperationalMode::SetQuery}) {
+        for (auto filter : {FilterSelect::Fs1, FilterSelect::Fs2}) {
+            ControlRegister reg;
+            reg.write(ControlRegister::compose(mode, filter));
+            EXPECT_EQ(reg.mode(), mode);
+            EXPECT_EQ(reg.filter(), filter);
+        }
+    }
+}
+
+TEST(ControlRegisterTest, ModeNames)
+{
+    EXPECT_STREQ(operationalModeName(OperationalMode::Search), "Search");
+    EXPECT_STREQ(operationalModeName(OperationalMode::SetQuery),
+                 "Set Query");
+}
+
+class BoardTest : public ::testing::Test
+{
+  protected:
+    term::SymbolTable sym;
+    term::TermReader reader{sym};
+    term::TermWriter writer{sym};
+    ClareBoard board{scw::CodewordGenerator{}};
+};
+
+TEST_F(BoardTest, WindowBoundsEnforced)
+{
+    EXPECT_THROW(board.read8(kVmeWindowBase - 1), FatalError);
+    EXPECT_THROW(board.write8(kVmeWindowEnd + 1, 0), FatalError);
+}
+
+TEST_F(BoardTest, ControlRegisterReadBack)
+{
+    board.write8(kVmeWindowBase, 0x06);     // Search, FS2
+    EXPECT_EQ(board.read8(kVmeWindowBase) & 0x7f, 0x06);
+    EXPECT_EQ(board.mode(), OperationalMode::Search);
+    EXPECT_EQ(board.filter(), FilterSelect::Fs2);
+}
+
+TEST_F(BoardTest, HostCannotSetMatchBit)
+{
+    board.write8(kVmeWindowBase, 0xff);
+    EXPECT_FALSE(board.read8(kVmeWindowBase) & 0x80);
+    board.noteSearchOutcome(true);
+    EXPECT_TRUE(board.read8(kVmeWindowBase) & 0x80);
+    // Mode rewrites preserve the hardware-owned bit.
+    board.write8(kVmeWindowBase, 0x00);
+    EXPECT_TRUE(board.read8(kVmeWindowBase) & 0x80);
+}
+
+TEST_F(BoardTest, FiltersAreMutuallyExclusive)
+{
+    board.write8(kVmeWindowBase,
+                 ControlRegister::compose(OperationalMode::Search,
+                                          FilterSelect::Fs1));
+    EXPECT_DEATH(board.fs2(), "mutually exclusive");
+}
+
+TEST_F(BoardTest, DriverSequenceForFs2)
+{
+    storage::ClauseFileBuilder builder(writer);
+    for (const auto &c : reader.parseProgram(
+             "married_couple(john, mary).\n"
+             "married_couple(pat, pat).\n"))
+        builder.add(c);
+    storage::ClauseFile file = builder.finish();
+
+    term::ParsedQuery q = reader.parseQuery("married_couple(S, S)");
+    ClareDriver driver(board);
+    fs2::Fs2SearchResult result = driver.fs2Search(q.arena, q.goals[0],
+                                                   file);
+    EXPECT_EQ(result.acceptedOrdinals,
+              (std::vector<std::uint32_t>{1}));
+    // The documented sequence: Microprogramming -> Set Query ->
+    // Search -> Read Result.
+    ASSERT_EQ(driver.lastSequence().size(), 4u);
+    EXPECT_EQ(driver.lastSequence()[0],
+              OperationalMode::Microprogramming);
+    EXPECT_EQ(driver.lastSequence()[1], OperationalMode::SetQuery);
+    EXPECT_EQ(driver.lastSequence()[2], OperationalMode::Search);
+    EXPECT_EQ(driver.lastSequence()[3], OperationalMode::ReadResult);
+    // b7 reflects the successful search.
+    EXPECT_TRUE(board.read8(kVmeWindowBase) & 0x80);
+}
+
+TEST_F(BoardTest, DriverClearsMatchBitStaysOnMiss)
+{
+    storage::ClauseFileBuilder builder(writer);
+    builder.add(reader.parseClause("p(a)."));
+    storage::ClauseFile file = builder.finish();
+    term::ParsedQuery q = reader.parseQuery("p(b)");
+    ClareDriver driver(board);
+    fs2::Fs2SearchResult result = driver.fs2Search(q.arena, q.goals[0],
+                                                   file);
+    EXPECT_TRUE(result.acceptedOrdinals.empty());
+    EXPECT_FALSE(board.read8(kVmeWindowBase) & 0x80);
+}
+
+TEST_F(BoardTest, DriverFs1Sequence)
+{
+    storage::ClauseFileBuilder builder(writer);
+    std::vector<scw::Signature> sigs;
+    scw::CodewordGenerator gen;
+    for (const auto &c : reader.parseProgram("p(a).\np(b).\n")) {
+        sigs.push_back(gen.encode(c.arena(), c.head()));
+        builder.add(c);
+    }
+    storage::ClauseFile file = builder.finish();
+    scw::SecondaryFile index = scw::SecondaryFile::build(gen, sigs,
+                                                         file);
+    term::ParsedTerm q = reader.parseTerm("p(a)");
+    ClareDriver driver(board);
+    fs1::Fs1Result r = driver.fs1Search(gen.encode(q.arena, q.root),
+                                        index);
+    EXPECT_EQ(r.ordinals.size(), 1u);
+    EXPECT_TRUE(board.read8(kVmeWindowBase) & 0x80);
+}
+
+TEST(VmeWindow, PaperAddressRange)
+{
+    EXPECT_EQ(kVmeWindowBase, 0xffff7e00u);
+    EXPECT_EQ(kVmeWindowEnd, 0xffff7fffu);
+    // The hex range spans 512 bytes (the paper's "128k" note is
+    // inconsistent with its own hex range; we follow the hex range).
+    EXPECT_EQ(kVmeWindowBytes, 512u);
+}
+
+} // namespace
+} // namespace clare::engine

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * CRS tests: predicate store layout, the four retrieval modes (answer
+ * equality, candidate-set quality ordering), mode selection, and the
+ * lock manager / transactions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "crs/server.hh"
+#include "crs/store.hh"
+#include "crs/transaction.hh"
+#include "support/logging.hh"
+#include "term/term_reader.hh"
+#include "workload/kb_generator.hh"
+
+namespace clare::crs {
+namespace {
+
+class CrsTest : public ::testing::Test
+{
+  protected:
+    term::SymbolTable sym;
+    term::TermReader reader{sym};
+    std::unique_ptr<PredicateStore> store;
+    std::unique_ptr<ClauseRetrievalServer> server;
+
+    void
+    buildStore(const std::string &text)
+    {
+        term::Program program;
+        for (auto &c : reader.parseProgram(text))
+            program.add(std::move(c));
+        store = std::make_unique<PredicateStore>(
+            sym, scw::CodewordGenerator{});
+        store->addProgram(program);
+        store->finalize();
+        server = std::make_unique<ClauseRetrievalServer>(sym, *store);
+    }
+
+    RetrievalResult
+    retrieve(const std::string &goal_text, SearchMode mode)
+    {
+        term::ParsedTerm goal = reader.parseTerm(goal_text);
+        return server->retrieve(goal.arena, goal.root, mode);
+    }
+};
+
+TEST_F(CrsTest, StoreLayout)
+{
+    buildStore("p(a).\np(b).\nq(c, d).\n");
+    term::PredicateId p{sym.lookup("p"), 1};
+    term::PredicateId q{sym.lookup("q"), 2};
+    EXPECT_TRUE(store->has(p));
+    EXPECT_TRUE(store->has(q));
+    EXPECT_FALSE(store->has(term::PredicateId{sym.lookup("p"), 2}));
+    EXPECT_EQ(store->predicate(p).clauses.clauseCount(), 2u);
+    EXPECT_EQ(store->dataDisk().image().size(), store->dataBytes());
+    EXPECT_EQ(store->indexDisk().image().size(), store->indexBytes());
+    // q's clause file sits after p's in the disk image.
+    EXPECT_GT(store->predicate(q).clauseFileOffset, 0u);
+}
+
+TEST_F(CrsTest, RuleFractionTracked)
+{
+    buildStore("r(a).\nr(X) :- r(a).\nr(b).\nr(Y) :- r(b).\n");
+    term::PredicateId r{sym.lookup("r"), 1};
+    EXPECT_DOUBLE_EQ(store->predicate(r).ruleFraction, 0.5);
+}
+
+TEST_F(CrsTest, UnknownPredicateIsFatal)
+{
+    buildStore("p(a).\n");
+    EXPECT_THROW(retrieve("nosuch(a)", SearchMode::SoftwareOnly),
+                 FatalError);
+}
+
+TEST_F(CrsTest, AllModesAgreeOnAnswers)
+{
+    buildStore(
+        "edge(a, b).\n"
+        "edge(b, c).\n"
+        "edge(a, a).\n"
+        "edge(X, X).\n"
+        "edge(c, d).\n");
+    for (SearchMode mode : {SearchMode::SoftwareOnly,
+                            SearchMode::Fs1Only, SearchMode::Fs2Only,
+                            SearchMode::TwoStage}) {
+        RetrievalResult r = retrieve("edge(a, Y)", mode);
+        EXPECT_EQ(r.answers, (std::vector<std::uint32_t>{0, 2, 3}))
+            << searchModeName(mode);
+        // Candidates are always a superset of answers, in order.
+        EXPECT_GE(r.candidates.size(), r.answers.size());
+    }
+}
+
+TEST_F(CrsTest, SharedVariableAnswersAcrossModes)
+{
+    buildStore(
+        "married_couple(john, mary).\n"
+        "married_couple(pat, pat).\n"
+        "married_couple(X, X).\n"
+        "married_couple(ann, bob).\n");
+    for (SearchMode mode : {SearchMode::SoftwareOnly,
+                            SearchMode::Fs1Only, SearchMode::Fs2Only,
+                            SearchMode::TwoStage}) {
+        RetrievalResult r = retrieve("married_couple(S, S)", mode);
+        EXPECT_EQ(r.answers, (std::vector<std::uint32_t>{1, 2}))
+            << searchModeName(mode);
+    }
+}
+
+TEST_F(CrsTest, Fs2ReducesFalseDropsVersusFs1)
+{
+    buildStore(
+        "married_couple(john, mary).\n"
+        "married_couple(pat, pat).\n"
+        "married_couple(ann, bob).\n"
+        "married_couple(eve, adam).\n");
+    RetrievalResult fs1 = retrieve("married_couple(S, S)",
+                                   SearchMode::Fs1Only);
+    RetrievalResult two = retrieve("married_couple(S, S)",
+                                   SearchMode::TwoStage);
+    // FS1 passes the whole predicate; FS2 keeps only the true answer.
+    EXPECT_EQ(fs1.candidates.size(), 4u);
+    EXPECT_EQ(two.candidates.size(), 1u);
+    EXPECT_LT(two.falseDrops(), fs1.falseDrops());
+}
+
+TEST_F(CrsTest, TwoStageCandidatesSubsetOfFs1)
+{
+    buildStore(
+        "p(a, b).\np(a, c).\np(b, b).\np(X, Y).\np(a, a).\n");
+    RetrievalResult fs1 = retrieve("p(a, Z)", SearchMode::Fs1Only);
+    RetrievalResult two = retrieve("p(a, Z)", SearchMode::TwoStage);
+    for (std::uint32_t c : two.candidates) {
+        EXPECT_NE(std::find(fs1.candidates.begin(), fs1.candidates.end(),
+                            c), fs1.candidates.end());
+    }
+}
+
+TEST_F(CrsTest, TimingFieldsPopulated)
+{
+    buildStore("p(a).\np(b).\np(c).\n");
+    RetrievalResult sw = retrieve("p(a)", SearchMode::SoftwareOnly);
+    EXPECT_GT(sw.filterTime, 0u);
+    EXPECT_GT(sw.elapsed, 0u);
+    RetrievalResult fs1 = retrieve("p(a)", SearchMode::Fs1Only);
+    EXPECT_GT(fs1.indexTime, 0u);
+    RetrievalResult two = retrieve("p(a)", SearchMode::TwoStage);
+    EXPECT_GT(two.indexTime, 0u);
+    EXPECT_GT(two.elapsed, two.indexTime);
+}
+
+TEST_F(CrsTest, ProfileQuery)
+{
+    buildStore("p(a).\n");      // store content irrelevant here
+    term::ParsedTerm t = reader.parseTerm("q(a, X, f(Y), X, g(b))");
+    QueryProfile prof = ClauseRetrievalServer::profileQuery(t.arena,
+                                                            t.root);
+    EXPECT_EQ(prof.arity, 5u);
+    EXPECT_EQ(prof.groundArgs, 2u);         // a, g(b)
+    EXPECT_EQ(prof.variableArgs, 2u);       // X, X
+    EXPECT_TRUE(prof.hasSharedVars);        // X twice
+    EXPECT_TRUE(prof.hasVarBearingStructures);  // f(Y)
+}
+
+TEST_F(CrsTest, ModeSelectionHeuristics)
+{
+    buildStore(
+        "fact_pred(a, b).\nfact_pred(c, d).\n"
+        "rule_pred(a) :- fact_pred(a, b).\n"
+        "rule_pred(b) :- fact_pred(c, d).\n"
+        "rule_pred(c).\n");
+    auto mode_for = [&](const std::string &text) {
+        term::ParsedTerm t = reader.parseTerm(text);
+        return server->selectMode(t.arena, t.root);
+    };
+    // Shared variables need FS2; with ground args the index helps too.
+    EXPECT_EQ(mode_for("fact_pred(S, S)"), SearchMode::Fs2Only);
+    EXPECT_EQ(mode_for("fact_pred(a, f(X, X))"), SearchMode::TwoStage);
+    // All-variable queries cannot be filtered.
+    EXPECT_EQ(mode_for("fact_pred(X, Y)"), SearchMode::SoftwareOnly);
+    // Ground query on a fact-intensive predicate: the index suffices.
+    EXPECT_EQ(mode_for("fact_pred(a, b)"), SearchMode::Fs1Only);
+    // Ground query on a rule-intensive predicate: two stages.
+    EXPECT_EQ(mode_for("rule_pred(a)"), SearchMode::TwoStage);
+}
+
+TEST_F(CrsTest, RetrieveAutoUsesSelectedMode)
+{
+    buildStore("p(a, b).\np(c, d).\n");
+    term::ParsedTerm t = reader.parseTerm("p(a, X)");
+    RetrievalResult r = server->retrieveAuto(t.arena, t.root);
+    EXPECT_EQ(r.mode, server->selectMode(t.arena, t.root));
+}
+
+// ---------------------------------------------------------------------
+// Locks and transactions.
+// ---------------------------------------------------------------------
+
+term::PredicateId
+pred(std::uint32_t functor, std::uint32_t arity = 1)
+{
+    return term::PredicateId{functor, arity};
+}
+
+TEST(LockManagerTest, SharedLocksCoexist)
+{
+    LockManager lm;
+    EXPECT_TRUE(lm.acquire(1, pred(10), LockKind::Shared));
+    EXPECT_TRUE(lm.acquire(2, pred(10), LockKind::Shared));
+    EXPECT_EQ(lm.holders(pred(10)), 2u);
+}
+
+TEST(LockManagerTest, ExclusiveExcludes)
+{
+    LockManager lm;
+    EXPECT_TRUE(lm.acquire(1, pred(10), LockKind::Exclusive));
+    EXPECT_FALSE(lm.acquire(2, pred(10), LockKind::Shared));
+    EXPECT_FALSE(lm.acquire(2, pred(10), LockKind::Exclusive));
+    // Re-entrant for the owner.
+    EXPECT_TRUE(lm.acquire(1, pred(10), LockKind::Exclusive));
+    EXPECT_TRUE(lm.acquire(1, pred(10), LockKind::Shared));
+}
+
+TEST(LockManagerTest, SharedBlocksExclusiveFromOthers)
+{
+    LockManager lm;
+    EXPECT_TRUE(lm.acquire(1, pred(10), LockKind::Shared));
+    EXPECT_FALSE(lm.acquire(2, pred(10), LockKind::Exclusive));
+}
+
+TEST(LockManagerTest, UpgradeWhenSoleSharer)
+{
+    LockManager lm;
+    EXPECT_TRUE(lm.acquire(1, pred(10), LockKind::Shared));
+    EXPECT_TRUE(lm.upgrade(1, pred(10)));
+    EXPECT_FALSE(lm.acquire(2, pred(10), LockKind::Shared));
+}
+
+TEST(LockManagerTest, UpgradeFailsWithOtherSharers)
+{
+    LockManager lm;
+    EXPECT_TRUE(lm.acquire(1, pred(10), LockKind::Shared));
+    EXPECT_TRUE(lm.acquire(2, pred(10), LockKind::Shared));
+    EXPECT_FALSE(lm.upgrade(1, pred(10)));
+}
+
+TEST(LockManagerTest, ReleaseMakesWayForWriters)
+{
+    LockManager lm;
+    EXPECT_TRUE(lm.acquire(1, pred(10), LockKind::Shared));
+    lm.release(1, pred(10));
+    EXPECT_TRUE(lm.acquire(2, pred(10), LockKind::Exclusive));
+}
+
+TEST(LockManagerTest, ReleaseAll)
+{
+    LockManager lm;
+    lm.acquire(1, pred(10), LockKind::Shared);
+    lm.acquire(1, pred(11), LockKind::Exclusive);
+    lm.releaseAll(1);
+    EXPECT_FALSE(lm.holds(1, pred(10)));
+    EXPECT_TRUE(lm.acquire(2, pred(11), LockKind::Exclusive));
+}
+
+TEST(TransactionTest, CommitReleasesLocks)
+{
+    LockManager lm;
+    {
+        Transaction tx(lm, 1);
+        EXPECT_TRUE(tx.acquire(pred(10), LockKind::Exclusive));
+        EXPECT_TRUE(lm.holds(1, pred(10)));
+        tx.commit();
+    }
+    EXPECT_FALSE(lm.holds(1, pred(10)));
+}
+
+TEST(TransactionTest, DestructorAborts)
+{
+    LockManager lm;
+    {
+        Transaction tx(lm, 1);
+        EXPECT_TRUE(tx.acquire(pred(10), LockKind::Shared));
+    }
+    EXPECT_FALSE(lm.holds(1, pred(10)));
+}
+
+TEST(TransactionTest, AcquireAllIsAtomic)
+{
+    LockManager lm;
+    lm.acquire(2, pred(11), LockKind::Exclusive);
+    Transaction tx(lm, 1);
+    // 11 is blocked, so neither 10 nor 12 may be kept.
+    EXPECT_FALSE(tx.acquireAll({pred(12), pred(10), pred(11)},
+                               LockKind::Shared));
+    EXPECT_FALSE(lm.holds(1, pred(10)));
+    EXPECT_FALSE(lm.holds(1, pred(12)));
+    EXPECT_TRUE(tx.acquireAll({pred(10), pred(12)}, LockKind::Shared));
+    tx.commit();
+}
+
+} // namespace
+} // namespace clare::crs

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Randomized round-trip properties ("fuzz light"): arbitrary terms —
+ * including operator-functor structures, negative literals, quoted
+ * atoms, deep nesting and partial lists — must survive
+ * write -> parse -> write as a fixed point, and their PIF encodings
+ * must survive serialize -> deserialize exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pif/encoder.hh"
+#include "support/random.hh"
+#include "term/term_reader.hh"
+#include "term/term_writer.hh"
+
+namespace clare {
+namespace {
+
+/** Random term generator biased toward nasty shapes. */
+class TermFuzzer
+{
+  public:
+    TermFuzzer(term::SymbolTable &sym, std::uint64_t seed)
+        : sym_(sym), rng_(seed)
+    {}
+
+    term::TermRef
+    generate(term::TermArena &arena, int depth = 0)
+    {
+        double roll = rng_.uniform();
+        if (depth >= 4)
+            roll *= 0.55;   // force leaves at depth
+
+        if (roll < 0.18) {
+            static const char *atoms[] = {
+                "a", "foo", "bar_baz", "q9", "[]", "mod", "is",
+                "odd atom", "it's", "+", "with\\slash",
+            };
+            return arena.makeAtom(sym_.intern(
+                atoms[rng_.below(std::size(atoms))]));
+        }
+        if (roll < 0.30)
+            return arena.makeInt(rng_.range(-1000000, 1000000));
+        if (roll < 0.36) {
+            return arena.makeFloat(sym_.internFloat(
+                static_cast<double>(rng_.range(-4000, 4000)) / 16.0));
+        }
+        if (roll < 0.46) {
+            term::VarId v = static_cast<term::VarId>(rng_.below(6));
+            return arena.makeVar(v, sym_.intern(
+                "V" + std::to_string(v)));
+        }
+        if (roll < 0.70) {
+            // Structures, sometimes with operator functors.
+            static const char *functors[] = {
+                "f", "g", "wrap", "+", "-", "*", "is", "=", "<",
+                "\\+",
+            };
+            const char *name = functors[rng_.below(std::size(functors))];
+            std::uint32_t arity;
+            if (std::string(name) == "\\+") {
+                arity = 1;
+            } else if (std::string(name).find_first_of(
+                           "+-*=<") != std::string::npos ||
+                       std::string(name) == "is") {
+                arity = 2;
+            } else {
+                arity = static_cast<std::uint32_t>(rng_.range(1, 3));
+            }
+            std::vector<term::TermRef> args;
+            for (std::uint32_t i = 0; i < arity; ++i)
+                args.push_back(generate(arena, depth + 1));
+            return arena.makeStruct(sym_.intern(name), args);
+        }
+        // Lists, sometimes partial.
+        std::uint32_t len = static_cast<std::uint32_t>(rng_.range(1, 4));
+        std::vector<term::TermRef> elems;
+        for (std::uint32_t i = 0; i < len; ++i)
+            elems.push_back(generate(arena, depth + 1));
+        term::TermRef tail = term::kNoTerm;
+        if (rng_.chance(0.3)) {
+            term::VarId v = static_cast<term::VarId>(6 + rng_.below(3));
+            tail = arena.makeVar(v, sym_.intern(
+                "T" + std::to_string(v)));
+        }
+        return arena.makeList(elems, tail);
+    }
+
+  private:
+    term::SymbolTable &sym_;
+    Rng rng_;
+};
+
+class FuzzRoundTrip : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FuzzRoundTrip, WriteParseWriteIsFixedPoint)
+{
+    term::SymbolTable sym;
+    term::TermReader reader(sym);
+    term::TermWriter writer(sym);
+    TermFuzzer fuzzer(sym, GetParam());
+
+    for (int i = 0; i < 200; ++i) {
+        term::TermArena arena;
+        term::TermRef t = fuzzer.generate(arena);
+        std::string first = writer.write(arena, t);
+        term::ParsedTerm back;
+        ASSERT_NO_THROW(back = reader.parseTerm(first))
+            << "unparseable: " << first;
+        std::string second = writer.write(back.arena, back.root);
+        EXPECT_EQ(second, first) << "iteration " << i;
+    }
+}
+
+TEST_P(FuzzRoundTrip, PifWireRoundTrip)
+{
+    term::SymbolTable sym;
+    TermFuzzer fuzzer(sym, GetParam() ^ 0x9e3779b9u);
+    pif::Encoder encoder;
+
+    for (int i = 0; i < 200; ++i) {
+        term::TermArena arena;
+        std::vector<term::TermRef> args;
+        std::uint32_t arity = 1 + (i % 4);
+        for (std::uint32_t a = 0; a < arity; ++a)
+            args.push_back(fuzzer.generate(arena));
+        term::TermRef head = arena.makeStruct(sym.intern("pred"), args);
+
+        for (pif::Side side : {pif::Side::Db, pif::Side::Query}) {
+            pif::EncodedArgs encoded = encoder.encodeArgs(arena, head,
+                                                          side);
+            std::vector<std::uint8_t> wire;
+            for (const auto &item : encoded.items)
+                pif::serializeItem(item, wire);
+            std::size_t at = 0;
+            std::size_t n = 0;
+            while (at < wire.size()) {
+                pif::PifItem item = pif::deserializeItem(wire, at);
+                ASSERT_LT(n, encoded.items.size());
+                EXPECT_EQ(item, encoded.items[n]);
+                ++n;
+            }
+            EXPECT_EQ(n, encoded.items.size());
+        }
+    }
+}
+
+TEST_P(FuzzRoundTrip, ClauseSourceTextReparses)
+{
+    term::SymbolTable sym;
+    term::TermReader reader(sym);
+    term::TermWriter writer(sym);
+    TermFuzzer fuzzer(sym, GetParam() + 17);
+
+    for (int i = 0; i < 100; ++i) {
+        term::TermArena arena;
+        std::vector<term::TermRef> args;
+        for (int a = 0; a < 2; ++a)
+            args.push_back(fuzzer.generate(arena));
+        term::TermRef head = arena.makeStruct(sym.intern("h"), args);
+        std::vector<term::TermRef> body;
+        if (i % 3 == 0)
+            body.push_back(fuzzer.generate(arena, 2));
+
+        // Bodies must be callable; wrap non-callable random terms.
+        if (!body.empty()) {
+            term::TermKind k = arena.kind(body[0]);
+            if (k != term::TermKind::Atom &&
+                k != term::TermKind::Struct) {
+                term::TermRef g = body[0];
+                body[0] = arena.makeStruct(sym.intern("call_wrap"),
+                                           std::span(&g, 1));
+            }
+        }
+        term::Clause clause(std::move(arena), head, std::move(body));
+        std::string text = writer.writeClause(clause);
+        term::Clause back;
+        ASSERT_NO_THROW(back = reader.parseClause(text))
+            << "unparseable clause: " << text;
+        EXPECT_EQ(writer.writeClause(back), text);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 12345u,
+                                           0xdeadbeefu));
+
+} // namespace
+} // namespace clare

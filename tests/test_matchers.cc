@@ -1,0 +1,406 @@
+/**
+ * @file
+ * Partial test unification tests: the figure-1 algorithm over PIF
+ * streams, level semantics (1-5), cross-binding checks, operation
+ * accounting, the paper's worked examples, and the central soundness
+ * property — a filter miss implies full unification fails.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pif/encoder.hh"
+#include "term/term_reader.hh"
+#include "unify/oracle.hh"
+#include "unify/pif_matcher.hh"
+#include "unify/term_matcher.hh"
+#include "workload/kb_generator.hh"
+#include "workload/query_generator.hh"
+
+namespace clare::unify {
+namespace {
+
+class MatcherTest : public ::testing::Test
+{
+  protected:
+    term::SymbolTable sym;
+    term::TermReader reader{sym};
+    pif::Encoder encoder;
+
+    PifMatchResult
+    match(const std::string &query, const std::string &clause_head,
+          int level = 3, bool cross_binding = true)
+    {
+        term::ParsedTerm q = reader.parseTerm(query);
+        term::ParsedTerm c = reader.parseTerm(clause_head);
+        pif::EncodedArgs qargs = encoder.encodeArgs(q.arena, q.root,
+                                                    pif::Side::Query);
+        pif::EncodedArgs cargs = encoder.encodeArgs(c.arena, c.root,
+                                                    pif::Side::Db);
+        PifMatcher matcher(PifMatchConfig{level, cross_binding});
+        return matcher.match(cargs, qargs);
+    }
+};
+
+TEST_F(MatcherTest, GroundEquality)
+{
+    EXPECT_TRUE(match("p(a, 1, 2.5)", "p(a, 1, 2.5)").hit);
+    EXPECT_FALSE(match("p(a)", "p(b)").hit);
+    EXPECT_FALSE(match("p(1)", "p(2)").hit);
+    EXPECT_FALSE(match("p(1.5)", "p(2.5)").hit);
+}
+
+TEST_F(MatcherTest, TypeMismatch)
+{
+    EXPECT_FALSE(match("p(a)", "p(1)").hit);
+    EXPECT_FALSE(match("p(1)", "p(1.0)").hit);
+    EXPECT_FALSE(match("p(a)", "p(f(a))").hit);
+    EXPECT_FALSE(match("p(f(a))", "p([a])").hit);
+}
+
+TEST_F(MatcherTest, OpCountsForSimpleMatch)
+{
+    PifMatchResult r = match("p(a, b)", "p(a, b)");
+    EXPECT_EQ(r.count(TueOp::Match), 2u);
+    EXPECT_EQ(r.datapathOps(), 2u);
+}
+
+TEST_F(MatcherTest, EarlyExitStopsCounting)
+{
+    PifMatchResult r = match("p(x, a)", "p(y, a)");
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(r.count(TueOp::Match), 1u);   // rejected at arg 1
+}
+
+TEST_F(MatcherTest, AnonymousVariableSkips)
+{
+    PifMatchResult r = match("p(_, b)", "p(whatever, b)");
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.count(TueOp::Skip), 1u);
+    EXPECT_EQ(r.count(TueOp::Match), 1u);
+}
+
+TEST_F(MatcherTest, DbVariableStores)
+{
+    PifMatchResult r = match("p(a)", "p(X)");
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.count(TueOp::DbStore), 1u);
+}
+
+TEST_F(MatcherTest, QueryVariableStores)
+{
+    PifMatchResult r = match("p(X)", "p(a)");
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.count(TueOp::QueryStore), 1u);
+}
+
+TEST_F(MatcherTest, SharedQueryVariableFetchesAndCompares)
+{
+    // married_couple(S,S) vs (john,mary): store then fetch-mismatch.
+    PifMatchResult r = match("married_couple(S, S)",
+                             "married_couple(john, mary)");
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(r.count(TueOp::QueryStore), 1u);
+    EXPECT_EQ(r.count(TueOp::QueryFetch), 1u);
+
+    EXPECT_TRUE(match("married_couple(S, S)",
+                      "married_couple(pat, pat)").hit);
+}
+
+TEST_F(MatcherTest, SharedDbVariableFetchesAndCompares)
+{
+    EXPECT_TRUE(match("p(a, a)", "p(X, X)").hit);
+    PifMatchResult r = match("p(a, b)", "p(X, X)");
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(r.count(TueOp::DbStore), 1u);
+    EXPECT_EQ(r.count(TueOp::DbFetch), 1u);
+}
+
+TEST_F(MatcherTest, PaperCrossBindingExample)
+{
+    // Section 3.3.6: query f(X,a,b) against clause f(A,a,A).  The
+    // second occurrence of A is cross-bound to the query variable X.
+    PifMatchResult r = match("f(X, a, b)", "f(A, a, A)");
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.count(TueOp::DbStore), 1u);
+    EXPECT_EQ(r.count(TueOp::Match), 1u);
+    EXPECT_EQ(r.count(TueOp::DbCrossBoundFetch), 1u);
+}
+
+TEST_F(MatcherTest, QueryCrossBoundFetch)
+{
+    // Query variable initially bound to a db variable, used again:
+    // X first pairs with A (query store of a var item), then X's
+    // second occurrence triggers the cross-bound fetch.
+    PifMatchResult r = match("f(X, X)", "f(A, b)");
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.count(TueOp::QueryCrossBoundFetch), 1u);
+}
+
+TEST_F(MatcherTest, CyclicVarVarBindingPassesConservatively)
+{
+    // f(X,b,X) vs f(A,A,c): full unification fails (X=A=b conflicts
+    // with X=c), but the var-var pair forms a two-element binding
+    // cycle with no concrete terminal, so the ultimate-association
+    // walk reports "unbound" and the filter passes the clause — a
+    // documented false drop that host full unification removes.
+    PifMatchResult r = match("f(X, b, X)", "f(A, A, c)");
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.count(TueOp::DbCrossBoundFetch), 1u);
+    EXPECT_EQ(r.count(TueOp::QueryCrossBoundFetch), 1u);
+}
+
+TEST_F(MatcherTest, CrossBindingOffSkipsAllVariables)
+{
+    PifMatchResult r = match("married_couple(S, S)",
+                             "married_couple(john, mary)",
+                             3, /*cross_binding=*/false);
+    EXPECT_TRUE(r.hit);     // the "original algorithm" false drop
+    EXPECT_EQ(r.datapathOps(), 0u);
+    EXPECT_EQ(r.count(TueOp::Skip), 2u);
+}
+
+TEST_F(MatcherTest, StructureHeadersAndElements)
+{
+    EXPECT_TRUE(match("p(f(a, b))", "p(f(a, b))").hit);
+    EXPECT_FALSE(match("p(f(a, b))", "p(f(a, c))").hit);
+    EXPECT_FALSE(match("p(f(a))", "p(g(a))").hit);
+    EXPECT_FALSE(match("p(f(a))", "p(f(a, b))").hit);
+}
+
+TEST_F(MatcherTest, StructureElementVariables)
+{
+    EXPECT_TRUE(match("p(f(X, b))", "p(f(a, b))").hit);
+    EXPECT_TRUE(match("p(f(a, b))", "p(f(A, b))").hit);
+    // Shared element variables still checked at level 3.
+    EXPECT_FALSE(match("p(f(X, X))", "p(f(a, b))").hit);
+}
+
+TEST_F(MatcherTest, Level3IsFirstLevelOnly)
+{
+    // Nested structures are pointers: only functor/arity compared, so
+    // differing leaves pass (a false drop full unification removes).
+    EXPECT_TRUE(match("p(f(g(a)))", "p(f(g(b)))").hit);
+    // But differing nested functors are caught.
+    EXPECT_FALSE(match("p(f(g(a)))", "p(f(h(a)))").hit);
+}
+
+TEST_F(MatcherTest, ListArityRules)
+{
+    EXPECT_TRUE(match("p([a, b])", "p([a, b])").hit);
+    EXPECT_FALSE(match("p([a, b])", "p([a, b, c])").hit);
+    EXPECT_FALSE(match("p([a])", "p([b])").hit);
+}
+
+TEST_F(MatcherTest, UnterminatedListPrefixRules)
+{
+    // [a,b|T] unifies with any list extending [a,b].
+    EXPECT_TRUE(match("p([a, b, c])", "p([a, b | T])").hit);
+    EXPECT_FALSE(match("p([a, b])", "p([a, b, c | T])").hit);
+    EXPECT_TRUE(match("p([a | T])", "p([a, b | S])").hit);
+    EXPECT_FALSE(match("p([x | T])", "p([y | S])").hit);
+}
+
+TEST_F(MatcherTest, ListVsAtomNil)
+{
+    EXPECT_FALSE(match("p([])", "p([a])").hit);
+    EXPECT_TRUE(match("p([])", "p([])").hit);
+}
+
+TEST_F(MatcherTest, Level1TypeOnly)
+{
+    EXPECT_TRUE(match("p(a)", "p(b)", 1).hit);
+    EXPECT_TRUE(match("p(1)", "p(2)", 1).hit);
+    EXPECT_FALSE(match("p(a)", "p(1)", 1).hit);
+    EXPECT_TRUE(match("p(f(a))", "p(g(b, c))", 1).hit);
+    EXPECT_TRUE(match("p([a])", "p([b, c])", 1).hit);
+}
+
+TEST_F(MatcherTest, Level2ContentWithoutElements)
+{
+    EXPECT_FALSE(match("p(a)", "p(b)", 2).hit);
+    EXPECT_FALSE(match("p(f(a))", "p(g(a))", 2).hit);     // functor
+    EXPECT_FALSE(match("p(f(a))", "p(f(a, b))", 2).hit);  // arity
+    EXPECT_TRUE(match("p(f(a))", "p(f(b))", 2).hit);      // elements!
+    EXPECT_TRUE(match("p([a])", "p([b, c])", 2).hit);     // lists pass
+}
+
+TEST_F(MatcherTest, LevelMonotonicity)
+{
+    // Higher levels only reject more.
+    const char *queries[] = {"p(a, f(x, Y), [u, v])",
+                             "p(Z, f(Z, b), [u | T])"};
+    const char *clauses[] = {"p(a, f(x, k), [u, v])",
+                             "p(b, f(c, d), [w, v])",
+                             "p(A, f(A, b), [u, x])"};
+    for (const char *q : queries) {
+        for (const char *c : clauses) {
+            bool l1 = match(q, c, 1).hit;
+            bool l2 = match(q, c, 2).hit;
+            bool l3 = match(q, c, 3).hit;
+            EXPECT_TRUE(l1 || !l2) << q << " vs " << c;
+            EXPECT_TRUE(l2 || !l3) << q << " vs " << c;
+        }
+    }
+}
+
+TEST_F(MatcherTest, ArityZeroAlwaysHits)
+{
+    term::SymbolTable s2;
+    term::TermReader r2(s2);
+    term::ParsedTerm q = r2.parseTerm("go");
+    term::ParsedTerm c = r2.parseTerm("go");
+    TermMatcher matcher;
+    EXPECT_TRUE(matcher.match(c.arena, c.root, q.arena, q.root).hit);
+}
+
+TEST_F(MatcherTest, TermMatcherPredicateGate)
+{
+    term::ParsedTerm q = reader.parseTerm("p(a)");
+    term::ParsedTerm c = reader.parseTerm("q(a)");
+    TermMatcher matcher;
+    EXPECT_FALSE(matcher.match(c.arena, c.root, q.arena, q.root).hit);
+}
+
+TEST_F(MatcherTest, Level4FullDepth)
+{
+    term::ParsedTerm q = reader.parseTerm("p(f(g(a)))");
+    term::ParsedTerm c = reader.parseTerm("p(f(g(b)))");
+    TermMatcher l4(MatchConfig{4, false});
+    EXPECT_FALSE(l4.match(c.arena, c.root, q.arena, q.root).hit);
+    // Level 3 passes the same pair (nested leaves unseen).
+    TermMatcher l3(MatchConfig{3, true});
+    EXPECT_TRUE(l3.match(c.arena, c.root, q.arena, q.root).hit);
+}
+
+TEST_F(MatcherTest, Level4IgnoresVariableConsistency)
+{
+    term::ParsedTerm q = reader.parseTerm("p(S, S)");
+    term::ParsedTerm c = reader.parseTerm("p(john, mary)");
+    TermMatcher l4(MatchConfig{4, false});
+    EXPECT_TRUE(l4.match(c.arena, c.root, q.arena, q.root).hit);
+}
+
+TEST_F(MatcherTest, Level5AddsCrossBindingToFullDepth)
+{
+    term::ParsedTerm q = reader.parseTerm("p(S, S)");
+    term::ParsedTerm c = reader.parseTerm("p(john, mary)");
+    TermMatcher l5(MatchConfig{5, false});  // level 5 forces checks
+    EXPECT_FALSE(l5.match(c.arena, c.root, q.arena, q.root).hit);
+}
+
+TEST_F(MatcherTest, Level5DeepSharedVariables)
+{
+    term::ParsedTerm q = reader.parseTerm("p(f(X), g(X))");
+    term::ParsedTerm c = reader.parseTerm("p(f(a), g(b))");
+    TermMatcher l5(MatchConfig{5, true});
+    EXPECT_FALSE(l5.match(c.arena, c.root, q.arena, q.root).hit);
+    term::ParsedTerm c2 = reader.parseTerm("p(f(a), g(a))");
+    EXPECT_TRUE(l5.match(c2.arena, c2.root, q.arena, q.root).hit);
+}
+
+/**
+ * The soundness property (every level, cross binding on and off): a
+ * filter miss implies full unification fails.  Randomized over
+ * generated clause heads and derived queries.
+ */
+class MatcherSoundness : public ::testing::TestWithParam<
+                             std::tuple<int, bool>>
+{
+};
+
+TEST_P(MatcherSoundness, MissImpliesNoUnify)
+{
+    auto [level, cross_binding] = GetParam();
+
+    term::SymbolTable sym;
+    workload::KbGenerator kbgen(sym);
+    workload::KbSpec spec;
+    spec.predicates = 2;
+    spec.clausesPerPredicate = 150;
+    spec.varProb = 0.25;
+    spec.sharedVarProb = 0.35;
+    spec.structProb = 0.3;
+    spec.listProb = 0.12;
+    spec.seed = 1000 + static_cast<std::uint64_t>(level);
+    term::Program program = kbgen.generate(spec);
+
+    workload::QuerySpec qspec;
+    qspec.boundArgProb = 0.45;
+    qspec.sharedVarProb = 0.4;
+    qspec.seed = 77;
+    workload::QueryGenerator qgen(sym, qspec);
+
+    TermMatcher matcher(MatchConfig{level, cross_binding});
+    std::uint64_t misses = 0;
+    std::uint64_t hits = 0;
+    for (const auto &pred : program.predicates()) {
+        for (int qi = 0; qi < 8; ++qi) {
+            workload::GeneratedQuery q = qgen.generate(program, pred);
+            for (std::size_t i : program.clausesOf(pred)) {
+                const term::Clause &clause = program.clause(i);
+                MatchResult r = matcher.match(clause.arena(),
+                                              clause.head(),
+                                              q.arena, q.goal);
+                if (r.hit) {
+                    ++hits;
+                    continue;
+                }
+                ++misses;
+                EXPECT_FALSE(unify::wouldUnify(q.arena, q.goal, clause))
+                    << "false dismissal at level " << level
+                    << " cb=" << cross_binding << " clause " << i;
+            }
+        }
+    }
+    // The sweep must actually exercise both outcomes.
+    EXPECT_GT(misses, 50u);
+    EXPECT_GT(hits, 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Levels, MatcherSoundness,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Bool()),
+    [](const auto &info) {
+        return "L" + std::to_string(std::get<0>(info.param)) +
+            (std::get<1>(info.param) ? "_cb" : "_nocb");
+    });
+
+/** Higher levels are more selective on identical inputs. */
+TEST(MatcherProperty, SelectivityImprovesWithLevel)
+{
+    term::SymbolTable sym;
+    workload::KbGenerator kbgen(sym);
+    workload::KbSpec spec;
+    spec.predicates = 1;
+    spec.clausesPerPredicate = 400;
+    spec.varProb = 0.2;
+    spec.sharedVarProb = 0.3;
+    spec.structProb = 0.35;
+    spec.seed = 5;
+    term::Program program = kbgen.generate(spec);
+
+    workload::QuerySpec qspec;
+    qspec.boundArgProb = 0.6;
+    workload::QueryGenerator qgen(sym, qspec);
+    const auto &pred = program.predicates()[0];
+    workload::GeneratedQuery q = qgen.generate(program, pred);
+
+    std::array<std::uint64_t, 6> hits{};
+    for (int level = 1; level <= 5; ++level) {
+        TermMatcher matcher(MatchConfig{level, true});
+        for (std::size_t i : program.clausesOf(pred)) {
+            const term::Clause &clause = program.clause(i);
+            if (matcher.match(clause.arena(), clause.head(), q.arena,
+                              q.goal).hit) {
+                ++hits[static_cast<std::size_t>(level)];
+            }
+        }
+    }
+    for (int level = 2; level <= 5; ++level)
+        EXPECT_LE(hits[static_cast<std::size_t>(level)],
+                  hits[static_cast<std::size_t>(level - 1)]);
+}
+
+} // namespace
+} // namespace clare::unify

@@ -1,0 +1,381 @@
+/**
+ * @file
+ * SCW+MB tests: codeword determinism, the match rule, mask-bit
+ * semantics, truncation, the shared-variable blindness the paper
+ * motivates FS2 with, serialization, and the index-never-dismisses
+ * soundness property.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scw/analysis.hh"
+#include "scw/codeword.hh"
+#include "scw/index_file.hh"
+#include "storage/clause_file.hh"
+#include "support/random.hh"
+#include "term/term_reader.hh"
+#include "term/term_writer.hh"
+#include "unify/oracle.hh"
+#include "workload/kb_generator.hh"
+#include "workload/query_generator.hh"
+
+namespace clare::scw {
+namespace {
+
+class ScwTest : public ::testing::Test
+{
+  protected:
+    term::SymbolTable sym;
+    term::TermReader reader{sym};
+    CodewordGenerator gen;
+
+    Signature
+    encode(const std::string &text)
+    {
+        term::ParsedTerm t = reader.parseTerm(text);
+        return gen.encode(t.arena, t.root);
+    }
+
+    bool
+    matches(const std::string &query, const std::string &clause)
+    {
+        return gen.matches(encode(query), encode(clause));
+    }
+};
+
+TEST_F(ScwTest, Deterministic)
+{
+    Signature a = encode("p(foo, 42)");
+    Signature b = encode("p(foo, 42)");
+    ASSERT_EQ(a.fields.size(), b.fields.size());
+    for (std::size_t i = 0; i < a.fields.size(); ++i)
+        EXPECT_TRUE(a.fields[i] == b.fields[i]);
+    EXPECT_EQ(a.maskBits, b.maskBits);
+}
+
+TEST_F(ScwTest, IdenticalGroundTermsMatch)
+{
+    EXPECT_TRUE(matches("p(a, b)", "p(a, b)"));
+}
+
+TEST_F(ScwTest, DifferentConstantsUsuallyReject)
+{
+    int rejected = 0;
+    for (int i = 0; i < 50; ++i) {
+        std::string q = "p(k" + std::to_string(i) + ")";
+        std::string c = "p(m" + std::to_string(i) + ")";
+        if (!matches(q, c))
+            ++rejected;
+    }
+    // Hash collisions allow a few false matches, but most reject.
+    EXPECT_GT(rejected, 40);
+}
+
+TEST_F(ScwTest, QueryVariableMatchesAnything)
+{
+    EXPECT_TRUE(matches("p(X, b)", "p(whatever, b)"));
+    EXPECT_TRUE(matches("p(X, Y)", "p(anything, at_all)"));
+}
+
+TEST_F(ScwTest, ClauseVariableMatchesAnything)
+{
+    EXPECT_TRUE(matches("p(foo)", "p(X)"));
+}
+
+TEST_F(ScwTest, VarBearingClauseStructureIsMasked)
+{
+    // f(A,b) must not be dismissed for the query f(a,X): the clause
+    // argument contains a variable, so its field is masked.
+    EXPECT_TRUE(matches("p(f(a, X))", "p(f(A, b))"));
+}
+
+TEST_F(ScwTest, GroundStructureSubsetRule)
+{
+    // Query f(a,X) encodes functor + 'a'; ground clause f(a,b)
+    // includes both, so the subset test passes...
+    EXPECT_TRUE(matches("p(f(a, X))", "p(f(a, b))"));
+    // ...while f(c,b) misses the 'a' bits (modulo collisions).
+    int rejected = 0;
+    for (int i = 0; i < 30; ++i) {
+        std::string q = "p(f(q" + std::to_string(i) + ", X))";
+        std::string c = "p(f(r" + std::to_string(i) + ", b))";
+        if (!matches(q, c))
+            ++rejected;
+    }
+    EXPECT_GT(rejected, 21);
+}
+
+TEST_F(ScwTest, SharedVariablesAreInvisible)
+{
+    // The paper's married_couple(S,S) pathology: shared variables are
+    // not encoded, so the index passes every clause of the predicate.
+    EXPECT_TRUE(matches("married_couple(S, S)",
+                        "married_couple(john, mary)"));
+    EXPECT_TRUE(matches("married_couple(S, S)",
+                        "married_couple(pat, pat)"));
+}
+
+TEST_F(ScwTest, TruncationBeyondTwelveArguments)
+{
+    // Arguments beyond the 12th are not encoded: mismatches there are
+    // invisible to FS1 (a false-drop source).
+    std::string q = "p(a,a,a,a,a,a,a,a,a,a,a,a,zzz)";
+    std::string c = "p(a,a,a,a,a,a,a,a,a,a,a,a,yyy)";
+    EXPECT_TRUE(matches(q, c));
+    // Mismatch *within* the first 12 is caught (modulo collisions).
+    std::string q2 = "p(zzz_distinct_lhs,a,a,a,a,a,a,a,a,a,a,a,x)";
+    std::string c2 = "p(yyy_distinct_rhs,a,a,a,a,a,a,a,a,a,a,a,x)";
+    EXPECT_FALSE(matches(q2, c2));
+}
+
+TEST_F(ScwTest, ListEncodingUsesElements)
+{
+    EXPECT_TRUE(matches("p([a, b])", "p([a, b])"));
+    // An unterminated clause list is masked (tail variable).
+    EXPECT_TRUE(matches("p([a, b])", "p([a | T])"));
+}
+
+TEST_F(ScwTest, SignatureSerializationRoundTrip)
+{
+    Signature sig = encode("p(f(a,X), 42, Y)");
+    std::vector<std::uint8_t> bytes;
+    gen.serialize(sig, bytes);
+    EXPECT_EQ(bytes.size(), gen.signatureBytes());
+    std::size_t offset = 0;
+    Signature back = gen.deserialize(bytes, offset);
+    EXPECT_EQ(back.maskBits, sig.maskBits);
+    for (std::size_t i = 0; i < sig.fields.size(); ++i)
+        EXPECT_TRUE(back.fields[i] == sig.fields[i]);
+}
+
+TEST_F(ScwTest, WiderFieldsAreMoreSelective)
+{
+    ScwConfig narrow;
+    narrow.fieldBits = 4;
+    ScwConfig wide;
+    wide.fieldBits = 64;
+    CodewordGenerator gnarrow(narrow);
+    CodewordGenerator gwide(wide);
+
+    term::ParsedTerm q = reader.parseTerm("p(q_probe)");
+    int narrow_hits = 0;
+    int wide_hits = 0;
+    for (int i = 0; i < 200; ++i) {
+        term::ParsedTerm c = reader.parseTerm(
+            "p(c" + std::to_string(i) + ")");
+        if (gnarrow.matches(gnarrow.encode(q.arena, q.root),
+                            gnarrow.encode(c.arena, c.root)))
+            ++narrow_hits;
+        if (gwide.matches(gwide.encode(q.arena, q.root),
+                          gwide.encode(c.arena, c.root)))
+            ++wide_hits;
+    }
+    EXPECT_GE(narrow_hits, wide_hits);
+    EXPECT_LT(wide_hits, 5);
+}
+
+TEST(SecondaryFile, BuildAndDecode)
+{
+    term::SymbolTable sym;
+    term::TermReader reader(sym);
+    term::TermWriter writer(sym);
+    CodewordGenerator gen;
+
+    auto clauses = reader.parseProgram("p(a).\np(b).\np(X).\n");
+    storage::ClauseFileBuilder builder(writer);
+    std::vector<Signature> sigs;
+    for (const auto &c : clauses) {
+        builder.add(c);
+        sigs.push_back(gen.encode(c.arena(), c.head()));
+    }
+    storage::ClauseFile file = builder.finish();
+    SecondaryFile index = SecondaryFile::build(gen, sigs, file);
+
+    EXPECT_EQ(index.entryCount(), 3u);
+    EXPECT_EQ(index.image().size(),
+              index.entryBytes() * index.entryCount());
+    for (std::size_t i = 0; i < 3; ++i) {
+        IndexEntry entry = index.entry(gen, i);
+        EXPECT_EQ(entry.ordinal, i);
+        EXPECT_EQ(entry.clauseOffset, file.record(i).offset);
+        EXPECT_EQ(entry.signature.maskBits, sigs[i].maskBits);
+    }
+}
+
+TEST(SecondaryFile, IndexIsSmallerThanClauseFile)
+{
+    // The design rationale: scanning the secondary file beats scanning
+    // the clause file because it is much smaller.
+    term::SymbolTable sym;
+    workload::KbGenerator kbgen(sym);
+    workload::KbSpec spec;
+    spec.predicates = 1;
+    spec.clausesPerPredicate = 300;
+    term::Program program = kbgen.generate(spec);
+
+    term::TermWriter writer(sym);
+    CodewordGenerator gen;
+    storage::ClauseFileBuilder builder(writer);
+    std::vector<Signature> sigs;
+    for (const auto &pred : program.predicates()) {
+        for (std::size_t i : program.clausesOf(pred)) {
+            builder.add(program.clause(i));
+            sigs.push_back(gen.encode(program.clause(i).arena(),
+                                      program.clause(i).head()));
+        }
+    }
+    storage::ClauseFile file = builder.finish();
+    SecondaryFile index = SecondaryFile::build(gen, sigs, file);
+    EXPECT_LT(index.image().size(), file.image().size());
+}
+
+TEST(ScwAnalysis, FillFactorBounds)
+{
+    EXPECT_DOUBLE_EQ(expectedFillFactor(16, 2, 0.0), 0.0);
+    double low = expectedFillFactor(16, 2, 1.0);
+    double high = expectedFillFactor(16, 2, 8.0);
+    EXPECT_GT(low, 0.0);
+    EXPECT_LT(low, high);
+    EXPECT_LT(high, 1.0);
+    // Infinitely many tokens saturate the field.
+    EXPECT_NEAR(expectedFillFactor(16, 2, 1000.0), 1.0, 1e-9);
+}
+
+TEST(ScwAnalysis, WiderFieldsReduceFalseMatch)
+{
+    ScwConfig narrow;
+    narrow.fieldBits = 4;
+    ScwConfig wide;
+    wide.fieldBits = 64;
+    double pn = fieldFalseMatchProbability(narrow, 1.0, 1.0);
+    double pw = fieldFalseMatchProbability(wide, 1.0, 1.0);
+    EXPECT_GT(pn, pw);
+    EXPECT_GT(pw, 0.0);
+}
+
+TEST(ScwAnalysis, MoreConstrainedFieldsReduceDropProbability)
+{
+    ScwConfig config;
+    double one = falseDropProbability(config, 1, 1.0, 1.0);
+    double four = falseDropProbability(config, 4, 1.0, 1.0);
+    EXPECT_LT(four, one);
+}
+
+TEST(ScwAnalysis, MaskProbabilityRaisesDropProbability)
+{
+    ScwConfig config;
+    double unmasked = falseDropProbability(config, 4, 1.0, 1.0, 0.0);
+    double masked = falseDropProbability(config, 4, 1.0, 1.0, 0.5);
+    EXPECT_GT(masked, unmasked);
+    // All-masked clauses always drop through.
+    EXPECT_DOUBLE_EQ(falseDropProbability(config, 4, 1.0, 1.0, 1.0),
+                     1.0);
+}
+
+TEST(ScwAnalysis, TokenCounting)
+{
+    term::SymbolTable sym;
+    term::TermReader reader(sym);
+    ScwConfig config;
+    term::ParsedTerm t = reader.parseTerm("p(a, f(b, c), X, [1, 2])");
+    // a=1; f(b,c)=3 (functor+2); X=0; [1,2]=3 (marker+2) -> 7/4.
+    EXPECT_DOUBLE_EQ(measuredTokensPerField(t.arena, t.root, config),
+                     7.0 / 4.0);
+}
+
+TEST(ScwAnalysis, PredictionTracksMeasurementWithinFactor)
+{
+    // The textbook approximation should land within a small factor of
+    // the measured per-clause false-match probability.
+    term::SymbolTable sym;
+    workload::KbGenerator kbgen(sym);
+    workload::KbSpec spec;
+    spec.predicates = 1;
+    spec.clausesPerPredicate = 1500;
+    spec.arityMin = 2;
+    spec.arityMax = 2;      // fixed arity: the formula applies exactly
+    spec.structProb = 0.0;
+    spec.listProb = 0.0;
+    spec.atomVocabulary = 1200;
+    spec.seed = 8;
+    term::Program program = kbgen.generate(spec);
+    const auto &pred = program.predicates()[0];
+
+    ScwConfig config;
+    config.fieldBits = 4;   // narrow fields: measurable collision rate
+    CodewordGenerator gen(config);
+
+    const term::Clause &tmpl = program.clause(
+        program.clausesOf(pred)[3]);
+    term::TermArena q_arena;
+    term::TermRef goal = q_arena.import(tmpl.arena(), tmpl.head(), 0);
+    Signature qsig = gen.encode(q_arena, goal);
+
+    std::size_t false_matches = 0;
+    std::size_t eligible = 0;
+    for (std::size_t i : program.clausesOf(pred)) {
+        const term::Clause &clause = program.clause(i);
+        if (unify::wouldUnify(q_arena, goal, clause))
+            continue;
+        ++eligible;
+        if (gen.matches(qsig, gen.encode(clause.arena(),
+                                         clause.head())))
+            ++false_matches;
+    }
+    double measured = static_cast<double>(false_matches) /
+        static_cast<double>(eligible);
+    double predicted = falseDropProbability(
+        config, std::min(q_arena.arity(goal), config.encodedArgs),
+        1.0, 1.0);
+    EXPECT_GT(measured, predicted / 5.0);
+    EXPECT_LT(measured, predicted * 5.0 + 0.01);
+}
+
+/**
+ * Soundness property: the index never dismisses a clause that would
+ * unify with the query (no false dismissals), across randomized
+ * knowledge bases and queries.
+ */
+TEST(ScwProperty, NeverFalselyDismisses)
+{
+    term::SymbolTable sym;
+    workload::KbGenerator kbgen(sym);
+    workload::KbSpec spec;
+    spec.predicates = 2;
+    spec.clausesPerPredicate = 120;
+    spec.varProb = 0.25;
+    spec.sharedVarProb = 0.3;
+    spec.structProb = 0.3;
+    spec.listProb = 0.1;
+    spec.seed = 42;
+    term::Program program = kbgen.generate(spec);
+
+    CodewordGenerator gen;
+    workload::QuerySpec qspec;
+    qspec.boundArgProb = 0.5;
+    qspec.sharedVarProb = 0.4;
+    workload::QueryGenerator qgen(sym, qspec);
+
+    std::uint64_t checked = 0;
+    for (const auto &pred : program.predicates()) {
+        for (int qi = 0; qi < 10; ++qi) {
+            workload::GeneratedQuery q = qgen.generate(program, pred);
+            Signature qsig = gen.encode(q.arena, q.goal);
+            for (std::size_t i : program.clausesOf(pred)) {
+                const term::Clause &clause = program.clause(i);
+                bool unifies = unify::wouldUnify(q.arena, q.goal, clause);
+                if (!unifies)
+                    continue;
+                Signature csig = gen.encode(clause.arena(),
+                                            clause.head());
+                EXPECT_TRUE(gen.matches(qsig, csig))
+                    << "false dismissal for clause " << i;
+                ++checked;
+            }
+        }
+    }
+    EXPECT_GT(checked, 100u);
+}
+
+} // namespace
+} // namespace clare::scw

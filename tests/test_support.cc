@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Unit tests for the support library: logging, simulated time, stats,
+ * deterministic RNG, bit vectors and the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/bitvec.hh"
+#include "support/logging.hh"
+#include "support/random.hh"
+#include "support/sim_time.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+namespace clare {
+namespace {
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(clare_fatal("bad input %d", 42), FatalError);
+}
+
+TEST(Logging, FatalMessageContainsTextAndLocation)
+{
+    try {
+        clare_fatal("code %d", 7);
+        FAIL() << "should have thrown";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("code 7"), std::string::npos);
+        EXPECT_NE(msg.find("test_support.cc"), std::string::npos);
+    }
+}
+
+TEST(Logging, FormatHelper)
+{
+    EXPECT_EQ(detail::format("%s-%d", "x", 3), "x-3");
+}
+
+TEST(Logging, AssertPassesOnTrueCondition)
+{
+    clare_assert(1 + 1 == 2, "arithmetic broke");
+    SUCCEED();
+}
+
+TEST(SimTime, UnitRatios)
+{
+    EXPECT_EQ(kNanosecond, 1000u * kPicosecond);
+    EXPECT_EQ(kSecond, 1000u * kMillisecond);
+    EXPECT_EQ(nanoseconds(105), 105u * kNanosecond);
+    EXPECT_EQ(toNanoseconds(nanoseconds(235)), 235u);
+}
+
+TEST(SimTime, BytesPerSecond)
+{
+    // 1 byte per 235 ns is ~4.2553 MB/s (the paper's worst case).
+    double rate = bytesPerSecond(1, nanoseconds(235));
+    EXPECT_NEAR(rate, 4.2553e6, 1e3);
+    EXPECT_EQ(bytesPerSecond(100, 0), 0.0);
+}
+
+TEST(SimTime, ClockAdvances)
+{
+    SimClock clock;
+    EXPECT_EQ(clock.now(), 0u);
+    clock.advance(10);
+    EXPECT_EQ(clock.now(), 10u);
+    EXPECT_EQ(clock.advanceTo(5), 0u);      // never backwards
+    EXPECT_EQ(clock.now(), 10u);
+    EXPECT_EQ(clock.advanceTo(25), 15u);
+    EXPECT_EQ(clock.now(), 25u);
+    clock.reset();
+    EXPECT_EQ(clock.now(), 0u);
+}
+
+TEST(Stats, ScalarAccumulates)
+{
+    StatGroup group("g");
+    Scalar &s = group.scalar("events");
+    ++s;
+    s += 4;
+    EXPECT_EQ(s.value(), 5u);
+    // Same name returns the same stat.
+    EXPECT_EQ(group.scalar("events").value(), 5u);
+}
+
+TEST(Stats, DistributionMoments)
+{
+    StatGroup group("g");
+    Distribution &d = group.distribution("lat");
+    d.sample(2.0);
+    d.sample(4.0);
+    d.sample(6.0);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 6.0);
+}
+
+TEST(Stats, DumpContainsNamesAndValues)
+{
+    StatGroup group("fs2");
+    group.scalar("hits", "matches found") += 12;
+    std::ostringstream os;
+    group.dump(os);
+    EXPECT_NE(os.str().find("fs2.hits"), std::string::npos);
+    EXPECT_NE(os.str().find("12"), std::string::npos);
+    EXPECT_NE(os.str().find("matches found"), std::string::npos);
+}
+
+TEST(Stats, ResetZeroes)
+{
+    StatGroup group("g");
+    group.scalar("a") += 3;
+    group.distribution("d").sample(1.0);
+    group.reset();
+    EXPECT_EQ(group.scalar("a").value(), 0u);
+    EXPECT_EQ(group.distribution("d").count(), 0u);
+}
+
+TEST(Random, DeterministicForSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 4);
+}
+
+TEST(Random, BelowInRange)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Random, RangeInclusive)
+{
+    Rng rng(5);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        std::int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, UniformInUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Random, ChanceExtremes)
+{
+    Rng rng(1);
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Random, IdentifierShape)
+{
+    Rng rng(4);
+    std::string id = rng.identifier(8);
+    EXPECT_EQ(id.size(), 8u);
+    for (char c : id)
+        EXPECT_TRUE(c >= 'a' && c <= 'z');
+}
+
+TEST(BitVec, SetTestClear)
+{
+    BitVec v(70);
+    EXPECT_TRUE(v.none());
+    v.set(0);
+    v.set(69);
+    EXPECT_TRUE(v.test(0));
+    EXPECT_TRUE(v.test(69));
+    EXPECT_FALSE(v.test(35));
+    EXPECT_EQ(v.popcount(), 2u);
+    v.clear(0);
+    EXPECT_FALSE(v.test(0));
+}
+
+TEST(BitVec, SubsetSemantics)
+{
+    BitVec a(64);
+    BitVec b(64);
+    a.set(3);
+    b.set(3);
+    b.set(9);
+    EXPECT_TRUE(a.subsetOf(b));
+    EXPECT_FALSE(b.subsetOf(a));
+    BitVec empty(64);
+    EXPECT_TRUE(empty.subsetOf(a));
+}
+
+TEST(BitVec, OrAndOperators)
+{
+    BitVec a(40);
+    BitVec b(40);
+    a.set(1);
+    b.set(2);
+    a |= b;
+    EXPECT_TRUE(a.test(1));
+    EXPECT_TRUE(a.test(2));
+    a &= b;
+    EXPECT_FALSE(a.test(1));
+    EXPECT_TRUE(a.test(2));
+}
+
+TEST(BitVec, SerializeRoundTrip)
+{
+    BitVec v(100);
+    v.set(0);
+    v.set(63);
+    v.set(64);
+    v.set(99);
+    std::vector<std::uint8_t> bytes;
+    v.serialize(bytes);
+    EXPECT_EQ(bytes.size(), BitVec::serializedBytes(100));
+    std::size_t offset = 0;
+    BitVec w = BitVec::deserialize(bytes, offset, 100);
+    EXPECT_EQ(offset, bytes.size());
+    EXPECT_TRUE(v == w);
+}
+
+TEST(BitVec, ToStringMsbFirst)
+{
+    BitVec v(4);
+    v.set(0);
+    EXPECT_EQ(v.toString(), "0001");
+    v.set(3);
+    EXPECT_EQ(v.toString(), "1001");
+}
+
+TEST(Table, RendersAlignedCells)
+{
+    Table t("Demo");
+    t.header({"Op", "ns"});
+    t.row({"MATCH", "105"});
+    t.row({"QUERY_CROSS_BOUND_FETCH", "235"});
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("Demo"), std::string::npos);
+    EXPECT_NE(s.find("MATCH"), std::string::npos);
+    EXPECT_NE(s.find("235"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(Table::num(4.25, 2), "4.25");
+    EXPECT_EQ(Table::num(std::uint64_t{1234}), "1234");
+}
+
+} // namespace
+} // namespace clare

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Unit tests for the symbol table, term arena, clauses and programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+#include "term/clause.hh"
+#include "term/symbol_table.hh"
+#include "term/term.hh"
+
+namespace clare::term {
+namespace {
+
+TEST(SymbolTable, ReservedSymbols)
+{
+    SymbolTable sym;
+    EXPECT_EQ(sym.intern("[]"), SymbolTable::kNil);
+    EXPECT_EQ(sym.intern("."), SymbolTable::kDot);
+    EXPECT_EQ(sym.name(SymbolTable::kNil), "[]");
+}
+
+TEST(SymbolTable, InternIsIdempotent)
+{
+    SymbolTable sym;
+    SymbolId a = sym.intern("foo");
+    SymbolId b = sym.intern("foo");
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(sym.name(a), "foo");
+}
+
+TEST(SymbolTable, DistinctNamesDistinctIds)
+{
+    SymbolTable sym;
+    EXPECT_NE(sym.intern("foo"), sym.intern("bar"));
+}
+
+TEST(SymbolTable, LookupWithoutInterning)
+{
+    SymbolTable sym;
+    EXPECT_EQ(sym.lookup("ghost"), kNoSymbol);
+    sym.intern("ghost");
+    EXPECT_NE(sym.lookup("ghost"), kNoSymbol);
+    EXPECT_EQ(sym.atomCount(), 3u);     // [] . ghost
+}
+
+TEST(SymbolTable, FloatInterning)
+{
+    SymbolTable sym;
+    FloatId a = sym.internFloat(3.25);
+    FloatId b = sym.internFloat(3.25);
+    FloatId c = sym.internFloat(1.5);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_DOUBLE_EQ(sym.floatValue(a), 3.25);
+}
+
+TEST(TermArena, AtomRoundTrip)
+{
+    TermArena arena;
+    TermRef t = arena.makeAtom(7);
+    EXPECT_EQ(arena.kind(t), TermKind::Atom);
+    EXPECT_EQ(arena.atomSymbol(t), 7u);
+}
+
+TEST(TermArena, IntRoundTripIncludingNegative)
+{
+    TermArena arena;
+    for (std::int64_t v : {std::int64_t{0}, std::int64_t{42},
+                           std::int64_t{-1}, std::int64_t{1} << 40,
+                           -(std::int64_t{1} << 40)}) {
+        TermRef t = arena.makeInt(v);
+        EXPECT_EQ(arena.intValue(t), v);
+    }
+}
+
+TEST(TermArena, VarTracking)
+{
+    TermArena arena;
+    TermRef v = arena.makeVar(3, 11);
+    EXPECT_EQ(arena.varId(v), 3u);
+    EXPECT_EQ(arena.varName(v), 11u);
+    EXPECT_FALSE(arena.isAnonymous(v));
+    TermRef anon = arena.makeVar(4);
+    EXPECT_TRUE(arena.isAnonymous(anon));
+    EXPECT_EQ(arena.varCeiling(), 5u);
+}
+
+TEST(TermArena, StructArgs)
+{
+    TermArena arena;
+    TermRef a = arena.makeAtom(1);
+    TermRef b = arena.makeInt(5);
+    TermRef args[] = {a, b};
+    TermRef s = arena.makeStruct(9, args);
+    EXPECT_EQ(arena.kind(s), TermKind::Struct);
+    EXPECT_EQ(arena.functor(s), 9u);
+    EXPECT_EQ(arena.arity(s), 2u);
+    EXPECT_EQ(arena.arg(s, 0), a);
+    EXPECT_EQ(arena.arg(s, 1), b);
+}
+
+TEST(TermArena, TerminatedAndUnterminatedLists)
+{
+    TermArena arena;
+    TermRef e = arena.makeAtom(2);
+    TermRef proper = arena.makeList(std::span(&e, 1));
+    EXPECT_TRUE(arena.isTerminatedList(proper));
+    EXPECT_EQ(arena.listTail(proper), kNoTerm);
+
+    TermRef tail = arena.makeVar(0, 5);
+    TermRef partial = arena.makeList(std::span(&e, 1), tail);
+    EXPECT_FALSE(arena.isTerminatedList(partial));
+    EXPECT_EQ(arena.listTail(partial), tail);
+}
+
+TEST(TermArena, ImportStandardizesApart)
+{
+    TermArena src;
+    TermRef v = src.makeVar(0, 3);
+    TermRef args[] = {v, v};
+    TermRef s = src.makeStruct(8, args);
+
+    TermArena dst;
+    dst.makeVar(0, 1);      // occupy var 0
+    TermRef copy = dst.import(src, s, 10);
+    EXPECT_EQ(dst.varId(dst.arg(copy, 0)), 10u);
+    EXPECT_EQ(dst.varId(dst.arg(copy, 1)), 10u);
+}
+
+TEST(TermArena, ImportPreservesStructure)
+{
+    TermArena src;
+    TermRef inner_args[] = {src.makeInt(1), src.makeAtom(4)};
+    TermRef inner = src.makeStruct(6, inner_args);
+    TermRef tail = src.makeVar(2, 7);
+    TermRef list_elems[] = {inner, src.makeFloat(0)};
+    TermRef list = src.makeList(list_elems, tail);
+
+    TermArena dst;
+    TermRef copy = dst.import(src, list, 0);
+    EXPECT_TRUE(TermArena::equal(src, list, dst, copy));
+}
+
+TEST(TermArena, EqualDistinguishesKinds)
+{
+    TermArena a;
+    TermArena b;
+    EXPECT_FALSE(TermArena::equal(a, a.makeAtom(1), b, b.makeInt(1)));
+    EXPECT_TRUE(TermArena::equal(a, a.makeAtom(1), b, b.makeAtom(1)));
+    EXPECT_FALSE(TermArena::equal(a, a.makeAtom(1), b, b.makeAtom(2)));
+}
+
+TEST(TermArena, EqualComparesListTermination)
+{
+    TermArena a;
+    TermRef e1 = a.makeAtom(2);
+    TermRef proper = a.makeList(std::span(&e1, 1));
+    TermArena b;
+    TermRef e2 = b.makeAtom(2);
+    TermRef t = b.makeVar(0, 3);
+    TermRef partial = b.makeList(std::span(&e2, 1), t);
+    EXPECT_FALSE(TermArena::equal(a, proper, b, partial));
+}
+
+TEST(TermKindName, CoversAll)
+{
+    EXPECT_STREQ(termKindName(TermKind::Atom), "atom");
+    EXPECT_STREQ(termKindName(TermKind::List), "list");
+}
+
+Clause
+makeFact(SymbolTable &sym, const char *functor,
+         std::initializer_list<const char *> atoms)
+{
+    TermArena arena;
+    std::vector<TermRef> args;
+    for (const char *a : atoms)
+        args.push_back(arena.makeAtom(sym.intern(a)));
+    TermRef head = arena.makeStruct(sym.intern(functor), args);
+    return Clause(std::move(arena), head, {});
+}
+
+TEST(Clause, FactDetection)
+{
+    SymbolTable sym;
+    Clause fact = makeFact(sym, "p", {"a", "b"});
+    EXPECT_TRUE(fact.isFact());
+    EXPECT_TRUE(fact.isGroundFact());
+    EXPECT_EQ(fact.predicate().arity, 2u);
+}
+
+TEST(Clause, NonGroundFact)
+{
+    SymbolTable sym;
+    TermArena arena;
+    TermRef args[] = {arena.makeVar(0, sym.intern("X")),
+                      arena.makeAtom(sym.intern("a"))};
+    TermRef head = arena.makeStruct(sym.intern("p"), args);
+    Clause clause(std::move(arena), head, {});
+    EXPECT_TRUE(clause.isFact());
+    EXPECT_FALSE(clause.isGroundFact());
+}
+
+TEST(Clause, RuleIsNotFact)
+{
+    SymbolTable sym;
+    TermArena arena;
+    TermRef arg = arena.makeAtom(sym.intern("a"));
+    TermRef head = arena.makeStruct(sym.intern("p"), std::span(&arg, 1));
+    TermRef goal = arena.makeAtom(sym.intern("true"));
+    Clause clause(std::move(arena), head, {goal});
+    EXPECT_FALSE(clause.isFact());
+}
+
+TEST(Clause, HeadMustBeCallable)
+{
+    SymbolTable sym;
+    TermArena arena;
+    TermRef head = arena.makeInt(3);
+    EXPECT_THROW(Clause(std::move(arena), head, {}), FatalError);
+}
+
+TEST(Program, PreservesGlobalOrder)
+{
+    SymbolTable sym;
+    Program prog;
+    prog.add(makeFact(sym, "p", {"a"}));
+    prog.add(makeFact(sym, "q", {"b"}));
+    prog.add(makeFact(sym, "p", {"c"}));
+    EXPECT_EQ(prog.size(), 3u);
+    PredicateId p{sym.intern("p"), 1};
+    ASSERT_EQ(prog.clausesOf(p).size(), 2u);
+    EXPECT_EQ(prog.clausesOf(p)[0], 0u);
+    EXPECT_EQ(prog.clausesOf(p)[1], 2u);
+}
+
+TEST(Program, PredicatesInFirstAppearanceOrder)
+{
+    SymbolTable sym;
+    Program prog;
+    prog.add(makeFact(sym, "q", {"a"}));
+    prog.add(makeFact(sym, "p", {"b"}));
+    ASSERT_EQ(prog.predicates().size(), 2u);
+    EXPECT_EQ(prog.predicates()[0].functor, sym.intern("q"));
+}
+
+TEST(Program, MixedRelationDetection)
+{
+    SymbolTable sym;
+    Program prog;
+    prog.add(makeFact(sym, "p", {"a"}));
+    PredicateId p{sym.intern("p"), 1};
+    EXPECT_FALSE(prog.isMixedRelation(p));
+
+    TermArena arena;
+    TermRef arg = arena.makeVar(0, sym.intern("X"));
+    TermRef head = arena.makeStruct(sym.intern("p"), std::span(&arg, 1));
+    prog.add(Clause(std::move(arena), head, {}));
+    EXPECT_TRUE(prog.isMixedRelation(p));
+}
+
+TEST(Program, UnknownPredicateHasNoClauses)
+{
+    SymbolTable sym;
+    Program prog;
+    EXPECT_TRUE(prog.clausesOf(PredicateId{sym.intern("none"), 3})
+                    .empty());
+}
+
+} // namespace
+} // namespace clare::term

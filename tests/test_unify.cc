@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Full-unification tests: bindings/trail, atoms through nested
+ * structures and partial lists, occurs check, and solution rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "term/term_reader.hh"
+#include "term/term_writer.hh"
+#include "unify/bindings.hh"
+#include "unify/unify.hh"
+
+namespace clare::unify {
+namespace {
+
+class UnifyTest : public ::testing::Test
+{
+  protected:
+    term::SymbolTable sym;
+    term::TermReader reader{sym};
+    term::TermWriter writer{sym};
+
+    /**
+     * Parse two terms into one arena (shared variable namespace: the
+     * same name is the same variable) and unify them.
+     */
+    bool
+    unifies(const std::string &a, const std::string &b,
+            bool occurs_check = false)
+    {
+        term::ParsedTerm t = reader.parseTerm("pair(" + a + "," + b
+                                              + ")");
+        arena_ = std::move(t.arena);
+        bindings_ = Bindings();
+        UnifyOptions options;
+        options.occursCheck = occurs_check;
+        return unifyTerms(arena_, arena_.arg(t.root, 0),
+                          arena_.arg(t.root, 1), bindings_, options);
+    }
+
+    term::TermArena arena_;
+    Bindings bindings_;
+};
+
+TEST_F(UnifyTest, IdenticalAtoms)
+{
+    EXPECT_TRUE(unifies("a", "a"));
+    EXPECT_FALSE(unifies("a", "b"));
+}
+
+TEST_F(UnifyTest, Numbers)
+{
+    EXPECT_TRUE(unifies("42", "42"));
+    EXPECT_FALSE(unifies("42", "43"));
+    EXPECT_TRUE(unifies("2.5", "2.5"));
+    EXPECT_FALSE(unifies("2.5", "2.25"));
+    // An integer and a float with the same value do not unify.
+    EXPECT_FALSE(unifies("2", "2.0"));
+}
+
+TEST_F(UnifyTest, KindMismatches)
+{
+    EXPECT_FALSE(unifies("a", "f(a)"));
+    EXPECT_FALSE(unifies("f(a)", "[a]"));
+    EXPECT_FALSE(unifies("[]", "[a]"));
+    EXPECT_FALSE(unifies("1", "a"));
+}
+
+TEST_F(UnifyTest, VariableBindsEitherSide)
+{
+    EXPECT_TRUE(unifies("X", "foo"));
+    EXPECT_TRUE(unifies("foo", "X"));
+    EXPECT_TRUE(unifies("X", "Y"));
+    EXPECT_TRUE(unifies("X", "X"));
+}
+
+TEST_F(UnifyTest, StructuresRecursively)
+{
+    EXPECT_TRUE(unifies("f(X, b)", "f(a, Y)"));
+    EXPECT_FALSE(unifies("f(a, b)", "f(a, c)"));
+    EXPECT_FALSE(unifies("f(a)", "g(a)"));
+    EXPECT_FALSE(unifies("f(a)", "f(a, b)"));
+}
+
+TEST_F(UnifyTest, SharedVariableConsistency)
+{
+    EXPECT_TRUE(unifies("f(X, X)", "f(a, a)"));
+    EXPECT_FALSE(unifies("f(X, X)", "f(a, b)"));
+}
+
+TEST_F(UnifyTest, CrossBindingChain)
+{
+    // X = A, then A's second occurrence must equal b, forcing X = b;
+    // the third position then fails on c.
+    EXPECT_TRUE(unifies("f(X, a, b)", "f(A, a, A)"));
+    EXPECT_FALSE(unifies("f(X, X, b)", "f(c, A, A)"));
+    EXPECT_TRUE(unifies("f(X, X, b)", "f(b, A, A)"));
+}
+
+TEST_F(UnifyTest, DeepStructures)
+{
+    EXPECT_TRUE(unifies("f(g(h(X)), X)", "f(g(h(a)), a)"));
+    EXPECT_FALSE(unifies("f(g(h(X)), X)", "f(g(h(a)), b)"));
+}
+
+TEST_F(UnifyTest, ProperLists)
+{
+    EXPECT_TRUE(unifies("[a, b, c]", "[a, b, c]"));
+    EXPECT_FALSE(unifies("[a, b]", "[a, b, c]"));
+    EXPECT_TRUE(unifies("[X, b]", "[a, Y]"));
+}
+
+TEST_F(UnifyTest, PartialListAgainstProper)
+{
+    EXPECT_TRUE(unifies("[a | T]", "[a, b, c]"));
+    EXPECT_FALSE(unifies("[a, b, c | T]", "[a, b]"));
+    EXPECT_TRUE(unifies("[a, b | T]", "[a, b]"));  // T = []
+}
+
+TEST_F(UnifyTest, PartialListsBothSides)
+{
+    EXPECT_TRUE(unifies("[a | T1]", "[a, b | T2]"));
+    EXPECT_FALSE(unifies("[a | T1]", "[b | T2]"));
+}
+
+TEST_F(UnifyTest, BoundTailIsFollowed)
+{
+    // T is bound to [b] by the first pair element, making the second
+    // comparison [a,b] vs [a,b].
+    EXPECT_TRUE(unifies("g(T, [a | T])", "g([b], [a, b])"));
+    EXPECT_FALSE(unifies("g(T, [a | T])", "g([b], [a, c])"));
+}
+
+TEST_F(UnifyTest, ListElementStructures)
+{
+    EXPECT_TRUE(unifies("[f(X)]", "[f(a)]"));
+    EXPECT_FALSE(unifies("[f(a)]", "[g(a)]"));
+}
+
+TEST_F(UnifyTest, OccursCheckRejectsCyclicBinding)
+{
+    EXPECT_TRUE(unifies("X", "f(X)"));                  // off: allowed
+    EXPECT_FALSE(unifies("X", "f(X)", true));           // on: rejected
+    EXPECT_FALSE(unifies("X", "[a, X]", true));
+    EXPECT_TRUE(unifies("X", "f(Y)", true));
+}
+
+TEST_F(UnifyTest, FailureRollsBackBindings)
+{
+    // After a failed unification no bindings remain.
+    EXPECT_FALSE(unifies("f(X, a)", "f(b, c)"));
+    EXPECT_EQ(bindings_.boundCount(), 0u);
+}
+
+TEST(Bindings, TrailUndo)
+{
+    term::TermArena arena;
+    term::TermRef a = arena.makeAtom(3);
+    arena.makeVar(0, 1);
+    Bindings b;
+    b.grow(2);
+    TrailMark mark = b.mark();
+    b.bind(0, a);
+    EXPECT_TRUE(b.isBound(0));
+    b.undo(mark);
+    EXPECT_FALSE(b.isBound(0));
+}
+
+TEST(Bindings, DerefFollowsChains)
+{
+    term::TermArena arena;
+    term::TermRef v0 = arena.makeVar(0, 1);
+    term::TermRef v1 = arena.makeVar(1, 2);
+    term::TermRef a = arena.makeAtom(9);
+    Bindings b;
+    b.grow(2);
+    b.bind(0, v1);
+    b.bind(1, a);
+    EXPECT_EQ(b.deref(arena, v0), a);
+}
+
+TEST(ResolveTerm, AppliesBindings)
+{
+    term::SymbolTable sym;
+    term::TermReader reader(sym);
+    term::TermWriter writer(sym);
+
+    term::ParsedTerm t = reader.parseTerm("pair(f(X, [a|Y]), g(X, Y))");
+    term::TermArena arena = std::move(t.arena);
+    Bindings b;
+    // Bind X = 42, Y = [b].
+    term::VarId x = t.varNames.at("X");
+    term::VarId y = t.varNames.at("Y");
+    b.grow(arena.varCeiling());
+    b.bind(x, arena.makeInt(42));
+    term::TermRef belem = arena.makeAtom(sym.intern("b"));
+    b.bind(y, arena.makeList(std::span(&belem, 1)));
+
+    term::TermArena out;
+    term::TermRef resolved = resolveTerm(arena, arena.arg(t.root, 0), b,
+                                         out);
+    EXPECT_EQ(writer.write(out, resolved), "f(42,[a,b])");
+}
+
+TEST(ResolveTerm, UnboundVariablesSurvive)
+{
+    term::SymbolTable sym;
+    term::TermReader reader(sym);
+    term::TermWriter writer(sym);
+    term::ParsedTerm t = reader.parseTerm("f(X)");
+    Bindings b;
+    term::TermArena out;
+    term::TermRef r = resolveTerm(t.arena, t.root, b, out);
+    EXPECT_EQ(writer.write(out, r), "f(X)");
+}
+
+} // namespace
+} // namespace clare::unify

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Workload generator tests: determinism, parameter effects, the
+ * family KB, and query generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "term/term_writer.hh"
+#include "unify/oracle.hh"
+#include "workload/kb_generator.hh"
+#include "workload/query_generator.hh"
+
+namespace clare::workload {
+namespace {
+
+TEST(KbGeneratorTest, DeterministicForSeed)
+{
+    term::SymbolTable s1;
+    term::SymbolTable s2;
+    KbGenerator g1(s1);
+    KbGenerator g2(s2);
+    KbSpec spec;
+    spec.predicates = 2;
+    spec.clausesPerPredicate = 50;
+    spec.varProb = 0.2;
+    term::Program a = g1.generate(spec);
+    term::Program b = g2.generate(spec);
+    ASSERT_EQ(a.size(), b.size());
+    term::TermWriter w1(s1);
+    term::TermWriter w2(s2);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(w1.writeClause(a.clause(i)),
+                  w2.writeClause(b.clause(i)));
+}
+
+TEST(KbGeneratorTest, SeedChangesOutput)
+{
+    term::SymbolTable sym;
+    KbGenerator gen(sym);
+    KbSpec spec;
+    spec.predicates = 1;
+    spec.clausesPerPredicate = 30;
+    term::Program a = gen.generate(spec);
+    spec.seed = 2;
+    term::Program b = gen.generate(spec);
+    term::TermWriter writer(sym);
+    bool any_diff = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        any_diff |= writer.writeClause(a.clause(i)) !=
+            writer.writeClause(b.clause(i));
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(KbGeneratorTest, CountsMatchSpec)
+{
+    term::SymbolTable sym;
+    KbGenerator gen(sym);
+    KbSpec spec;
+    spec.predicates = 3;
+    spec.clausesPerPredicate = 40;
+    term::Program program = gen.generate(spec);
+    EXPECT_EQ(program.size(), 120u);
+    EXPECT_EQ(program.predicates().size(), 3u);
+    for (const auto &pred : program.predicates()) {
+        EXPECT_EQ(program.clausesOf(pred).size(), 40u);
+        EXPECT_GE(pred.arity, spec.arityMin);
+        EXPECT_LE(pred.arity, spec.arityMax);
+    }
+}
+
+TEST(KbGeneratorTest, GroundSpecYieldsGroundFacts)
+{
+    term::SymbolTable sym;
+    KbGenerator gen(sym);
+    KbSpec spec;
+    spec.predicates = 1;
+    spec.clausesPerPredicate = 50;
+    spec.varProb = 0.0;
+    spec.ruleFraction = 0.0;
+    term::Program program = gen.generate(spec);
+    for (std::size_t i = 0; i < program.size(); ++i)
+        EXPECT_TRUE(program.clause(i).isGroundFact());
+}
+
+TEST(KbGeneratorTest, RuleFractionProducesRules)
+{
+    term::SymbolTable sym;
+    KbGenerator gen(sym);
+    KbSpec spec;
+    spec.predicates = 1;
+    spec.clausesPerPredicate = 200;
+    spec.ruleFraction = 0.5;
+    term::Program program = gen.generate(spec);
+    std::size_t rules = 0;
+    for (std::size_t i = 0; i < program.size(); ++i)
+        rules += program.clause(i).isFact() ? 0 : 1;
+    EXPECT_GT(rules, 60u);
+    EXPECT_LT(rules, 140u);
+}
+
+TEST(KbGeneratorTest, WarrenProfileRatios)
+{
+    KbSpec spec = KbSpec::warren(1000, 10);
+    EXPECT_EQ(spec.clausesPerPredicate, 1000u);
+    EXPECT_NEAR(spec.ruleFraction, 0.01, 1e-9);
+}
+
+TEST(KbGeneratorTest, FamilyKbHasMotivatingPredicates)
+{
+    term::SymbolTable sym;
+    KbGenerator gen(sym);
+    term::Program program = gen.generateFamily(200);
+    term::PredicateId married{sym.lookup("married_couple"), 2};
+    term::PredicateId parent{sym.lookup("parent"), 2};
+    term::PredicateId ancestor{sym.lookup("ancestor"), 2};
+    EXPECT_GE(program.clausesOf(married).size(), 200u);
+    EXPECT_FALSE(program.clausesOf(parent).empty());
+    EXPECT_EQ(program.clausesOf(ancestor).size(), 2u);
+
+    // Some married_couple facts are reflexive (true answers for the
+    // shared-variable query), most are not.
+    std::size_t reflexive = 0;
+    for (std::size_t i : program.clausesOf(married)) {
+        const term::Clause &c = program.clause(i);
+        if (c.arena().atomSymbol(c.arena().arg(c.head(), 0)) ==
+            c.arena().atomSymbol(c.arena().arg(c.head(), 1))) {
+            ++reflexive;
+        }
+    }
+    EXPECT_GT(reflexive, 0u);
+    EXPECT_LT(reflexive, 20u);
+}
+
+TEST(QueryGeneratorTest, BoundQueriesHaveAnswers)
+{
+    term::SymbolTable sym;
+    KbGenerator kbgen(sym);
+    KbSpec spec;
+    spec.predicates = 1;
+    spec.clausesPerPredicate = 60;
+    term::Program program = kbgen.generate(spec);
+
+    QuerySpec qspec;
+    qspec.boundArgProb = 1.0;       // exact copies of stored heads
+    qspec.perturbProb = 0.0;
+    QueryGenerator qgen(sym, qspec);
+    const auto &pred = program.predicates()[0];
+    for (int i = 0; i < 10; ++i) {
+        GeneratedQuery q = qgen.generate(program, pred);
+        bool any = false;
+        for (std::size_t c : program.clausesOf(pred))
+            any |= unify::wouldUnify(q.arena, q.goal,
+                                     program.clause(c));
+        EXPECT_TRUE(any) << "query " << i << " has no answers";
+    }
+}
+
+TEST(QueryGeneratorTest, PerturbedQueriesMiss)
+{
+    term::SymbolTable sym;
+    KbGenerator kbgen(sym);
+    KbSpec spec;
+    spec.predicates = 1;
+    spec.clausesPerPredicate = 30;
+    spec.varProb = 0.0;
+    term::Program program = kbgen.generate(spec);
+
+    QuerySpec qspec;
+    qspec.boundArgProb = 0.0;
+    qspec.perturbProb = 1.0;        // every argument mismatches
+    QueryGenerator qgen(sym, qspec);
+    const auto &pred = program.predicates()[0];
+    GeneratedQuery q = qgen.generate(program, pred);
+    for (std::size_t c : program.clausesOf(pred))
+        EXPECT_FALSE(unify::wouldUnify(q.arena, q.goal,
+                                       program.clause(c)));
+}
+
+TEST(QueryGeneratorTest, GoalMatchesPredicate)
+{
+    term::SymbolTable sym;
+    KbGenerator kbgen(sym);
+    KbSpec spec;
+    spec.predicates = 2;
+    spec.clausesPerPredicate = 10;
+    term::Program program = kbgen.generate(spec);
+    QueryGenerator qgen(sym, QuerySpec{});
+    for (const auto &pred : program.predicates()) {
+        GeneratedQuery q = qgen.generate(program, pred);
+        ASSERT_EQ(q.arena.kind(q.goal), term::TermKind::Struct);
+        EXPECT_EQ(q.arena.functor(q.goal), pred.functor);
+        EXPECT_EQ(q.arena.arity(q.goal), pred.arity);
+    }
+}
+
+} // namespace
+} // namespace clare::workload
