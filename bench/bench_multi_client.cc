@@ -10,16 +10,115 @@
  * over disjoint predicates scale without contention.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <thread>
 
 #include "bench_util.hh"
 #include "crs/client_sim.hh"
+#include "crs/server.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
+#include "term/term_reader.hh"
 #include "workload/kb_generator.hh"
 
 using namespace clare;
+
+namespace {
+
+/**
+ * The batched front door: every client's pending retrievals enter one
+ * retrieveMany() call and the sharded pipeline serves them — FS1 of
+ * query k+1 overlapped with FS2 + host unification of query k.  The
+ * table sweeps the worker count and reports real wall-clock makespan
+ * for the whole batch, checking answers stay bit-identical to the
+ * sequential path.
+ */
+void
+batchedFrontDoorSweep()
+{
+    using Request = crs::ClauseRetrievalServer::Request;
+
+    // A read-heavy working set large enough that retrieval cost is
+    // the index scan, as in the paper's disk-resident modules.
+    term::SymbolTable sym;
+    workload::KbGenerator kbgen(sym);
+    workload::KbSpec spec;
+    spec.predicates = 4;
+    spec.clausesPerPredicate = 5000;
+    spec.arityMin = 2;
+    spec.arityMax = 2;
+    spec.atomVocabulary = 2000;
+    spec.seed = 19;
+    term::Program program = kbgen.generate(spec);
+    crs::PredicateStore store(sym, scw::CodewordGenerator{});
+    store.addProgram(program);
+    store.finalize();
+
+    term::TermReader reader(sym);
+    std::vector<term::ParsedTerm> goals;
+    // 8 clients x 8 jobs: keyed lookups (first argument bound),
+    // round-robin over the stored predicates.
+    Rng rng(41);
+    for (int c = 0; c < 8; ++c) {
+        for (int j = 0; j < 8; ++j) {
+            std::string pred =
+                "p" + std::to_string((c + j) % spec.predicates);
+            std::string key =
+                "a" + std::to_string(rng.below(spec.atomVocabulary));
+            goals.push_back(reader.parseTerm(pred + "(" + key + ", B)"));
+        }
+    }
+    std::vector<Request> batch;
+    for (const term::ParsedTerm &g : goals)
+        batch.push_back(Request{&g.arena, g.root, std::nullopt});
+
+    Table t("Batched multi-client retrieval: wall-clock vs workers "
+            "(64 jobs, auto mode)");
+    t.header({"Workers", "Wall time", "Jobs/s", "Speedup",
+              "Identical results"});
+    std::vector<crs::RetrievalResult> baseline;
+    double base_seconds = 0.0;
+    for (std::uint32_t workers : {1u, 2u, 4u, 8u}) {
+        crs::CrsConfig config;
+        config.workers = workers;
+        crs::ClauseRetrievalServer server(sym, store, config);
+        server.retrieveMany(batch);    // warm-up
+
+        auto start = std::chrono::steady_clock::now();
+        std::vector<crs::RetrievalResult> results =
+            server.retrieveMany(batch);
+        auto stop = std::chrono::steady_clock::now();
+        double seconds =
+            std::chrono::duration<double>(stop - start).count();
+
+        bool identical = true;
+        if (workers == 1) {
+            baseline = results;
+            base_seconds = seconds;
+        } else {
+            for (std::size_t i = 0; i < results.size(); ++i) {
+                identical = identical &&
+                    results[i].candidates == baseline[i].candidates &&
+                    results[i].answers == baseline[i].answers;
+            }
+        }
+
+        char wall[32], jps[32], speedup[32];
+        std::snprintf(wall, sizeof(wall), "%.1f ms", seconds * 1e3);
+        std::snprintf(jps, sizeof(jps), "%.0f",
+                      static_cast<double>(batch.size()) / seconds);
+        std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                      base_seconds / seconds);
+        t.row({std::to_string(workers), wall, jps, speedup,
+               identical ? "yes" : "NO"});
+    }
+    t.print(std::cout);
+    std::printf("\n");
+}
+
+} // namespace
 
 int
 main()
@@ -86,6 +185,17 @@ main()
                 "clients grow); updates on a\nshared predicate "
                 "serialize (waits grow with the client count); "
                 "spreading the\nsame update load over disjoint "
-                "predicates removes the contention.\n");
+                "predicates removes the contention.\n\n");
+
+    batchedFrontDoorSweep();
+    std::printf("\nhost cores: %u\n",
+                std::thread::hardware_concurrency());
+    std::printf("shape: batching the clients' pending retrievals "
+                "through retrieveMany() lets the\nsharded FS1 scan "
+                "and the pipeline overlap turn host cores into "
+                "throughput while\nevery client still sees exactly "
+                "the sequential answers.  With fewer cores than\n"
+                "workers the sweep demonstrates determinism only — "
+                "speedup needs real cores.\n");
     return 0;
 }

@@ -16,8 +16,10 @@
  *     disk per query and needs no resident copy.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <thread>
 
 #include "bench_util.hh"
 #include "support/logging.hh"
@@ -27,6 +29,209 @@
 #include "workload/query_generator.hh"
 
 using namespace clare;
+
+namespace {
+
+/**
+ * Experiment S2 — host-side scaling of the sharded retrieval
+ * pipeline: wall-clock throughput of a query batch as the worker
+ * count grows, with a bit-identical-results check against the
+ * single-threaded path.  (The simulated Ticks model the 1989 hardware
+ * and are identical at every worker count; this table measures the
+ * *simulator host's* clock, i.e. how fast the production server core
+ * actually runs retrievals.)
+ */
+void
+workerScalingSweep()
+{
+    using Request = crs::ClauseRetrievalServer::Request;
+
+    term::SymbolTable sym;
+    workload::KbGenerator kbgen(sym);
+    workload::KbSpec spec;
+    spec.predicates = 1;
+    spec.clausesPerPredicate = 20000;
+    spec.atomVocabulary = 4000;
+    spec.varProb = 0.05;
+    spec.structProb = 0.2;
+    spec.seed = 9;
+    term::Program program = kbgen.generate(spec);
+    const auto &pred = program.predicates()[0];
+
+    crs::PredicateStore store(sym, scw::CodewordGenerator{});
+    store.addProgram(program);
+    store.finalize();
+
+    workload::QuerySpec qspec;
+    qspec.boundArgProb = 0.9;
+    qspec.sharedVarProb = 0.0;
+    qspec.perturbProb = 0.0;
+    qspec.seed = 12;
+    workload::QueryGenerator qgen(sym, qspec);
+    std::vector<workload::GeneratedQuery> queries;
+    std::vector<Request> batch;
+    for (int i = 0; i < 24; ++i)
+        queries.push_back(qgen.generate(program, pred));
+    for (const workload::GeneratedQuery &q : queries)
+        batch.push_back(Request{&q.arena, q.goal,
+                                crs::SearchMode::TwoStage});
+
+    Table t("Sharded pipeline: wall-clock throughput vs workers "
+            "(20k clauses, 24 two-stage queries)");
+    t.header({"Workers", "Wall time", "Queries/s", "Speedup",
+              "Identical results"});
+
+    std::vector<crs::RetrievalResult> baseline;
+    double base_seconds = 0.0;
+    for (std::uint32_t workers : {1u, 2u, 4u, 8u}) {
+        crs::CrsConfig config;
+        config.workers = workers;
+        crs::ClauseRetrievalServer server(sym, store, config);
+        // Warm-up pass so allocator/page effects don't skew the 1-
+        // worker baseline.
+        server.retrieveMany(batch);
+
+        auto start = std::chrono::steady_clock::now();
+        std::vector<crs::RetrievalResult> results =
+            server.retrieveMany(batch);
+        auto stop = std::chrono::steady_clock::now();
+        double seconds =
+            std::chrono::duration<double>(stop - start).count();
+
+        bool identical = true;
+        if (workers == 1) {
+            baseline = results;
+            base_seconds = seconds;
+        } else {
+            for (std::size_t i = 0; i < results.size(); ++i) {
+                identical = identical &&
+                    results[i].candidates == baseline[i].candidates &&
+                    results[i].answers == baseline[i].answers &&
+                    results[i].elapsed == baseline[i].elapsed;
+            }
+        }
+
+        char qps[32], speedup[32];
+        std::snprintf(qps, sizeof(qps), "%.1f",
+                      static_cast<double>(batch.size()) / seconds);
+        std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                      base_seconds / seconds);
+        char wall[32];
+        std::snprintf(wall, sizeof(wall), "%.1f ms", seconds * 1e3);
+        t.row({std::to_string(workers), wall, qps, speedup,
+               identical ? "yes" : "NO"});
+    }
+    t.print(std::cout);
+    unsigned cores = std::thread::hardware_concurrency();
+    std::printf("\nhost cores: %u\n", cores);
+    std::printf("shape: the FS1 index scan shards across the worker "
+                "pool and overlaps the next\nquery's scan with the "
+                "current query's FS2 + host unification, so wall-clock\n"
+                "throughput scales with the host's cores while "
+                "candidates, answers, and\nsimulated Ticks stay "
+                "bit-identical.  On a host with fewer cores than\n"
+                "workers expect parity, not speedup: the pipeline "
+                "timeshares one core and the\nrows only demonstrate "
+                "that results do not depend on the worker count.\n");
+}
+
+/**
+ * Experiment S3 — paced device replay: the FS1 engine is hardware the
+ * host *waits on*, not computes, so here each scan shard sleeps its
+ * modeled device time (scaled down 4x from the 4.5 MB/s rate).
+ * Sharding makes concurrent shards wait concurrently and the pipeline
+ * hides query k+1's device wait under query k's host work, so the
+ * sweep shows genuine wall-clock speedup even on a single host core —
+ * the paper's reason for overlapping FS1 with FS2.
+ */
+void
+pacedDeviceSweep()
+{
+    using Request = crs::ClauseRetrievalServer::Request;
+
+    term::SymbolTable sym;
+    workload::KbGenerator kbgen(sym);
+    workload::KbSpec spec;
+    spec.predicates = 1;
+    spec.clausesPerPredicate = 20000;
+    spec.atomVocabulary = 4000;
+    spec.varProb = 0.05;
+    spec.structProb = 0.2;
+    spec.seed = 9;
+    term::Program program = kbgen.generate(spec);
+    const auto &pred = program.predicates()[0];
+
+    crs::PredicateStore store(sym, scw::CodewordGenerator{});
+    store.addProgram(program);
+    store.finalize();
+
+    workload::QuerySpec qspec;
+    qspec.boundArgProb = 0.9;
+    qspec.sharedVarProb = 0.0;
+    qspec.perturbProb = 0.0;
+    qspec.seed = 12;
+    workload::QueryGenerator qgen(sym, qspec);
+    std::vector<workload::GeneratedQuery> queries;
+    std::vector<Request> batch;
+    for (int i = 0; i < 12; ++i)
+        queries.push_back(qgen.generate(program, pred));
+    for (const workload::GeneratedQuery &q : queries)
+        batch.push_back(Request{&q.arena, q.goal,
+                                crs::SearchMode::TwoStage});
+
+    Table t("Paced device replay: wall-clock vs workers (device waits "
+            "slept at 1/4 scale)");
+    t.header({"Workers", "Wall time", "Queries/s", "Speedup",
+              "Identical results"});
+
+    std::vector<crs::RetrievalResult> baseline;
+    double base_seconds = 0.0;
+    for (std::uint32_t workers : {1u, 2u, 4u, 8u}) {
+        crs::CrsConfig config;
+        config.workers = workers;
+        config.fs1.paceScale = 4.0;
+        crs::ClauseRetrievalServer server(sym, store, config);
+        server.retrieveMany(batch);    // warm-up
+
+        auto start = std::chrono::steady_clock::now();
+        std::vector<crs::RetrievalResult> results =
+            server.retrieveMany(batch);
+        auto stop = std::chrono::steady_clock::now();
+        double seconds =
+            std::chrono::duration<double>(stop - start).count();
+
+        bool identical = true;
+        if (workers == 1) {
+            baseline = results;
+            base_seconds = seconds;
+        } else {
+            for (std::size_t i = 0; i < results.size(); ++i) {
+                identical = identical &&
+                    results[i].candidates == baseline[i].candidates &&
+                    results[i].answers == baseline[i].answers &&
+                    results[i].elapsed == baseline[i].elapsed;
+            }
+        }
+
+        char wall[32], qps[32], speedup[32];
+        std::snprintf(wall, sizeof(wall), "%.1f ms", seconds * 1e3);
+        std::snprintf(qps, sizeof(qps), "%.1f",
+                      static_cast<double>(batch.size()) / seconds);
+        std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                      base_seconds / seconds);
+        t.row({std::to_string(workers), wall, qps, speedup,
+               identical ? "yes" : "NO"});
+    }
+    t.print(std::cout);
+    std::printf("\nshape: device waits, unlike host compute, overlap "
+                "on any core count: sharding\nsplits one query's wait "
+                "across workers, and the pipeline keeps up to "
+                "`workers`\nscans in flight so their waits overlap "
+                "each other and the back half.  Simulated\nTicks are "
+                "untouched by pacing and stay bit-identical.\n");
+}
+
+} // namespace
 
 int
 main()
@@ -146,6 +351,11 @@ main()
                     "PDBM keeps SMALL modules in memory and sends only "
                     "LARGE ones through CLARE.\n");
     }
+
+    std::printf("\n");
+    workerScalingSweep();
+    std::printf("\n");
+    pacedDeviceSweep();
 
     return 0;
 }

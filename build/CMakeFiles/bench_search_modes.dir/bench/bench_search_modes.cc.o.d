@@ -195,6 +195,8 @@ CMakeFiles/bench_search_modes.dir/bench/bench_search_modes.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/crs/server.hh \
+ /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/crs/search_mode.hh \
@@ -209,7 +211,6 @@ CMakeFiles/bench_search_modes.dir/bench/bench_search_modes.cc.o: \
  /usr/include/c++/12/cstddef /root/repo/src/term/symbol_table.hh \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/scw/index_file.hh /root/repo/src/storage/clause_file.hh \
  /root/repo/src/pif/encoder.hh /root/repo/src/pif/pif_item.hh \
@@ -221,12 +222,27 @@ CMakeFiles/bench_search_modes.dir/bench/bench_search_modes.cc.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/support/sim_time.hh /root/repo/src/fs1/fs1_engine.hh \
- /root/repo/src/support/stats.hh /root/repo/src/fs2/fs2_engine.hh \
- /usr/include/c++/12/optional /root/repo/src/fs2/double_buffer.hh \
- /root/repo/src/fs2/result_memory.hh /root/repo/src/fs2/tue.hh \
- /root/repo/src/fs2/datapath.hh /root/repo/src/unify/tue_op.hh \
- /root/repo/src/unify/pair_engine.hh /root/repo/src/fs2/wcs.hh \
- /root/repo/src/fs2/map_rom.hh /root/repo/src/fs2/microcode.hh \
- /root/repo/src/term/term_reader.hh /root/repo/src/support/logging.hh \
- /usr/include/c++/12/cstdarg /root/repo/src/support/table.hh \
- /root/repo/src/workload/kb_generator.hh /root/repo/src/support/random.hh
+ /root/repo/src/support/stats.hh /usr/include/c++/12/atomic \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/support/thread_pool.hh \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
+ /usr/include/c++/12/thread /root/repo/src/fs2/fs2_engine.hh \
+ /root/repo/src/fs2/double_buffer.hh /root/repo/src/fs2/result_memory.hh \
+ /root/repo/src/fs2/tue.hh /root/repo/src/fs2/datapath.hh \
+ /root/repo/src/unify/tue_op.hh /root/repo/src/unify/pair_engine.hh \
+ /root/repo/src/fs2/wcs.hh /root/repo/src/fs2/map_rom.hh \
+ /root/repo/src/fs2/microcode.hh /root/repo/src/support/logging.hh \
+ /usr/include/c++/12/cstdarg /root/repo/src/term/term_reader.hh \
+ /root/repo/src/support/table.hh /root/repo/src/workload/kb_generator.hh \
+ /root/repo/src/support/random.hh

@@ -222,10 +222,26 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/support/sim_time.hh /root/repo/src/fs1/fs1_engine.hh \
- /root/repo/src/support/stats.hh /root/repo/src/fs2/fs2_engine.hh \
+ /root/repo/src/support/stats.hh /usr/include/c++/12/atomic \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/support/thread_pool.hh \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
+ /usr/include/c++/12/thread /root/repo/src/fs2/fs2_engine.hh \
  /root/repo/src/fs2/double_buffer.hh /root/repo/src/fs2/result_memory.hh \
  /root/repo/src/fs2/tue.hh /root/repo/src/fs2/datapath.hh \
  /root/repo/src/unify/tue_op.hh /root/repo/src/unify/pair_engine.hh \
  /root/repo/src/fs2/wcs.hh /root/repo/src/fs2/map_rom.hh \
- /root/repo/src/fs2/microcode.hh /root/repo/src/term/term_reader.hh \
+ /root/repo/src/fs2/microcode.hh /root/repo/src/support/logging.hh \
+ /usr/include/c++/12/cstdarg /root/repo/src/term/term_reader.hh \
  /root/repo/src/kb/resolution.hh

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/support/random.cc" "src/support/CMakeFiles/clare_support.dir/random.cc.o" "gcc" "src/support/CMakeFiles/clare_support.dir/random.cc.o.d"
   "/root/repo/src/support/stats.cc" "src/support/CMakeFiles/clare_support.dir/stats.cc.o" "gcc" "src/support/CMakeFiles/clare_support.dir/stats.cc.o.d"
   "/root/repo/src/support/table.cc" "src/support/CMakeFiles/clare_support.dir/table.cc.o" "gcc" "src/support/CMakeFiles/clare_support.dir/table.cc.o.d"
+  "/root/repo/src/support/thread_pool.cc" "src/support/CMakeFiles/clare_support.dir/thread_pool.cc.o" "gcc" "src/support/CMakeFiles/clare_support.dir/thread_pool.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/clare_support.dir/stats.cc.o.d"
   "CMakeFiles/clare_support.dir/table.cc.o"
   "CMakeFiles/clare_support.dir/table.cc.o.d"
+  "CMakeFiles/clare_support.dir/thread_pool.cc.o"
+  "CMakeFiles/clare_support.dir/thread_pool.cc.o.d"
   "libclare_support.a"
   "libclare_support.pdb"
 )

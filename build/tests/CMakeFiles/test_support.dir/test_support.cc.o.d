@@ -296,4 +296,6 @@ tests/CMakeFiles/test_support.dir/test_support.cc.o: \
  /root/repo/src/support/bitvec.hh /root/repo/src/support/logging.hh \
  /usr/include/c++/12/cstdarg /root/repo/src/support/random.hh \
  /root/repo/src/support/sim_time.hh /root/repo/src/support/stats.hh \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/support/table.hh

@@ -1,7 +1,11 @@
 #include "crs/server.hh"
 
 #include <algorithm>
+#include <deque>
+#include <future>
 #include <set>
+#include <thread>
+#include <utility>
 
 #include "support/logging.hh"
 #include "unify/oracle.hh"
@@ -16,8 +20,25 @@ using term::TermRef;
 ClauseRetrievalServer::ClauseRetrievalServer(term::SymbolTable &symbols,
                                              const PredicateStore &store,
                                              CrsConfig config)
-    : symbols_(symbols), store_(store), config_(config)
+    : symbols_(symbols), store_(store), config_(config),
+      fs1_(store.generator(), config.fs1)
 {
+    // The pool supplies workers-1 threads; the calling thread is the
+    // last worker (it participates in sharded scans and runs the
+    // pipeline back half), so total concurrency equals `workers`.
+    if (config_.workers > 1) {
+        pool_ = std::make_unique<support::ThreadPool>(
+            config_.workers - 1);
+        std::uint32_t cores =
+            std::max(1u, std::thread::hardware_concurrency());
+        // CPU-bound scans gain nothing from fanning out wider than the
+        // hardware; paced (device-wait) scans overlap their waits at
+        // any core count, so they shard the full worker width.
+        scanShards_ = config_.fs1.paceScale > 0
+            ? config_.workers
+            : std::min(config_.workers, cores);
+        scanAhead_ = scanShards_;
+    }
 }
 
 term::PredicateId
@@ -138,25 +159,14 @@ ClauseRetrievalServer::selectMode(const TermArena &q_arena,
     return SearchMode::Fs1Only;
 }
 
-std::vector<std::uint32_t>
-ClauseRetrievalServer::runFs1(const StoredPredicate &stored,
-                              const TermArena &q_arena, TermRef goal,
-                              RetrievalResult &result) const
+fs1::Fs1Result
+ClauseRetrievalServer::scanIndex(const StoredPredicate &stored,
+                                 const TermArena &q_arena,
+                                 TermRef goal) const
 {
-    const scw::CodewordGenerator &generator = store_.generator();
-    scw::Signature query_sig = generator.encode(q_arena, goal);
-    fs1::Fs1Engine engine(generator, config_.fs1);
-    fs1::Fs1Result fs1 = engine.search(stored.index, query_sig);
-
-    result.indexEntriesScanned = fs1.entriesScanned;
-    result.fs1Hits = fs1.ordinals.size();
-
-    // The index file streams from disk while FS1 scans on the fly.
-    const storage::DiskModel &disk = store_.indexDisk();
-    Tick transfer = disk.transferTime(fs1.bytesScanned);
-    result.indexTime = disk.accessTime() +
-        std::max(transfer, fs1.busyTime);
-    return fs1.ordinals;
+    scw::Signature query_sig = store_.generator().encode(q_arena, goal);
+    return fs1_.search(stored.index, query_sig, pool_.get(),
+                       scanShards_);
 }
 
 void
@@ -189,14 +199,109 @@ ClauseRetrievalServer::retrieve(const TermArena &q_arena, TermRef goal,
     RetrievalResult result;
     result.mode = mode;
 
-    term::PredicateId pred = goalPredicate(q_arena, goal);
-    const StoredPredicate &stored = store_.predicate(pred);
+    const StoredPredicate &stored =
+        store_.predicate(goalPredicate(q_arena, goal));
+    fs1::Fs1Result fs1;
+    if (usesFs1(mode))
+        fs1 = scanIndex(stored, q_arena, goal);
+    finishRetrieval(stored, q_arena, goal, std::move(fs1), result);
+    return result;
+}
+
+std::vector<RetrievalResult>
+ClauseRetrievalServer::retrieveMany(const std::vector<Request> &batch)
+{
+    const std::size_t n = batch.size();
+    std::vector<RetrievalResult> out(n);
+    if (n == 0)
+        return out;
+
+    // Resolve modes and predicates up front (cheap, read-only) so the
+    // pipeline stages below are pure scan/filter work.
+    std::vector<SearchMode> modes(n);
+    std::vector<const StoredPredicate *> stored(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        clare_assert(batch[i].arena != nullptr,
+                     "retrieveMany request %zu has no arena", i);
+        modes[i] = batch[i].mode
+            ? *batch[i].mode
+            : selectMode(*batch[i].arena, batch[i].goal);
+        stored[i] = &store_.predicate(
+            goalPredicate(*batch[i].arena, batch[i].goal));
+        out[i].mode = modes[i];
+    }
+
+    auto scan = [&](std::size_t i) -> fs1::Fs1Result {
+        if (!usesFs1(modes[i]))
+            return {};
+        return scanIndex(*stored[i], *batch[i].arena, batch[i].goal);
+    };
+
+    if (!pool_) {
+        for (std::size_t i = 0; i < n; ++i)
+            finishRetrieval(*stored[i], *batch[i].arena, batch[i].goal,
+                            scan(i), out[i]);
+        return out;
+    }
+
+    // Pipeline: while the calling thread filters and unifies request
+    // k, the pool scans the indexes of the next requests (the paper's
+    // FS1-ahead-of-FS2 overlap).  Up to `workers` scans are in flight
+    // so their device/disk waits overlap each other, not just the
+    // back half.  Requests complete in batch order regardless.
+    std::deque<std::future<fs1::Fs1Result>> pending;
+    std::size_t next = 0;
+    auto refill = [&] {
+        while (next < n && pending.size() < scanAhead_) {
+            std::size_t j = next++;
+            pending.push_back(
+                pool_->async([&scan, j] { return scan(j); }));
+        }
+    };
+    refill();
+    try {
+        for (std::size_t i = 0; i < n; ++i) {
+            fs1::Fs1Result fs1 = pending.front().get();
+            pending.pop_front();
+            refill();
+            finishRetrieval(*stored[i], *batch[i].arena, batch[i].goal,
+                            std::move(fs1), out[i]);
+        }
+    } catch (...) {
+        // In-flight scans reference locals; drain them before the
+        // locals go out of scope.
+        for (std::future<fs1::Fs1Result> &f : pending)
+            if (f.valid())
+                f.wait();
+        throw;
+    }
+    return out;
+}
+
+void
+ClauseRetrievalServer::finishRetrieval(const StoredPredicate &stored,
+                                       const TermArena &q_arena,
+                                       TermRef goal, fs1::Fs1Result fs1,
+                                       RetrievalResult &result)
+{
     const storage::ClauseFile &file = stored.clauses;
     const storage::DiskModel &data_disk = store_.dataDisk();
+    SearchMode mode = result.mode;
+
+    if (usesFs1(mode)) {
+        result.indexEntriesScanned = fs1.entriesScanned;
+        result.fs1Hits = fs1.ordinals.size();
+        // The index file streams from disk while FS1 scans on the fly.
+        const storage::DiskModel &disk = store_.indexDisk();
+        Tick transfer = disk.transferTime(fs1.bytesScanned);
+        result.indexTime = disk.accessTime() +
+            std::max(transfer, fs1.busyTime);
+    }
 
     pif::Encoder encoder;
     pif::EncodedArgs q_args = encoder.encodeArgs(q_arena, goal,
                                                  pif::Side::Query);
+    term::PredicateId pred = goalPredicate(q_arena, goal);
 
     switch (mode) {
       case SearchMode::SoftwareOnly: {
@@ -224,7 +329,7 @@ ClauseRetrievalServer::retrieve(const TermArena &q_arena, TermRef goal,
       }
 
       case SearchMode::Fs1Only: {
-        result.candidates = runFs1(stored, q_arena, goal, result);
+        result.candidates = std::move(fs1.ordinals);
         // Fetch the candidate clauses: one sequential sweep of the
         // spanned region, or a seek per candidate — whichever the
         // disk finishes sooner.
@@ -258,12 +363,10 @@ ClauseRetrievalServer::retrieve(const TermArena &q_arena, TermRef goal,
       }
 
       case SearchMode::TwoStage: {
-        std::vector<std::uint32_t> fs1_hits = runFs1(stored, q_arena,
-                                                     goal, result);
         fs2::Fs2Engine engine(config_.fs2);
         engine.setQuery(q_args, pred);
         fs2::Fs2SearchResult r = engine.searchSelected(
-            file, fs1_hits, &data_disk, stored.clauseFileOffset);
+            file, fs1.ordinals, &data_disk, stored.clauseFileOffset);
         result.candidates = r.acceptedOrdinals;
         result.clausesExamined = r.clausesExamined;
         result.filterOps = r.ops;
@@ -275,7 +378,6 @@ ClauseRetrievalServer::retrieve(const TermArena &q_arena, TermRef goal,
     hostUnify(stored, q_arena, goal, result);
     result.elapsed = result.indexTime + result.filterTime +
         result.hostUnifyTime;
-    return result;
 }
 
 } // namespace clare::crs

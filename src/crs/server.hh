@@ -16,19 +16,30 @@
  * operation cost model representative of the M68020-class host;
  * retrieval *correctness* (which clauses truly unify) is computed with
  * the real unifier so that false-drop accounting is exact.
+ *
+ * With `CrsConfig::workers > 1` the server runs a parallel pipeline
+ * mirroring the paper's FS1/FS2 overlap: the FS1 index scan is sharded
+ * across a worker pool, and retrieveMany() overlaps the FS1 scan of
+ * query k+1 with the FS2 filtering and host unification of query k.
+ * Results are merged in clause/batch order, so candidate and answer
+ * sets are bit-identical to the sequential path at any worker count.
  */
 
 #ifndef CLARE_CRS_SERVER_HH
 #define CLARE_CRS_SERVER_HH
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "crs/search_mode.hh"
 #include "crs/store.hh"
 #include "fs1/fs1_engine.hh"
 #include "fs2/fs2_engine.hh"
+#include "support/logging.hh"
 #include "support/sim_time.hh"
+#include "support/thread_pool.hh"
 #include "term/term_reader.hh"
 #include "unify/tue_op.hh"
 
@@ -56,6 +67,15 @@ struct CrsConfig
     HostCostModel host;
     fs1::Fs1Config fs1;
     fs2::Fs2Config fs2;
+
+    /**
+     * Total threads the retrieval pipeline may use (including the
+     * calling thread).  1 selects the sequential path; N > 1 shards
+     * the FS1 index scan N ways and enables the retrieveMany()
+     * FS1/FS2 overlap.  Candidate and answer sets are identical at
+     * every setting.
+     */
+    std::uint32_t workers = 1;
 };
 
 /** Characteristics of a query goal that drive mode selection. */
@@ -88,10 +108,38 @@ struct RetrievalResult
     Tick hostUnifyTime = 0; ///< modeled full-unification cost
     Tick elapsed = 0;       ///< total retrieval latency
 
+    /**
+     * Candidates that failed full unification.  A correct filter never
+     * produces answers outside the candidate set, so the difference is
+     * clamped at zero (the unsigned subtraction used to underflow to
+     * ~2^64 on a false negative); debug builds assert instead so a
+     * filter-correctness regression is loud rather than absurd.
+     */
     std::uint64_t
     falseDrops() const
     {
-        return candidates.size() - answers.size();
+#ifndef NDEBUG
+        clare_assert(answers.size() <= candidates.size(),
+                     "filter false negative: %zu answers from %zu "
+                     "candidates", answers.size(), candidates.size());
+#endif
+        return candidates.size() > answers.size()
+            ? candidates.size() - answers.size()
+            : 0;
+    }
+
+    /**
+     * Answers the filter missed (candidate set not a superset of the
+     * answer set).  Always zero for a correct filter; exposed so
+     * oracle-style tests can report the violation instead of watching
+     * falseDrops() underflow.
+     */
+    std::uint64_t
+    falseNegatives() const
+    {
+        return answers.size() > candidates.size()
+            ? answers.size() - candidates.size()
+            : 0;
     }
 
     double
@@ -108,6 +156,16 @@ struct RetrievalResult
 class ClauseRetrievalServer
 {
   public:
+    /** One goal of a retrieveMany() batch. */
+    struct Request
+    {
+        /** Arena holding the goal (not owned; must outlive the call). */
+        const term::TermArena *arena = nullptr;
+        term::TermRef goal{};
+        /** Explicit search mode; empty lets the CRS choose. */
+        std::optional<SearchMode> mode;
+    };
+
     /**
      * @param symbols shared symbol table (non-const: candidate clauses
      *        are re-parsed for host-side unification)
@@ -124,6 +182,15 @@ class ClauseRetrievalServer
     RetrievalResult retrieveAuto(const term::TermArena &q_arena,
                                  term::TermRef goal);
 
+    /**
+     * Batched front door: retrieve every request, in order.  With
+     * workers > 1 the FS1 index scan of request k+1 is pipelined with
+     * the FS2 filtering and host unification of request k; results are
+     * identical to calling retrieve()/retrieveAuto() in a loop.
+     */
+    std::vector<RetrievalResult>
+    retrieveMany(const std::vector<Request> &batch);
+
     /** The mode-selection heuristic (exposed for tests/benches). */
     SearchMode selectMode(const term::TermArena &q_arena,
                           term::TermRef goal) const;
@@ -134,19 +201,60 @@ class ClauseRetrievalServer
 
     const CrsConfig &config() const { return config_; }
 
+    /** Cumulative FS1 statistics across this server's retrievals. */
+    StatGroup &fs1Stats() { return fs1_.stats(); }
+
   private:
     term::SymbolTable &symbols_;
     const PredicateStore &store_;
     CrsConfig config_;
+    /** Persistent FS1 engine, shared across retrievals and threads. */
+    fs1::Fs1Engine fs1_;
+    /** Worker pool; null when workers <= 1 (sequential path). */
+    std::unique_ptr<support::ThreadPool> pool_;
+    /**
+     * FS1 scan fan-out: config workers, clamped to the host's core
+     * count for CPU-bound scans (sharding wider than the hardware
+     * only adds scheduling overhead) but left at full width for paced
+     * device-wait scans.  The shard count never changes results
+     * (contiguous shards merge back into sequential order).
+     */
+    std::uint32_t scanShards_ = 1;
+    /**
+     * retrieveMany() lookahead: scans in flight at once.  Sized like
+     * scanShards_ — full worker width for paced device-wait scans
+     * (waits overlap on any core count), clamped to the core count
+     * for CPU-bound scans (oversubscription only thrashes).
+     */
+    std::uint32_t scanAhead_ = 1;
 
     term::PredicateId goalPredicate(const term::TermArena &q_arena,
                                     term::TermRef goal) const;
 
-    /** FS1 stage: scan the index, return candidate ordinals. */
-    std::vector<std::uint32_t> runFs1(const StoredPredicate &stored,
-                                      const term::TermArena &q_arena,
-                                      term::TermRef goal,
-                                      RetrievalResult &result) const;
+    /** Does this mode run the FS1 index scan? */
+    static bool usesFs1(SearchMode mode)
+    {
+        return mode == SearchMode::Fs1Only ||
+            mode == SearchMode::TwoStage;
+    }
+
+    /**
+     * FS1 stage: scan the predicate's index (sharded when a pool is
+     * configured).  Thread-safe; touches no per-query state.
+     */
+    fs1::Fs1Result scanIndex(const StoredPredicate &stored,
+                             const term::TermArena &q_arena,
+                             term::TermRef goal) const;
+
+    /**
+     * Everything after the FS1 stage: FS2 / software filtering, host
+     * unification, and timing.  Runs on the calling thread (it parses
+     * candidate clauses through the shared symbol table).
+     */
+    void finishRetrieval(const StoredPredicate &stored,
+                         const term::TermArena &q_arena,
+                         term::TermRef goal, fs1::Fs1Result fs1,
+                         RetrievalResult &result);
 
     /** Host full unification over candidates; fills answers + time. */
     void hostUnify(const StoredPredicate &stored,

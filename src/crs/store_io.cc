@@ -39,7 +39,7 @@ saveStore(const std::string &directory, const PredicateStore &store,
 
     const scw::ScwConfig &config = store.generator().config();
     std::ostringstream manifest;
-    manifest << "clare-store 1\n";
+    manifest << "clare-store " << scw::kIndexFormatVersion << '\n';
     manifest << "scw " << config.fieldBits << ' ' << config.bitsPerTerm
              << ' ' << config.encodedArgs << ' ' << config.seed << '\n';
     for (const term::PredicateId &pred : store.predicates()) {
@@ -69,10 +69,17 @@ loadStore(const std::string &directory, term::SymbolTable &symbols)
 
     std::string word;
     int version = 0;
-    if (!(in >> word >> version) || word != "clare-store" ||
-        version != 1) {
+    if (!(in >> word >> version) || word != "clare-store") {
         clare_fatal("'%s/manifest.txt' has an unsupported header",
                     directory.c_str());
+    }
+    if (version != scw::kIndexFormatVersion) {
+        // The signature encoding changed; old images would be decoded
+        // against the new token hashing and match garbage.
+        clare_fatal("'%s' uses index format %d but this build writes "
+                    "format %d; rebuild the store to regenerate its "
+                    "signatures", directory.c_str(), version,
+                    scw::kIndexFormatVersion);
     }
 
     scw::ScwConfig config;

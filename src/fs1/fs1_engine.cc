@@ -1,5 +1,10 @@
 #include "fs1/fs1_engine.hh"
 
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <utility>
+
 namespace clare::fs1 {
 
 Fs1Engine::Fs1Engine(scw::CodewordGenerator generator, Fs1Config config)
@@ -7,24 +12,60 @@ Fs1Engine::Fs1Engine(scw::CodewordGenerator generator, Fs1Config config)
 {
 }
 
-Fs1Result
-Fs1Engine::search(const scw::SecondaryFile &index,
-                  const scw::Signature &query) const
+Fs1Engine::ShardScan
+Fs1Engine::scanRange(const scw::SecondaryFile &index,
+                     const scw::Signature &query,
+                     const scw::EntryRange &range) const
 {
-    Fs1Result result;
-    for (std::size_t i = 0; i < index.entryCount(); ++i) {
+    ShardScan scan;
+    for (std::size_t i = range.begin; i < range.end; ++i) {
         scw::IndexEntry entry = index.entry(generator_, i);
         if (generator_.matches(query, entry.signature)) {
-            result.clauseOffsets.push_back(entry.clauseOffset);
-            result.ordinals.push_back(entry.ordinal);
+            scan.clauseOffsets.push_back(entry.clauseOffset);
+            scan.ordinals.push_back(entry.ordinal);
         }
     }
-    result.entriesScanned = index.entryCount();
-    result.bytesScanned = index.image().size();
+    scan.entriesScanned = range.size();
+    scan.bytesScanned = index.rangeBytes(range);
+    if (config_.paceScale > 0) {
+        // Paced replay: wait out this shard's share of the device time
+        // in scaled real time.  Concurrent shards wait concurrently.
+        double device_s = static_cast<double>(scan.bytesScanned) /
+            config_.scanRate / config_.paceScale;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(device_s));
+    }
+    return scan;
+}
+
+Fs1Result
+Fs1Engine::merge(std::vector<ShardScan> shards) const
+{
+    Fs1Result result;
+    result.shards = shards.empty()
+        ? 1 : static_cast<std::uint32_t>(shards.size());
+    // Shards are contiguous and processed here in shard order, so the
+    // concatenation reproduces the sequential scan order exactly.
+    for (ShardScan &scan : shards) {
+        result.clauseOffsets.insert(result.clauseOffsets.end(),
+                                    scan.clauseOffsets.begin(),
+                                    scan.clauseOffsets.end());
+        result.ordinals.insert(result.ordinals.end(),
+                               scan.ordinals.begin(),
+                               scan.ordinals.end());
+        result.entriesScanned += scan.entriesScanned;
+        result.bytesScanned += scan.bytesScanned;
+    }
+    // Sum bytes across shards first, then convert once, rounding to
+    // the nearest tick: truncating the cast undercounted by up to one
+    // tick per conversion, compounding across sharded sub-scans.
     double seconds = static_cast<double>(result.bytesScanned) /
         config_.scanRate;
-    result.busyTime = static_cast<Tick>(seconds * kSecond);
+    result.busyTime = static_cast<Tick>(
+        std::llround(seconds * static_cast<double>(kSecond)));
 
+    // One stats update per search, not per shard: workers accumulate
+    // into their ShardScan and the merge folds the totals in.
     stats_.scalar("searches", "index scans performed") += 1;
     stats_.scalar("entriesScanned", "index entries examined") +=
         result.entriesScanned;
@@ -33,6 +74,35 @@ Fs1Engine::search(const scw::SecondaryFile &index,
     stats_.scalar("bytesScanned", "secondary file bytes streamed") +=
         result.bytesScanned;
     return result;
+}
+
+Fs1Result
+Fs1Engine::search(const scw::SecondaryFile &index,
+                  const scw::Signature &query) const
+{
+    std::vector<ShardScan> one;
+    one.push_back(scanRange(index, query,
+                            scw::EntryRange{0, index.entryCount()}));
+    return merge(std::move(one));
+}
+
+Fs1Result
+Fs1Engine::search(const scw::SecondaryFile &index,
+                  const scw::Signature &query,
+                  support::ThreadPool *pool, std::uint32_t shards) const
+{
+    if (pool == nullptr || pool->threadCount() == 0 || shards <= 1)
+        return search(index, query);
+
+    std::vector<scw::EntryRange> ranges = index.shardRanges(shards);
+    if (ranges.size() <= 1)
+        return search(index, query);
+
+    std::vector<ShardScan> scans(ranges.size());
+    pool->parallelFor(ranges.size(), [&](std::size_t s) {
+        scans[s] = scanRange(index, query, ranges[s]);
+    });
+    return merge(std::move(scans));
 }
 
 } // namespace clare::fs1

@@ -10,6 +10,14 @@
  * divided by the scan rate.  The caller (the Clause Retrieval Server)
  * combines that busy time with the disk streaming time — the engine
  * can only be as fast as the disk feeds it.
+ *
+ * The scan can be sharded: the secondary file is split into contiguous
+ * entry ranges that are matched concurrently on a worker pool, and the
+ * per-shard hit lists are concatenated in shard order so the merged
+ * result is bit-identical to the sequential scan.  Counters accumulate
+ * per worker and fold into the engine's StatGroup once at merge time.
+ * One engine may be shared by several threads: search() is logically
+ * const and its statistics are thread-safe.
  */
 
 #ifndef CLARE_FS1_FS1_ENGINE_HH
@@ -22,6 +30,7 @@
 #include "scw/index_file.hh"
 #include "support/sim_time.hh"
 #include "support/stats.hh"
+#include "support/thread_pool.hh"
 
 namespace clare::fs1 {
 
@@ -30,6 +39,16 @@ struct Fs1Config
 {
     /** Hardware scan rate in bytes per second (paper: 4.5 MB/s). */
     double scanRate = 4.5e6;
+
+    /**
+     * When > 0, each scan shard *sleeps* its modeled device busy time
+     * divided by this factor (paced replay): the engine behaves like
+     * the real FS1 hardware the host waits on rather than computes.
+     * Sharded and pipelined scans then overlap device waits, which
+     * yields genuine wall-clock speedup even on a single host core.
+     * Simulated Ticks are unaffected.  0 (default) disables pacing.
+     */
+    double paceScale = 0.0;
 };
 
 /** Outcome of one FS1 index scan. */
@@ -42,7 +61,14 @@ struct Fs1Result
 
     std::uint64_t entriesScanned = 0;
     std::uint64_t bytesScanned = 0;
-    /** Pure hardware time (bytes / scan rate). */
+    /** Shards the scan was split into (1 = sequential). */
+    std::uint32_t shards = 1;
+    /**
+     * Pure hardware time (bytes / scan rate), rounded to the nearest
+     * tick.  For a sharded scan the per-shard byte counts are summed
+     * *before* conversion, so the total never loses a sub-tick
+     * fraction per shard.
+     */
     Tick busyTime = 0;
 };
 
@@ -60,10 +86,39 @@ class Fs1Engine
     Fs1Result search(const scw::SecondaryFile &index,
                      const scw::Signature &query) const;
 
+    /**
+     * Sharded scan: split the file into @p shards contiguous ranges
+     * and match them on @p pool (the calling thread participates).
+     * The result is bit-identical to the sequential search().
+     *
+     * @param pool worker pool; null or a 0-thread pool degrades to the
+     *        sequential path
+     * @param shards desired shard count; clamped to the entry count
+     */
+    Fs1Result search(const scw::SecondaryFile &index,
+                     const scw::Signature &query,
+                     support::ThreadPool *pool,
+                     std::uint32_t shards) const;
+
     /** Cumulative statistics across searches. */
     StatGroup &stats() { return stats_; }
 
   private:
+    /** Hits and counters of one shard, merged in shard order. */
+    struct ShardScan
+    {
+        std::vector<std::uint32_t> clauseOffsets;
+        std::vector<std::uint32_t> ordinals;
+        std::uint64_t entriesScanned = 0;
+        std::uint64_t bytesScanned = 0;
+    };
+
+    ShardScan scanRange(const scw::SecondaryFile &index,
+                        const scw::Signature &query,
+                        const scw::EntryRange &range) const;
+
+    Fs1Result merge(std::vector<ShardScan> shards) const;
+
     scw::CodewordGenerator generator_;
     Fs1Config config_;
     mutable StatGroup stats_{"fs1"};

@@ -35,7 +35,16 @@ enum class TokenKind : std::uint64_t
 std::uint64_t
 token(TokenKind kind, std::uint64_t value)
 {
-    return (static_cast<std::uint64_t>(kind) << 56) ^ value;
+    // Mix the raw value before folding the kind tag in.  XORing the
+    // tag into the top byte of the *raw* value let any value with high
+    // bits set (a large integer, say) alias a token of another kind —
+    // e.g. Int 7<<56 collided with the ListMark token — inflating
+    // false drops.  After mixing, a cross-kind collision requires a
+    // full 64-bit hash collision instead of eight crafted bits.
+    // Changing this function changes every stored signature, so it is
+    // coupled to kIndexFormatVersion.
+    return mix(mix(value) ^ (static_cast<std::uint64_t>(kind) << 56) ^
+               static_cast<std::uint64_t>(kind));
 }
 
 bool

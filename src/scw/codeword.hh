@@ -33,6 +33,18 @@
 
 namespace clare::scw {
 
+/**
+ * Version of the signature encoding (token hashing + wire layout).
+ * Bumped whenever stored signatures change meaning so persisted
+ * secondary files from older builds are rejected and regenerated
+ * rather than silently misinterpreted.
+ *
+ *  1 — original scheme; token kinds XORed into the raw value's top
+ *      byte (aliased across kinds for values with high bits set)
+ *  2 — token values mixed before the kind tag is combined
+ */
+constexpr int kIndexFormatVersion = 2;
+
 /** Tunable parameters of the SCW+MB scheme. */
 struct ScwConfig
 {

@@ -1,5 +1,7 @@
 #include "scw/index_file.hh"
 
+#include <algorithm>
+
 #include "support/logging.hh"
 
 namespace clare::scw {
@@ -43,6 +45,25 @@ SecondaryFile::fromImage(std::vector<std::uint8_t> image,
     file.count_ = entry_count;
     file.entryBytes_ = entry_bytes;
     return file;
+}
+
+std::vector<EntryRange>
+SecondaryFile::shardRanges(std::size_t shards) const
+{
+    std::vector<EntryRange> ranges;
+    if (count_ == 0 || shards == 0)
+        return ranges;
+    shards = std::min(shards, count_);
+    ranges.reserve(shards);
+    std::size_t base = count_ / shards;
+    std::size_t extra = count_ % shards;    // first `extra` shards get +1
+    std::size_t at = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+        std::size_t len = base + (s < extra ? 1 : 0);
+        ranges.push_back(EntryRange{at, at + len});
+        at += len;
+    }
+    return ranges;
 }
 
 IndexEntry

@@ -28,6 +28,20 @@ struct IndexEntry
     std::uint32_t ordinal = 0;
 };
 
+/**
+ * A contiguous half-open run of index entries — the unit of work one
+ * FS1 scan worker takes.  Shards of one file are contiguous and
+ * ordered, so concatenating per-shard hit lists in shard order
+ * reproduces the sequential scan order exactly.
+ */
+struct EntryRange
+{
+    std::size_t begin = 0;
+    std::size_t end = 0;
+
+    std::size_t size() const { return end - begin; }
+};
+
 /** An immutable secondary file image plus decode helpers. */
 class SecondaryFile
 {
@@ -56,6 +70,19 @@ class SecondaryFile
     /** Decode entry @p i (requires the generator that built it). */
     IndexEntry entry(const CodewordGenerator &generator,
                      std::size_t i) const;
+
+    /**
+     * Partition the file into at most @p shards contiguous ranges of
+     * near-equal size (never more ranges than entries; an empty file
+     * yields no ranges).
+     */
+    std::vector<EntryRange> shardRanges(std::size_t shards) const;
+
+    /** Bytes occupied by the entries of @p range. */
+    std::size_t rangeBytes(const EntryRange &range) const
+    {
+        return range.size() * entryBytes_;
+    }
 
   private:
     std::vector<std::uint8_t> image_;

@@ -5,9 +5,28 @@
 
 namespace clare {
 
+Distribution::Distribution(const Distribution &other)
+{
+    *this = other;
+}
+
+Distribution &
+Distribution::operator=(const Distribution &other)
+{
+    if (this == &other)
+        return *this;
+    std::scoped_lock lock(mutex_, other.mutex_);
+    count_ = other.count_;
+    sum_ = other.sum_;
+    min_ = other.min_;
+    max_ = other.max_;
+    return *this;
+}
+
 void
 Distribution::sample(double v)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     if (count_ == 0) {
         min_ = max_ = v;
     } else {
@@ -21,19 +40,50 @@ Distribution::sample(double v)
 void
 Distribution::reset()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     count_ = 0;
     sum_ = min_ = max_ = 0.0;
+}
+
+std::uint64_t
+Distribution::count() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+}
+
+double
+Distribution::sum() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sum_;
+}
+
+double
+Distribution::min() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return min_;
+}
+
+double
+Distribution::max() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return max_;
 }
 
 double
 Distribution::mean() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }
 
 Scalar &
 StatGroup::scalar(const std::string &name, const std::string &desc)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = scalars_.find(name);
     if (it == scalars_.end()) {
         order_.push_back(name);
@@ -45,6 +95,7 @@ StatGroup::scalar(const std::string &name, const std::string &desc)
 Distribution &
 StatGroup::distribution(const std::string &name, const std::string &desc)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = dists_.find(name);
     if (it == dists_.end()) {
         order_.push_back(name);
@@ -56,6 +107,7 @@ StatGroup::distribution(const std::string &name, const std::string &desc)
 void
 StatGroup::dump(std::ostream &os) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (const auto &name : order_) {
         auto sit = scalars_.find(name);
         if (sit != scalars_.end()) {
@@ -85,6 +137,7 @@ StatGroup::dump(std::ostream &os) const
 void
 StatGroup::reset()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (auto &kv : scalars_)
         kv.second.stat.reset();
     for (auto &kv : dists_)

@@ -5,13 +5,22 @@
  * Components declare named scalar counters and histograms inside a
  * StatGroup; harnesses dump groups in a uniform text format.  Modeled
  * loosely on the gem5 stats package but deliberately minimal.
+ *
+ * Updates are thread-safe: scalars are relaxed atomics and
+ * distributions/registration take a group-internal lock, so engines
+ * shared by the parallel retrieval pipeline can account concurrently.
+ * Bulk producers (e.g. the sharded FS1 scan) should still accumulate
+ * into locals per worker and merge once — atomics make concurrent
+ * updates correct, not free.
  */
 
 #ifndef CLARE_SUPPORT_STATS_HH
 #define CLARE_SUPPORT_STATS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -23,31 +32,62 @@ class Scalar
 {
   public:
     Scalar() = default;
+    Scalar(const Scalar &other) : value_(other.value()) {}
+    Scalar &operator=(const Scalar &other)
+    {
+        set(other.value());
+        return *this;
+    }
 
-    Scalar &operator++() { ++value_; return *this; }
-    Scalar &operator+=(std::uint64_t n) { value_ += n; return *this; }
-    void set(std::uint64_t v) { value_ = v; }
-    std::uint64_t value() const { return value_; }
-    void reset() { value_ = 0; }
+    Scalar &
+    operator++()
+    {
+        value_.fetch_add(1, std::memory_order_relaxed);
+        return *this;
+    }
+
+    Scalar &
+    operator+=(std::uint64_t n)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+        return *this;
+    }
+
+    void set(std::uint64_t v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { set(0); }
 
   private:
-    std::uint64_t value_ = 0;
+    std::atomic<std::uint64_t> value_{0};
 };
 
 /** A simple sample accumulator: count, sum, min, max, mean. */
 class Distribution
 {
   public:
+    Distribution() = default;
+    Distribution(const Distribution &other);
+    Distribution &operator=(const Distribution &other);
+
     void sample(double v);
     void reset();
 
-    std::uint64_t count() const { return count_; }
-    double sum() const { return sum_; }
-    double min() const { return min_; }
-    double max() const { return max_; }
+    std::uint64_t count() const;
+    double sum() const;
+    double min() const;
+    double max() const;
     double mean() const;
 
   private:
+    mutable std::mutex mutex_;
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
     double min_ = 0.0;
@@ -86,6 +126,7 @@ class StatGroup
     struct DistEntry { Distribution stat; std::string desc; };
 
     std::string name_;
+    mutable std::mutex mutex_;  ///< guards registration, not updates
     std::vector<std::string> order_;
     std::map<std::string, ScalarEntry> scalars_;
     std::map<std::string, DistEntry> dists_;

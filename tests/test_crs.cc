@@ -139,6 +139,31 @@ TEST_F(CrsTest, TwoStageCandidatesSubsetOfFs1)
     }
 }
 
+// Regression: falseDrops() computed candidates - answers on unsigned
+// sizes, so a false *negative* (an answer the filter missed, i.e. a
+// filter-correctness bug) underflowed to ~2^64 instead of reporting
+// anything usable.  Release builds clamp at zero and expose the
+// violation through falseNegatives(); debug builds assert.
+TEST_F(CrsTest, FalseDropsClampInsteadOfUnderflowing)
+{
+    RetrievalResult r;
+    r.candidates = {3};
+    r.answers = {3, 7};     // one answer the filter never produced
+#ifdef NDEBUG
+    EXPECT_EQ(r.falseDrops(), 0u);
+    EXPECT_EQ(r.falseDropRate(), 0.0);
+#else
+    EXPECT_DEATH(r.falseDrops(), "false negative");
+#endif
+    EXPECT_EQ(r.falseNegatives(), 1u);
+
+    RetrievalResult ok;
+    ok.candidates = {1, 2, 3};
+    ok.answers = {2};
+    EXPECT_EQ(ok.falseDrops(), 2u);
+    EXPECT_EQ(ok.falseNegatives(), 0u);
+}
+
 TEST_F(CrsTest, TimingFieldsPopulated)
 {
     buildStore("p(a).\np(b).\np(c).\n");

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "fs1/fs1_engine.hh"
 #include "term/term_reader.hh"
 #include "term/term_writer.hh"
@@ -107,6 +109,28 @@ TEST_F(Fs1Test, ScanRateConfigurable)
                 static_cast<double>(r.bytesScanned) / 1.0e6, 1e-9);
 }
 
+// Regression: the double→Tick conversion used to truncate, dropping
+// up to one tick per call (and, once scans were sharded, up to one
+// tick per sub-scan had each shard converted separately).
+TEST_F(Fs1Test, BusyTimeRoundsToNearestTick)
+{
+    buildKb("p(a).\np(b).\np(c).\np(d).\n");
+    term::ParsedTerm q = reader.parseTerm("p(a)");
+    Fs1Config cfg;
+    cfg.scanRate = 7.0e6;   // bytes/rate lands between ticks
+    Fs1Engine engine(gen, cfg);
+    Fs1Result r = engine.search(index, gen.encode(q.arena, q.root));
+
+    double exact = static_cast<double>(r.bytesScanned) / cfg.scanRate *
+        static_cast<double>(kSecond);
+    double fraction = exact - std::floor(exact);
+    ASSERT_GE(fraction, 0.5)
+        << "KB layout changed; pick a clause count whose byte total "
+           "has a >= 0.5 tick fraction at this rate";
+    EXPECT_EQ(r.busyTime, static_cast<Tick>(std::llround(exact)));
+    EXPECT_GT(r.busyTime, static_cast<Tick>(exact));    // trunc value
+}
+
 TEST_F(Fs1Test, CandidateSetIsSupersetOfAnswers)
 {
     workload::KbGenerator kbgen(sym);
@@ -144,9 +168,10 @@ TEST_F(Fs1Test, CandidateSetIsSupersetOfAnswers)
     std::set<std::uint32_t> selected(r.ordinals.begin(),
                                      r.ordinals.end());
     for (std::size_t i = 0; i < all.size(); ++i) {
-        if (unify::wouldUnify(q_arena, goal, all[i]))
+        if (unify::wouldUnify(q_arena, goal, all[i])) {
             EXPECT_TRUE(selected.count(static_cast<std::uint32_t>(i)))
                 << "false dismissal of clause " << i;
+        }
     }
     EXPECT_TRUE(selected.count(17));
 }

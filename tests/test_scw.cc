@@ -377,5 +377,34 @@ TEST(ScwProperty, NeverFalselyDismisses)
     EXPECT_GT(checked, 100u);
 }
 
+// Regression: token kinds used to be XORed into bits 56-63 of the
+// *raw* token value, so an integer with high bits set aliased a token
+// of another kind.  Concretely, for an atom with symbol id s, the
+// integer (Atom^Int)<<56 ^ s — i.e. 3<<56 ^ s — produced the exact
+// same token as the atom itself, so p(<that int>) falsely matched
+// p(a) and every such clause became a guaranteed false drop.
+TEST_F(ScwTest, IntegerDoesNotAliasAtomTokenAcrossKinds)
+{
+    Signature clause = encode("p(a)");
+    std::uint64_t s = sym.lookup("a");
+
+    term::TermArena arena;
+    term::TermRef alias = arena.makeInt(
+        static_cast<std::int64_t>((3ULL << 56) ^ s));
+    term::TermRef args[] = {alias};
+    term::TermRef goal = arena.makeStruct(sym.intern("p"), args);
+    Signature query = gen.encode(arena, goal);
+
+    EXPECT_FALSE(gen.matches(query, clause))
+        << "Int token aliased the Atom token of symbol " << s;
+}
+
+// The index-format version is what forces stores persisted under the
+// old token scheme to be regenerated; encoding changes must bump it.
+TEST_F(ScwTest, IndexFormatVersionCoversTokenScheme)
+{
+    EXPECT_GE(kIndexFormatVersion, 2);
+}
+
 } // namespace
 } // namespace clare::scw
