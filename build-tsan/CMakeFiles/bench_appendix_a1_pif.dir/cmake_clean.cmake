@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_a1_pif.dir/bench/bench_appendix_a1_pif.cc.o"
+  "CMakeFiles/bench_appendix_a1_pif.dir/bench/bench_appendix_a1_pif.cc.o.d"
+  "bench/bench_appendix_a1_pif"
+  "bench/bench_appendix_a1_pif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_a1_pif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

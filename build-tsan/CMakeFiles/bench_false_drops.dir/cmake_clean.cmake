@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_false_drops.dir/bench/bench_false_drops.cc.o"
+  "CMakeFiles/bench_false_drops.dir/bench/bench_false_drops.cc.o.d"
+  "bench/bench_false_drops"
+  "bench/bench_false_drops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_false_drops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_12_routes.dir/bench/bench_fig6_12_routes.cc.o"
+  "CMakeFiles/bench_fig6_12_routes.dir/bench/bench_fig6_12_routes.cc.o.d"
+  "bench/bench_fig6_12_routes"
+  "bench/bench_fig6_12_routes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_12_routes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

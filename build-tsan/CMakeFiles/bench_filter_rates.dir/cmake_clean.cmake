@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_filter_rates.dir/bench/bench_filter_rates.cc.o"
+  "CMakeFiles/bench_filter_rates.dir/bench/bench_filter_rates.cc.o.d"
+  "bench/bench_filter_rates"
+  "bench/bench_filter_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_filter_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_host_interface.dir/bench/bench_host_interface.cc.o"
+  "CMakeFiles/bench_host_interface.dir/bench/bench_host_interface.cc.o.d"
+  "bench/bench_host_interface"
+  "bench/bench_host_interface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_host_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

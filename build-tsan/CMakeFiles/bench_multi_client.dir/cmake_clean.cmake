@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multi_client.dir/bench/bench_multi_client.cc.o"
+  "CMakeFiles/bench_multi_client.dir/bench/bench_multi_client.cc.o.d"
+  "bench/bench_multi_client"
+  "bench/bench_multi_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_search_modes.dir/bench/bench_search_modes.cc.o"
+  "CMakeFiles/bench_search_modes.dir/bench/bench_search_modes.cc.o.d"
+  "bench/bench_search_modes"
+  "bench/bench_search_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_search_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_fs2_ops.dir/bench/bench_table1_fs2_ops.cc.o"
+  "CMakeFiles/bench_table1_fs2_ops.dir/bench/bench_table1_fs2_ops.cc.o.d"
+  "bench/bench_table1_fs2_ops"
+  "bench/bench_table1_fs2_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_fs2_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clare_shell.dir/clare_shell.cpp.o"
+  "CMakeFiles/clare_shell.dir/clare_shell.cpp.o.d"
+  "clare_shell"
+  "clare_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clare_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/family_kb.dir/family_kb.cpp.o"
+  "CMakeFiles/family_kb.dir/family_kb.cpp.o.d"
+  "family_kb"
+  "family_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/family_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for family_kb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microcode_trace.dir/microcode_trace.cpp.o"
+  "CMakeFiles/microcode_trace.dir/microcode_trace.cpp.o.d"
+  "microcode_trace"
+  "microcode_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microcode_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

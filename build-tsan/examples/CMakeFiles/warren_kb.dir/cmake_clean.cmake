@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warren_kb.dir/warren_kb.cpp.o"
+  "CMakeFiles/warren_kb.dir/warren_kb.cpp.o.d"
+  "warren_kb"
+  "warren_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warren_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for warren_kb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("term")
+subdirs("pif")
+subdirs("unify")
+subdirs("storage")
+subdirs("scw")
+subdirs("fs1")
+subdirs("fs2")
+subdirs("clare")
+subdirs("crs")
+subdirs("kb")
+subdirs("workload")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clare_engine.dir/board.cc.o"
+  "CMakeFiles/clare_engine.dir/board.cc.o.d"
+  "libclare_engine.a"
+  "libclare_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clare_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

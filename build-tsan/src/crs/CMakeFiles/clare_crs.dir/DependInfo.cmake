@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crs/client_sim.cc" "src/crs/CMakeFiles/clare_crs.dir/client_sim.cc.o" "gcc" "src/crs/CMakeFiles/clare_crs.dir/client_sim.cc.o.d"
+  "/root/repo/src/crs/server.cc" "src/crs/CMakeFiles/clare_crs.dir/server.cc.o" "gcc" "src/crs/CMakeFiles/clare_crs.dir/server.cc.o.d"
+  "/root/repo/src/crs/store.cc" "src/crs/CMakeFiles/clare_crs.dir/store.cc.o" "gcc" "src/crs/CMakeFiles/clare_crs.dir/store.cc.o.d"
+  "/root/repo/src/crs/store_io.cc" "src/crs/CMakeFiles/clare_crs.dir/store_io.cc.o" "gcc" "src/crs/CMakeFiles/clare_crs.dir/store_io.cc.o.d"
+  "/root/repo/src/crs/transaction.cc" "src/crs/CMakeFiles/clare_crs.dir/transaction.cc.o" "gcc" "src/crs/CMakeFiles/clare_crs.dir/transaction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/fs1/CMakeFiles/clare_fs1.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fs2/CMakeFiles/clare_fs2.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/scw/CMakeFiles/clare_scw.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/storage/CMakeFiles/clare_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/unify/CMakeFiles/clare_unify.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/term/CMakeFiles/clare_term.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/clare_support.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/pif/CMakeFiles/clare_pif.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clare_crs.dir/client_sim.cc.o"
+  "CMakeFiles/clare_crs.dir/client_sim.cc.o.d"
+  "CMakeFiles/clare_crs.dir/server.cc.o"
+  "CMakeFiles/clare_crs.dir/server.cc.o.d"
+  "CMakeFiles/clare_crs.dir/store.cc.o"
+  "CMakeFiles/clare_crs.dir/store.cc.o.d"
+  "CMakeFiles/clare_crs.dir/store_io.cc.o"
+  "CMakeFiles/clare_crs.dir/store_io.cc.o.d"
+  "CMakeFiles/clare_crs.dir/transaction.cc.o"
+  "CMakeFiles/clare_crs.dir/transaction.cc.o.d"
+  "libclare_crs.a"
+  "libclare_crs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clare_crs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

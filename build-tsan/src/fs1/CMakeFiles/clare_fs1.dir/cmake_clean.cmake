@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clare_fs1.dir/fs1_engine.cc.o"
+  "CMakeFiles/clare_fs1.dir/fs1_engine.cc.o.d"
+  "CMakeFiles/clare_fs1.dir/pla_matcher.cc.o"
+  "CMakeFiles/clare_fs1.dir/pla_matcher.cc.o.d"
+  "libclare_fs1.a"
+  "libclare_fs1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clare_fs1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

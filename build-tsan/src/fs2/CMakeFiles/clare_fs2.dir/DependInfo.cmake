@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs2/datapath.cc" "src/fs2/CMakeFiles/clare_fs2.dir/datapath.cc.o" "gcc" "src/fs2/CMakeFiles/clare_fs2.dir/datapath.cc.o.d"
+  "/root/repo/src/fs2/double_buffer.cc" "src/fs2/CMakeFiles/clare_fs2.dir/double_buffer.cc.o" "gcc" "src/fs2/CMakeFiles/clare_fs2.dir/double_buffer.cc.o.d"
+  "/root/repo/src/fs2/fs2_engine.cc" "src/fs2/CMakeFiles/clare_fs2.dir/fs2_engine.cc.o" "gcc" "src/fs2/CMakeFiles/clare_fs2.dir/fs2_engine.cc.o.d"
+  "/root/repo/src/fs2/map_rom.cc" "src/fs2/CMakeFiles/clare_fs2.dir/map_rom.cc.o" "gcc" "src/fs2/CMakeFiles/clare_fs2.dir/map_rom.cc.o.d"
+  "/root/repo/src/fs2/microcode.cc" "src/fs2/CMakeFiles/clare_fs2.dir/microcode.cc.o" "gcc" "src/fs2/CMakeFiles/clare_fs2.dir/microcode.cc.o.d"
+  "/root/repo/src/fs2/result_memory.cc" "src/fs2/CMakeFiles/clare_fs2.dir/result_memory.cc.o" "gcc" "src/fs2/CMakeFiles/clare_fs2.dir/result_memory.cc.o.d"
+  "/root/repo/src/fs2/tue.cc" "src/fs2/CMakeFiles/clare_fs2.dir/tue.cc.o" "gcc" "src/fs2/CMakeFiles/clare_fs2.dir/tue.cc.o.d"
+  "/root/repo/src/fs2/tue_datapath.cc" "src/fs2/CMakeFiles/clare_fs2.dir/tue_datapath.cc.o" "gcc" "src/fs2/CMakeFiles/clare_fs2.dir/tue_datapath.cc.o.d"
+  "/root/repo/src/fs2/wcs.cc" "src/fs2/CMakeFiles/clare_fs2.dir/wcs.cc.o" "gcc" "src/fs2/CMakeFiles/clare_fs2.dir/wcs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/unify/CMakeFiles/clare_unify.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/storage/CMakeFiles/clare_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/pif/CMakeFiles/clare_pif.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/clare_support.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/term/CMakeFiles/clare_term.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

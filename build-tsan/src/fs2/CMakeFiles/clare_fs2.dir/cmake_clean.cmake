@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clare_fs2.dir/datapath.cc.o"
+  "CMakeFiles/clare_fs2.dir/datapath.cc.o.d"
+  "CMakeFiles/clare_fs2.dir/double_buffer.cc.o"
+  "CMakeFiles/clare_fs2.dir/double_buffer.cc.o.d"
+  "CMakeFiles/clare_fs2.dir/fs2_engine.cc.o"
+  "CMakeFiles/clare_fs2.dir/fs2_engine.cc.o.d"
+  "CMakeFiles/clare_fs2.dir/map_rom.cc.o"
+  "CMakeFiles/clare_fs2.dir/map_rom.cc.o.d"
+  "CMakeFiles/clare_fs2.dir/microcode.cc.o"
+  "CMakeFiles/clare_fs2.dir/microcode.cc.o.d"
+  "CMakeFiles/clare_fs2.dir/result_memory.cc.o"
+  "CMakeFiles/clare_fs2.dir/result_memory.cc.o.d"
+  "CMakeFiles/clare_fs2.dir/tue.cc.o"
+  "CMakeFiles/clare_fs2.dir/tue.cc.o.d"
+  "CMakeFiles/clare_fs2.dir/tue_datapath.cc.o"
+  "CMakeFiles/clare_fs2.dir/tue_datapath.cc.o.d"
+  "CMakeFiles/clare_fs2.dir/wcs.cc.o"
+  "CMakeFiles/clare_fs2.dir/wcs.cc.o.d"
+  "libclare_fs2.a"
+  "libclare_fs2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clare_fs2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clare_kb.dir/arith.cc.o"
+  "CMakeFiles/clare_kb.dir/arith.cc.o.d"
+  "CMakeFiles/clare_kb.dir/knowledge_base.cc.o"
+  "CMakeFiles/clare_kb.dir/knowledge_base.cc.o.d"
+  "CMakeFiles/clare_kb.dir/resolution.cc.o"
+  "CMakeFiles/clare_kb.dir/resolution.cc.o.d"
+  "libclare_kb.a"
+  "libclare_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clare_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

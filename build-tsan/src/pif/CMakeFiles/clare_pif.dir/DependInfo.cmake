@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pif/encoder.cc" "src/pif/CMakeFiles/clare_pif.dir/encoder.cc.o" "gcc" "src/pif/CMakeFiles/clare_pif.dir/encoder.cc.o.d"
+  "/root/repo/src/pif/pif_item.cc" "src/pif/CMakeFiles/clare_pif.dir/pif_item.cc.o" "gcc" "src/pif/CMakeFiles/clare_pif.dir/pif_item.cc.o.d"
+  "/root/repo/src/pif/type_tags.cc" "src/pif/CMakeFiles/clare_pif.dir/type_tags.cc.o" "gcc" "src/pif/CMakeFiles/clare_pif.dir/type_tags.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/term/CMakeFiles/clare_term.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/clare_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

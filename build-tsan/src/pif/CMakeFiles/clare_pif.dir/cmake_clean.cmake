@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clare_pif.dir/encoder.cc.o"
+  "CMakeFiles/clare_pif.dir/encoder.cc.o.d"
+  "CMakeFiles/clare_pif.dir/pif_item.cc.o"
+  "CMakeFiles/clare_pif.dir/pif_item.cc.o.d"
+  "CMakeFiles/clare_pif.dir/type_tags.cc.o"
+  "CMakeFiles/clare_pif.dir/type_tags.cc.o.d"
+  "libclare_pif.a"
+  "libclare_pif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clare_pif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for clare_pif.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scw/analysis.cc" "src/scw/CMakeFiles/clare_scw.dir/analysis.cc.o" "gcc" "src/scw/CMakeFiles/clare_scw.dir/analysis.cc.o.d"
+  "/root/repo/src/scw/codeword.cc" "src/scw/CMakeFiles/clare_scw.dir/codeword.cc.o" "gcc" "src/scw/CMakeFiles/clare_scw.dir/codeword.cc.o.d"
+  "/root/repo/src/scw/index_file.cc" "src/scw/CMakeFiles/clare_scw.dir/index_file.cc.o" "gcc" "src/scw/CMakeFiles/clare_scw.dir/index_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/storage/CMakeFiles/clare_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/term/CMakeFiles/clare_term.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/clare_support.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/pif/CMakeFiles/clare_pif.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

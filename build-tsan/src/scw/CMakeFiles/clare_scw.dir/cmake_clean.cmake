@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clare_scw.dir/analysis.cc.o"
+  "CMakeFiles/clare_scw.dir/analysis.cc.o.d"
+  "CMakeFiles/clare_scw.dir/codeword.cc.o"
+  "CMakeFiles/clare_scw.dir/codeword.cc.o.d"
+  "CMakeFiles/clare_scw.dir/index_file.cc.o"
+  "CMakeFiles/clare_scw.dir/index_file.cc.o.d"
+  "libclare_scw.a"
+  "libclare_scw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clare_scw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/clause_file.cc" "src/storage/CMakeFiles/clare_storage.dir/clause_file.cc.o" "gcc" "src/storage/CMakeFiles/clare_storage.dir/clause_file.cc.o.d"
+  "/root/repo/src/storage/disk_model.cc" "src/storage/CMakeFiles/clare_storage.dir/disk_model.cc.o" "gcc" "src/storage/CMakeFiles/clare_storage.dir/disk_model.cc.o.d"
+  "/root/repo/src/storage/file_io.cc" "src/storage/CMakeFiles/clare_storage.dir/file_io.cc.o" "gcc" "src/storage/CMakeFiles/clare_storage.dir/file_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/pif/CMakeFiles/clare_pif.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/term/CMakeFiles/clare_term.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/clare_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clare_storage.dir/clause_file.cc.o"
+  "CMakeFiles/clare_storage.dir/clause_file.cc.o.d"
+  "CMakeFiles/clare_storage.dir/disk_model.cc.o"
+  "CMakeFiles/clare_storage.dir/disk_model.cc.o.d"
+  "CMakeFiles/clare_storage.dir/file_io.cc.o"
+  "CMakeFiles/clare_storage.dir/file_io.cc.o.d"
+  "libclare_storage.a"
+  "libclare_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clare_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clare_support.dir/bitvec.cc.o"
+  "CMakeFiles/clare_support.dir/bitvec.cc.o.d"
+  "CMakeFiles/clare_support.dir/logging.cc.o"
+  "CMakeFiles/clare_support.dir/logging.cc.o.d"
+  "CMakeFiles/clare_support.dir/random.cc.o"
+  "CMakeFiles/clare_support.dir/random.cc.o.d"
+  "CMakeFiles/clare_support.dir/stats.cc.o"
+  "CMakeFiles/clare_support.dir/stats.cc.o.d"
+  "CMakeFiles/clare_support.dir/table.cc.o"
+  "CMakeFiles/clare_support.dir/table.cc.o.d"
+  "CMakeFiles/clare_support.dir/thread_pool.cc.o"
+  "CMakeFiles/clare_support.dir/thread_pool.cc.o.d"
+  "libclare_support.a"
+  "libclare_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clare_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/term/clause.cc" "src/term/CMakeFiles/clare_term.dir/clause.cc.o" "gcc" "src/term/CMakeFiles/clare_term.dir/clause.cc.o.d"
+  "/root/repo/src/term/operators.cc" "src/term/CMakeFiles/clare_term.dir/operators.cc.o" "gcc" "src/term/CMakeFiles/clare_term.dir/operators.cc.o.d"
+  "/root/repo/src/term/symbol_table.cc" "src/term/CMakeFiles/clare_term.dir/symbol_table.cc.o" "gcc" "src/term/CMakeFiles/clare_term.dir/symbol_table.cc.o.d"
+  "/root/repo/src/term/term.cc" "src/term/CMakeFiles/clare_term.dir/term.cc.o" "gcc" "src/term/CMakeFiles/clare_term.dir/term.cc.o.d"
+  "/root/repo/src/term/term_reader.cc" "src/term/CMakeFiles/clare_term.dir/term_reader.cc.o" "gcc" "src/term/CMakeFiles/clare_term.dir/term_reader.cc.o.d"
+  "/root/repo/src/term/term_writer.cc" "src/term/CMakeFiles/clare_term.dir/term_writer.cc.o" "gcc" "src/term/CMakeFiles/clare_term.dir/term_writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/support/CMakeFiles/clare_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clare_term.dir/clause.cc.o"
+  "CMakeFiles/clare_term.dir/clause.cc.o.d"
+  "CMakeFiles/clare_term.dir/operators.cc.o"
+  "CMakeFiles/clare_term.dir/operators.cc.o.d"
+  "CMakeFiles/clare_term.dir/symbol_table.cc.o"
+  "CMakeFiles/clare_term.dir/symbol_table.cc.o.d"
+  "CMakeFiles/clare_term.dir/term.cc.o"
+  "CMakeFiles/clare_term.dir/term.cc.o.d"
+  "CMakeFiles/clare_term.dir/term_reader.cc.o"
+  "CMakeFiles/clare_term.dir/term_reader.cc.o.d"
+  "CMakeFiles/clare_term.dir/term_writer.cc.o"
+  "CMakeFiles/clare_term.dir/term_writer.cc.o.d"
+  "libclare_term.a"
+  "libclare_term.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clare_term.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/unify/bindings.cc" "src/unify/CMakeFiles/clare_unify.dir/bindings.cc.o" "gcc" "src/unify/CMakeFiles/clare_unify.dir/bindings.cc.o.d"
+  "/root/repo/src/unify/oracle.cc" "src/unify/CMakeFiles/clare_unify.dir/oracle.cc.o" "gcc" "src/unify/CMakeFiles/clare_unify.dir/oracle.cc.o.d"
+  "/root/repo/src/unify/pair_engine.cc" "src/unify/CMakeFiles/clare_unify.dir/pair_engine.cc.o" "gcc" "src/unify/CMakeFiles/clare_unify.dir/pair_engine.cc.o.d"
+  "/root/repo/src/unify/pif_matcher.cc" "src/unify/CMakeFiles/clare_unify.dir/pif_matcher.cc.o" "gcc" "src/unify/CMakeFiles/clare_unify.dir/pif_matcher.cc.o.d"
+  "/root/repo/src/unify/term_matcher.cc" "src/unify/CMakeFiles/clare_unify.dir/term_matcher.cc.o" "gcc" "src/unify/CMakeFiles/clare_unify.dir/term_matcher.cc.o.d"
+  "/root/repo/src/unify/unify.cc" "src/unify/CMakeFiles/clare_unify.dir/unify.cc.o" "gcc" "src/unify/CMakeFiles/clare_unify.dir/unify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/pif/CMakeFiles/clare_pif.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/term/CMakeFiles/clare_term.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/clare_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clare_unify.dir/bindings.cc.o"
+  "CMakeFiles/clare_unify.dir/bindings.cc.o.d"
+  "CMakeFiles/clare_unify.dir/oracle.cc.o"
+  "CMakeFiles/clare_unify.dir/oracle.cc.o.d"
+  "CMakeFiles/clare_unify.dir/pair_engine.cc.o"
+  "CMakeFiles/clare_unify.dir/pair_engine.cc.o.d"
+  "CMakeFiles/clare_unify.dir/pif_matcher.cc.o"
+  "CMakeFiles/clare_unify.dir/pif_matcher.cc.o.d"
+  "CMakeFiles/clare_unify.dir/term_matcher.cc.o"
+  "CMakeFiles/clare_unify.dir/term_matcher.cc.o.d"
+  "CMakeFiles/clare_unify.dir/unify.cc.o"
+  "CMakeFiles/clare_unify.dir/unify.cc.o.d"
+  "libclare_unify.a"
+  "libclare_unify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clare_unify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

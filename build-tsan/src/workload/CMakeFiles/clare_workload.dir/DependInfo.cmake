@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/kb_generator.cc" "src/workload/CMakeFiles/clare_workload.dir/kb_generator.cc.o" "gcc" "src/workload/CMakeFiles/clare_workload.dir/kb_generator.cc.o.d"
+  "/root/repo/src/workload/query_generator.cc" "src/workload/CMakeFiles/clare_workload.dir/query_generator.cc.o" "gcc" "src/workload/CMakeFiles/clare_workload.dir/query_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/term/CMakeFiles/clare_term.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/clare_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clare_workload.dir/kb_generator.cc.o"
+  "CMakeFiles/clare_workload.dir/kb_generator.cc.o.d"
+  "CMakeFiles/clare_workload.dir/query_generator.cc.o"
+  "CMakeFiles/clare_workload.dir/query_generator.cc.o.d"
+  "libclare_workload.a"
+  "libclare_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clare_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_builtins.dir/test_builtins.cc.o"
+  "CMakeFiles/test_builtins.dir/test_builtins.cc.o.d"
+  "test_builtins"
+  "test_builtins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_builtins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clare.dir/test_clare.cc.o"
+  "CMakeFiles/test_clare.dir/test_clare.cc.o.d"
+  "test_clare"
+  "test_clare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

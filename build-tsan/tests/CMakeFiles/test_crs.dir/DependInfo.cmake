@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_crs.cc" "tests/CMakeFiles/test_crs.dir/test_crs.cc.o" "gcc" "tests/CMakeFiles/test_crs.dir/test_crs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/kb/CMakeFiles/clare_kb.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/crs/CMakeFiles/clare_crs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/clare/CMakeFiles/clare_engine.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fs1/CMakeFiles/clare_fs1.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fs2/CMakeFiles/clare_fs2.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/scw/CMakeFiles/clare_scw.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/storage/CMakeFiles/clare_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/unify/CMakeFiles/clare_unify.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/pif/CMakeFiles/clare_pif.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/term/CMakeFiles/clare_term.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workload/CMakeFiles/clare_workload.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/clare_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

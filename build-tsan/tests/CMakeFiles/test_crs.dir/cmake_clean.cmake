@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crs.dir/test_crs.cc.o"
+  "CMakeFiles/test_crs.dir/test_crs.cc.o.d"
+  "test_crs"
+  "test_crs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

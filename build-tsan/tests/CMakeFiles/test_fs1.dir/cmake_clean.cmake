@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fs1.dir/test_fs1.cc.o"
+  "CMakeFiles/test_fs1.dir/test_fs1.cc.o.d"
+  "test_fs1"
+  "test_fs1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fs1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fs2.dir/test_fs2.cc.o"
+  "CMakeFiles/test_fs2.dir/test_fs2.cc.o.d"
+  "test_fs2"
+  "test_fs2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fs2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kb.dir/test_kb.cc.o"
+  "CMakeFiles/test_kb.dir/test_kb.cc.o.d"
+  "test_kb"
+  "test_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matchers.dir/test_matchers.cc.o"
+  "CMakeFiles/test_matchers.dir/test_matchers.cc.o.d"
+  "test_matchers"
+  "test_matchers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

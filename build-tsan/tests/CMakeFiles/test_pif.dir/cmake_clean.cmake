@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pif.dir/test_pif.cc.o"
+  "CMakeFiles/test_pif.dir/test_pif.cc.o.d"
+  "test_pif"
+  "test_pif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

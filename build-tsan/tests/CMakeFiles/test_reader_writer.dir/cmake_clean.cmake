@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reader_writer.dir/test_reader_writer.cc.o"
+  "CMakeFiles/test_reader_writer.dir/test_reader_writer.cc.o.d"
+  "test_reader_writer"
+  "test_reader_writer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reader_writer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scw.dir/test_scw.cc.o"
+  "CMakeFiles/test_scw.dir/test_scw.cc.o.d"
+  "test_scw"
+  "test_scw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

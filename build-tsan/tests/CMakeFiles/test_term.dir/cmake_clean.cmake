@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_term.dir/test_term.cc.o"
+  "CMakeFiles/test_term.dir/test_term.cc.o.d"
+  "test_term"
+  "test_term.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_term.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

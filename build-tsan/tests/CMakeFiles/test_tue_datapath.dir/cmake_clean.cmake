@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tue_datapath.dir/test_tue_datapath.cc.o"
+  "CMakeFiles/test_tue_datapath.dir/test_tue_datapath.cc.o.d"
+  "test_tue_datapath"
+  "test_tue_datapath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tue_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

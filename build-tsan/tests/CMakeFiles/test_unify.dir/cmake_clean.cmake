@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unify.dir/test_unify.cc.o"
+  "CMakeFiles/test_unify.dir/test_unify.cc.o.d"
+  "test_unify"
+  "test_unify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
