@@ -36,7 +36,7 @@ namespace {
  * sequential path.
  */
 void
-batchedFrontDoorSweep()
+batchedFrontDoorSweep(json::Value &json_rows)
 {
     using Request = crs::ClauseRetrievalServer::Request;
 
@@ -113,6 +113,20 @@ batchedFrontDoorSweep()
                       base_seconds / seconds);
         t.row({std::to_string(workers), wall, jps, speedup,
                identical ? "yes" : "NO"});
+
+        Tick queue_wait = 0;
+        for (const crs::RetrievalResult &r : results)
+            queue_wait += r.breakdown.queueWait;
+        json::Value row = json::Value::object();
+        row.set("sweep", "batched_front_door");
+        row.set("workers", workers);
+        row.set("wall_seconds", seconds);
+        row.set("identical", identical);
+        row.set("total_queue_wait_ticks", queue_wait);
+        row.set("queries",
+                static_cast<std::uint64_t>(
+                    server.metrics().counter("crs.queries").value()));
+        json_rows.push(std::move(row));
     }
     t.print(std::cout);
     std::printf("\n");
@@ -121,9 +135,11 @@ batchedFrontDoorSweep()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    std::string json_path = bench::jsonPathArg(argc, argv);
+    json::Value json_rows = json::Value::array();
 
     term::SymbolTable sym;
     workload::KbGenerator kbgen(sym);
@@ -187,7 +203,7 @@ main()
                 "spreading the\nsame update load over disjoint "
                 "predicates removes the contention.\n\n");
 
-    batchedFrontDoorSweep();
+    batchedFrontDoorSweep(json_rows);
     std::printf("\nhost cores: %u\n",
                 std::thread::hardware_concurrency());
     std::printf("shape: batching the clients' pending retrievals "
@@ -197,5 +213,9 @@ main()
                 "the sequential answers.  With fewer cores than\n"
                 "workers the sweep demonstrates determinism only — "
                 "speedup needs real cores.\n");
+
+    if (!bench::writeBenchJson(json_path, "multi_client",
+                               std::move(json_rows)))
+        return 1;
     return 0;
 }

@@ -42,7 +42,7 @@ namespace {
  * actually runs retrievals.)
  */
 void
-workerScalingSweep()
+workerScalingSweep(json::Value &json_rows)
 {
     using Request = crs::ClauseRetrievalServer::Request;
 
@@ -120,6 +120,17 @@ workerScalingSweep()
         std::snprintf(wall, sizeof(wall), "%.1f ms", seconds * 1e3);
         t.row({std::to_string(workers), wall, qps, speedup,
                identical ? "yes" : "NO"});
+
+        Tick queue_wait = 0;
+        for (const crs::RetrievalResult &r : results)
+            queue_wait += r.breakdown.queueWait;
+        json::Value row = json::Value::object();
+        row.set("sweep", "worker_scaling");
+        row.set("workers", workers);
+        row.set("wall_seconds", seconds);
+        row.set("identical", identical);
+        row.set("total_queue_wait_ticks", queue_wait);
+        json_rows.push(std::move(row));
     }
     t.print(std::cout);
     unsigned cores = std::thread::hardware_concurrency();
@@ -145,7 +156,7 @@ workerScalingSweep()
  * the paper's reason for overlapping FS1 with FS2.
  */
 void
-pacedDeviceSweep()
+pacedDeviceSweep(json::Value &json_rows)
 {
     using Request = crs::ClauseRetrievalServer::Request;
 
@@ -221,6 +232,13 @@ pacedDeviceSweep()
                       base_seconds / seconds);
         t.row({std::to_string(workers), wall, qps, speedup,
                identical ? "yes" : "NO"});
+
+        json::Value row = json::Value::object();
+        row.set("sweep", "paced_device");
+        row.set("workers", workers);
+        row.set("wall_seconds", seconds);
+        row.set("identical", identical);
+        json_rows.push(std::move(row));
     }
     t.print(std::cout);
     std::printf("\nshape: device waits, unlike host compute, overlap "
@@ -234,9 +252,11 @@ pacedDeviceSweep()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    std::string json_path = bench::jsonPathArg(argc, argv);
+    json::Value json_rows = json::Value::array();
 
     // A 4 MB Sun3/160-class memory budget, minus system overhead:
     // the footnote's benchmark machine.
@@ -292,6 +312,12 @@ main()
                fits ? bench::formatTime(scan) : "(cannot run)",
                bench::formatTime(r.elapsed),
                std::to_string(r.answers.size())});
+
+        json::Value row = bench::responseJson(r);
+        row.set("sweep", "kb_size");
+        row.set("clauses", clauses);
+        row.set("kb_bytes", kb_bytes);
+        json_rows.push(std::move(row));
     }
     t.print(std::cout);
 
@@ -353,9 +379,12 @@ main()
     }
 
     std::printf("\n");
-    workerScalingSweep();
+    workerScalingSweep(json_rows);
     std::printf("\n");
-    pacedDeviceSweep();
+    pacedDeviceSweep(json_rows);
 
+    if (!bench::writeBenchJson(json_path, "scaling",
+                               std::move(json_rows)))
+        return 1;
     return 0;
 }

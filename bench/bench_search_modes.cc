@@ -43,9 +43,16 @@ makeKb(term::SymbolTable &sym, double rule_fraction, std::uint64_t seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    std::string json_path = bench::jsonPathArg(argc, argv);
+    json::Value json_rows = json::Value::array();
+    // Kept alive across KB kinds so the final JSON export can include
+    // the last server's cumulative metrics (and spans when tracing);
+    // the server references its symbol table, so that lives here too.
+    std::vector<std::unique_ptr<term::SymbolTable>> live_syms;
+    std::unique_ptr<bench::CompiledStore> last_store;
 
     struct KbKind
     {
@@ -58,9 +65,12 @@ main()
     };
 
     for (const KbKind &kbkind : kbs) {
-        term::SymbolTable sym;
+        live_syms.push_back(std::make_unique<term::SymbolTable>());
+        term::SymbolTable &sym = *live_syms.back();
         term::Program program = makeKb(sym, kbkind.ruleFraction, 19);
-        bench::CompiledStore cs = bench::compileStore(sym, program);
+        last_store = std::make_unique<bench::CompiledStore>(
+            bench::compileStore(sym, program));
+        bench::CompiledStore &cs = *last_store;
         term::TermReader reader(sym);
         const auto &pred = program.predicates()[0];
 
@@ -107,16 +117,25 @@ main()
                                          crs::SearchMode::Fs1Only,
                                          crs::SearchMode::Fs2Only,
                                          crs::SearchMode::TwoStage}) {
-                crs::RetrievalResult r = cs.server->retrieve(
-                    goal.arena, goal.root, mode);
+                crs::RetrievalRequest req;
+                req.arena = &goal.arena;
+                req.goal = goal.root;
+                req.mode = mode;
+                // Spans go into the JSON export; skip them otherwise.
+                req.trace.enabled = !json_path.empty();
+                crs::RetrievalResponse r = cs.server->serve(req);
                 t.row({crs::searchModeName(mode),
                        std::to_string(r.candidates.size()),
                        std::to_string(r.answers.size()),
                        Table::num(r.falseDropRate(), 3),
-                       bench::formatTime(r.indexTime),
-                       bench::formatTime(r.filterTime),
-                       bench::formatTime(r.hostUnifyTime),
+                       bench::formatTime(r.breakdown.indexTime),
+                       bench::formatTime(r.breakdown.filterTime),
+                       bench::formatTime(r.breakdown.hostUnifyTime),
                        bench::formatTime(r.elapsed)});
+                json::Value row = bench::responseJson(r);
+                row.set("kb", kbkind.name);
+                row.set("query", qk.name);
+                json_rows.push(std::move(row));
             }
             t.print(std::cout);
             std::printf("CRS heuristic selects: %s\n\n",
@@ -131,5 +150,10 @@ main()
                 "whole predicate; rule-intensive KBs blunt the index "
                 "(masked fields), favouring\nthe two-stage filter; "
                 "all-variable queries cannot be filtered at all.\n");
+
+    if (!bench::writeBenchJson(json_path, "search_modes",
+                               std::move(json_rows),
+                               last_store->server.get()))
+        return 1;
     return 0;
 }

@@ -1,18 +1,22 @@
 /**
  * @file
  * Shared helpers for the benchmark harnesses: program-to-store
- * compilation and formatting.
+ * compilation, formatting, and machine-readable JSON export
+ * (`--json <path>` on every harness).
  */
 
 #ifndef CLARE_BENCH_BENCH_UTIL_HH
 #define CLARE_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 
 #include "crs/server.hh"
 #include "crs/store.hh"
+#include "support/json.hh"
+#include "support/obs.hh"
 #include "term/clause.hh"
 #include "term/symbol_table.hh"
 
@@ -65,6 +69,60 @@ formatRate(double bytes_per_second)
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.2f MB/s", bytes_per_second / 1e6);
     return buf;
+}
+
+/**
+ * Parse `--json <path>` / `--json=<path>` from the harness command
+ * line; empty string when absent.  Unknown arguments are ignored so
+ * harness-specific flags can coexist.
+ */
+inline std::string
+jsonPathArg(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            return argv[i + 1];
+        if (std::strncmp(argv[i], "--json=", 7) == 0)
+            return argv[i] + 7;
+    }
+    return "";
+}
+
+/** One retrieval as a JSON row (shared shape across harnesses). */
+inline json::Value
+responseJson(const crs::RetrievalResponse &r)
+{
+    json::Value row = json::Value::object();
+    row.set("mode", crs::searchModeSlug(r.mode));
+    row.set("candidates", static_cast<std::uint64_t>(r.candidates.size()));
+    row.set("answers", static_cast<std::uint64_t>(r.answers.size()));
+    row.set("false_drop_rate", r.falseDropRate());
+    row.set("elapsed_ticks", r.elapsed);
+    row.set("breakdown", crs::toJson(r.breakdown));
+    return row;
+}
+
+/**
+ * Write the harness's machine-readable output: the per-experiment
+ * results plus the server's cumulative metrics (and spans, when any
+ * were traced).  No-op when @p path is empty.
+ */
+inline bool
+writeBenchJson(const std::string &path, const std::string &bench,
+               json::Value results,
+               const crs::ClauseRetrievalServer *server = nullptr)
+{
+    if (path.empty())
+        return true;
+    json::Value doc = json::Value::object();
+    doc.set("bench", bench);
+    doc.set("results", std::move(results));
+    if (server != nullptr) {
+        doc.set("metrics", obs::metricsJson(server->metrics()));
+        if (server->tracer().spanCount() > 0)
+            doc.set("spans", obs::spansJson(server->tracer()));
+    }
+    return obs::writeFile(path, doc.dump(2) + "\n");
 }
 
 } // namespace clare::bench

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Validator for bench `--json` output: parses the file with the same
+ * json library the exporters use and checks the document shape
+ * (top-level object with "bench" and a "results" array).  Exit 0 on a
+ * valid document; a diagnostic and exit 1 otherwise.  Used by the
+ * CLARE_BENCH_JSON ctest smoke target to round-trip a real bench run.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "support/json.hh"
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: json_check <file.json>\n");
+        return 1;
+    }
+
+    std::ifstream in(argv[1]);
+    if (!in) {
+        std::fprintf(stderr, "json_check: cannot read '%s'\n", argv[1]);
+        return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string text = buffer.str();
+
+    std::string error;
+    std::optional<clare::json::Value> doc =
+        clare::json::Value::parse(text, &error);
+    if (!doc) {
+        std::fprintf(stderr, "json_check: '%s' is not valid JSON: %s\n",
+                     argv[1], error.c_str());
+        return 1;
+    }
+    if (!doc->isObject()) {
+        std::fprintf(stderr, "json_check: top level is not an object\n");
+        return 1;
+    }
+    const clare::json::Value *bench = doc->find("bench");
+    if (bench == nullptr || !bench->isString()) {
+        std::fprintf(stderr, "json_check: missing \"bench\" name\n");
+        return 1;
+    }
+    const clare::json::Value *results = doc->find("results");
+    if (results == nullptr || !results->isArray() ||
+        results->size() == 0) {
+        std::fprintf(stderr,
+                     "json_check: missing or empty \"results\" array\n");
+        return 1;
+    }
+
+    std::size_t spans = 0;
+    if (const clare::json::Value *s = doc->find("spans"))
+        spans = s->size();
+    std::printf("json_check: '%s' ok — bench \"%s\", %zu results, "
+                "%zu spans\n",
+                argv[1], bench->str().c_str(), results->size(), spans);
+    return 0;
+}

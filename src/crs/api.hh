@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The unified request/response API of the Clause Retrieval Server.
+ *
+ * One RetrievalRequest (goal, optional mode override, trace options)
+ * enters serve()/serveBatch(); one RetrievalResponse (candidates,
+ * answers, a StageBreakdown of per-stage simulated time, and a trace
+ * handle) comes back.  The legacy retrieve()/retrieveAuto()/
+ * retrieveMany() entry points are thin wrappers over this pair, so
+ * per-stage accounting has a single authoritative code path.
+ */
+
+#ifndef CLARE_CRS_API_HH
+#define CLARE_CRS_API_HH
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "crs/search_mode.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+#include "support/obs.hh"
+#include "support/sim_time.hh"
+#include "term/term.hh"
+#include "unify/tue_op.hh"
+
+namespace clare::crs {
+
+/**
+ * A configuration field rejected by CrsConfig::validate().  Carries
+ * the dotted field path so callers can report (or test) exactly which
+ * knob is incoherent instead of pattern-matching a message.
+ */
+class ConfigError : public std::runtime_error
+{
+  public:
+    ConfigError(std::string field, const std::string &why)
+        : std::runtime_error(field + ": " + why),
+          field_(std::move(field))
+    {
+    }
+
+    /** Dotted path of the offending field, e.g. "fs1.scanRate". */
+    const std::string &field() const { return field_; }
+
+  private:
+    std::string field_;
+};
+
+/** Per-request tracing knobs. */
+struct TraceOptions
+{
+    /** Record spans for this request into the server's tracer. */
+    bool enabled = false;
+
+    /**
+     * Cap on fine-grained detail spans (e.g. FS2 double-buffer fills)
+     * recorded per stage; coarse stage spans are never capped.
+     */
+    std::uint32_t maxDetailSpans = 32;
+};
+
+/** One retrieval, as presented to the unified front door. */
+struct RetrievalRequest
+{
+    /** Arena holding the goal (not owned; must outlive the call). */
+    const term::TermArena *arena = nullptr;
+    term::TermRef goal{};
+    /** Explicit search mode; empty lets the CRS choose. */
+    std::optional<SearchMode> mode;
+    TraceOptions trace{};
+};
+
+/**
+ * Per-stage simulated time of one retrieval.  This is the single
+ * shared shape for stage accounting: RetrievalResponse carries it,
+ * the metrics exporter serializes it, and the bench harnesses print
+ * it — no call site sums stage fields by hand.
+ */
+struct StageBreakdown
+{
+    /**
+     * Pipeline queue wait under serveBatch(): simulated time between
+     * this query's FS1 scan completing and the (serial) back half
+     * picking it up.  Always 0 on the sequential path.
+     */
+    Tick queueWait = 0;
+    Tick indexTime = 0;     ///< FS1 index scan
+    Tick filterTime = 0;    ///< FS2 / software scan / candidate fetch
+    Tick hostUnifyTime = 0; ///< modeled full-unification cost
+
+    /** Service time excluding queueing — the query's own latency. */
+    Tick
+    serviceTime() const
+    {
+        return indexTime + filterTime + hostUnifyTime;
+    }
+
+    /** All stages including queue wait. */
+    Tick
+    total() const
+    {
+        return queueWait + serviceTime();
+    }
+};
+
+/** JSON shape shared by the exporter and the bench harnesses. */
+json::Value toJson(const StageBreakdown &breakdown);
+
+/** Outcome of one retrieval. */
+struct RetrievalResponse
+{
+    SearchMode mode = SearchMode::SoftwareOnly;
+
+    /** Ordinals handed to full unification, in clause order. */
+    std::vector<std::uint32_t> candidates;
+    /** Ordinals that truly unify (the answer set), in clause order. */
+    std::vector<std::uint32_t> answers;
+
+    std::uint64_t indexEntriesScanned = 0;
+    std::uint64_t fs1Hits = 0;
+    std::uint64_t clausesExamined = 0;  ///< by FS2 or software matching
+    unify::TueOpCounts filterOps{};
+
+    /** Per-stage simulated time; breakdown.serviceTime() == elapsed. */
+    StageBreakdown breakdown;
+    /** Total retrieval latency (excludes batch queue wait). */
+    Tick elapsed = 0;
+
+    /**
+     * Root span of this retrieval in the server's tracer, or 0 when
+     * tracing was not requested.
+     */
+    obs::SpanId traceSpan = 0;
+
+    /**
+     * Candidates that failed full unification.  A correct filter never
+     * produces answers outside the candidate set, so the difference is
+     * clamped at zero (the unsigned subtraction used to underflow to
+     * ~2^64 on a false negative); debug builds assert instead so a
+     * filter-correctness regression is loud rather than absurd.
+     */
+    std::uint64_t
+    falseDrops() const
+    {
+#ifndef NDEBUG
+        clare_assert(answers.size() <= candidates.size(),
+                     "filter false negative: %zu answers from %zu "
+                     "candidates", answers.size(), candidates.size());
+#endif
+        return candidates.size() > answers.size()
+            ? candidates.size() - answers.size()
+            : 0;
+    }
+
+    /**
+     * Answers the filter missed (candidate set not a superset of the
+     * answer set).  Always zero for a correct filter; exposed so
+     * oracle-style tests can report the violation instead of watching
+     * falseDrops() underflow.
+     */
+    std::uint64_t
+    falseNegatives() const
+    {
+        return answers.size() > candidates.size()
+            ? answers.size() - candidates.size()
+            : 0;
+    }
+
+    double
+    falseDropRate() const
+    {
+        return candidates.empty()
+            ? 0.0
+            : static_cast<double>(falseDrops()) /
+              static_cast<double>(candidates.size());
+    }
+};
+
+/** Deprecated name kept for pre-observability callers. */
+using RetrievalResult = RetrievalResponse;
+
+} // namespace clare::crs
+
+#endif // CLARE_CRS_API_HH

@@ -37,6 +37,19 @@ searchModeName(SearchMode mode)
     return "?";
 }
 
+/** Identifier-safe mode name (metric keys, JSON fields). */
+constexpr const char *
+searchModeSlug(SearchMode mode)
+{
+    switch (mode) {
+      case SearchMode::SoftwareOnly: return "software";
+      case SearchMode::Fs1Only: return "fs1";
+      case SearchMode::Fs2Only: return "fs2";
+      case SearchMode::TwoStage: return "two_stage";
+    }
+    return "unknown";
+}
+
 /** Number of modes (for sweeps). */
 constexpr std::size_t kSearchModeCount = 4;
 

@@ -17,12 +17,26 @@ using term::TermArena;
 using term::TermKind;
 using term::TermRef;
 
+namespace {
+
+/** Bucket bounds shared by the server's latency histograms (us). */
+std::vector<double>
+latencyBoundsUs()
+{
+    return obs::Histogram::exponential(1.0, 10.0, 9);
+}
+
+constexpr double kTicksPerUs = static_cast<double>(kMicrosecond);
+
+} // namespace
+
 ClauseRetrievalServer::ClauseRetrievalServer(term::SymbolTable &symbols,
                                              const PredicateStore &store,
                                              CrsConfig config)
     : symbols_(symbols), store_(store), config_(config),
       fs1_(store.generator(), config.fs1)
 {
+    config_.validate();
     // The pool supplies workers-1 threads; the calling thread is the
     // last worker (it participates in sharded scans and runs the
     // pipeline back half), so total concurrency equals `workers`.
@@ -39,6 +53,8 @@ ClauseRetrievalServer::ClauseRetrievalServer(term::SymbolTable &symbols,
             : std::min(config_.workers, cores);
         scanAhead_ = scanShards_;
     }
+    metrics_.gauge("crs.workers", "configured pipeline width")
+        .set(config_.workers);
 }
 
 term::PredicateId
@@ -161,86 +177,137 @@ ClauseRetrievalServer::selectMode(const TermArena &q_arena,
 
 fs1::Fs1Result
 ClauseRetrievalServer::scanIndex(const StoredPredicate &stored,
-                                 const TermArena &q_arena,
-                                 TermRef goal) const
+                                 const TermArena &q_arena, TermRef goal,
+                                 const obs::Observer &obs,
+                                 obs::SpanId parent) const
 {
     scw::Signature query_sig = store_.generator().encode(q_arena, goal);
     return fs1_.search(stored.index, query_sig, pool_.get(),
-                       scanShards_);
+                       scanShards_, obs, parent);
 }
 
 void
 ClauseRetrievalServer::hostUnify(const StoredPredicate &stored,
                                  const TermArena &q_arena, TermRef goal,
-                                 RetrievalResult &result) const
+                                 RetrievalResponse &response) const
 {
     term::TermReader reader(symbols_);
-    for (std::uint32_t ordinal : result.candidates) {
+    for (std::uint32_t ordinal : response.candidates) {
         std::string text = stored.clauses.sourceText(ordinal);
         term::Clause clause = reader.parseClause(text);
         if (unify::wouldUnify(q_arena, goal, clause))
-            result.answers.push_back(ordinal);
+            response.answers.push_back(ordinal);
     }
-    result.hostUnifyTime = config_.host.perCandidateUnify *
-        result.candidates.size();
+    response.breakdown.hostUnifyTime = config_.host.perCandidateUnify *
+        response.candidates.size();
 }
 
-RetrievalResult
-ClauseRetrievalServer::retrieveAuto(const TermArena &q_arena,
-                                    TermRef goal)
-{
-    return retrieve(q_arena, goal, selectMode(q_arena, goal));
-}
+// ---------------------------------------------------------------------
+// The unified front door.
+// ---------------------------------------------------------------------
 
-RetrievalResult
-ClauseRetrievalServer::retrieve(const TermArena &q_arena, TermRef goal,
-                                SearchMode mode)
+RetrievalResponse
+ClauseRetrievalServer::serve(const RetrievalRequest &request)
 {
-    RetrievalResult result;
-    result.mode = mode;
+    clare_assert(request.arena != nullptr, "retrieval request has no "
+                 "arena");
+    RetrievalResponse response;
+    response.mode = request.mode
+        ? *request.mode
+        : selectMode(*request.arena, request.goal);
 
-    const StoredPredicate &stored =
-        store_.predicate(goalPredicate(q_arena, goal));
+    const StoredPredicate &stored = store_.predicate(
+        goalPredicate(*request.arena, request.goal));
+    obs::Observer ob = observer(request.trace);
+    obs::ScopedSpan root(ob.tracer, "crs.retrieve");
+    root.attr("mode", std::string(searchModeSlug(response.mode)));
+
     fs1::Fs1Result fs1;
-    if (usesFs1(mode))
-        fs1 = scanIndex(stored, q_arena, goal);
-    finishRetrieval(stored, q_arena, goal, std::move(fs1), result);
-    return result;
+    if (usesFs1(response.mode))
+        fs1 = scanIndex(stored, *request.arena, request.goal, ob,
+                        root.id());
+    finishRetrieval(stored, request, std::move(fs1), ob, root.id(),
+                    response);
+    accountQuery(response, root);
+    return response;
 }
 
-std::vector<RetrievalResult>
-ClauseRetrievalServer::retrieveMany(const std::vector<Request> &batch)
+std::vector<RetrievalResponse>
+ClauseRetrievalServer::serveBatch(const std::vector<RetrievalRequest> &
+                                      batch)
 {
     const std::size_t n = batch.size();
-    std::vector<RetrievalResult> out(n);
+    std::vector<RetrievalResponse> out(n);
     if (n == 0)
         return out;
+
+    ++metrics_.counter("crs.batches", "serveBatch() calls");
+    metrics_.gauge("crs.last_batch_size", "requests in the most recent "
+                   "batch").set(static_cast<double>(n));
 
     // Resolve modes and predicates up front (cheap, read-only) so the
     // pipeline stages below are pure scan/filter work.
     std::vector<SearchMode> modes(n);
     std::vector<const StoredPredicate *> stored(n);
+    bool any_tracing = false;
     for (std::size_t i = 0; i < n; ++i) {
         clare_assert(batch[i].arena != nullptr,
-                     "retrieveMany request %zu has no arena", i);
+                     "serveBatch request %zu has no arena", i);
         modes[i] = batch[i].mode
             ? *batch[i].mode
             : selectMode(*batch[i].arena, batch[i].goal);
         stored[i] = &store_.predicate(
             goalPredicate(*batch[i].arena, batch[i].goal));
         out[i].mode = modes[i];
+        any_tracing = any_tracing || batch[i].trace.enabled;
     }
+
+    // One batch-level span groups every scan and per-query root so
+    // the exported trace stays a single tree even though scans run on
+    // pool workers ahead of their query's back half.
+    obs::ScopedSpan batch_span(any_tracing ? &tracer_ : nullptr,
+                               "crs.batch");
+    batch_span.attr("requests", static_cast<std::uint64_t>(n));
 
     auto scan = [&](std::size_t i) -> fs1::Fs1Result {
         if (!usesFs1(modes[i]))
             return {};
-        return scanIndex(*stored[i], *batch[i].arena, batch[i].goal);
+        return scanIndex(*stored[i], *batch[i].arena, batch[i].goal,
+                         observer(batch[i].trace), batch_span.id());
+    };
+
+    // Modeled pipeline timeline: the FS1 hardware scans the batch
+    // serially while the (serial) host back half drains finished
+    // scans; a scan that finishes before the back half is free waits
+    // in queue.  This is the per-query queueWait — simulated ticks,
+    // deterministic, and independent of the host's real thread
+    // scheduling.  elapsed stays the query's own service time, so the
+    // sequential and pipelined paths agree bit-for-bit on it.
+    Tick fs1_free = 0;
+    Tick back_free = 0;
+    auto finish_one = [&](std::size_t i, fs1::Fs1Result fs1) {
+        obs::ScopedSpan root(batch[i].trace.enabled ? &tracer_ : nullptr,
+                             "crs.retrieve", batch_span.id());
+        root.attr("mode", std::string(searchModeSlug(modes[i])));
+        root.attr("batch_index", static_cast<std::uint64_t>(i));
+        RetrievalRequest request = batch[i];
+        request.mode = modes[i];
+        finishRetrieval(*stored[i], request, std::move(fs1),
+                        observer(batch[i].trace), root.id(), out[i]);
+        if (pool_) {
+            Tick scan_done = fs1_free + out[i].breakdown.indexTime;
+            fs1_free = scan_done;
+            Tick back_start = std::max(scan_done, back_free);
+            out[i].breakdown.queueWait = back_start - scan_done;
+            back_free = back_start + out[i].breakdown.filterTime +
+                out[i].breakdown.hostUnifyTime;
+        }
+        accountQuery(out[i], root);
     };
 
     if (!pool_) {
         for (std::size_t i = 0; i < n; ++i)
-            finishRetrieval(*stored[i], *batch[i].arena, batch[i].goal,
-                            scan(i), out[i]);
+            finish_one(i, scan(i));
         return out;
     }
 
@@ -264,8 +331,7 @@ ClauseRetrievalServer::retrieveMany(const std::vector<Request> &batch)
             fs1::Fs1Result fs1 = pending.front().get();
             pending.pop_front();
             refill();
-            finishRetrieval(*stored[i], *batch[i].arena, batch[i].goal,
-                            std::move(fs1), out[i]);
+            finish_one(i, std::move(fs1));
         }
     } catch (...) {
         // In-flight scans reference locals; drain them before the
@@ -278,24 +344,67 @@ ClauseRetrievalServer::retrieveMany(const std::vector<Request> &batch)
     return out;
 }
 
+// ---------------------------------------------------------------------
+// Deprecated wrappers.
+// ---------------------------------------------------------------------
+
+RetrievalResult
+ClauseRetrievalServer::retrieveAuto(const TermArena &q_arena,
+                                    TermRef goal)
+{
+    RetrievalRequest request;
+    request.arena = &q_arena;
+    request.goal = goal;
+    return serve(request);
+}
+
+RetrievalResult
+ClauseRetrievalServer::retrieve(const TermArena &q_arena, TermRef goal,
+                                SearchMode mode)
+{
+    RetrievalRequest request;
+    request.arena = &q_arena;
+    request.goal = goal;
+    request.mode = mode;
+    return serve(request);
+}
+
+std::vector<RetrievalResult>
+ClauseRetrievalServer::retrieveMany(const std::vector<Request> &batch)
+{
+    return serveBatch(batch);
+}
+
+// ---------------------------------------------------------------------
+// The single back half / accounting path.
+// ---------------------------------------------------------------------
+
 void
 ClauseRetrievalServer::finishRetrieval(const StoredPredicate &stored,
-                                       const TermArena &q_arena,
-                                       TermRef goal, fs1::Fs1Result fs1,
-                                       RetrievalResult &result)
+                                       const RetrievalRequest &request,
+                                       fs1::Fs1Result fs1,
+                                       const obs::Observer &obs,
+                                       obs::SpanId root,
+                                       RetrievalResponse &response)
 {
+    const TermArena &q_arena = *request.arena;
+    TermRef goal = request.goal;
     const storage::ClauseFile &file = stored.clauses;
     const storage::DiskModel &data_disk = store_.dataDisk();
-    SearchMode mode = result.mode;
+    SearchMode mode = response.mode;
+    StageBreakdown &stages = response.breakdown;
 
     if (usesFs1(mode)) {
-        result.indexEntriesScanned = fs1.entriesScanned;
-        result.fs1Hits = fs1.ordinals.size();
+        response.indexEntriesScanned = fs1.entriesScanned;
+        response.fs1Hits = fs1.ordinals.size();
         // The index file streams from disk while FS1 scans on the fly.
         const storage::DiskModel &disk = store_.indexDisk();
         Tick transfer = disk.transferTime(fs1.bytesScanned);
-        result.indexTime = disk.accessTime() +
+        stages.indexTime = disk.accessTime() +
             std::max(transfer, fs1.busyTime);
+        obs::ScopedSpan span(obs.tracer, "disk.index_stream", root);
+        span.attr("bytes", fs1.bytesScanned);
+        span.setSimTicks(stages.indexTime);
     }
 
     pif::Encoder encoder;
@@ -307,6 +416,7 @@ ClauseRetrievalServer::finishRetrieval(const StoredPredicate &stored,
       case SearchMode::SoftwareOnly: {
         // The CRS streams the whole clause file and performs partial
         // matching in software before full unification.
+        obs::ScopedSpan span(obs.tracer, "crs.software_scan", root);
         unify::PifMatcher matcher(unify::PifMatchConfig{
             config_.fs2.level, config_.fs2.crossBinding});
         Tick scan_cost = 0;
@@ -315,69 +425,147 @@ ClauseRetrievalServer::finishRetrieval(const StoredPredicate &stored,
                                                     q_args);
             scan_cost += config_.host.perClause +
                 config_.host.perOp * m.datapathOps();
-            ++result.clausesExamined;
+            ++response.clausesExamined;
             for (std::size_t o = 0; o < unify::kTueOpCount; ++o)
-                result.filterOps[o] += m.opCounts[o];
+                response.filterOps[o] += m.opCounts[o];
             if (m.hit)
-                result.candidates.push_back(
+                response.candidates.push_back(
                     static_cast<std::uint32_t>(i));
         }
         Tick transfer = data_disk.transferTime(file.image().size());
-        result.filterTime = data_disk.accessTime() +
+        stages.filterTime = data_disk.accessTime() +
             std::max(transfer, scan_cost);
+        span.attr("clauses", response.clausesExamined);
+        span.setSimTicks(stages.filterTime);
         break;
       }
 
       case SearchMode::Fs1Only: {
-        result.candidates = std::move(fs1.ordinals);
+        response.candidates = std::move(fs1.ordinals);
         // Fetch the candidate clauses: one sequential sweep of the
         // spanned region, or a seek per candidate — whichever the
         // disk finishes sooner.
-        if (!result.candidates.empty()) {
-            const auto &first = file.record(result.candidates.front());
-            const auto &last = file.record(result.candidates.back());
-            std::uint64_t span = last.offset + last.length - first.offset;
+        if (!response.candidates.empty()) {
+            const auto &first =
+                file.record(response.candidates.front());
+            const auto &last = file.record(response.candidates.back());
+            std::uint64_t span_bytes =
+                last.offset + last.length - first.offset;
             std::uint64_t selected = 0;
-            for (std::uint32_t c : result.candidates)
+            for (std::uint32_t c : response.candidates)
                 selected += file.record(c).length;
             Tick sweep = data_disk.accessTime() +
-                data_disk.transferTime(span);
+                data_disk.transferTime(span_bytes);
             Tick seeks = data_disk.accessTime() *
-                result.candidates.size() +
+                response.candidates.size() +
                 data_disk.transferTime(selected);
-            result.filterTime = std::min(sweep, seeks);
+            stages.filterTime = std::min(sweep, seeks);
+            obs::ScopedSpan span(obs.tracer, "disk.candidate_fetch",
+                                 root);
+            span.attr("candidates",
+                      static_cast<std::uint64_t>(
+                          response.candidates.size()));
+            span.attr("strategy", seeks < sweep
+                      ? std::string("seek_per_candidate")
+                      : std::string("sweep"));
+            span.setSimTicks(stages.filterTime);
         }
         break;
       }
 
       case SearchMode::Fs2Only: {
         fs2::Fs2Engine engine(config_.fs2);
+        engine.setObserver(obs, root, request.trace.maxDetailSpans);
         engine.setQuery(q_args, pred);
         fs2::Fs2SearchResult r = engine.search(file, &data_disk,
                                                stored.clauseFileOffset);
-        result.candidates = r.acceptedOrdinals;
-        result.clausesExamined = r.clausesExamined;
-        result.filterOps = r.ops;
-        result.filterTime = r.elapsed;
+        response.candidates = r.acceptedOrdinals;
+        response.clausesExamined = r.clausesExamined;
+        response.filterOps = r.ops;
+        stages.filterTime = r.elapsed;
         break;
       }
 
       case SearchMode::TwoStage: {
         fs2::Fs2Engine engine(config_.fs2);
+        engine.setObserver(obs, root, request.trace.maxDetailSpans);
         engine.setQuery(q_args, pred);
         fs2::Fs2SearchResult r = engine.searchSelected(
             file, fs1.ordinals, &data_disk, stored.clauseFileOffset);
-        result.candidates = r.acceptedOrdinals;
-        result.clausesExamined = r.clausesExamined;
-        result.filterOps = r.ops;
-        result.filterTime = r.elapsed;
+        response.candidates = r.acceptedOrdinals;
+        response.clausesExamined = r.clausesExamined;
+        response.filterOps = r.ops;
+        stages.filterTime = r.elapsed;
         break;
       }
     }
 
-    hostUnify(stored, q_arena, goal, result);
-    result.elapsed = result.indexTime + result.filterTime +
-        result.hostUnifyTime;
+    // Table 1's operation mix, as cumulative per-op counters.
+    if (mode == SearchMode::Fs2Only || mode == SearchMode::TwoStage) {
+        for (std::size_t o = 0; o < unify::kTueOpCount; ++o) {
+            if (response.filterOps[o] > 0) {
+                obs.metrics->counter(
+                    std::string("fs2.op.") +
+                        unify::tueOpName(
+                            static_cast<unify::TueOp>(o)),
+                    "TUE datapath operations (Table 1)") +=
+                    response.filterOps[o];
+            }
+        }
+    }
+
+    {
+        obs::ScopedSpan span(obs.tracer, "crs.host_unify", root);
+        hostUnify(stored, q_arena, goal, response);
+        span.attr("candidates", static_cast<std::uint64_t>(
+                      response.candidates.size()));
+        span.attr("answers", static_cast<std::uint64_t>(
+                      response.answers.size()));
+        span.setSimTicks(stages.hostUnifyTime);
+    }
+    obs.metrics->counter("crs.host_unify_clauses",
+                         "candidates fully unified on the host") +=
+        response.candidates.size();
+
+    // The one place total latency is derived from the stages.
+    response.elapsed = stages.serviceTime();
+}
+
+void
+ClauseRetrievalServer::accountQuery(RetrievalResponse &response,
+                                    obs::ScopedSpan &root)
+{
+    ++metrics_.counter("crs.queries", "retrievals served");
+    metrics_.counter("crs.candidates",
+                     "candidates across all retrievals") +=
+        response.candidates.size();
+    metrics_.counter("crs.answers", "answers across all retrievals") +=
+        response.answers.size();
+    metrics_.counter("crs.false_drops",
+                     "candidates rejected by full unification") +=
+        response.falseDrops();
+    ++metrics_.counter(std::string("crs.mode.") +
+                       searchModeSlug(response.mode),
+                       "retrievals served in this mode");
+    metrics_.histogram("crs.elapsed_us", latencyBoundsUs(),
+                       "retrieval latency, simulated us")
+        .record(static_cast<double>(response.elapsed) / kTicksPerUs);
+    if (response.breakdown.queueWait > 0) {
+        metrics_.histogram("crs.queue_wait_us", latencyBoundsUs(),
+                           "batch pipeline queue wait, simulated us")
+            .record(static_cast<double>(response.breakdown.queueWait) /
+                    kTicksPerUs);
+    }
+
+    if (root.active()) {
+        response.traceSpan = root.id();
+        root.attr("candidates", static_cast<std::uint64_t>(
+                      response.candidates.size()));
+        root.attr("answers", static_cast<std::uint64_t>(
+                      response.answers.size()));
+        root.attr("queue_wait_ticks", response.breakdown.queueWait);
+        root.setSimTicks(response.breakdown.total());
+    }
 }
 
 } // namespace clare::crs

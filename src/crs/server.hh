@@ -17,12 +17,22 @@
  * retrieval *correctness* (which clauses truly unify) is computed with
  * the real unifier so that false-drop accounting is exact.
  *
+ * The front door is the unified request/response API (crs/api.hh):
+ * serve() retrieves one RetrievalRequest, serveBatch() pipelines a
+ * batch, and both share one accounting path that fills the response's
+ * StageBreakdown.  retrieve()/retrieveAuto()/retrieveMany() remain as
+ * thin wrappers for pre-observability callers.
+ *
  * With `CrsConfig::workers > 1` the server runs a parallel pipeline
  * mirroring the paper's FS1/FS2 overlap: the FS1 index scan is sharded
- * across a worker pool, and retrieveMany() overlaps the FS1 scan of
+ * across a worker pool, and serveBatch() overlaps the FS1 scan of
  * query k+1 with the FS2 filtering and host unification of query k.
  * Results are merged in clause/batch order, so candidate and answer
  * sets are bit-identical to the sequential path at any worker count.
+ *
+ * Every server owns an obs::Tracer (per-request opt-in spans) and an
+ * obs::MetricsRegistry (always-on counters/histograms) wired through
+ * all pipeline layers; export them with obs::exportJson().
  */
 
 #ifndef CLARE_CRS_SERVER_HH
@@ -33,11 +43,13 @@
 #include <optional>
 #include <vector>
 
+#include "crs/api.hh"
 #include "crs/search_mode.hh"
 #include "crs/store.hh"
 #include "fs1/fs1_engine.hh"
 #include "fs2/fs2_engine.hh"
 #include "support/logging.hh"
+#include "support/obs.hh"
 #include "support/sim_time.hh"
 #include "support/thread_pool.hh"
 #include "term/term_reader.hh"
@@ -71,11 +83,20 @@ struct CrsConfig
     /**
      * Total threads the retrieval pipeline may use (including the
      * calling thread).  1 selects the sequential path; N > 1 shards
-     * the FS1 index scan N ways and enables the retrieveMany()
+     * the FS1 index scan N ways and enables the serveBatch()
      * FS1/FS2 overlap.  Candidate and answer sets are identical at
      * every setting.
      */
     std::uint32_t workers = 1;
+
+    /**
+     * Check the host, FS1, FS2, and pipeline settings as one unit,
+     * throwing ConfigError naming the offending field on the first
+     * incoherent value (e.g. workers == 0, a non-positive FS1 scan
+     * rate under paced replay).  The server constructor calls this;
+     * call it directly to vet a config before building stores.
+     */
+    void validate() const;
 };
 
 /** Characteristics of a query goal that drive mode selection. */
@@ -88,106 +109,49 @@ struct QueryProfile
     bool hasVarBearingStructures = false; ///< complex arg containing vars
 };
 
-/** Outcome of one retrieval. */
-struct RetrievalResult
-{
-    SearchMode mode = SearchMode::SoftwareOnly;
-
-    /** Ordinals handed to full unification, in clause order. */
-    std::vector<std::uint32_t> candidates;
-    /** Ordinals that truly unify (the answer set), in clause order. */
-    std::vector<std::uint32_t> answers;
-
-    std::uint64_t indexEntriesScanned = 0;
-    std::uint64_t fs1Hits = 0;
-    std::uint64_t clausesExamined = 0;  ///< by FS2 or software matching
-    unify::TueOpCounts filterOps{};
-
-    Tick indexTime = 0;     ///< FS1 stage elapsed
-    Tick filterTime = 0;    ///< FS2 / software scan elapsed
-    Tick hostUnifyTime = 0; ///< modeled full-unification cost
-    Tick elapsed = 0;       ///< total retrieval latency
-
-    /**
-     * Candidates that failed full unification.  A correct filter never
-     * produces answers outside the candidate set, so the difference is
-     * clamped at zero (the unsigned subtraction used to underflow to
-     * ~2^64 on a false negative); debug builds assert instead so a
-     * filter-correctness regression is loud rather than absurd.
-     */
-    std::uint64_t
-    falseDrops() const
-    {
-#ifndef NDEBUG
-        clare_assert(answers.size() <= candidates.size(),
-                     "filter false negative: %zu answers from %zu "
-                     "candidates", answers.size(), candidates.size());
-#endif
-        return candidates.size() > answers.size()
-            ? candidates.size() - answers.size()
-            : 0;
-    }
-
-    /**
-     * Answers the filter missed (candidate set not a superset of the
-     * answer set).  Always zero for a correct filter; exposed so
-     * oracle-style tests can report the violation instead of watching
-     * falseDrops() underflow.
-     */
-    std::uint64_t
-    falseNegatives() const
-    {
-        return answers.size() > candidates.size()
-            ? answers.size() - candidates.size()
-            : 0;
-    }
-
-    double
-    falseDropRate() const
-    {
-        return candidates.empty()
-            ? 0.0
-            : static_cast<double>(falseDrops()) /
-              static_cast<double>(candidates.size());
-    }
-};
-
 /** The retrieval server. */
 class ClauseRetrievalServer
 {
   public:
-    /** One goal of a retrieveMany() batch. */
-    struct Request
-    {
-        /** Arena holding the goal (not owned; must outlive the call). */
-        const term::TermArena *arena = nullptr;
-        term::TermRef goal{};
-        /** Explicit search mode; empty lets the CRS choose. */
-        std::optional<SearchMode> mode;
-    };
+    /** Deprecated name for the unified request type. */
+    using Request = RetrievalRequest;
 
     /**
      * @param symbols shared symbol table (non-const: candidate clauses
      *        are re-parsed for host-side unification)
+     * @throws ConfigError when @p config is incoherent
      */
     ClauseRetrievalServer(term::SymbolTable &symbols,
                           const PredicateStore &store,
                           CrsConfig config = {});
 
-    /** Retrieve with an explicit mode. */
-    RetrievalResult retrieve(const term::TermArena &q_arena,
-                             term::TermRef goal, SearchMode mode);
-
-    /** Retrieve with the CRS choosing the mode. */
-    RetrievalResult retrieveAuto(const term::TermArena &q_arena,
-                                 term::TermRef goal);
+    /**
+     * The unified front door: retrieve one request.  The response's
+     * breakdown satisfies breakdown.serviceTime() == elapsed and
+     * breakdown.queueWait == 0 (queueing only exists in a batch).
+     */
+    RetrievalResponse serve(const RetrievalRequest &request);
 
     /**
      * Batched front door: retrieve every request, in order.  With
      * workers > 1 the FS1 index scan of request k+1 is pipelined with
-     * the FS2 filtering and host unification of request k; results are
-     * identical to calling retrieve()/retrieveAuto() in a loop.
+     * the FS2 filtering and host unification of request k; candidates,
+     * answers, and elapsed are identical to calling serve() in a loop,
+     * and each response's breakdown.queueWait reports the simulated
+     * time its finished FS1 scan waited for the serial back half.
      */
+    std::vector<RetrievalResponse>
+    serveBatch(const std::vector<RetrievalRequest> &batch);
+
+    /** Deprecated: serve() with an explicit mode and no tracing. */
+    RetrievalResult retrieve(const term::TermArena &q_arena,
+                             term::TermRef goal, SearchMode mode);
+
+    /** Deprecated: serve() with the CRS choosing the mode. */
+    RetrievalResult retrieveAuto(const term::TermArena &q_arena,
+                                 term::TermRef goal);
+
+    /** Deprecated: serveBatch() under its pre-observability name. */
     std::vector<RetrievalResult>
     retrieveMany(const std::vector<Request> &batch);
 
@@ -203,6 +167,14 @@ class ClauseRetrievalServer
 
     /** Cumulative FS1 statistics across this server's retrievals. */
     StatGroup &fs1Stats() { return fs1_.stats(); }
+
+    /** Spans recorded for requests with TraceOptions::enabled. */
+    obs::Tracer &tracer() { return tracer_; }
+    const obs::Tracer &tracer() const { return tracer_; }
+
+    /** Always-on pipeline metrics (counters, histograms). */
+    obs::MetricsRegistry &metrics() { return metrics_; }
+    const obs::MetricsRegistry &metrics() const { return metrics_; }
 
   private:
     term::SymbolTable &symbols_;
@@ -221,12 +193,22 @@ class ClauseRetrievalServer
      */
     std::uint32_t scanShards_ = 1;
     /**
-     * retrieveMany() lookahead: scans in flight at once.  Sized like
+     * serveBatch() lookahead: scans in flight at once.  Sized like
      * scanShards_ — full worker width for paced device-wait scans
      * (waits overlap on any core count), clamped to the core count
      * for CPU-bound scans (oversubscription only thrashes).
      */
     std::uint32_t scanAhead_ = 1;
+
+    obs::Tracer tracer_;
+    obs::MetricsRegistry metrics_;
+
+    /** The per-request observer: tracer only when the request asks. */
+    obs::Observer observer(const TraceOptions &trace)
+    {
+        return obs::Observer{trace.enabled ? &tracer_ : nullptr,
+                             &metrics_};
+    }
 
     term::PredicateId goalPredicate(const term::TermArena &q_arena,
                                     term::TermRef goal) const;
@@ -244,22 +226,28 @@ class ClauseRetrievalServer
      */
     fs1::Fs1Result scanIndex(const StoredPredicate &stored,
                              const term::TermArena &q_arena,
-                             term::TermRef goal) const;
+                             term::TermRef goal,
+                             const obs::Observer &obs,
+                             obs::SpanId parent) const;
 
     /**
      * Everything after the FS1 stage: FS2 / software filtering, host
-     * unification, and timing.  Runs on the calling thread (it parses
-     * candidate clauses through the shared symbol table).
+     * unification, and the single authoritative stage accounting.
+     * Runs on the calling thread (it parses candidate clauses through
+     * the shared symbol table).
      */
     void finishRetrieval(const StoredPredicate &stored,
-                         const term::TermArena &q_arena,
-                         term::TermRef goal, fs1::Fs1Result fs1,
-                         RetrievalResult &result);
+                         const RetrievalRequest &request,
+                         fs1::Fs1Result fs1, const obs::Observer &obs,
+                         obs::SpanId root, RetrievalResponse &response);
 
     /** Host full unification over candidates; fills answers + time. */
     void hostUnify(const StoredPredicate &stored,
                    const term::TermArena &q_arena, term::TermRef goal,
-                   RetrievalResult &result) const;
+                   RetrievalResponse &response) const;
+
+    /** Per-query metrics + root-span finalization (both paths). */
+    void accountQuery(RetrievalResponse &response, obs::ScopedSpan &root);
 };
 
 } // namespace clare::crs

@@ -15,8 +15,13 @@ Fs1Engine::Fs1Engine(scw::CodewordGenerator generator, Fs1Config config)
 Fs1Engine::ShardScan
 Fs1Engine::scanRange(const scw::SecondaryFile &index,
                      const scw::Signature &query,
-                     const scw::EntryRange &range) const
+                     const scw::EntryRange &range,
+                     const obs::Observer &obs, obs::SpanId parent) const
 {
+    // Shard scans run on pool workers, so the parent is explicit (the
+    // thread-local current span belongs to whatever that worker last
+    // ran).
+    obs::ScopedSpan span(obs.tracer, "fs1.shard", parent);
     ShardScan scan;
     for (std::size_t i = range.begin; i < range.end; ++i) {
         scw::IndexEntry entry = index.entry(generator_, i);
@@ -27,6 +32,18 @@ Fs1Engine::scanRange(const scw::SecondaryFile &index,
     }
     scan.entriesScanned = range.size();
     scan.bytesScanned = index.rangeBytes(range);
+    if (span.active()) {
+        span.attr("entries", scan.entriesScanned);
+        span.attr("hits",
+                  static_cast<std::uint64_t>(scan.ordinals.size()));
+        span.attr("bytes", scan.bytesScanned);
+        // This shard's share of the device busy time.  The merged
+        // busyTime is converted once from the summed bytes; a span's
+        // per-shard conversion may differ by a sub-tick rounding.
+        span.setSimTicks(static_cast<Tick>(std::llround(
+            static_cast<double>(scan.bytesScanned) / config_.scanRate *
+            static_cast<double>(kSecond))));
+    }
     if (config_.paceScale > 0) {
         // Paced replay: wait out this shard's share of the device time
         // in scaled real time.  Concurrent shards wait concurrently.
@@ -39,7 +56,8 @@ Fs1Engine::scanRange(const scw::SecondaryFile &index,
 }
 
 Fs1Result
-Fs1Engine::merge(std::vector<ShardScan> shards) const
+Fs1Engine::merge(std::vector<ShardScan> shards,
+                 const obs::Observer &obs) const
 {
     Fs1Result result;
     result.shards = shards.empty()
@@ -73,36 +91,71 @@ Fs1Engine::merge(std::vector<ShardScan> shards) const
         result.ordinals.size();
     stats_.scalar("bytesScanned", "secondary file bytes streamed") +=
         result.bytesScanned;
+
+    // Mirror the fold into the shared metrics registry (the StatGroup
+    // is per-engine; the registry aggregates across the pipeline).
+    if (obs.metrics != nullptr) {
+        ++obs.metrics->counter("fs1.searches",
+                               "FS1 index scans performed");
+        obs.metrics->counter("fs1.entries_scanned",
+                             "index entries examined") +=
+            result.entriesScanned;
+        obs.metrics->counter("fs1.hits",
+                             "entries passing the codeword match") +=
+            result.ordinals.size();
+        obs.metrics->counter("fs1.bytes_scanned",
+                             "secondary file bytes streamed") +=
+            result.bytesScanned;
+    }
     return result;
 }
 
 Fs1Result
 Fs1Engine::search(const scw::SecondaryFile &index,
-                  const scw::Signature &query) const
+                  const scw::Signature &query, const obs::Observer &obs,
+                  obs::SpanId parent) const
 {
+    obs::ScopedSpan span(obs.tracer, "fs1.scan", parent);
     std::vector<ShardScan> one;
     one.push_back(scanRange(index, query,
-                            scw::EntryRange{0, index.entryCount()}));
-    return merge(std::move(one));
+                            scw::EntryRange{0, index.entryCount()},
+                            obs, span.id()));
+    Fs1Result result = merge(std::move(one), obs);
+    if (span.active()) {
+        span.attr("shards", static_cast<std::uint64_t>(result.shards));
+        span.attr("hits",
+                  static_cast<std::uint64_t>(result.ordinals.size()));
+        span.setSimTicks(result.busyTime);
+    }
+    return result;
 }
 
 Fs1Result
 Fs1Engine::search(const scw::SecondaryFile &index,
                   const scw::Signature &query,
-                  support::ThreadPool *pool, std::uint32_t shards) const
+                  support::ThreadPool *pool, std::uint32_t shards,
+                  const obs::Observer &obs, obs::SpanId parent) const
 {
     if (pool == nullptr || pool->threadCount() == 0 || shards <= 1)
-        return search(index, query);
+        return search(index, query, obs, parent);
 
     std::vector<scw::EntryRange> ranges = index.shardRanges(shards);
     if (ranges.size() <= 1)
-        return search(index, query);
+        return search(index, query, obs, parent);
 
+    obs::ScopedSpan span(obs.tracer, "fs1.scan", parent);
     std::vector<ShardScan> scans(ranges.size());
     pool->parallelFor(ranges.size(), [&](std::size_t s) {
-        scans[s] = scanRange(index, query, ranges[s]);
+        scans[s] = scanRange(index, query, ranges[s], obs, span.id());
     });
-    return merge(std::move(scans));
+    Fs1Result result = merge(std::move(scans), obs);
+    if (span.active()) {
+        span.attr("shards", static_cast<std::uint64_t>(result.shards));
+        span.attr("hits",
+                  static_cast<std::uint64_t>(result.ordinals.size()));
+        span.setSimTicks(result.busyTime);
+    }
+    return result;
 }
 
 } // namespace clare::fs1

@@ -28,6 +28,7 @@
 
 #include "scw/codeword.hh"
 #include "scw/index_file.hh"
+#include "support/obs.hh"
 #include "support/sim_time.hh"
 #include "support/stats.hh"
 #include "support/thread_pool.hh"
@@ -82,9 +83,19 @@ class Fs1Engine
     const Fs1Config &config() const { return config_; }
     const scw::CodewordGenerator &generator() const { return generator_; }
 
-    /** Scan a secondary file against a query signature. */
+    /**
+     * Scan a secondary file against a query signature.
+     *
+     * @param obs optional tracer/metrics sinks; a "fs1.scan" span
+     *        wraps the search with one "fs1.shard" child per shard,
+     *        and counters fs1.searches / fs1.entries_scanned /
+     *        fs1.hits / fs1.bytes_scanned accumulate in the registry
+     * @param parent span the "fs1.scan" span nests under (0 = root)
+     */
     Fs1Result search(const scw::SecondaryFile &index,
-                     const scw::Signature &query) const;
+                     const scw::Signature &query,
+                     const obs::Observer &obs = {},
+                     obs::SpanId parent = 0) const;
 
     /**
      * Sharded scan: split the file into @p shards contiguous ranges
@@ -97,8 +108,9 @@ class Fs1Engine
      */
     Fs1Result search(const scw::SecondaryFile &index,
                      const scw::Signature &query,
-                     support::ThreadPool *pool,
-                     std::uint32_t shards) const;
+                     support::ThreadPool *pool, std::uint32_t shards,
+                     const obs::Observer &obs = {},
+                     obs::SpanId parent = 0) const;
 
     /** Cumulative statistics across searches. */
     StatGroup &stats() { return stats_; }
@@ -115,9 +127,12 @@ class Fs1Engine
 
     ShardScan scanRange(const scw::SecondaryFile &index,
                         const scw::Signature &query,
-                        const scw::EntryRange &range) const;
+                        const scw::EntryRange &range,
+                        const obs::Observer &obs,
+                        obs::SpanId parent) const;
 
-    Fs1Result merge(std::vector<ShardScan> shards) const;
+    Fs1Result merge(std::vector<ShardScan> shards,
+                    const obs::Observer &obs) const;
 
     scw::CodewordGenerator generator_;
     Fs1Config config_;

@@ -95,6 +95,9 @@ Fs2Engine::runStream(const ClauseFile &file,
     doubleBuffer_.reset();
     resultMemory_.reset();
 
+    obs::ScopedSpan search_span(observer_.tracer, "fs2.search",
+                                obsParent_);
+
     if (ordinals.empty())
         return result;
 
@@ -156,6 +159,18 @@ Fs2Engine::runStream(const ClauseFile &file,
 
         doubleBuffer_.admit(delivered, processing, rec.length);
 
+        // Per-fill detail spans, capped: a search admits one record
+        // per clause and an uncapped trace would dwarf the rest.
+        if (search_span.active() &&
+            fetched_records <= maxDetailSpans_) {
+            obs::ScopedSpan fill(observer_.tracer, "fs2.db.fill",
+                                 search_span.id());
+            fill.attr("ordinal", static_cast<std::uint64_t>(ordinal));
+            fill.attr("bytes", static_cast<std::uint64_t>(rec.length));
+            fill.attr("delivered_ticks", delivered);
+            fill.setSimTicks(processing);
+        }
+
         ++result.clausesExamined;
         result.bytesStreamed += rec.length;
         if (verdict == ClauseVerdict::Accepted) {
@@ -182,6 +197,38 @@ Fs2Engine::runStream(const ClauseFile &file,
     result.satisfiers = resultMemory_.satisfierCount();
     result.resultOverflow = resultMemory_.overflowed();
     (void)file_offset;
+
+    if (search_span.active()) {
+        search_span.attr("clauses", result.clausesExamined);
+        search_span.attr("accepted", result.hits());
+        search_span.attr("stall_ticks", result.stallTime);
+        search_span.attr("overruns", result.overruns);
+        search_span.setSimTicks(result.elapsed);
+    }
+    if (observer_.metrics != nullptr) {
+        obs::MetricsRegistry &m = *observer_.metrics;
+        ++m.counter("fs2.searches", "FS2 search-mode runs");
+        m.counter("fs2.clauses_examined",
+                  "clause records run through the TUE") +=
+            result.clausesExamined;
+        m.counter("fs2.bytes_streamed",
+                  "clause bytes streamed through the Double Buffer") +=
+            result.bytesStreamed;
+        m.counter("fs2.accepted", "clauses passing the filter") +=
+            result.hits();
+        m.counter("fs2.db.fills",
+                  "records admitted to the Double Buffer") +=
+            result.clausesExamined;
+        m.counter("fs2.db.stall_ticks",
+                  "simulated ticks the engine waited on the disk") +=
+            result.stallTime;
+        m.counter("fs2.db.overruns",
+                  "deliveries that outran the filter") +=
+            result.overruns;
+        m.counter("fs2.micro_instructions",
+                  "WCS microinstructions executed") +=
+            result.microInstructions;
+    }
     return result;
 }
 

@@ -32,6 +32,7 @@
 #include "pif/encoder.hh"
 #include "storage/clause_file.hh"
 #include "storage/disk_model.hh"
+#include "support/obs.hh"
 #include "term/clause.hh"
 #include "unify/tue_op.hh"
 
@@ -95,6 +96,23 @@ class Fs2Engine
     void setQuery(pif::EncodedArgs query, term::PredicateId predicate);
 
     /**
+     * Attach tracer/metrics sinks for subsequent searches.  Each
+     * search records one "fs2.search" span under @p parent plus up to
+     * @p max_detail_spans "fs2.db.fill" children (one per clause
+     * record admitted to the Double Buffer — capped because a search
+     * examines thousands of records), and accumulates fs2.* counters
+     * (clauses examined, bytes streamed, buffer stalls/overruns).
+     */
+    void
+    setObserver(const obs::Observer &obs, obs::SpanId parent = 0,
+                std::uint32_t max_detail_spans = 32)
+    {
+        observer_ = obs;
+        obsParent_ = parent;
+        maxDetailSpans_ = max_detail_spans;
+    }
+
+    /**
      * Search mode over a whole clause file.
      *
      * @param file the compiled clause file (must match the query's
@@ -142,6 +160,10 @@ class Fs2Engine
     pif::EncodedArgs query_;
     term::PredicateId predicate_;
     bool queryLoaded_ = false;
+
+    obs::Observer observer_{};
+    obs::SpanId obsParent_ = 0;
+    std::uint32_t maxDetailSpans_ = 32;
 
     Fs2SearchResult runStream(const storage::ClauseFile &file,
                               const std::vector<std::uint32_t> &ordinals,

@@ -64,8 +64,8 @@ Tick
 DiskModel::stream(std::uint64_t offset, std::uint64_t length,
                   std::uint32_t chunk_bytes, Tick start,
                   const std::function<void(const std::uint8_t *,
-                                           std::uint32_t, Tick)> &sink)
-    const
+                                           std::uint32_t, Tick)> &sink,
+                  const obs::Observer &obs, obs::SpanId parent) const
 {
     clare_assert(chunk_bytes > 0, "chunk size must be positive");
     if (length == 0)
@@ -76,8 +76,11 @@ DiskModel::stream(std::uint64_t offset, std::uint64_t length,
                  static_cast<unsigned long long>(length),
                  image_.size());
 
+    obs::ScopedSpan span(obs.tracer, "disk.stream", parent);
+
     Tick ready = start + accessTime();
     std::uint64_t done = 0;
+    std::uint64_t chunks = 0;
     while (done < length) {
         std::uint32_t n = static_cast<std::uint32_t>(
             std::min<std::uint64_t>(chunk_bytes, length - done));
@@ -86,8 +89,22 @@ DiskModel::stream(std::uint64_t offset, std::uint64_t length,
         Tick delivered = ready + transferTime(done + n);
         sink(image_.data() + offset + done, n, delivered);
         done += n;
+        ++chunks;
     }
-    return ready + transferTime(length);
+    Tick end = ready + transferTime(length);
+    if (span.active()) {
+        span.attr("bytes", length);
+        span.attr("chunks", chunks);
+        span.setSimTicks(end - start);
+    }
+    if (obs.metrics != nullptr) {
+        ++obs.metrics->counter("disk.streams", "DMA stream commands");
+        obs.metrics->counter("disk.bytes_streamed",
+                             "bytes delivered by DMA streams") += length;
+        obs.metrics->counter("disk.chunks", "DMA chunks delivered") +=
+            chunks;
+    }
+    return end;
 }
 
 } // namespace clare::storage

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "support/obs.hh"
 #include "support/sim_time.hh"
 
 namespace clare::storage {
@@ -82,14 +83,19 @@ class DiskModel
      * @param sink called per chunk with (data pointer, size,
      *        delivery-complete time); delivery times include the
      *        initial access time
+     * @param obs optional sinks: a "disk.stream" span (simTicks = the
+     *        modeled access + transfer time) and counters
+     *        disk.streams / disk.bytes_streamed / disk.chunks
+     * @param parent span the "disk.stream" span nests under
      * @return the time the final chunk completes (= start + access +
      *         transfer of all bytes), or start for an empty range
      */
     Tick stream(std::uint64_t offset, std::uint64_t length,
                 std::uint32_t chunk_bytes, Tick start,
                 const std::function<void(const std::uint8_t *,
-                                         std::uint32_t, Tick)> &sink)
-        const;
+                                         std::uint32_t, Tick)> &sink,
+                const obs::Observer &obs = {},
+                obs::SpanId parent = 0) const;
 
   private:
     DiskGeometry geometry_;

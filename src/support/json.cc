@@ -1,0 +1,449 @@
+#include "support/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/logging.hh"
+
+namespace clare::json {
+
+bool
+Value::boolean() const
+{
+    clare_assert(kind_ == Kind::Bool, "json value is not a bool");
+    return bool_;
+}
+
+double
+Value::number() const
+{
+    clare_assert(kind_ == Kind::Number, "json value is not a number");
+    return num_;
+}
+
+const std::string &
+Value::str() const
+{
+    clare_assert(kind_ == Kind::String, "json value is not a string");
+    return str_;
+}
+
+std::size_t
+Value::size() const
+{
+    if (kind_ == Kind::Array)
+        return items_.size();
+    if (kind_ == Kind::Object)
+        return members_.size();
+    return 0;
+}
+
+Value &
+Value::push(Value v)
+{
+    clare_assert(kind_ == Kind::Array, "json push on a non-array");
+    items_.push_back(std::move(v));
+    return *this;
+}
+
+const Value &
+Value::at(std::size_t i) const
+{
+    clare_assert(kind_ == Kind::Array && i < items_.size(),
+                 "json array index %zu out of range", i);
+    return items_[i];
+}
+
+Value &
+Value::set(const std::string &key, Value v)
+{
+    clare_assert(kind_ == Kind::Object, "json set on a non-object");
+    for (auto &member : members_) {
+        if (member.first == key) {
+            member.second = std::move(v);
+            return *this;
+        }
+    }
+    members_.emplace_back(key, std::move(v));
+    return *this;
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &member : members_)
+        if (member.first == key)
+            return &member.second;
+    return nullptr;
+}
+
+// ---------------------------------------------------------------------
+// Serialization.
+// ---------------------------------------------------------------------
+
+namespace {
+
+void
+escapeString(std::string &out, const std::string &s)
+{
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+void
+appendNumber(std::string &out, double v)
+{
+    // Integral values within the double-exact range print as
+    // integers so tick counts survive a round trip textually.
+    if (std::isfinite(v) && v == std::floor(v) &&
+        std::fabs(v) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        out += buf;
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+}
+
+void
+newlineIndent(std::string &out, int indent, int depth)
+{
+    if (indent <= 0)
+        return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+} // namespace
+
+void
+Value::dumpTo(std::string &out, int indent, int depth) const
+{
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        return;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        return;
+      case Kind::Number:
+        appendNumber(out, num_);
+        return;
+      case Kind::String:
+        escapeString(out, str_);
+        return;
+      case Kind::Array: {
+        if (items_.empty()) {
+            out += "[]";
+            return;
+        }
+        out.push_back('[');
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+            if (i > 0)
+                out.push_back(',');
+            newlineIndent(out, indent, depth + 1);
+            items_[i].dumpTo(out, indent, depth + 1);
+        }
+        newlineIndent(out, indent, depth);
+        out.push_back(']');
+        return;
+      }
+      case Kind::Object: {
+        if (members_.empty()) {
+            out += "{}";
+            return;
+        }
+        out.push_back('{');
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            if (i > 0)
+                out.push_back(',');
+            newlineIndent(out, indent, depth + 1);
+            escapeString(out, members_[i].first);
+            out.push_back(':');
+            if (indent > 0)
+                out.push_back(' ');
+            members_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        newlineIndent(out, indent, depth);
+        out.push_back('}');
+        return;
+      }
+    }
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Parsing: a plain recursive-descent parser over the whole text.
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct Parser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    std::string error;
+    bool failed = false;
+
+    bool
+    fail(const std::string &why)
+    {
+        if (!failed) {
+            failed = true;
+            error = why + " at offset " + std::to_string(pos);
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r')) {
+            ++pos;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return fail(std::string("expected '") + c + "'");
+    }
+
+    bool
+    literal(const char *word, std::size_t len)
+    {
+        if (text.compare(pos, len, word) != 0)
+            return fail(std::string("bad literal"));
+        pos += len;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        while (pos < text.size()) {
+            char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos >= text.size())
+                return fail("dangling escape");
+            char e = text[pos++];
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                if (pos + 4 > text.size())
+                    return fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text[pos++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                // Encode the code point as UTF-8 (surrogate pairs are
+                // passed through as two separate 3-byte sequences —
+                // good enough for the ASCII-centric dumps we write).
+                if (cp < 0x80) {
+                    out.push_back(static_cast<char>(cp));
+                } else if (cp < 0x800) {
+                    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+                    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+                } else {
+                    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+                    out.push_back(
+                        static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+                    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(Value &out)
+    {
+        std::size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E' || text[pos] == '+' ||
+                text[pos] == '-')) {
+            ++pos;
+        }
+        if (pos == start)
+            return fail("expected a number");
+        char *end = nullptr;
+        std::string slice = text.substr(start, pos - start);
+        double v = std::strtod(slice.c_str(), &end);
+        if (end == nullptr || *end != '\0')
+            return fail("malformed number");
+        out = Value(v);
+        return true;
+    }
+
+    bool
+    parseValue(Value &out, int depth)
+    {
+        if (depth > 128)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        char c = text[pos];
+        if (c == 'n')
+            return literal("null", 4) && ((out = Value()), true);
+        if (c == 't')
+            return literal("true", 4) && ((out = Value(true)), true);
+        if (c == 'f')
+            return literal("false", 5) && ((out = Value(false)), true);
+        if (c == '"') {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Value(std::move(s));
+            return true;
+        }
+        if (c == '[') {
+            ++pos;
+            out = Value::array();
+            skipWs();
+            if (pos < text.size() && text[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                Value item;
+                if (!parseValue(item, depth + 1))
+                    return false;
+                out.push(std::move(item));
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                return consume(']');
+            }
+        }
+        if (c == '{') {
+            ++pos;
+            out = Value::object();
+            skipWs();
+            if (pos < text.size() && text[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (!consume(':'))
+                    return false;
+                Value member;
+                if (!parseValue(member, depth + 1))
+                    return false;
+                out.set(key, std::move(member));
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                return consume('}');
+            }
+        }
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+            return parseNumber(out);
+        return fail("unexpected character");
+    }
+};
+
+} // namespace
+
+std::optional<Value>
+Value::parse(const std::string &text, std::string *error)
+{
+    Parser p{text, 0, {}};
+    Value v;
+    if (!p.parseValue(v, 0)) {
+        if (error != nullptr)
+            *error = p.error;
+        return std::nullopt;
+    }
+    p.skipWs();
+    if (p.pos != text.size()) {
+        p.fail("trailing garbage");
+        if (error != nullptr)
+            *error = p.error;
+        return std::nullopt;
+    }
+    return v;
+}
+
+} // namespace clare::json

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * A minimal JSON document model: build, serialize, and parse.
+ *
+ * The observability exporter writes metrics/span dumps and the bench
+ * harnesses write `--json` result files with it; the round-trip tests
+ * and the `json_check` smoke tool parse them back.  The model is
+ * deliberately small — ordered objects, double-precision numbers,
+ * UTF-8 pass-through strings — not a general-purpose JSON library.
+ */
+
+#ifndef CLARE_SUPPORT_JSON_HH
+#define CLARE_SUPPORT_JSON_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace clare::json {
+
+/** One JSON value; arrays and objects own their children. */
+class Value
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Value() = default;
+    Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Value(double d) : kind_(Kind::Number), num_(d) {}
+    Value(std::uint64_t n)
+        : kind_(Kind::Number), num_(static_cast<double>(n)) {}
+    Value(std::int64_t n)
+        : kind_(Kind::Number), num_(static_cast<double>(n)) {}
+    Value(int n) : kind_(Kind::Number), num_(n) {}
+    Value(unsigned n) : kind_(Kind::Number), num_(n) {}
+    Value(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+    Value(const char *s) : kind_(Kind::String), str_(s) {}
+
+    static Value array() { return Value(Kind::Array); }
+    static Value object() { return Value(Kind::Object); }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Scalar accessors; fatal on kind mismatch. */
+    bool boolean() const;
+    double number() const;
+    const std::string &str() const;
+
+    /** Array/object element count (0 for scalars). */
+    std::size_t size() const;
+
+    /** Append to an array; returns *this for chaining. */
+    Value &push(Value v);
+    /** Array element access (fatal out of range). */
+    const Value &at(std::size_t i) const;
+
+    /** Set an object member (replacing an existing key). */
+    Value &set(const std::string &key, Value v);
+    /** Look up an object member; null when absent or not an object. */
+    const Value *find(const std::string &key) const;
+    /** Object members in insertion order. */
+    const std::vector<std::pair<std::string, Value>> &members() const
+    {
+        return members_;
+    }
+
+    /**
+     * Serialize.  @p indent > 0 pretty-prints with that many spaces
+     * per level; 0 emits a compact single line.
+     */
+    std::string dump(int indent = 0) const;
+
+    /**
+     * Parse a complete JSON document.  Returns nullopt on malformed
+     * input and, when @p error is non-null, describes the failure
+     * with an offset.
+     */
+    static std::optional<Value> parse(const std::string &text,
+                                      std::string *error = nullptr);
+
+  private:
+    explicit Value(Kind kind) : kind_(kind) {}
+
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<Value> items_;
+    std::vector<std::pair<std::string, Value>> members_;
+};
+
+} // namespace clare::json
+
+#endif // CLARE_SUPPORT_JSON_HH

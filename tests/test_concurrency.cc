@@ -244,7 +244,8 @@ TEST_F(PipelineTest, ShardedRetrievalIsBitIdenticalAcrossWorkerCounts)
                           seq.indexEntriesScanned);
                 // Shard byte counts are summed before the tick
                 // conversion, so the timing matches to the tick.
-                EXPECT_EQ(par.indexTime, seq.indexTime);
+                EXPECT_EQ(par.breakdown.indexTime,
+                          seq.breakdown.indexTime);
                 EXPECT_EQ(par.elapsed, seq.elapsed);
             }
         }

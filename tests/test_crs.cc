@@ -168,13 +168,18 @@ TEST_F(CrsTest, TimingFieldsPopulated)
 {
     buildStore("p(a).\np(b).\np(c).\n");
     RetrievalResult sw = retrieve("p(a)", SearchMode::SoftwareOnly);
-    EXPECT_GT(sw.filterTime, 0u);
+    EXPECT_GT(sw.breakdown.filterTime, 0u);
     EXPECT_GT(sw.elapsed, 0u);
     RetrievalResult fs1 = retrieve("p(a)", SearchMode::Fs1Only);
-    EXPECT_GT(fs1.indexTime, 0u);
+    EXPECT_GT(fs1.breakdown.indexTime, 0u);
     RetrievalResult two = retrieve("p(a)", SearchMode::TwoStage);
-    EXPECT_GT(two.indexTime, 0u);
-    EXPECT_GT(two.elapsed, two.indexTime);
+    EXPECT_GT(two.breakdown.indexTime, 0u);
+    EXPECT_GT(two.elapsed, two.breakdown.indexTime);
+    // The breakdown is the authoritative accounting: its service time
+    // (queue wait excluded) is exactly the reported latency.
+    EXPECT_EQ(two.breakdown.serviceTime(), two.elapsed);
+    EXPECT_EQ(two.breakdown.queueWait, 0u);
+    EXPECT_EQ(two.breakdown.total(), two.elapsed);
 }
 
 TEST_F(CrsTest, ProfileQuery)
