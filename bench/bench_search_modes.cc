@@ -47,6 +47,24 @@ main(int argc, char **argv)
 {
     setQuiet(true);
     std::string json_path = bench::jsonPathArg(argc, argv);
+    // --fault-seed=N (+ --fault-flip/--fault-transient/--fault-delay
+    // rates) runs the whole experiment against deterministically
+    // faulty disks; absent, the run is bit-identical to a fault-free
+    // build.
+    std::optional<support::FaultConfig> fault_config =
+        bench::faultConfigArg(argc, argv);
+    std::unique_ptr<support::FaultInjector> injector;
+    crs::CrsConfig crs_config;
+    if (fault_config) {
+        injector = std::make_unique<support::FaultInjector>(*fault_config);
+        crs_config.faults = injector.get();
+        std::printf("fault injection armed: seed=%llu flip=%.3g "
+                    "transient=%.3g delay=%.3g\n\n",
+                    static_cast<unsigned long long>(fault_config->seed),
+                    fault_config->bitFlipRate,
+                    fault_config->transientReadRate,
+                    fault_config->delayRate);
+    }
     json::Value json_rows = json::Value::array();
     // Kept alive across KB kinds so the final JSON export can include
     // the last server's cumulative metrics (and spans when tracing);
@@ -69,7 +87,7 @@ main(int argc, char **argv)
         term::SymbolTable &sym = *live_syms.back();
         term::Program program = makeKb(sym, kbkind.ruleFraction, 19);
         last_store = std::make_unique<bench::CompiledStore>(
-            bench::compileStore(sym, program));
+            bench::compileStore(sym, program, {}, crs_config));
         bench::CompiledStore &cs = *last_store;
         term::TermReader reader(sym);
         const auto &pred = program.predicates()[0];
@@ -123,8 +141,25 @@ main(int argc, char **argv)
                 req.mode = mode;
                 // Spans go into the JSON export; skip them otherwise.
                 req.trace.enabled = !json_path.empty();
-                crs::RetrievalResponse r = cs.server->serve(req);
-                t.row({crs::searchModeName(mode),
+                crs::RetrievalResponse r;
+                try {
+                    r = cs.server->serve(req);
+                } catch (const IoError &e) {
+                    // Bounded retries exhausted at this fault seed.
+                    t.row({crs::searchModeName(mode), "-", "-", "-",
+                           "-", "-", "-", "unreadable"});
+                    json::Value row = json::Value::object();
+                    row.set("mode", crs::searchModeSlug(mode));
+                    row.set("kb", kbkind.name);
+                    row.set("query", qk.name);
+                    row.set("io_error", std::string(e.what()));
+                    json_rows.push(std::move(row));
+                    continue;
+                }
+                std::string mode_cell = crs::searchModeName(mode);
+                if (r.degraded)
+                    mode_cell += " (degraded)";
+                t.row({mode_cell,
                        std::to_string(r.candidates.size()),
                        std::to_string(r.answers.size()),
                        Table::num(r.falseDropRate(), 3),
@@ -135,6 +170,14 @@ main(int argc, char **argv)
                 json::Value row = bench::responseJson(r);
                 row.set("kb", kbkind.name);
                 row.set("query", qk.name);
+                // Only armed runs carry the degradation fields, so a
+                // default run's JSON is byte-stable across builds.
+                if (fault_config) {
+                    row.set("degraded", r.degraded);
+                    row.set("corrupt_index_pages",
+                            static_cast<std::uint64_t>(
+                                r.corruptIndexPages));
+                }
                 json_rows.push(std::move(row));
             }
             t.print(std::cout);

@@ -9,12 +9,15 @@
 #define CLARE_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "crs/server.hh"
 #include "crs/store.hh"
+#include "support/fault_injector.hh"
 #include "support/json.hh"
 #include "support/obs.hh"
 #include "term/clause.hh"
@@ -86,6 +89,45 @@ jsonPathArg(int argc, char **argv)
             return argv[i] + 7;
     }
     return "";
+}
+
+/**
+ * Parse the optional fault-injection knobs: `--fault-seed=N` arms the
+ * deterministic injector, and `--fault-flip=R` / `--fault-transient=R`
+ * / `--fault-delay=R` set the per-chunk fault rates (in [0,1]).
+ * Returns nullopt unless --fault-seed was given, so a default run is
+ * bit-identical to a fault-free build.
+ */
+inline std::optional<support::FaultConfig>
+faultConfigArg(int argc, char **argv)
+{
+    std::optional<support::FaultConfig> config;
+    auto value = [](const char *arg, const char *name) -> const char * {
+        std::size_t n = std::strlen(name);
+        if (std::strncmp(arg, name, n) == 0 && arg[n] == '=')
+            return arg + n + 1;
+        return nullptr;
+    };
+    double flip = 0, transient = 0, delay = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (const char *v = value(argv[i], "--fault-seed")) {
+            if (!config)
+                config.emplace();
+            config->seed = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = value(argv[i], "--fault-flip")) {
+            flip = std::strtod(v, nullptr);
+        } else if (const char *v = value(argv[i], "--fault-transient")) {
+            transient = std::strtod(v, nullptr);
+        } else if (const char *v = value(argv[i], "--fault-delay")) {
+            delay = std::strtod(v, nullptr);
+        }
+    }
+    if (config) {
+        config->bitFlipRate = flip;
+        config->transientReadRate = transient;
+        config->delayRate = delay;
+    }
+    return config;
 }
 
 /** One retrieval as a JSON row (shared shape across harnesses). */

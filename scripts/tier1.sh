@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the canonical build + full test suite, then the
+# fault-injection/corruption suites again under ASan+UBSan so the
+# error paths are proven free of undefined behavior, not just of
+# wrong answers.
+#
+# Usage: scripts/tier1.sh [build-dir] [asan-build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+ASAN_BUILD="${2:-build-asan}"
+
+echo "== tier-1: default build + full ctest =="
+cmake -B "$BUILD" -S .
+cmake --build "$BUILD" -j
+ctest --test-dir "$BUILD" --output-on-failure -j
+
+echo "== tier-1: ASan+UBSan build + faults-labeled tests =="
+cmake -B "$ASAN_BUILD" -S . -DCLARE_SANITIZE=address
+cmake --build "$ASAN_BUILD" -j
+ctest --test-dir "$ASAN_BUILD" -L faults --output-on-failure -j
+
+echo "tier-1 OK"

@@ -75,6 +75,14 @@ CrsConfig::validate() const
             "need at least the calling thread (sequential path is 1)");
     require(workers <= 1024, "workers",
             "more than 1024 workers is a configuration error");
+
+    // Fault handling: zero attempts would mean "never read anything";
+    // an unbounded retry count turns a permanently bad sector into a
+    // hang, so the bound is part of the contract.
+    require(retry.maxAttempts >= 1, "retry.maxAttempts",
+            "need at least one read attempt per chunk");
+    require(retry.maxAttempts <= 64, "retry.maxAttempts",
+            "more than 64 retries only hides a dead device");
 }
 
 } // namespace clare::crs

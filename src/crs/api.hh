@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "crs/search_mode.hh"
+#include "support/errors.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
 #include "support/obs.hh"
@@ -32,13 +33,15 @@ namespace clare::crs {
 /**
  * A configuration field rejected by CrsConfig::validate().  Carries
  * the dotted field path so callers can report (or test) exactly which
- * knob is incoherent instead of pattern-matching a message.
+ * knob is incoherent instead of pattern-matching a message.  Rooted at
+ * clare::Error like the I/O taxonomy, so one catch covers every typed
+ * failure the server can raise.
  */
-class ConfigError : public std::runtime_error
+class ConfigError : public Error
 {
   public:
     ConfigError(std::string field, const std::string &why)
-        : std::runtime_error(field + ": " + why),
+        : Error(field + ": " + why),
           field_(std::move(field))
     {
     }
@@ -135,6 +138,27 @@ struct RetrievalResponse
      * tracing was not requested.
      */
     obs::SpanId traceSpan = 0;
+
+    /**
+     * The predicate's index was corrupt or unreadable, so the
+     * retrieval was downgraded to a full FS2 scan.  The answer set is
+     * unaffected — host unification removes the extra candidates —
+     * but candidates and timing reflect the full scan.
+     */
+    bool degraded = false;
+    /** Index pages that failed their CRC check (when degraded). */
+    std::uint32_t corruptIndexPages = 0;
+
+    /**
+     * FS2's Result Memory ran out of 512-byte slots mid-search.  The
+     * candidate set is still complete; the satisfiers past capacity
+     * were requeued through the host's ordinary candidate fetch
+     * (already billed per candidate by hostUnify) instead of the real
+     * hardware's silent address-counter wraparound over slot 0.
+     */
+    bool resultOverflow = false;
+    /** Satisfiers re-fetched through the overflow requeue pass. */
+    std::uint32_t satisfiersRequeued = 0;
 
     /**
      * Candidates that failed full unification.  A correct filter never

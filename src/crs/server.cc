@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "support/crc32.hh"
 #include "support/logging.hh"
 #include "unify/oracle.hh"
 #include "unify/pif_matcher.hh"
@@ -37,6 +38,16 @@ ClauseRetrievalServer::ClauseRetrievalServer(term::SymbolTable &symbols,
       fs1_(store.generator(), config.fs1)
 {
     config_.validate();
+#ifdef CLARE_FAULT_INJECT
+    // Opt-in builds let the environment drive the oracle so any
+    // binary (benches, fuzz sweeps) can replay a fault seed without a
+    // code change; release builds carry no hook.
+    if (config_.faults == nullptr)
+        config_.faults = support::envFaultInjector();
+#endif
+    if (config_.faults != nullptr &&
+        !config_.faults->config().anyFaults())
+        config_.faults = nullptr;
     // The pool supplies workers-1 threads; the calling thread is the
     // last worker (it participates in sharded scans and runs the
     // pipeline back half), so total concurrency equals `workers`.
@@ -175,15 +186,59 @@ ClauseRetrievalServer::selectMode(const TermArena &q_arena,
     return SearchMode::Fs1Only;
 }
 
-fs1::Fs1Result
+IndexScan
 ClauseRetrievalServer::scanIndex(const StoredPredicate &stored,
                                  const TermArena &q_arena, TermRef goal,
                                  const obs::Observer &obs,
                                  obs::SpanId parent) const
 {
+    IndexScan scan;
+    if (config_.faults != nullptr) {
+        const support::FaultInjector &faults = *config_.faults;
+        const std::vector<std::uint8_t> &image = stored.index.image();
+        const storage::DiskModel &disk = store_.indexDisk();
+        const std::uint64_t base = stored.indexFileOffset;
+
+        support::RangeFaults rf = faults.rangeFaults(
+            "disk.index", base, image.size(),
+            config_.retry.maxAttempts);
+        scan.faultTicks = static_cast<Tick>(rf.retries) *
+            disk.accessTime() + rf.delayTicks;
+        if (rf.permanent) {
+            scan.unreadable = true;
+            return scan;
+        }
+
+        // Verify the delivered copy page by page against the CRCs
+        // computed at finalize().  Only faulted pages are actually
+        // copied; clean pages are checked in place, so the scan reads
+        // the master image exactly when it is provably intact.
+        constexpr std::uint32_t page_bytes =
+            support::kChecksumPageBytes;
+        std::vector<std::uint8_t> scratch;
+        for (std::size_t p = 0; p < stored.indexPageCrcs.size(); ++p) {
+            std::size_t off = p * static_cast<std::size_t>(page_bytes);
+            std::size_t n = std::min<std::size_t>(page_bytes,
+                                                  image.size() - off);
+            const std::uint8_t *page = image.data() + off;
+            std::uint64_t key = faults.chunkKey(base + off);
+            if (faults.corruptChunk("disk.index", key)) {
+                scratch.assign(page, page + n);
+                faults.flipBit("disk.index", key, scratch.data(),
+                               scratch.size());
+                page = scratch.data();
+            }
+            if (support::crc32(page, n) != stored.indexPageCrcs[p])
+                ++scan.corruptPages;
+        }
+        if (scan.corruptPages > 0)
+            return scan;
+    }
+
     scw::Signature query_sig = store_.generator().encode(q_arena, goal);
-    return fs1_.search(stored.index, query_sig, pool_.get(),
-                       scanShards_, obs, parent);
+    scan.fs1 = fs1_.search(stored.index, query_sig, pool_.get(),
+                           scanShards_, obs, parent);
+    return scan;
 }
 
 void
@@ -222,11 +277,11 @@ ClauseRetrievalServer::serve(const RetrievalRequest &request)
     obs::ScopedSpan root(ob.tracer, "crs.retrieve");
     root.attr("mode", std::string(searchModeSlug(response.mode)));
 
-    fs1::Fs1Result fs1;
+    IndexScan scan;
     if (usesFs1(response.mode))
-        fs1 = scanIndex(stored, *request.arena, request.goal, ob,
-                        root.id());
-    finishRetrieval(stored, request, std::move(fs1), ob, root.id(),
+        scan = scanIndex(stored, *request.arena, request.goal, ob,
+                         root.id());
+    finishRetrieval(stored, request, std::move(scan), ob, root.id(),
                     response);
     accountQuery(response, root);
     return response;
@@ -269,7 +324,7 @@ ClauseRetrievalServer::serveBatch(const std::vector<RetrievalRequest> &
                                "crs.batch");
     batch_span.attr("requests", static_cast<std::uint64_t>(n));
 
-    auto scan = [&](std::size_t i) -> fs1::Fs1Result {
+    auto scan = [&](std::size_t i) -> IndexScan {
         if (!usesFs1(modes[i]))
             return {};
         return scanIndex(*stored[i], *batch[i].arena, batch[i].goal,
@@ -285,14 +340,14 @@ ClauseRetrievalServer::serveBatch(const std::vector<RetrievalRequest> &
     // sequential and pipelined paths agree bit-for-bit on it.
     Tick fs1_free = 0;
     Tick back_free = 0;
-    auto finish_one = [&](std::size_t i, fs1::Fs1Result fs1) {
+    auto finish_one = [&](std::size_t i, IndexScan scanned) {
         obs::ScopedSpan root(batch[i].trace.enabled ? &tracer_ : nullptr,
                              "crs.retrieve", batch_span.id());
         root.attr("mode", std::string(searchModeSlug(modes[i])));
         root.attr("batch_index", static_cast<std::uint64_t>(i));
         RetrievalRequest request = batch[i];
         request.mode = modes[i];
-        finishRetrieval(*stored[i], request, std::move(fs1),
+        finishRetrieval(*stored[i], request, std::move(scanned),
                         observer(batch[i].trace), root.id(), out[i]);
         if (pool_) {
             Tick scan_done = fs1_free + out[i].breakdown.indexTime;
@@ -316,7 +371,7 @@ ClauseRetrievalServer::serveBatch(const std::vector<RetrievalRequest> &
     // FS1-ahead-of-FS2 overlap).  Up to `workers` scans are in flight
     // so their device/disk waits overlap each other, not just the
     // back half.  Requests complete in batch order regardless.
-    std::deque<std::future<fs1::Fs1Result>> pending;
+    std::deque<std::future<IndexScan>> pending;
     std::size_t next = 0;
     auto refill = [&] {
         while (next < n && pending.size() < scanAhead_) {
@@ -328,15 +383,15 @@ ClauseRetrievalServer::serveBatch(const std::vector<RetrievalRequest> &
     refill();
     try {
         for (std::size_t i = 0; i < n; ++i) {
-            fs1::Fs1Result fs1 = pending.front().get();
+            IndexScan scanned = pending.front().get();
             pending.pop_front();
             refill();
-            finish_one(i, std::move(fs1));
+            finish_one(i, std::move(scanned));
         }
     } catch (...) {
         // In-flight scans reference locals; drain them before the
         // locals go out of scope.
-        for (std::future<fs1::Fs1Result> &f : pending)
+        for (std::future<IndexScan> &f : pending)
             if (f.valid())
                 f.wait();
         throw;
@@ -382,7 +437,7 @@ ClauseRetrievalServer::retrieveMany(const std::vector<Request> &batch)
 void
 ClauseRetrievalServer::finishRetrieval(const StoredPredicate &stored,
                                        const RetrievalRequest &request,
-                                       fs1::Fs1Result fs1,
+                                       IndexScan scan,
                                        const obs::Observer &obs,
                                        obs::SpanId root,
                                        RetrievalResponse &response)
@@ -391,8 +446,34 @@ ClauseRetrievalServer::finishRetrieval(const StoredPredicate &stored,
     TermRef goal = request.goal;
     const storage::ClauseFile &file = stored.clauses;
     const storage::DiskModel &data_disk = store_.dataDisk();
-    SearchMode mode = response.mode;
+    fs1::Fs1Result &fs1 = scan.fs1;
     StageBreakdown &stages = response.breakdown;
+
+    if (usesFs1(response.mode) && !scan.healthy()) {
+        // Graceful degradation: the index cannot be trusted (a page
+        // failed its CRC) or read at all, so this query runs as a
+        // full FS2 scan of the clause file instead.  Host unification
+        // removes the extra candidates, so the answer set is exactly
+        // what the healthy index would have produced.  The index read
+        // that discovered the damage is still charged.
+        response.degraded = true;
+        response.corruptIndexPages = scan.corruptPages;
+        response.mode = SearchMode::Fs2Only;
+        const storage::DiskModel &disk = store_.indexDisk();
+        stages.indexTime = disk.accessTime() +
+            disk.transferTime(stored.index.image().size()) +
+            scan.faultTicks;
+        obs::ScopedSpan span(obs.tracer, "disk.index_stream", root);
+        span.attr("bytes",
+                  static_cast<std::uint64_t>(
+                      stored.index.image().size()));
+        span.attr("corrupt_pages", static_cast<std::uint64_t>(
+                      scan.corruptPages));
+        span.attr("unreadable",
+                  static_cast<std::uint64_t>(scan.unreadable ? 1 : 0));
+        span.setSimTicks(stages.indexTime);
+    }
+    SearchMode mode = response.mode;
 
     if (usesFs1(mode)) {
         response.indexEntriesScanned = fs1.entriesScanned;
@@ -401,7 +482,7 @@ ClauseRetrievalServer::finishRetrieval(const StoredPredicate &stored,
         const storage::DiskModel &disk = store_.indexDisk();
         Tick transfer = disk.transferTime(fs1.bytesScanned);
         stages.indexTime = disk.accessTime() +
-            std::max(transfer, fs1.busyTime);
+            std::max(transfer, fs1.busyTime) + scan.faultTicks;
         obs::ScopedSpan span(obs.tracer, "disk.index_stream", root);
         span.attr("bytes", fs1.bytesScanned);
         span.setSimTicks(stages.indexTime);
@@ -482,6 +563,8 @@ ClauseRetrievalServer::finishRetrieval(const StoredPredicate &stored,
         response.candidates = r.acceptedOrdinals;
         response.clausesExamined = r.clausesExamined;
         response.filterOps = r.ops;
+        response.resultOverflow = r.resultOverflow;
+        response.satisfiersRequeued = r.satisfiersDropped;
         stages.filterTime = r.elapsed;
         break;
       }
@@ -495,9 +578,82 @@ ClauseRetrievalServer::finishRetrieval(const StoredPredicate &stored,
         response.candidates = r.acceptedOrdinals;
         response.clausesExamined = r.clausesExamined;
         response.filterOps = r.ops;
+        response.resultOverflow = r.resultOverflow;
+        response.satisfiersRequeued = r.satisfiersDropped;
         stages.filterTime = r.elapsed;
         break;
       }
+    }
+
+    // resultOverflow / satisfiersRequeued: satisfiers past the Result
+    // Memory's capacity were never captured (the real 6-bit counter
+    // would wrap and silently overwrite slot 0); they are requeued
+    // through the host's ordinary candidate fetch, which hostUnify()
+    // already bills per candidate.  The response fields alone carry
+    // the signal — overflow is data-dependent and occurs in fault-free
+    // runs, so a new span or counter here would perturb the trace and
+    // metrics dumps of clean runs.
+
+    if (config_.faults != nullptr) {
+        // Model the fault exposure of this query's data-disk reads.
+        // A transient error costs a re-seek per retry; a corrupt page
+        // is caught by its checksum and recovered with a re-seek plus
+        // a page re-transfer; a permanently unreadable chunk is a
+        // typed I/O failure.
+        std::uint64_t range_start = 0;
+        std::uint64_t range_len = 0;
+        if (mode == SearchMode::SoftwareOnly ||
+            mode == SearchMode::Fs2Only) {
+            range_len = file.image().size();
+        } else {
+            const std::vector<std::uint32_t> &fetched =
+                mode == SearchMode::TwoStage ? fs1.ordinals
+                                             : response.candidates;
+            if (!fetched.empty()) {
+                const auto &first = file.record(fetched.front());
+                const auto &last = file.record(fetched.back());
+                range_start = first.offset;
+                range_len = last.offset + last.length - first.offset;
+            }
+        }
+        if (range_len > 0) {
+            support::RangeFaults rf = config_.faults->rangeFaults(
+                "disk.data", stored.clauseFileOffset + range_start,
+                range_len, config_.retry.maxAttempts);
+            if (rf.permanent)
+                throw IoError(data_disk.geometry().name,
+                              "clause data unreadable after " +
+                              std::to_string(
+                                  config_.retry.maxAttempts) +
+                              " attempts");
+            Tick penalty = static_cast<Tick>(rf.retries) *
+                data_disk.accessTime() + rf.delayTicks;
+            penalty += static_cast<Tick>(rf.corruptChunks) *
+                (data_disk.accessTime() +
+                 data_disk.transferTime(support::kChecksumPageBytes));
+            stages.filterTime += penalty;
+            if (obs.metrics != nullptr) {
+                if (rf.retries > 0)
+                    obs.metrics->counter(
+                        "disk.retry.attempts",
+                        "chunk re-reads after transient errors") +=
+                        rf.retries;
+                if (rf.corruptChunks > 0)
+                    obs.metrics->counter(
+                        "disk.retry.reread_pages",
+                        "data pages re-read after checksum "
+                        "failures") += rf.corruptChunks;
+            }
+            if (penalty > 0) {
+                obs::ScopedSpan span(obs.tracer, "disk.fault_recovery",
+                                     root);
+                span.attr("retries", static_cast<std::uint64_t>(
+                              rf.retries));
+                span.attr("reread_pages", static_cast<std::uint64_t>(
+                              rf.corruptChunks));
+                span.setSimTicks(penalty);
+            }
+        }
     }
 
     // Table 1's operation mix, as cumulative per-op counters.
@@ -547,6 +703,15 @@ ClauseRetrievalServer::accountQuery(RetrievalResponse &response,
     ++metrics_.counter(std::string("crs.mode.") +
                        searchModeSlug(response.mode),
                        "retrievals served in this mode");
+    // Degradation counters exist only once a query degrades, so a
+    // clean run's metrics dump is bit-identical to a fault-free build.
+    if (response.degraded) {
+        ++metrics_.counter("crs.degraded.queries",
+                           "retrievals downgraded to a full scan");
+        metrics_.counter("crs.degraded.corrupt_index_pages",
+                         "index pages that failed their CRC check") +=
+            response.corruptIndexPages;
+    }
     metrics_.histogram("crs.elapsed_us", latencyBoundsUs(),
                        "retrieval latency, simulated us")
         .record(static_cast<double>(response.elapsed) / kTicksPerUs);
@@ -564,6 +729,8 @@ ClauseRetrievalServer::accountQuery(RetrievalResponse &response,
         root.attr("answers", static_cast<std::uint64_t>(
                       response.answers.size()));
         root.attr("queue_wait_ticks", response.breakdown.queueWait);
+        if (response.degraded)
+            root.attr("degraded", static_cast<std::uint64_t>(1));
         root.setSimTicks(response.breakdown.total());
     }
 }

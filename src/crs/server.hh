@@ -90,6 +90,23 @@ struct CrsConfig
     std::uint32_t workers = 1;
 
     /**
+     * Bound on modeled re-reads of a chunk after transient disk
+     * errors.  Each retry re-positions the head, so it costs a full
+     * access time that shows honestly in the stage breakdown.
+     */
+    storage::RetryPolicy retry{};
+
+    /**
+     * Optional deterministic fault oracle (not owned; null = ideal
+     * disks).  When set, every index read is verified against the
+     * store's page checksums — corruption degrades the query to a
+     * full scan — and data reads model bounded retries and page
+     * re-reads.  In -DCLARE_FAULT_INJECT builds a null pointer falls
+     * back to support::envFaultInjector().
+     */
+    const support::FaultInjector *faults = nullptr;
+
+    /**
      * Check the host, FS1, FS2, and pipeline settings as one unit,
      * throwing ConfigError naming the offending field on the first
      * incoherent value (e.g. workers == 0, a non-positive FS1 scan
@@ -97,6 +114,25 @@ struct CrsConfig
      * call it directly to vet a config before building stores.
      */
     void validate() const;
+};
+
+/**
+ * Outcome of the FS1 stage, including the modeled fault effects of
+ * the index read.  A scan that is not healthy() carries no FS1 result
+ * — the server degrades the query to a full FS2 scan instead of
+ * matching garbage codewords.
+ */
+struct IndexScan
+{
+    fs1::Fs1Result fs1;
+    /** Re-seek and delay ticks injected faults added to the read. */
+    Tick faultTicks = 0;
+    /** Index pages whose delivered copy failed its CRC check. */
+    std::uint32_t corruptPages = 0;
+    /** A chunk failed every bounded read attempt. */
+    bool unreadable = false;
+
+    bool healthy() const { return corruptPages == 0 && !unreadable; }
 };
 
 /** Characteristics of a query goal that drive mode selection. */
@@ -221,24 +257,27 @@ class ClauseRetrievalServer
     }
 
     /**
-     * FS1 stage: scan the predicate's index (sharded when a pool is
-     * configured).  Thread-safe; touches no per-query state.
+     * FS1 stage: verify the delivered index pages against the store's
+     * checksums (when a fault oracle is configured), then scan the
+     * predicate's index (sharded when a pool is configured).
+     * Thread-safe; touches no per-query state.
      */
-    fs1::Fs1Result scanIndex(const StoredPredicate &stored,
-                             const term::TermArena &q_arena,
-                             term::TermRef goal,
-                             const obs::Observer &obs,
-                             obs::SpanId parent) const;
+    IndexScan scanIndex(const StoredPredicate &stored,
+                        const term::TermArena &q_arena,
+                        term::TermRef goal,
+                        const obs::Observer &obs,
+                        obs::SpanId parent) const;
 
     /**
-     * Everything after the FS1 stage: FS2 / software filtering, host
-     * unification, and the single authoritative stage accounting.
-     * Runs on the calling thread (it parses candidate clauses through
-     * the shared symbol table).
+     * Everything after the FS1 stage: degradation of unhealthy index
+     * scans, FS2 / software filtering, fault-recovery accounting,
+     * host unification, and the single authoritative stage
+     * accounting.  Runs on the calling thread (it parses candidate
+     * clauses through the shared symbol table).
      */
     void finishRetrieval(const StoredPredicate &stored,
                          const RetrievalRequest &request,
-                         fs1::Fs1Result fs1, const obs::Observer &obs,
+                         IndexScan scan, const obs::Observer &obs,
                          obs::SpanId root, RetrievalResponse &response);
 
     /** Host full unification over candidates; fills answers + time. */

@@ -1,5 +1,6 @@
 #include "crs/store.hh"
 
+#include "support/crc32.hh"
 #include "support/logging.hh"
 
 namespace clare::crs {
@@ -86,6 +87,8 @@ PredicateStore::finalize()
         index_image.insert(index_image.end(),
                            stored.index.image().begin(),
                            stored.index.image().end());
+        stored.indexPageCrcs = support::pageChecksums(
+            stored.index.image().data(), stored.index.image().size());
     }
     dataDisk_.load(std::move(data_image));
     indexDisk_.load(std::move(index_image));

@@ -33,6 +33,14 @@ struct StoredPredicate
 
     /** Fraction of clauses that are rules (body-carrying). */
     double ruleFraction = 0.0;
+
+    /**
+     * CRC-32 of each 4 KB page of the secondary file image, computed
+     * at finalize().  The CRS verifies delivered index pages against
+     * these so a corrupted index degrades the query to a full scan
+     * instead of matching garbage codewords.
+     */
+    std::vector<std::uint32_t> indexPageCrcs;
 };
 
 /**

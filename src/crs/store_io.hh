@@ -12,6 +12,18 @@
  *   manifest.txt         SCW parameters + one line per predicate
  *   <functor>_<arity>.kbc    clause file (storage::saveClauseFile)
  *   <functor>_<arity>.idx    secondary file image
+ *
+ * Manifest v3 additionally records the index format and the byte size
+ * of every predicate file, carries a manifest-crc line protecting
+ * every byte below it (a flipped SCW parameter would otherwise build
+ * an index that silently matches nothing), and the .idx images are
+ * wrapped in the checksummed page frame (storage::writeFramedBytes).
+ * loadStore()
+ * cross-checks the manifest against the directory listing and reports
+ * *every* missing, extra, or size-mismatched file in one
+ * CorruptionError, so a damaged store is diagnosed in a single pass
+ * rather than one failure per rerun.  v2 stores (raw .idx, no sizes)
+ * still load.
  */
 
 #ifndef CLARE_CRS_STORE_IO_HH
@@ -22,6 +34,11 @@
 #include "crs/store.hh"
 
 namespace clare::crs {
+
+/** Current manifest version (v3 = manifest crc, framed idx, sizes). */
+constexpr int kStoreManifestVersion = 3;
+/** Oldest manifest version still readable. */
+constexpr int kStoreManifestVersionCompat = 2;
 
 /** Persist a finalized store (and its symbol table) to a directory. */
 void saveStore(const std::string &directory, const PredicateStore &store,

@@ -196,6 +196,7 @@ Fs2Engine::runStream(const ClauseFile &file,
     }
     result.satisfiers = resultMemory_.satisfierCount();
     result.resultOverflow = resultMemory_.overflowed();
+    result.satisfiersDropped = resultMemory_.droppedSatisfiers();
     (void)file_offset;
 
     if (search_span.active()) {

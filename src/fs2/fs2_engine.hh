@@ -69,6 +69,8 @@ struct Fs2SearchResult
 
     std::uint32_t satisfiers = 0;
     bool resultOverflow = false;
+    /** Satisfiers lost past the 64-slot capacity (requeue these). */
+    std::uint32_t satisfiersDropped = 0;
 
     std::uint64_t hits() const { return acceptedOrdinals.size(); }
 

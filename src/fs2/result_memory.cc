@@ -38,6 +38,7 @@ ResultMemory::commit()
 {
     if (satisfiers_ >= slotCount_) {
         overflowed_ = true;
+        ++droppedSatisfiers_;
         return;
     }
     slotLengths_[satisfiers_] = pendingLength_;
@@ -69,6 +70,7 @@ ResultMemory::reset()
     std::fill(slotLengths_.begin(), slotLengths_.end(), 0);
     satisfiers_ = 0;
     pendingLength_ = 0;
+    droppedSatisfiers_ = 0;
     overflowed_ = false;
     truncated_ = false;
 }

@@ -55,6 +55,15 @@ class ResultMemory
     /** A satisfier arrived after the 6-bit counter was exhausted. */
     bool overflowed() const { return overflowed_; }
 
+    /**
+     * Satisfiers that arrived after the counter was exhausted and were
+     * NOT captured.  In the real hardware the 6-bit counter would wrap
+     * and silently overwrite slot 0; the model makes the loss explicit
+     * so the CRS can requeue the dropped clauses through a second pass
+     * instead of corrupting the result set.
+     */
+    std::uint32_t droppedSatisfiers() const { return droppedSatisfiers_; }
+
     /** A clause exceeded the slot size (bytes were dropped). */
     bool clauseTruncated() const { return truncated_; }
 
@@ -70,6 +79,7 @@ class ResultMemory
     std::vector<std::uint32_t> slotLengths_;
     std::uint32_t satisfiers_ = 0;
     std::uint32_t pendingLength_ = 0;
+    std::uint32_t droppedSatisfiers_ = 0;
     bool overflowed_ = false;
     bool truncated_ = false;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/errors.hh"
 #include "support/logging.hh"
 
 namespace clare::storage {
@@ -65,9 +66,13 @@ DiskModel::stream(std::uint64_t offset, std::uint64_t length,
                   std::uint32_t chunk_bytes, Tick start,
                   const std::function<void(const std::uint8_t *,
                                            std::uint32_t, Tick)> &sink,
-                  const obs::Observer &obs, obs::SpanId parent) const
+                  const obs::Observer &obs, obs::SpanId parent,
+                  const support::FaultInjector *faults,
+                  RetryPolicy retry, std::string_view site) const
 {
     clare_assert(chunk_bytes > 0, "chunk size must be positive");
+    clare_assert(retry.maxAttempts >= 1,
+                 "need at least one read attempt per chunk");
     if (length == 0)
         return start;
     clare_assert(offset + length <= image_.size(),
@@ -75,19 +80,65 @@ DiskModel::stream(std::uint64_t offset, std::uint64_t length,
                  static_cast<unsigned long long>(offset),
                  static_cast<unsigned long long>(length),
                  image_.size());
+    if (faults != nullptr && !faults->config().anyFaults())
+        faults = nullptr;
 
     obs::ScopedSpan span(obs.tracer, "disk.stream", parent);
 
+    // Fault penalties accumulate into the head position time, so a
+    // retried or delayed chunk honestly pushes out every later chunk
+    // of the stream.
     Tick ready = start + accessTime();
     std::uint64_t done = 0;
     std::uint64_t chunks = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t flips = 0;
+    std::vector<std::uint8_t> scratch;
     while (done < length) {
         std::uint32_t n = static_cast<std::uint32_t>(
             std::min<std::uint64_t>(chunk_bytes, length - done));
+        const std::uint8_t *data = image_.data() + offset + done;
+        if (faults != nullptr) {
+            std::uint64_t key = faults->chunkKey(offset + done);
+            std::uint32_t attempt = 0;
+            while (attempt < retry.maxAttempts &&
+                   faults->transientError(site, key, attempt)) {
+                ++attempt;
+            }
+            retries += attempt;
+            // Each failed attempt forces a re-position before the
+            // chunk can be read again.
+            ready += static_cast<Tick>(attempt) * accessTime();
+            if (attempt == retry.maxAttempts) {
+                if (obs.metrics != nullptr) {
+                    obs.metrics->counter(
+                        "disk.retry.attempts",
+                        "chunk re-reads after transient errors") +=
+                        retries;
+                    ++obs.metrics->counter(
+                        "disk.retry.exhausted",
+                        "chunks unreadable after bounded retries");
+                }
+                throw IoError(geometry_.name,
+                              "chunk at byte " +
+                              std::to_string(offset + done) +
+                              " unreadable after " +
+                              std::to_string(retry.maxAttempts) +
+                              " attempts");
+            }
+            if (faults->corruptChunk(site, key)) {
+                scratch.assign(data, data + n);
+                faults->flipBit(site, key, scratch.data(),
+                                scratch.size());
+                data = scratch.data();
+                ++flips;
+            }
+            ready += faults->chunkDelay(site, key);
+        }
         // Delivery completes once all bytes of the chunk have been
         // transferred at the sustained rate.
         Tick delivered = ready + transferTime(done + n);
-        sink(image_.data() + offset + done, n, delivered);
+        sink(data, n, delivered);
         done += n;
         ++chunks;
     }
@@ -95,6 +146,8 @@ DiskModel::stream(std::uint64_t offset, std::uint64_t length,
     if (span.active()) {
         span.attr("bytes", length);
         span.attr("chunks", chunks);
+        if (retries > 0)
+            span.attr("retries", retries);
         span.setSimTicks(end - start);
     }
     if (obs.metrics != nullptr) {
@@ -103,6 +156,16 @@ DiskModel::stream(std::uint64_t offset, std::uint64_t length,
                              "bytes delivered by DMA streams") += length;
         obs.metrics->counter("disk.chunks", "DMA chunks delivered") +=
             chunks;
+        // Fault counters are created lazily, only on actual fault
+        // events, so clean runs keep a bit-identical metrics dump.
+        if (retries > 0)
+            obs.metrics->counter(
+                "disk.retry.attempts",
+                "chunk re-reads after transient errors") += retries;
+        if (flips > 0)
+            obs.metrics->counter(
+                "disk.faults.bit_flips",
+                "chunks delivered with an injected bit flip") += flips;
     }
     return end;
 }

@@ -19,10 +19,21 @@
 #include <string>
 #include <vector>
 
+#include "support/fault_injector.hh"
 #include "support/obs.hh"
 #include "support/sim_time.hh"
 
 namespace clare::storage {
+
+/**
+ * Bounded retry of transient device errors.  Each retry re-positions
+ * the head, so it costs a full accessTime(); a chunk that fails every
+ * attempt is a permanent failure (IoError).
+ */
+struct RetryPolicy
+{
+    std::uint32_t maxAttempts = 3;
+};
 
 /** Static description of a disk. */
 struct DiskGeometry
@@ -85,17 +96,30 @@ class DiskModel
      *        initial access time
      * @param obs optional sinks: a "disk.stream" span (simTicks = the
      *        modeled access + transfer time) and counters
-     *        disk.streams / disk.bytes_streamed / disk.chunks
+     *        disk.streams / disk.bytes_streamed / disk.chunks (plus
+     *        disk.retry.* when faults force re-reads)
      * @param parent span the "disk.stream" span nests under
+     * @param faults optional fault oracle; transient errors force a
+     *        bounded re-read (each costing a re-seek that shows in the
+     *        delivery times), corrupt chunks are delivered from a
+     *        scratch copy with the deterministic bit flipped, delayed
+     *        chunks shift the rest of the stream
+     * @param retry bound on the re-read attempts per chunk
+     * @param site fault-oracle channel name the chunk keys live in
      * @return the time the final chunk completes (= start + access +
-     *         transfer of all bytes), or start for an empty range
+     *         transfer of all bytes + fault penalties), or start for
+     *         an empty range
+     * @throws IoError when a chunk fails every bounded attempt
      */
     Tick stream(std::uint64_t offset, std::uint64_t length,
                 std::uint32_t chunk_bytes, Tick start,
                 const std::function<void(const std::uint8_t *,
                                          std::uint32_t, Tick)> &sink,
                 const obs::Observer &obs = {},
-                obs::SpanId parent = 0) const;
+                obs::SpanId parent = 0,
+                const support::FaultInjector *faults = nullptr,
+                RetryPolicy retry = {},
+                std::string_view site = "disk.data") const;
 
   private:
     DiskGeometry geometry_;

@@ -6,6 +6,16 @@
  * are opened per session; these helpers serialize the in-memory images
  * with a small header (magic, version, predicate identity) so a store
  * can be built once and reloaded.
+ *
+ * Format v2 adds CRC-32 page framing: after the header, one checksum
+ * per 4 KB page of the payload, verified on load so that a flipped
+ * bit anywhere in the image is reported as a typed CorruptionError
+ * naming the file, page, and byte offset — never consumed silently
+ * and never a process abort.  v1 images (no checksums) still load.
+ *
+ * Error taxonomy (support/errors.hh): IoError for open/short
+ * read/write failures, CorruptionError for bad magic/version,
+ * truncation, checksum mismatches, and structural walk failures.
  */
 
 #ifndef CLARE_STORAGE_FILE_IO_HH
@@ -15,42 +25,74 @@
 #include <vector>
 
 #include "storage/clause_file.hh"
+#include "support/errors.hh"
 #include "term/symbol_table.hh"
 
 namespace clare::storage {
 
 /** Magic number of a persisted clause file ("CLRE"). */
 constexpr std::uint32_t kClauseFileMagic = 0x434c5245u;
-/** Current on-disk format version. */
-constexpr std::uint32_t kClauseFileVersion = 1;
+/** Current clause-file format: v2 = CRC-32 page framing. */
+constexpr std::uint32_t kClauseFileVersion = 2;
+/** Oldest clause-file format still readable (no checksums). */
+constexpr std::uint32_t kClauseFileVersionCompat = 1;
 
-/** Write raw bytes to a path (fatal on I/O failure). */
+/** Magic number of a persisted symbol table ("CLSY"). */
+constexpr std::uint32_t kSymbolFileMagic = 0x434c5359u;
+/** Current symbol-table format: v2 = payload CRC-32. */
+constexpr std::uint32_t kSymbolFileVersion = 2;
+
+/** Magic number of a framed raw-byte file ("CLFR"). */
+constexpr std::uint32_t kFramedMagic = 0x434c4652u;
+constexpr std::uint32_t kFramedVersion = 1;
+
+/** Write raw bytes to a path.  @throws IoError */
 void writeBytes(const std::string &path,
                 const std::vector<std::uint8_t> &bytes);
 
-/** Read a whole file (fatal on I/O failure). */
+/** Read a whole file.  @throws IoError */
 std::vector<std::uint8_t> readBytes(const std::string &path);
 
 /**
+ * Write raw bytes wrapped in the checksummed page frame (header +
+ * per-page CRC-32 + payload).  Used for secondary (index) files,
+ * whose payload layout is owned by scw.  @throws IoError
+ */
+void writeFramedBytes(const std::string &path,
+                      const std::vector<std::uint8_t> &bytes);
+
+/**
+ * Read a page-framed file back, verifying the header and every page
+ * checksum.  @throws IoError, CorruptionError
+ */
+std::vector<std::uint8_t> readFramedBytes(const std::string &path);
+
+/**
  * Persist a clause file: header (magic, version, functor, arity,
- * clause count, image size) followed by the record image.
+ * clause count, image size, page geometry, header CRC), per-page
+ * image checksums, then the record image.  @throws IoError
  */
 void saveClauseFile(const std::string &path, const ClauseFile &file);
 
 /**
- * Load a persisted clause file, re-deriving the record directory by
- * walking the image.  Fatal on bad magic/version or a corrupt image.
+ * Load a persisted clause file (v1 or v2), verifying checksums (v2)
+ * and re-deriving the record directory by walking the image.
+ * @throws IoError, CorruptionError
  */
 ClauseFile loadClauseFile(const std::string &path);
 
-/** Persist a symbol table (atom names and float constants). */
+/**
+ * Persist a symbol table (atom names and float constants) with a
+ * payload CRC-32.  @throws IoError
+ */
 void saveSymbolTable(const std::string &path,
                      const term::SymbolTable &symbols);
 
 /**
- * Repopulate a *fresh* symbol table from a persisted one; the interned
- * ids come out identical to the saved ids.  Fatal if @p symbols has
- * interned anything beyond the reserved entries.
+ * Repopulate a *fresh* symbol table from a persisted one (v1 or v2);
+ * the interned ids come out identical to the saved ids.  Throws
+ * FatalError if @p symbols has interned anything beyond the reserved
+ * entries (a usage error), CorruptionError on damaged images.
  */
 void loadSymbolTable(const std::string &path,
                      term::SymbolTable &symbols);

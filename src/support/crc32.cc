@@ -1,0 +1,50 @@
+#include "support/crc32.hh"
+
+#include <array>
+
+#include "support/logging.hh"
+
+namespace clare::support {
+
+namespace {
+
+std::array<std::uint32_t, 256>
+buildTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t size, std::uint32_t seed)
+{
+    static const std::array<std::uint32_t, 256> table = buildTable();
+    std::uint32_t c = seed ^ 0xffffffffu;
+    for (std::size_t i = 0; i < size; ++i)
+        c = table[(c ^ data[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+std::vector<std::uint32_t>
+pageChecksums(const std::uint8_t *data, std::size_t size,
+              std::uint32_t page_bytes)
+{
+    clare_assert(page_bytes > 0, "checksum pages must be non-empty");
+    std::vector<std::uint32_t> crcs;
+    crcs.reserve((size + page_bytes - 1) / page_bytes);
+    for (std::size_t at = 0; at < size; at += page_bytes) {
+        std::size_t n = std::min<std::size_t>(page_bytes, size - at);
+        crcs.push_back(crc32(data + at, n));
+    }
+    return crcs;
+}
+
+} // namespace clare::support

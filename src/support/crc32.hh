@@ -1,0 +1,38 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for the
+ * checksummed on-disk page framing and the runtime DMA integrity
+ * checks.  CRC-32 detects every single-bit and every burst error up
+ * to 32 bits within a page, which covers the fault model's injected
+ * bit flips exactly.
+ */
+
+#ifndef CLARE_SUPPORT_CRC32_HH
+#define CLARE_SUPPORT_CRC32_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace clare::support {
+
+/**
+ * Page granularity shared by the on-disk framing and the runtime
+ * integrity checks: one checksum per 4 KB page.
+ */
+constexpr std::uint32_t kChecksumPageBytes = 4096;
+
+/** CRC-32 of a byte range; chainable via @p seed (pass a prior crc). */
+std::uint32_t crc32(const std::uint8_t *data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+/**
+ * One CRC-32 per @p page_bytes page of @p data (the final page may be
+ * short).  An empty range yields an empty vector.
+ */
+std::vector<std::uint32_t> pageChecksums(
+    const std::uint8_t *data, std::size_t size,
+    std::uint32_t page_bytes = kChecksumPageBytes);
+
+} // namespace clare::support
+
+#endif // CLARE_SUPPORT_CRC32_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The typed error taxonomy of the CLARE pipeline.
+ *
+ * Every recoverable failure the system reports derives from
+ * clare::Error, so embedders can catch one type at the top of a
+ * request loop.  The taxonomy distinguishes *where* a failure lives:
+ *
+ *   Error                the root (also the base of FatalError and
+ *                        crs::ConfigError)
+ *   +-- IoError          the operating system failed us: a file that
+ *                        cannot be opened, a short read/write, a
+ *                        modeled device whose bounded retries were
+ *                        exhausted
+ *       +-- CorruptionError  the bytes arrived but are wrong: bad
+ *                        magic/version, a failed page checksum, a
+ *                        truncated image, a manifest that disagrees
+ *                        with its directory — carries the file, the
+ *                        checksum page, and the byte offset
+ */
+
+#ifndef CLARE_SUPPORT_ERRORS_HH
+#define CLARE_SUPPORT_ERRORS_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace clare {
+
+/** Root of every typed CLARE error. */
+class Error : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Sentinel for "no page / offset applies to this failure". */
+constexpr std::uint64_t kNoFilePosition = ~0ULL;
+
+/** An I/O operation failed at the operating-system or device level. */
+class IoError : public Error
+{
+  public:
+    IoError(std::string file, const std::string &why)
+        : Error(file + ": " + why), file_(std::move(file))
+    {}
+
+    /** Path (or device name) the failure occurred on. */
+    const std::string &file() const { return file_; }
+
+  private:
+    std::string file_;
+};
+
+/**
+ * Bytes were read but fail validation (magic, version, checksum,
+ * structural walk).  Page and offset are kNoFilePosition when the
+ * failure is not localized (e.g. a header-level mismatch).
+ */
+class CorruptionError : public IoError
+{
+  public:
+    CorruptionError(std::string file, std::uint64_t page,
+                    std::uint64_t offset, const std::string &why)
+        : IoError(std::move(file),
+                  describe(page, offset) + why),
+          page_(page), offset_(offset)
+    {}
+
+    /** Checksum page the corruption was detected in. */
+    std::uint64_t page() const { return page_; }
+    /** Byte offset within the file, when known. */
+    std::uint64_t offset() const { return offset_; }
+
+  private:
+    static std::string
+    describe(std::uint64_t page, std::uint64_t offset)
+    {
+        std::string at;
+        if (page != kNoFilePosition)
+            at += "page " + std::to_string(page) + ", ";
+        if (offset != kNoFilePosition)
+            at += "offset " + std::to_string(offset) + ", ";
+        return at;
+    }
+
+    std::uint64_t page_;
+    std::uint64_t offset_;
+};
+
+} // namespace clare
+
+#endif // CLARE_SUPPORT_ERRORS_HH

@@ -1,0 +1,171 @@
+#include "support/fault_injector.hh"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "support/logging.hh"
+
+namespace clare::support {
+
+namespace {
+
+/** splitmix64 finalizer: the avalanche step used throughout. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+hashString(std::string_view s)
+{
+    // FNV-1a, then avalanched.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : s)
+        h = (h ^ static_cast<std::uint8_t>(c)) * 0x100000001b3ULL;
+    return mix(h);
+}
+
+/** Salts separating the independent decision families per chunk. */
+constexpr std::uint64_t kSaltTransient = 0x1;
+constexpr std::uint64_t kSaltBitFlip = 0x2;
+constexpr std::uint64_t kSaltBitIndex = 0x3;
+constexpr std::uint64_t kSaltDelay = 0x4;
+constexpr std::uint64_t kSaltTruncate = 0x5;
+constexpr std::uint64_t kSaltTruncateSize = 0x6;
+
+} // namespace
+
+FaultInjector::FaultInjector(FaultConfig config)
+    : config_(config)
+{
+    clare_assert(config_.chunkBytes > 0,
+                 "fault chunk granularity must be positive");
+}
+
+std::uint64_t
+FaultInjector::hash(std::string_view site, std::uint64_t key,
+                    std::uint64_t salt) const
+{
+    std::uint64_t h = mix(config_.seed ^ hashString(site));
+    h = mix(h ^ key);
+    return mix(h ^ salt);
+}
+
+double
+FaultInjector::roll(std::string_view site, std::uint64_t key,
+                    std::uint64_t salt) const
+{
+    // 53 high bits -> uniform double in [0, 1).
+    return static_cast<double>(hash(site, key, salt) >> 11) *
+        0x1.0p-53;
+}
+
+bool
+FaultInjector::transientError(std::string_view site, std::uint64_t key,
+                              std::uint32_t attempt) const
+{
+    if (config_.transientReadRate <= 0)
+        return false;
+    return roll(site, key, kSaltTransient + 0x100ULL * attempt) <
+        config_.transientReadRate;
+}
+
+bool
+FaultInjector::corruptChunk(std::string_view site,
+                            std::uint64_t key) const
+{
+    if (config_.bitFlipRate <= 0)
+        return false;
+    return roll(site, key, kSaltBitFlip) < config_.bitFlipRate;
+}
+
+std::uint64_t
+FaultInjector::flipBit(std::string_view site, std::uint64_t key,
+                       std::uint8_t *data, std::size_t size) const
+{
+    clare_assert(size > 0, "cannot flip a bit of an empty chunk");
+    std::uint64_t bit = hash(site, key, kSaltBitIndex) % (size * 8);
+    data[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    return bit;
+}
+
+Tick
+FaultInjector::chunkDelay(std::string_view site, std::uint64_t key) const
+{
+    if (config_.delayRate <= 0)
+        return 0;
+    return roll(site, key, kSaltDelay) < config_.delayRate
+        ? config_.delayTicks
+        : 0;
+}
+
+std::uint64_t
+FaultInjector::truncatedSize(std::string_view site,
+                             std::string_view path,
+                             std::uint64_t size) const
+{
+    if (config_.truncateRate <= 0 || size == 0)
+        return size;
+    std::uint64_t key = hashString(path);
+    if (roll(site, key, kSaltTruncate) >= config_.truncateRate)
+        return size;
+    // Cut somewhere in [0, size): a short read never grows the file.
+    return hash(site, key, kSaltTruncateSize) % size;
+}
+
+RangeFaults
+FaultInjector::rangeFaults(std::string_view site, std::uint64_t offset,
+                           std::uint64_t length,
+                           std::uint32_t max_attempts) const
+{
+    RangeFaults out;
+    if (length == 0 || !config_.anyFaults())
+        return out;
+    clare_assert(max_attempts >= 1, "need at least one read attempt");
+    std::uint64_t first = chunkKey(offset);
+    std::uint64_t last = chunkKey(offset + length - 1);
+    for (std::uint64_t key = first; key <= last; ++key) {
+        std::uint32_t attempt = 0;
+        while (attempt < max_attempts &&
+               transientError(site, key, attempt)) {
+            ++attempt;
+        }
+        out.retries += attempt;
+        if (attempt == max_attempts)
+            out.permanent = true;
+        if (corruptChunk(site, key))
+            ++out.corruptChunks;
+        out.delayTicks += chunkDelay(site, key);
+    }
+    return out;
+}
+
+const FaultInjector *
+envFaultInjector()
+{
+    static std::once_flag once;
+    static const FaultInjector *injector = nullptr;
+    std::call_once(once, [] {
+        const char *seed = std::getenv("CLARE_FAULT_SEED");
+        if (seed == nullptr)
+            return;
+        FaultConfig config;
+        config.seed = std::strtoull(seed, nullptr, 0);
+        auto rate = [](const char *name, double fallback) {
+            const char *v = std::getenv(name);
+            return v != nullptr ? std::strtod(v, nullptr) : fallback;
+        };
+        config.bitFlipRate = rate("CLARE_FAULT_BITFLIP", 0.0);
+        config.transientReadRate = rate("CLARE_FAULT_TRANSIENT", 0.0);
+        config.delayRate = rate("CLARE_FAULT_DELAY", 0.0);
+        config.truncateRate = rate("CLARE_FAULT_TRUNCATE", 0.0);
+        injector = new FaultInjector(config);
+    });
+    return injector;
+}
+
+} // namespace clare::support

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for the storage subsystem.
+ *
+ * The paper's argument assumes the disk is an ideal channel; a
+ * production service cannot.  This injector models the classic
+ * storage fault classes — bit flips in delivered DMA chunks,
+ * transient (retryable) read errors, delayed chunk delivery, and
+ * truncated files — so every layer above the disk can be exercised
+ * against them reproducibly.
+ *
+ * Every decision is a *pure function* of (seed, site, key, salt): the
+ * same seed replays the same faults at the same byte locations
+ * regardless of query order, batching, or which pool thread performs
+ * the read.  That property is what makes a failure found in a fuzz
+ * sweep a one-line reproduction (`FaultConfig{.seed = N, ...}`)
+ * instead of a heisenbug.
+ *
+ * Sites name the channel being faulted ("disk.index", "disk.data",
+ * "file"); keys are chunk indices derived from absolute byte offsets,
+ * so a fault is pinned to a disk location, not to an access sequence.
+ */
+
+#ifndef CLARE_SUPPORT_FAULT_INJECTOR_HH
+#define CLARE_SUPPORT_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <string_view>
+
+#include "support/sim_time.hh"
+
+namespace clare::support {
+
+/** Rates and shapes of the injected faults (all default to "off"). */
+struct FaultConfig
+{
+    /** Replay seed; two runs with equal configs inject equal faults. */
+    std::uint64_t seed = 0;
+
+    /**
+     * Chunk granularity of the per-chunk decisions below.  Matches
+     * the checksum page size by default so one flipped chunk maps to
+     * one failed page checksum.
+     */
+    std::uint32_t chunkBytes = 4096;
+
+    /** P(one bit flip) per delivered chunk. */
+    double bitFlipRate = 0.0;
+
+    /**
+     * P(transient read error) per chunk *attempt*.  A retry redraws,
+     * so a chunk read fails permanently only if every bounded attempt
+     * draws an error (probability rate^maxAttempts).
+     */
+    double transientReadRate = 0.0;
+
+    /** P(delivery delay) per chunk, adding delayTicks to delivery. */
+    double delayRate = 0.0;
+    Tick delayTicks = kMillisecond;
+
+    /** P(short read) per whole-file read (storage::readBytes). */
+    double truncateRate = 0.0;
+
+    bool
+    anyFaults() const
+    {
+        return bitFlipRate > 0 || transientReadRate > 0 ||
+            delayRate > 0 || truncateRate > 0;
+    }
+};
+
+/** Aggregate fault outcome over a modeled byte range (one stream). */
+struct RangeFaults
+{
+    /** Chunk re-reads forced by transient errors (re-seek each). */
+    std::uint32_t retries = 0;
+    /** Chunks whose delivered copy carries a bit flip. */
+    std::uint32_t corruptChunks = 0;
+    /** Total injected delivery delay. */
+    Tick delayTicks = 0;
+    /** A chunk failed every bounded attempt (device unreadable). */
+    bool permanent = false;
+};
+
+/** The deterministic fault oracle. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultConfig config = {});
+
+    const FaultConfig &config() const { return config_; }
+
+    /** Chunk key of an absolute byte offset. */
+    std::uint64_t
+    chunkKey(std::uint64_t offset) const
+    {
+        return offset / config_.chunkBytes;
+    }
+
+    /** Does attempt @p attempt at chunk @p key draw a transient error? */
+    bool transientError(std::string_view site, std::uint64_t key,
+                        std::uint32_t attempt) const;
+
+    /** Does the delivered copy of chunk @p key carry a bit flip? */
+    bool corruptChunk(std::string_view site, std::uint64_t key) const;
+
+    /**
+     * Flip the deterministic fault bit of chunk @p key in @p data
+     * (the caller's scratch copy, never a master image).
+     *
+     * @return the flipped bit index
+     */
+    std::uint64_t flipBit(std::string_view site, std::uint64_t key,
+                          std::uint8_t *data, std::size_t size) const;
+
+    /** Injected delivery delay of chunk @p key (0 = on time). */
+    Tick chunkDelay(std::string_view site, std::uint64_t key) const;
+
+    /**
+     * Possibly-truncated size of a whole-file read of @p size bytes
+     * (file key = hash of the path).  Returns @p size when the file
+     * is spared.
+     */
+    std::uint64_t truncatedSize(std::string_view site,
+                                std::string_view path,
+                                std::uint64_t size) const;
+
+    /**
+     * Fold the per-chunk decisions over the chunks covering
+     * [offset, offset + length): the analytic form of a stream, used
+     * where the pipeline models a disk read without materializing
+     * the bytes.  Chunk boundaries are absolute (offset-aligned to
+     * chunkBytes), so overlapping ranges agree on their shared
+     * chunks.
+     */
+    RangeFaults rangeFaults(std::string_view site, std::uint64_t offset,
+                            std::uint64_t length,
+                            std::uint32_t max_attempts) const;
+
+  private:
+    /** The decision hash: uniform in [0,1) per (site, key, salt). */
+    double roll(std::string_view site, std::uint64_t key,
+                std::uint64_t salt) const;
+
+    std::uint64_t hash(std::string_view site, std::uint64_t key,
+                       std::uint64_t salt) const;
+
+    FaultConfig config_;
+};
+
+/**
+ * Process-global injector configured from the environment, or null
+ * when CLARE_FAULT_SEED is unset.  Consulted by the CRS only in
+ * -DCLARE_FAULT_INJECT builds, so release binaries carry no hook.
+ * Knobs: CLARE_FAULT_SEED, CLARE_FAULT_BITFLIP, CLARE_FAULT_TRANSIENT,
+ * CLARE_FAULT_DELAY, CLARE_FAULT_TRUNCATE (rates in [0,1]).
+ */
+const FaultInjector *envFaultInjector();
+
+} // namespace clare::support
+
+#endif // CLARE_SUPPORT_FAULT_INJECTOR_HH

@@ -15,14 +15,16 @@
 #include <stdexcept>
 #include <string>
 
+#include "support/errors.hh"
+
 namespace clare {
 
 /** Exception thrown by fatal() for user-level errors. */
-class FatalError : public std::runtime_error
+class FatalError : public Error
 {
   public:
     explicit FatalError(const std::string &msg)
-        : std::runtime_error(msg)
+        : Error(msg)
     {}
 };
 

@@ -161,11 +161,11 @@ TEST_F(FileIoTest, BytesRoundTrip)
     EXPECT_EQ(storage::readBytes(path_), data);
 }
 
-TEST_F(FileIoTest, MissingFileIsFatal)
+TEST_F(FileIoTest, MissingFileIsTypedIoError)
 {
-    EXPECT_THROW(storage::readBytes("/nonexistent/nope"), FatalError);
+    EXPECT_THROW(storage::readBytes("/nonexistent/nope"), IoError);
     EXPECT_THROW(storage::loadClauseFile("/nonexistent/nope"),
-                 FatalError);
+                 IoError);
 }
 
 TEST_F(FileIoTest, ClauseFileRoundTrip)
@@ -196,7 +196,7 @@ TEST_F(FileIoTest, CorruptMagicRejected)
 {
     std::vector<std::uint8_t> junk(64, 0xab);
     storage::writeBytes(path_, junk);
-    EXPECT_THROW(storage::loadClauseFile(path_), FatalError);
+    EXPECT_THROW(storage::loadClauseFile(path_), CorruptionError);
 }
 
 TEST_F(FileIoTest, TruncatedImageRejected)
@@ -211,7 +211,7 @@ TEST_F(FileIoTest, TruncatedImageRejected)
     std::vector<std::uint8_t> bytes = storage::readBytes(path_);
     bytes.resize(bytes.size() - 4);
     storage::writeBytes(path_, bytes);
-    EXPECT_THROW(storage::loadClauseFile(path_), FatalError);
+    EXPECT_THROW(storage::loadClauseFile(path_), CorruptionError);
 }
 
 // ---------------------------------------------------------------------
@@ -314,7 +314,7 @@ TEST_F(StoreIoTest, StoreRoundTripPreservesRetrieval)
 TEST_F(StoreIoTest, MissingDirectoryIsFatal)
 {
     term::SymbolTable sym;
-    EXPECT_THROW(crs::loadStore(dir_ + "/nope", sym), FatalError);
+    EXPECT_THROW(crs::loadStore(dir_ + "/nope", sym), IoError);
 }
 
 // ---------------------------------------------------------------------
