@@ -2,14 +2,16 @@
 # Tier-1 verification: the canonical build + full test suite, then the
 # fault-injection/corruption suites again under ASan+UBSan so the
 # error paths are proven free of undefined behavior, not just of
-# wrong answers.
+# wrong answers, and the cache-hierarchy suite again under TSan so the
+# shared L1/L2/L3 caches are proven free of data races.
 #
-# Usage: scripts/tier1.sh [build-dir] [asan-build-dir]
+# Usage: scripts/tier1.sh [build-dir] [asan-build-dir] [tsan-build-dir]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 ASAN_BUILD="${2:-build-asan}"
+TSAN_BUILD="${3:-build-tsan}"
 
 echo "== tier-1: default build + full ctest =="
 cmake -B "$BUILD" -S .
@@ -20,5 +22,10 @@ echo "== tier-1: ASan+UBSan build + faults-labeled tests =="
 cmake -B "$ASAN_BUILD" -S . -DCLARE_SANITIZE=address
 cmake --build "$ASAN_BUILD" -j
 ctest --test-dir "$ASAN_BUILD" -L faults --output-on-failure -j
+
+echo "== tier-1: TSan build + cache-labeled tests =="
+cmake -B "$TSAN_BUILD" -S . -DCLARE_SANITIZE=thread
+cmake --build "$TSAN_BUILD" -j
+ctest --test-dir "$TSAN_BUILD" -L cache --output-on-failure -j
 
 echo "tier-1 OK"

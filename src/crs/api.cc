@@ -11,6 +11,10 @@ toJson(const StageBreakdown &breakdown)
 {
     json::Value doc = json::Value::object();
     doc.set("queue_wait_ticks", breakdown.queueWait);
+    // Only cache-served retrievals carry the cache stage, so a
+    // default (cache-off) run's JSON stays byte-stable.
+    if (breakdown.cacheTime > 0)
+        doc.set("cache_ticks", breakdown.cacheTime);
     doc.set("index_ticks", breakdown.indexTime);
     doc.set("filter_ticks", breakdown.filterTime);
     doc.set("host_unify_ticks", breakdown.hostUnifyTime);
@@ -67,6 +71,25 @@ CrsConfig::validate() const
             "fs2.sequencerOverhead",
             "per-microinstruction overhead above a millisecond — "
             "Tick is picoseconds");
+
+    // Caches: a zero-capacity enabled level would mean "consult a
+    // cache that can never hold anything" — hit costs would still be
+    // charged on the replay paths, so reject the contradiction.  The
+    // hit costs are memory-scale lookups; anything above a simulated
+    // second is a unit mistake (Tick is picoseconds).
+    if (cache.enabled) {
+        require(cache.goalCapacity >= 1, "cache.goalCapacity",
+                "an enabled goal cache needs at least one entry");
+        require(cache.signatureCapacity >= 1, "cache.signatureCapacity",
+                "an enabled signature memo needs at least one entry");
+        require(cache.survivorCapacity >= 1, "cache.survivorCapacity",
+                "an enabled survivor memo needs at least one entry");
+        require(cache.goalHitCost <= kSecond, "cache.goalHitCost",
+                "hit cost above one second — Tick is picoseconds");
+        require(cache.survivorHitCost <= kSecond,
+                "cache.survivorHitCost",
+                "hit cost above one second — Tick is picoseconds");
+    }
 
     // Pipeline: 0 workers would mean "no thread runs retrievals";
     // the sequential path is workers == 1, and silent clamping hid

@@ -75,6 +75,14 @@ struct RetrievalRequest
     /** Explicit search mode; empty lets the CRS choose. */
     std::optional<SearchMode> mode;
     TraceOptions trace{};
+
+    /**
+     * Serve this request from the full pipeline even when the server's
+     * caches are enabled: neither consulted nor filled.  A bypassed
+     * request on a warm server is bit-identical to the same request on
+     * a server with caches disabled.
+     */
+    bool bypassCache = false;
 };
 
 /**
@@ -91,6 +99,13 @@ struct StageBreakdown
      * picking it up.  Always 0 on the sequential path.
      */
     Tick queueWait = 0;
+    /**
+     * Modeled cache lookup/replay cost: the goal-cache hit cost on an
+     * L3 hit, or the survivor-memo replay cost on an L2 hit.  Always 0
+     * when the caches are disabled or missed, so uncached breakdowns
+     * are unchanged.
+     */
+    Tick cacheTime = 0;
     Tick indexTime = 0;     ///< FS1 index scan
     Tick filterTime = 0;    ///< FS2 / software scan / candidate fetch
     Tick hostUnifyTime = 0; ///< modeled full-unification cost
@@ -99,7 +114,7 @@ struct StageBreakdown
     Tick
     serviceTime() const
     {
-        return indexTime + filterTime + hostUnifyTime;
+        return cacheTime + indexTime + filterTime + hostUnifyTime;
     }
 
     /** All stages including queue wait. */

@@ -1,0 +1,56 @@
+#include "crs/goal_cache.hh"
+
+namespace clare::crs {
+
+GoalCache::GoalCache(std::size_t capacity) : cache_(capacity)
+{
+}
+
+std::optional<RetrievalResponse>
+GoalCache::find(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (Entry *entry = cache_.get(key))
+        return entry->response;
+    return std::nullopt;
+}
+
+bool
+GoalCache::contains(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.contains(key);
+}
+
+bool
+GoalCache::put(const std::string &key, const term::PredicateId &pred,
+               const RetrievalResponse &response)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.put(key, Entry{pred, response});
+}
+
+std::size_t
+GoalCache::invalidatePredicate(const term::PredicateId &pred)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.eraseIf([&](const std::string &, const Entry &entry) {
+        return entry.pred == pred;
+    });
+}
+
+std::size_t
+GoalCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.size();
+}
+
+void
+GoalCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_.clear();
+}
+
+} // namespace clare::crs

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * L3 of the retrieval cache hierarchy: a bounded goal-result cache in
+ * the Clause Retrieval Server.
+ *
+ * Entries are keyed by the goal's canonical (variable-renaming-
+ * invariant) key plus the resolved search mode — the same goal served
+ * in two modes produces different candidate sets, so the mode is part
+ * of the identity.  The stored value is the full RetrievalResponse
+ * payload; a hit replays candidates, answers, and every filter
+ * statistic bit-identically, while the breakdown charges only the
+ * modeled cache lookup (StageBreakdown::cacheTime).
+ *
+ * Invalidation is per-predicate (through crs::Transaction commit via
+ * the CacheInvalidationSink) or wholesale (store reload).  Degraded,
+ * overflowed, or fault-touched responses are never admitted — the
+ * server filters those before calling put().
+ *
+ * All access is mutex-guarded: the cache is shared across
+ * retrieveMany() workers and concurrent serve() callers.
+ */
+
+#ifndef CLARE_CRS_GOAL_CACHE_HH
+#define CLARE_CRS_GOAL_CACHE_HH
+
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "crs/api.hh"
+#include "support/lru.hh"
+#include "term/clause.hh"
+
+namespace clare::crs {
+
+/** Canonical-goal+mode → RetrievalResponse cache (LRU-bounded). */
+class GoalCache
+{
+  public:
+    explicit GoalCache(std::size_t capacity);
+
+    /** Look up and promote; the returned copy is the stored payload. */
+    std::optional<RetrievalResponse> find(const std::string &key);
+
+    /** Lookup without promotion (batch prediction passes). */
+    bool contains(const std::string &key) const;
+
+    /**
+     * Admit a response under @p key, remembering @p pred for
+     * per-predicate invalidation.  Returns true when the insertion
+     * evicted the least-recent entry.
+     */
+    bool put(const std::string &key, const term::PredicateId &pred,
+             const RetrievalResponse &response);
+
+    /** Drop every entry of @p pred; returns the number removed. */
+    std::size_t invalidatePredicate(const term::PredicateId &pred);
+
+    std::size_t size() const;
+
+    void clear();
+
+  private:
+    struct Entry
+    {
+        term::PredicateId pred;
+        RetrievalResponse response;
+    };
+
+    mutable std::mutex mutex_;
+    support::LruCache<std::string, Entry> cache_;
+};
+
+} // namespace clare::crs
+
+#endif // CLARE_CRS_GOAL_CACHE_HH

@@ -9,6 +9,7 @@
 
 #include "support/crc32.hh"
 #include "support/logging.hh"
+#include "term/canonical.hh"
 #include "unify/oracle.hh"
 #include "unify/pif_matcher.hh"
 
@@ -66,6 +67,17 @@ ClauseRetrievalServer::ClauseRetrievalServer(term::SymbolTable &symbols,
     }
     metrics_.gauge("crs.workers", "configured pipeline width")
         .set(config_.workers);
+    // L2/L3 exist only when asked for AND no fault oracle is armed: a
+    // response whose bytes were exposed to injected faults (or whose
+    // index read might degrade) must never be replayed from cache.
+    if (config_.cache.enabled && config_.faults == nullptr) {
+        goalCache_ = std::make_unique<GoalCache>(
+            config_.cache.goalCapacity);
+        signatureCache_ = std::make_unique<scw::SignatureCache>(
+            config_.cache.signatureCapacity);
+        survivorCache_ = std::make_unique<fs1::SurvivorCache>(
+            config_.cache.survivorCapacity);
+    }
 }
 
 term::PredicateId
@@ -241,6 +253,171 @@ ClauseRetrievalServer::scanIndex(const StoredPredicate &stored,
     return scan;
 }
 
+// ---------------------------------------------------------------------
+// Cache plumbing (L2 signature/survivor memos, L3 goal cache).
+// ---------------------------------------------------------------------
+
+std::string
+ClauseRetrievalServer::goalKey(const TermArena &q_arena, TermRef goal,
+                               SearchMode mode)
+{
+    // The resolved mode is part of the identity: the same goal served
+    // in two modes produces different candidate sets and timings.
+    std::string key = term::canonicalKey(q_arena, goal);
+    key.push_back('#');
+    key.push_back(static_cast<char>('0' + static_cast<int>(mode)));
+    return key;
+}
+
+std::uint64_t
+ClauseRetrievalServer::generationOf(const term::PredicateId &pred) const
+{
+    std::lock_guard<std::mutex> lock(generationMutex_);
+    auto it = indexGeneration_.find(pred);
+    return it == indexGeneration_.end() ? 0 : it->second;
+}
+
+std::string
+ClauseRetrievalServer::survivorKey(const term::PredicateId &pred,
+                                   const scw::Signature &sig) const
+{
+    // Identify the scan, not just the goal: predicate (two predicates
+    // can encode identical argument signatures), index generation (a
+    // committed write makes every old memo unmatchable), and the
+    // signature's exact bits.
+    std::vector<std::uint8_t> bytes;
+    auto put_u64 = [&bytes](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i)
+            bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    };
+    put_u64(static_cast<std::uint64_t>(pred.functor));
+    put_u64(pred.arity);
+    put_u64(generationOf(pred));
+    put_u64(sig.maskBits);
+    put_u64(sig.fields.size());
+    for (const BitVec &field : sig.fields)
+        field.serialize(bytes);
+    return std::string(bytes.begin(), bytes.end());
+}
+
+scw::Signature
+ClauseRetrievalServer::lookupSignature(const std::string &goal_key,
+                                       const TermArena &q_arena,
+                                       TermRef goal,
+                                       const obs::Observer &obs)
+{
+    if (std::optional<scw::Signature> memo =
+            signatureCache_->find(goal_key, obs)) {
+        return *memo;
+    }
+    scw::Signature sig = store_.generator().encode(q_arena, goal);
+    signatureCache_->put(goal_key, sig);
+    return sig;
+}
+
+IndexScan
+ClauseRetrievalServer::rawScan(const StoredPredicate &stored,
+                               const scw::Signature &sig,
+                               const obs::Observer &obs,
+                               obs::SpanId parent) const
+{
+    IndexScan scan;
+    scan.fs1 = fs1_.search(stored.index, sig, pool_.get(), scanShards_,
+                           obs, parent);
+    return scan;
+}
+
+IndexScan
+ClauseRetrievalServer::cachedScan(const StoredPredicate &stored,
+                                  const term::PredicateId &pred,
+                                  const std::string &goal_key,
+                                  const TermArena &q_arena, TermRef goal,
+                                  const obs::Observer &obs,
+                                  obs::SpanId parent)
+{
+    scw::Signature sig = lookupSignature(goal_key, q_arena, goal, obs);
+    std::string skey = survivorKey(pred, sig);
+    if (std::optional<fs1::Fs1Result> memo =
+            survivorCache_->find(skey, obs)) {
+        IndexScan scan;
+        scan.fs1 = std::move(*memo);
+        scan.fromCache = true;
+        return scan;
+    }
+    IndexScan scan = rawScan(stored, sig, obs, parent);
+    survivorCache_->put(skey, scan.fs1);
+    return scan;
+}
+
+void
+ClauseRetrievalServer::serveGoalHit(const RetrievalResponse &cached,
+                                    RetrievalResponse &response)
+{
+    // Payload verbatim — candidates, answers, and every filter
+    // statistic are bit-identical to a recomputation — but the stage
+    // breakdown charges only the modeled cache lookup.
+    response = cached;
+    response.breakdown = StageBreakdown{};
+    response.breakdown.cacheTime = config_.cache.goalHitCost;
+    response.elapsed = response.breakdown.serviceTime();
+    response.traceSpan = 0;
+    ++metrics_.counter("crs.cache.hits", "L3 goal-cache hits");
+}
+
+void
+ClauseRetrievalServer::maybeCacheGoal(const std::string &goal_key,
+                                      const term::PredicateId &pred,
+                                      const RetrievalResponse &response)
+{
+    // Degraded responses never exist here (caching requires no fault
+    // oracle), but guard anyway; overflowed responses requeued
+    // satisfiers through a host path whose cost depends on Result
+    // Memory pressure at serve time, so they are not replayed either.
+    if (response.degraded || response.resultOverflow)
+        return;
+    if (goalCache_->put(goal_key, pred, response))
+        ++metrics_.counter("crs.cache.evictions",
+                           "L3 entries displaced by capacity");
+}
+
+void
+ClauseRetrievalServer::invalidatePredicate(const term::PredicateId &pred)
+{
+    if (goalCache_ == nullptr)
+        return;
+    std::size_t removed = goalCache_->invalidatePredicate(pred);
+    {
+        // Bump the generation so every survivor memo of this
+        // predicate is keyed under a stale generation and can never
+        // match again (it ages out of the LRU naturally).
+        std::lock_guard<std::mutex> lock(generationMutex_);
+        ++indexGeneration_[pred];
+    }
+    metrics_.counter("crs.cache.invalidations",
+                     "L3 entries dropped by committed writes") +=
+        removed;
+}
+
+void
+ClauseRetrievalServer::invalidateCaches()
+{
+    if (goalCache_ != nullptr) {
+        goalCache_->clear();
+        signatureCache_->clear();
+        survivorCache_->clear();
+        std::lock_guard<std::mutex> lock(generationMutex_);
+        indexGeneration_.clear();
+    }
+    // A reload moves file offsets, so resident tracks are garbage.
+    store_.dropDiskCaches();
+}
+
+std::size_t
+ClauseRetrievalServer::goalCacheSize() const
+{
+    return goalCache_ == nullptr ? 0 : goalCache_->size();
+}
+
 void
 ClauseRetrievalServer::hostUnify(const StoredPredicate &stored,
                                  const TermArena &q_arena, TermRef goal,
@@ -271,18 +448,38 @@ ClauseRetrievalServer::serve(const RetrievalRequest &request)
         ? *request.mode
         : selectMode(*request.arena, request.goal);
 
-    const StoredPredicate &stored = store_.predicate(
-        goalPredicate(*request.arena, request.goal));
+    const term::PredicateId pred =
+        goalPredicate(*request.arena, request.goal);
+    const StoredPredicate &stored = store_.predicate(pred);
     obs::Observer ob = observer(request.trace);
     obs::ScopedSpan root(ob.tracer, "crs.retrieve");
     root.attr("mode", std::string(searchModeSlug(response.mode)));
 
+    const bool caching = cachingActive(request);
+    std::string goal_key;
+    if (caching) {
+        goal_key = goalKey(*request.arena, request.goal, response.mode);
+        if (std::optional<RetrievalResponse> cached =
+                goalCache_->find(goal_key)) {
+            serveGoalHit(*cached, response);
+            accountQuery(response, root);
+            return response;
+        }
+        ++metrics_.counter("crs.cache.misses", "L3 goal-cache misses");
+    }
+
     IndexScan scan;
-    if (usesFs1(response.mode))
-        scan = scanIndex(stored, *request.arena, request.goal, ob,
-                         root.id());
+    if (usesFs1(response.mode)) {
+        scan = caching
+            ? cachedScan(stored, pred, goal_key, *request.arena,
+                         request.goal, ob, root.id())
+            : scanIndex(stored, *request.arena, request.goal, ob,
+                        root.id());
+    }
     finishRetrieval(stored, request, std::move(scan), ob, root.id(),
                     response);
+    if (caching)
+        maybeCacheGoal(goal_key, pred, response);
     accountQuery(response, root);
     return response;
 }
@@ -304,6 +501,7 @@ ClauseRetrievalServer::serveBatch(const std::vector<RetrievalRequest> &
     // pipeline stages below are pure scan/filter work.
     std::vector<SearchMode> modes(n);
     std::vector<const StoredPredicate *> stored(n);
+    std::vector<term::PredicateId> preds(n);
     bool any_tracing = false;
     for (std::size_t i = 0; i < n; ++i) {
         clare_assert(batch[i].arena != nullptr,
@@ -311,10 +509,53 @@ ClauseRetrievalServer::serveBatch(const std::vector<RetrievalRequest> &
         modes[i] = batch[i].mode
             ? *batch[i].mode
             : selectMode(*batch[i].arena, batch[i].goal);
-        stored[i] = &store_.predicate(
-            goalPredicate(*batch[i].arena, batch[i].goal));
+        preds[i] = goalPredicate(*batch[i].arena, batch[i].goal);
+        stored[i] = &store_.predicate(preds[i]);
         out[i].mode = modes[i];
         any_tracing = any_tracing || batch[i].trace.enabled;
+    }
+
+    // Cache preprocessing, on the calling thread in batch order so
+    // every memo lookup/fill is deterministic at any worker count.
+    // For each cacheable request: build its L3 key, predict whether
+    // the back half will serve it from cache (already resident, or an
+    // earlier request in this batch will fill it), and — for requests
+    // that will really scan — resolve the query signature through the
+    // L2a memo now, so pool workers never touch a cache.  Predicted
+    // hits skip the pool scan entirely; a misprediction (e.g. the
+    // filler overflowed and was not admitted) falls back to an inline
+    // scan in the back half, so results never depend on the guess.
+    std::vector<std::string> goal_keys(n);
+    std::vector<std::string> survivor_keys(n);
+    std::vector<std::optional<scw::Signature>> sigs(n);
+    std::vector<char> caching(n, 0);
+    std::vector<char> predicted(n, 0);
+    if (goalCache_ != nullptr) {
+        std::set<std::string> batch_goal_keys;
+        std::set<std::string> batch_survivor_keys;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!cachingActive(batch[i]))
+                continue;
+            caching[i] = 1;
+            goal_keys[i] = goalKey(*batch[i].arena, batch[i].goal,
+                                   modes[i]);
+            if (goalCache_->contains(goal_keys[i]) ||
+                batch_goal_keys.count(goal_keys[i])) {
+                predicted[i] = 1;
+            }
+            batch_goal_keys.insert(goal_keys[i]);
+            if (predicted[i] || !usesFs1(modes[i]))
+                continue;
+            sigs[i] = lookupSignature(goal_keys[i], *batch[i].arena,
+                                      batch[i].goal,
+                                      observer(batch[i].trace));
+            survivor_keys[i] = survivorKey(preds[i], *sigs[i]);
+            if (survivorCache_->contains(survivor_keys[i]) ||
+                batch_survivor_keys.count(survivor_keys[i])) {
+                predicted[i] = 1;
+            }
+            batch_survivor_keys.insert(survivor_keys[i]);
+        }
     }
 
     // One batch-level span groups every scan and per-query root so
@@ -325,8 +566,16 @@ ClauseRetrievalServer::serveBatch(const std::vector<RetrievalRequest> &
     batch_span.attr("requests", static_cast<std::uint64_t>(n));
 
     auto scan = [&](std::size_t i) -> IndexScan {
-        if (!usesFs1(modes[i]))
+        if (!usesFs1(modes[i]) || predicted[i])
             return {};
+        if (caching[i]) {
+            // The signature was resolved in the preprocess pass; the
+            // scan itself is pure (index, signature) work, safe on a
+            // pool worker.  Survivor-memo admission happens on the
+            // calling thread, in finish_one.
+            return rawScan(*stored[i], *sigs[i],
+                           observer(batch[i].trace), batch_span.id());
+        }
         return scanIndex(*stored[i], *batch[i].arena, batch[i].goal,
                          observer(batch[i].trace), batch_span.id());
     };
@@ -347,14 +596,62 @@ ClauseRetrievalServer::serveBatch(const std::vector<RetrievalRequest> &
         root.attr("batch_index", static_cast<std::uint64_t>(i));
         RetrievalRequest request = batch[i];
         request.mode = modes[i];
-        finishRetrieval(*stored[i], request, std::move(scanned),
-                        observer(batch[i].trace), root.id(), out[i]);
+        obs::Observer ob = observer(batch[i].trace);
+
+        bool goal_hit = false;
+        if (caching[i]) {
+            if (std::optional<RetrievalResponse> cached =
+                    goalCache_->find(goal_keys[i])) {
+                serveGoalHit(*cached, out[i]);
+                goal_hit = true;
+            } else {
+                ++metrics_.counter("crs.cache.misses",
+                                   "L3 goal-cache misses");
+                if (usesFs1(modes[i])) {
+                    if (!sigs[i]) {
+                        // Mispredicted L3 hit: the preprocess pass
+                        // skipped signature resolution; do it now.
+                        sigs[i] = lookupSignature(goal_keys[i],
+                                                  *batch[i].arena,
+                                                  batch[i].goal, ob);
+                        survivor_keys[i] = survivorKey(preds[i],
+                                                       *sigs[i]);
+                    }
+                    if (std::optional<fs1::Fs1Result> memo =
+                            survivorCache_->find(survivor_keys[i],
+                                                 ob)) {
+                        // Replay the memo even when a (predicted-miss)
+                        // pool scan already ran: timing must not
+                        // depend on the prediction, only on the cache
+                        // state the back half observes in batch order.
+                        scanned = IndexScan{};
+                        scanned.fs1 = std::move(*memo);
+                        scanned.fromCache = true;
+                    } else {
+                        if (predicted[i]) {
+                            // Mispredicted hit: no pool scan ran.
+                            scanned = rawScan(*stored[i], *sigs[i], ob,
+                                              batch_span.id());
+                        }
+                        survivorCache_->put(survivor_keys[i],
+                                            scanned.fs1);
+                    }
+                }
+            }
+        }
+        if (!goal_hit) {
+            finishRetrieval(*stored[i], request, std::move(scanned),
+                            ob, root.id(), out[i]);
+            if (caching[i])
+                maybeCacheGoal(goal_keys[i], preds[i], out[i]);
+        }
         if (pool_) {
             Tick scan_done = fs1_free + out[i].breakdown.indexTime;
             fs1_free = scan_done;
             Tick back_start = std::max(scan_done, back_free);
             out[i].breakdown.queueWait = back_start - scan_done;
-            back_free = back_start + out[i].breakdown.filterTime +
+            back_free = back_start + out[i].breakdown.cacheTime +
+                out[i].breakdown.filterTime +
                 out[i].breakdown.hostUnifyTime;
         }
         accountQuery(out[i], root);
@@ -475,16 +772,34 @@ ClauseRetrievalServer::finishRetrieval(const StoredPredicate &stored,
     }
     SearchMode mode = response.mode;
 
-    if (usesFs1(mode)) {
+    if (usesFs1(mode) && scan.fromCache) {
+        // L2b survivor replay: the memoized Fs1Result carries the
+        // scan statistics verbatim, so the payload is bit-identical
+        // to a recomputation, but no disk read or FS1 pass happens —
+        // the breakdown charges only the modeled memo lookup.
         response.indexEntriesScanned = fs1.entriesScanned;
         response.fs1Hits = fs1.ordinals.size();
-        // The index file streams from disk while FS1 scans on the fly.
+        stages.cacheTime += config_.cache.survivorHitCost;
+        obs::ScopedSpan span(obs.tracer, "crs.survivor_replay", root);
+        span.attr("hits", response.fs1Hits);
+        span.setSimTicks(config_.cache.survivorHitCost);
+    } else if (usesFs1(mode)) {
+        response.indexEntriesScanned = fs1.entriesScanned;
+        response.fs1Hits = fs1.ordinals.size();
+        // The index file streams from disk while FS1 scans on the
+        // fly.  modelRead() consults the L1 track cache when the
+        // store has one (a resident index skips the seek and streams
+        // at memory speed — FS1's own busy time then dominates); with
+        // the cache disabled it is exactly accessTime + transferTime.
         const storage::DiskModel &disk = store_.indexDisk();
-        Tick transfer = disk.transferTime(fs1.bytesScanned);
-        stages.indexTime = disk.accessTime() +
-            std::max(transfer, fs1.busyTime) + scan.faultTicks;
+        storage::ReadTiming rt = disk.modelRead(
+            stored.indexFileOffset, fs1.bytesScanned, obs);
+        stages.indexTime = rt.access +
+            std::max(rt.transfer, fs1.busyTime) + scan.faultTicks;
         obs::ScopedSpan span(obs.tracer, "disk.index_stream", root);
         span.attr("bytes", fs1.bytesScanned);
+        if (rt.cacheHit)
+            span.attr("cache_hit", static_cast<std::uint64_t>(1));
         span.setSimTicks(stages.indexTime);
     }
 
@@ -535,8 +850,15 @@ ClauseRetrievalServer::finishRetrieval(const StoredPredicate &stored,
             std::uint64_t selected = 0;
             for (std::uint32_t c : response.candidates)
                 selected += file.record(c).length;
-            Tick sweep = data_disk.accessTime() +
-                data_disk.transferTime(span_bytes);
+            // The sweep is cache-aware: the candidate span's tracks
+            // may be resident in the L1 track cache (and are admitted
+            // on a miss — every candidate byte lives in them).  The
+            // seek-per-candidate alternative scatters single-sector
+            // reads, which a track buffer does not accelerate.
+            storage::ReadTiming rt = data_disk.modelRead(
+                stored.clauseFileOffset + first.offset, span_bytes,
+                obs);
+            Tick sweep = rt.total();
             Tick seeks = data_disk.accessTime() *
                 response.candidates.size() +
                 data_disk.transferTime(selected);

@@ -39,15 +39,22 @@
 #define CLARE_CRS_SERVER_HH
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "crs/api.hh"
+#include "crs/goal_cache.hh"
 #include "crs/search_mode.hh"
 #include "crs/store.hh"
+#include "crs/transaction.hh"
 #include "fs1/fs1_engine.hh"
+#include "fs1/survivor_cache.hh"
 #include "fs2/fs2_engine.hh"
+#include "scw/signature_cache.hh"
 #include "support/logging.hh"
 #include "support/obs.hh"
 #include "support/sim_time.hh"
@@ -73,12 +80,43 @@ struct HostCostModel
     Tick perCandidateUnify = 100 * kMicrosecond;
 };
 
+/**
+ * Configuration of the server-side cache levels (L2 signature +
+ * survivor memos, L3 goal-result cache).  The L1 disk track cache is
+ * configured on the PredicateStore, which owns the modeled disks —
+ * see PredicateStore::configureDiskCaches().
+ *
+ * Everything defaults to *disabled*, so a default server is
+ * bit-identical to the pre-cache pipeline.  When a fault injector is
+ * armed the server never caches regardless of this config: a
+ * fault-touched response must not be replayed.
+ */
+struct CacheConfig
+{
+    /** Master switch for L2 + L3. */
+    bool enabled = false;
+
+    /** L3 goal-result entries. */
+    std::uint32_t goalCapacity = 256;
+    /** Modeled cost of an L3 hit (hash + lookup + payload copy). */
+    Tick goalHitCost = 2 * kMicrosecond;
+
+    /** L2a encoded-signature memo entries. */
+    std::uint32_t signatureCapacity = 512;
+
+    /** L2b FS1 survivor-set memo entries. */
+    std::uint32_t survivorCapacity = 128;
+    /** Modeled cost of replaying a memoized survivor set. */
+    Tick survivorHitCost = 10 * kMicrosecond;
+};
+
 /** CRS configuration. */
 struct CrsConfig
 {
     HostCostModel host;
     fs1::Fs1Config fs1;
     fs2::Fs2Config fs2;
+    CacheConfig cache;
 
     /**
      * Total threads the retrieval pipeline may use (including the
@@ -131,6 +169,12 @@ struct IndexScan
     std::uint32_t corruptPages = 0;
     /** A chunk failed every bounded read attempt. */
     bool unreadable = false;
+    /**
+     * The survivor set was replayed from the L2 memo: fs1 is a stored
+     * Fs1Result, so timing charges the memo replay cost instead of the
+     * modeled disk read + scan.
+     */
+    bool fromCache = false;
 
     bool healthy() const { return corruptPages == 0 && !unreadable; }
 };
@@ -145,8 +189,14 @@ struct QueryProfile
     bool hasVarBearingStructures = false; ///< complex arg containing vars
 };
 
-/** The retrieval server. */
-class ClauseRetrievalServer
+/**
+ * The retrieval server.
+ *
+ * Implements CacheInvalidationSink so a crs::Transaction constructed
+ * with the server as its sink flushes cached results for every
+ * predicate it wrote, while its exclusive locks are still held.
+ */
+class ClauseRetrievalServer : public CacheInvalidationSink
 {
   public:
     /** Deprecated name for the unified request type. */
@@ -212,6 +262,25 @@ class ClauseRetrievalServer
     obs::MetricsRegistry &metrics() { return metrics_; }
     const obs::MetricsRegistry &metrics() const { return metrics_; }
 
+    /**
+     * Drop every cached result derived from @p pred: the L3 goal
+     * cache entries for the predicate and, by bumping the predicate's
+     * index generation, every L2 survivor memo keyed under the old
+     * generation.  Called by Transaction::commit() while the writer's
+     * exclusive lock is still held.  Safe under concurrent serves.
+     */
+    void invalidatePredicate(const term::PredicateId &pred) override;
+
+    /**
+     * Wholesale invalidation: clear all three server-side cache levels
+     * and the store's disk track caches.  Call after a store reload —
+     * clause ordinals and file offsets may all have changed.
+     */
+    void invalidateCaches();
+
+    /** Entries currently resident in the L3 goal cache (tests). */
+    std::size_t goalCacheSize() const;
+
   private:
     term::SymbolTable &symbols_;
     const PredicateStore &store_;
@@ -238,6 +307,24 @@ class ClauseRetrievalServer
 
     obs::Tracer tracer_;
     obs::MetricsRegistry metrics_;
+
+    // ----- Cache hierarchy (all null when cache.enabled is false, or
+    // when a fault oracle is armed — fault-touched results must never
+    // be replayed).  Each level is internally mutex-guarded; the
+    // server adds no locking of its own around lookups.
+    /** L3: canonical goal + mode → full response payload. */
+    std::unique_ptr<GoalCache> goalCache_;
+    /** L2a: canonical goal → encoded query signature. */
+    std::unique_ptr<scw::SignatureCache> signatureCache_;
+    /** L2b: predicate + signature + generation → FS1 survivor set. */
+    std::unique_ptr<fs1::SurvivorCache> survivorCache_;
+    /**
+     * Per-predicate index generation, bumped by invalidatePredicate();
+     * part of every L2b key, so survivor memos of an updated predicate
+     * can never match again (they age out of the LRU).
+     */
+    mutable std::mutex generationMutex_;
+    std::map<term::PredicateId, std::uint64_t> indexGeneration_;
 
     /** The per-request observer: tracer only when the request asks. */
     obs::Observer observer(const TraceOptions &trace)
@@ -267,6 +354,65 @@ class ClauseRetrievalServer
                         term::TermRef goal,
                         const obs::Observer &obs,
                         obs::SpanId parent) const;
+
+    // ----- Cache plumbing.  Every cache consult and fill below runs
+    // on the calling thread, in request (or batch) order, so hit/miss
+    // counters and LRU state are deterministic at any worker count.
+
+    /** Do L2/L3 participate in this request? */
+    bool cachingActive(const RetrievalRequest &request) const
+    {
+        return goalCache_ != nullptr && !request.bypassCache;
+    }
+
+    /** L3 key: canonical (renaming-invariant) goal key + mode. */
+    static std::string goalKey(const term::TermArena &q_arena,
+                               term::TermRef goal, SearchMode mode);
+
+    /** Current index generation of a predicate (0 until written). */
+    std::uint64_t generationOf(const term::PredicateId &pred) const;
+
+    /** L2b key: predicate + index generation + signature bytes. */
+    std::string survivorKey(const term::PredicateId &pred,
+                            const scw::Signature &sig) const;
+
+    /** Encode the goal's signature through the L2a memo. */
+    scw::Signature lookupSignature(const std::string &goal_key,
+                                   const term::TermArena &q_arena,
+                                   term::TermRef goal,
+                                   const obs::Observer &obs);
+
+    /**
+     * FS1 scan with a precomputed signature and no fault modeling
+     * (caching and fault injection are mutually exclusive).
+     */
+    IndexScan rawScan(const StoredPredicate &stored,
+                      const scw::Signature &sig,
+                      const obs::Observer &obs, obs::SpanId parent) const;
+
+    /**
+     * Resolve the FS1 stage of a cacheable request: L2a signature
+     * memo, L2b survivor memo, raw scan + fill on a miss.  Calling
+     * thread only.
+     */
+    IndexScan cachedScan(const StoredPredicate &stored,
+                         const term::PredicateId &pred,
+                         const std::string &goal_key,
+                         const term::TermArena &q_arena,
+                         term::TermRef goal, const obs::Observer &obs,
+                         obs::SpanId parent);
+
+    /**
+     * Build a response from an L3 hit: payload verbatim, breakdown
+     * replaced by the modeled goal-hit cost.
+     */
+    void serveGoalHit(const RetrievalResponse &cached,
+                      RetrievalResponse &response);
+
+    /** Admit an eligible (clean, non-overflowed) response into L3. */
+    void maybeCacheGoal(const std::string &goal_key,
+                        const term::PredicateId &pred,
+                        const RetrievalResponse &response);
 
     /**
      * Everything after the FS1 stage: degradation of unhealthy index

@@ -82,6 +82,25 @@ class PredicateStore
     const storage::DiskModel &indexDisk() const { return indexDisk_; }
     const scw::CodewordGenerator &generator() const { return generator_; }
 
+    /**
+     * Configure the L1 track caches of both modeled disks (the store
+     * owns the disks; the server only holds a const reference).  The
+     * default-constructed config disables them, which is the seed
+     * behaviour.
+     */
+    void configureDiskCaches(const storage::DiskCacheConfig &config)
+    {
+        dataDisk_.configureCache(config);
+        indexDisk_.configureCache(config);
+    }
+
+    /** Drop all resident tracks, e.g. after reloading the images. */
+    void dropDiskCaches() const
+    {
+        dataDisk_.dropCache();
+        indexDisk_.dropCache();
+    }
+
     /** Total bytes of clause data stored. */
     std::uint64_t dataBytes() const;
     /** Total bytes of index data stored. */

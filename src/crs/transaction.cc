@@ -108,7 +108,7 @@ Transaction::acquire(const term::PredicateId &pred, LockKind kind)
     clare_assert(active_, "operation on a finished transaction");
     if (!manager_.acquire(client_, pred, kind))
         return false;
-    held_.push_back(pred);
+    held_.emplace_back(pred, kind);
     return true;
 }
 
@@ -128,14 +128,15 @@ Transaction::acquireAll(std::vector<term::PredicateId> preds,
         }
         got.push_back(pred);
     }
-    held_.insert(held_.end(), got.begin(), got.end());
+    for (const auto &pred : got)
+        held_.emplace_back(pred, kind);
     return true;
 }
 
 void
 Transaction::releaseHeld()
 {
-    for (const auto &pred : held_)
+    for (const auto &[pred, kind] : held_)
         manager_.release(client_, pred);
     held_.clear();
 }
@@ -144,6 +145,21 @@ void
 Transaction::commit()
 {
     clare_assert(active_, "commit of a finished transaction");
+    // Invalidate before releasing: the exclusive locks are still held,
+    // so no concurrent reader can re-cache a result derived from the
+    // pre-commit state in between.  Deduplicate (a predicate can be
+    // acquired shared then again exclusive).
+    if (sink_ != nullptr) {
+        std::vector<term::PredicateId> written;
+        for (const auto &[pred, kind] : held_)
+            if (kind == LockKind::Exclusive)
+                written.push_back(pred);
+        std::sort(written.begin(), written.end());
+        written.erase(std::unique(written.begin(), written.end()),
+                      written.end());
+        for (const auto &pred : written)
+            sink_->invalidatePredicate(pred);
+    }
     releaseHeld();
     active_ = false;
 }

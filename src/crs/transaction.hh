@@ -71,15 +71,38 @@ class LockManager
 };
 
 /**
+ * Receiver of cache-invalidation notices.  The retrieval server
+ * implements this: a committed transaction that held a predicate
+ * exclusively must flush every cached result derived from it (the L3
+ * goal cache and the L2 survivor memo) before readers can observe the
+ * commit.
+ */
+class CacheInvalidationSink
+{
+  public:
+    virtual ~CacheInvalidationSink() = default;
+
+    /** A write to @p pred committed; drop derived cached state. */
+    virtual void invalidatePredicate(const term::PredicateId &pred) = 0;
+};
+
+/**
  * A transaction: accumulates predicate locks (acquired in a canonical
  * order to avoid deadlock when pre-declared), releases them on commit
  * or abort.
+ *
+ * When an invalidation sink is attached, commit() notifies it of
+ * every predicate this transaction held *exclusively* — while the
+ * locks are still held, so no reader can cache a stale result between
+ * the invalidation and the release.  abort() never invalidates (an
+ * aborted writer published nothing).
  */
 class Transaction
 {
   public:
-    Transaction(LockManager &manager, ClientId client)
-        : manager_(manager), client_(client)
+    Transaction(LockManager &manager, ClientId client,
+                CacheInvalidationSink *sink = nullptr)
+        : manager_(manager), client_(client), sink_(sink)
     {}
 
     Transaction(const Transaction &) = delete;
@@ -106,7 +129,9 @@ class Transaction
   private:
     LockManager &manager_;
     ClientId client_;
-    std::vector<term::PredicateId> held_;
+    CacheInvalidationSink *sink_;
+    /** Held locks with the strength they were acquired at. */
+    std::vector<std::pair<term::PredicateId, LockKind>> held_;
     bool active_ = true;
 
     void releaseHeld();

@@ -12,10 +12,19 @@ Fs1Engine::Fs1Engine(scw::CodewordGenerator generator, Fs1Config config)
 {
 }
 
+Tick
+Fs1Engine::busyTicks(std::uint64_t bytes) const
+{
+    return static_cast<Tick>(std::llround(
+        static_cast<double>(bytes) / config_.scanRate *
+        static_cast<double>(kSecond)));
+}
+
 Fs1Engine::ShardScan
 Fs1Engine::scanRange(const scw::SecondaryFile &index,
                      const scw::Signature &query,
                      const scw::EntryRange &range,
+                     std::uint64_t prefix_bytes,
                      const obs::Observer &obs, obs::SpanId parent) const
 {
     // Shard scans run on pool workers, so the parent is explicit (the
@@ -37,12 +46,13 @@ Fs1Engine::scanRange(const scw::SecondaryFile &index,
         span.attr("hits",
                   static_cast<std::uint64_t>(scan.ordinals.size()));
         span.attr("bytes", scan.bytesScanned);
-        // This shard's share of the device busy time.  The merged
-        // busyTime is converted once from the summed bytes; a span's
-        // per-shard conversion may differ by a sub-tick rounding.
-        span.setSimTicks(static_cast<Tick>(std::llround(
-            static_cast<double>(scan.bytesScanned) / config_.scanRate *
-            static_cast<double>(kSecond))));
+        // This shard's share of the device busy time, computed as a
+        // difference of *cumulative* conversions: shards are
+        // contiguous, so the per-shard spans telescope to exactly the
+        // merged busyTime (an independent per-shard conversion could
+        // drift from the summed total by a sub-tick per shard).
+        span.setSimTicks(busyTicks(prefix_bytes + scan.bytesScanned) -
+                         busyTicks(prefix_bytes));
     }
     if (config_.paceScale > 0) {
         // Paced replay: wait out this shard's share of the device time
@@ -77,10 +87,9 @@ Fs1Engine::merge(std::vector<ShardScan> shards,
     // Sum bytes across shards first, then convert once, rounding to
     // the nearest tick: truncating the cast undercounted by up to one
     // tick per conversion, compounding across sharded sub-scans.
-    double seconds = static_cast<double>(result.bytesScanned) /
-        config_.scanRate;
-    result.busyTime = static_cast<Tick>(
-        std::llround(seconds * static_cast<double>(kSecond)));
+    // scanRange() derives each shard's span from the same cumulative
+    // conversion, so the per-shard span ticks sum to exactly this.
+    result.busyTime = busyTicks(result.bytesScanned);
 
     // One stats update per search, not per shard: workers accumulate
     // into their ShardScan and the merge folds the totals in.
@@ -119,7 +128,7 @@ Fs1Engine::search(const scw::SecondaryFile &index,
     std::vector<ShardScan> one;
     one.push_back(scanRange(index, query,
                             scw::EntryRange{0, index.entryCount()},
-                            obs, span.id()));
+                            0, obs, span.id()));
     Fs1Result result = merge(std::move(one), obs);
     if (span.active()) {
         span.attr("shards", static_cast<std::uint64_t>(result.shards));
@@ -145,8 +154,14 @@ Fs1Engine::search(const scw::SecondaryFile &index,
 
     obs::ScopedSpan span(obs.tracer, "fs1.scan", parent);
     std::vector<ShardScan> scans(ranges.size());
+    // Cumulative byte offsets of each shard, for the telescoping
+    // span-tick conversion (shards are contiguous and ordered).
+    std::vector<std::uint64_t> prefix(ranges.size(), 0);
+    for (std::size_t s = 1; s < ranges.size(); ++s)
+        prefix[s] = prefix[s - 1] + index.rangeBytes(ranges[s - 1]);
     pool->parallelFor(ranges.size(), [&](std::size_t s) {
-        scans[s] = scanRange(index, query, ranges[s], obs, span.id());
+        scans[s] = scanRange(index, query, ranges[s], prefix[s], obs,
+                             span.id());
     });
     Fs1Result result = merge(std::move(scans), obs);
     if (span.active()) {

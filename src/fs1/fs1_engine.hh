@@ -125,11 +125,21 @@ class Fs1Engine
         std::uint64_t bytesScanned = 0;
     };
 
+    /**
+     * @param prefix_bytes bytes scanned by the shards before this one,
+     *        so the shard's span ticks can be computed as a difference
+     *        of cumulative conversions (see busyTicks()) and per-shard
+     *        span totals telescope exactly to the merged busyTime
+     */
     ShardScan scanRange(const scw::SecondaryFile &index,
                         const scw::Signature &query,
                         const scw::EntryRange &range,
+                        std::uint64_t prefix_bytes,
                         const obs::Observer &obs,
                         obs::SpanId parent) const;
+
+    /** Cumulative bytes-to-ticks conversion shared by spans + merge. */
+    Tick busyTicks(std::uint64_t bytes) const;
 
     Fs1Result merge(std::vector<ShardScan> shards,
                     const obs::Observer &obs) const;

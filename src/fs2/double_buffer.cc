@@ -29,9 +29,14 @@ DoubleBuffer::admit(Tick delivered, Tick processing,
     // being examined.  Equivalently, the previous examination must
     // have started (freeing the third-oldest bank) by now; we track it
     // conservatively as "previous examination still running past this
-    // delivery while its own delivery was already complete".
-    if (havePrev_ && busyUntil_ > delivered && prevDelivered_ < delivered)
+    // delivery while its own delivery was already complete".  The
+    // previous delivery counts as complete when it carries the *same*
+    // timestamp (back-to-back DMA chunks finishing on one Tick), so
+    // the comparison is <=, not <.
+    if (havePrev_ && busyUntil_ > delivered &&
+        prevDelivered_ <= delivered) {
         ++overruns_;
+    }
 
     busyUntil_ = start + processing;
     prevDelivered_ = delivered;

@@ -20,6 +20,11 @@ ResultMemory::beginClause(const std::uint8_t *data, std::uint32_t length)
 {
     if (satisfiers_ >= slotCount_) {
         // The 6-bit counter is exhausted; nothing more can be captured.
+        // Still record what the offset counter would have seen, so an
+        // oversize clause reports truncation identically whether or
+        // not it arrived after overflow.
+        if (length > slotBytes_)
+            truncated_ = true;
         if (length > 0)
             pendingLength_ = length;
         return;
@@ -63,6 +68,11 @@ ResultMemory::slot(std::uint32_t i) const
     return std::vector<std::uint8_t>(begin, begin + slotLengths_[i]);
 }
 
+// Full reset contract: a replayed (e.g. cached-then-recomputed) query
+// must observe a memory indistinguishable from a freshly constructed
+// one — data bytes, slot lengths, the satisfier and pending counters,
+// the dropped-satisfier count, and the overflow/truncation flags all
+// return to zero.  test_fs2's replay regression asserts this.
 void
 ResultMemory::reset()
 {

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * L2a of the retrieval cache hierarchy: a memo of encoded query
+ * signatures, keyed by the goal's canonical (renaming-invariant) key.
+ *
+ * Encoding a goal hashes every token of every argument; a repeated
+ * goal — or a renamed variant of one, since variables contribute only
+ * mask bits — re-derives exactly the same Signature.  The memo makes
+ * that re-derivation a lookup.  It is shared by concurrent FS1 scans,
+ * so all access is mutex-guarded; results are unaffected by hit/miss
+ * outcome (the memoized signature equals the recomputed one), only
+ * wall-clock work is saved.
+ */
+
+#ifndef CLARE_SCW_SIGNATURE_CACHE_HH
+#define CLARE_SCW_SIGNATURE_CACHE_HH
+
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "scw/codeword.hh"
+#include "support/lru.hh"
+#include "support/obs.hh"
+
+namespace clare::scw {
+
+/** Canonical-goal-key → encoded Signature memo (LRU-bounded). */
+class SignatureCache
+{
+  public:
+    explicit SignatureCache(std::size_t capacity);
+
+    /**
+     * Look up a memoized signature; counts scw.cache.sig_hits /
+     * scw.cache.sig_misses into @p obs when provided.
+     */
+    std::optional<Signature> find(const std::string &key,
+                                  const obs::Observer &obs = {});
+
+    /** Memoize an encoded signature. */
+    void put(const std::string &key, const Signature &signature);
+
+    std::size_t size() const;
+
+    void clear();
+
+  private:
+    mutable std::mutex mutex_;
+    support::LruCache<std::string, Signature> cache_;
+};
+
+} // namespace clare::scw
+
+#endif // CLARE_SCW_SIGNATURE_CACHE_HH

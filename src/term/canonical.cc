@@ -1,0 +1,110 @@
+#include "term/canonical.hh"
+
+#include <map>
+
+namespace clare::term {
+
+namespace {
+
+void
+appendU64(std::string &out, std::uint64_t v)
+{
+    // Variable-width little-endian with a terminator byte outside the
+    // 7-bit payload range, so adjacent numbers can never run together.
+    while (v >= 0x80) {
+        out.push_back(static_cast<char>(v & 0x7f));
+        v >>= 7;
+    }
+    out.push_back(static_cast<char>(v | 0x80));
+}
+
+struct Canonicalizer
+{
+    const TermArena &arena;
+    std::string out;
+    /** First-occurrence numbering of named variables. */
+    std::map<VarId, std::uint32_t> varNumber;
+    std::uint32_t nextVar = 0;
+
+    void
+    walk(TermRef t)
+    {
+        switch (arena.kind(t)) {
+          case TermKind::Atom:
+            out.push_back('a');
+            appendU64(out, arena.atomSymbol(t));
+            return;
+          case TermKind::Int:
+            out.push_back('i');
+            appendU64(out, static_cast<std::uint64_t>(arena.intValue(t)));
+            return;
+          case TermKind::Float:
+            out.push_back('f');
+            appendU64(out, arena.floatId(t));
+            return;
+          case TermKind::Var: {
+            out.push_back('v');
+            // Anonymous variables are never shared, so each occurrence
+            // gets a fresh number: p(_, _) keys like p(X, Y), and both
+            // differ from p(X, X).
+            std::uint32_t n;
+            if (arena.isAnonymous(t)) {
+                n = nextVar++;
+            } else {
+                auto [it, fresh] =
+                    varNumber.try_emplace(arena.varId(t), nextVar);
+                if (fresh)
+                    ++nextVar;
+                n = it->second;
+            }
+            appendU64(out, n);
+            return;
+          }
+          case TermKind::Struct: {
+            out.push_back('s');
+            appendU64(out, arena.functor(t));
+            appendU64(out, arena.arity(t));
+            for (std::uint32_t i = 0; i < arena.arity(t); ++i)
+                walk(arena.arg(t, i));
+            return;
+          }
+          case TermKind::List: {
+            out.push_back('l');
+            appendU64(out, arena.arity(t));
+            for (std::uint32_t i = 0; i < arena.arity(t); ++i)
+                walk(arena.arg(t, i));
+            if (arena.listTail(t) == kNoTerm) {
+                out.push_back('.');
+            } else {
+                out.push_back('|');
+                walk(arena.listTail(t));
+            }
+            return;
+          }
+        }
+    }
+};
+
+} // namespace
+
+std::string
+canonicalKey(const TermArena &arena, TermRef t)
+{
+    Canonicalizer c{arena};
+    c.walk(t);
+    return std::move(c.out);
+}
+
+std::uint64_t
+canonicalHash(const TermArena &arena, TermRef t)
+{
+    std::string key = canonicalKey(arena, t);
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char ch : key) {
+        h ^= ch;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace clare::term

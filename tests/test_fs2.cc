@@ -382,6 +382,24 @@ TEST(DoubleBufferTest, OverrunDetection)
     EXPECT_GE(buffer.overruns(), 1u);
 }
 
+TEST(DoubleBufferTest, EqualTimestampDeliveryCountsOverrun)
+{
+    // Regression: a clause delivered at exactly the same instant as
+    // its predecessor (zero-length record, coalesced DMA completion)
+    // still finds the bank busy; the old `prevDelivered_ < delivered`
+    // comparison silently skipped the overrun check for it.
+    DoubleBuffer buffer(1024);
+    buffer.admit(100, 1000, 100);       // busy until 1100
+    buffer.admit(100, 10, 100);         // same timestamp, bank busy
+    EXPECT_EQ(buffer.overruns(), 1u);
+    // Reordered history (later clause delivered earlier) still stays
+    // exempt: the guard only fires for monotone delivery times.
+    buffer.reset();
+    buffer.admit(100, 1000, 100);
+    buffer.admit(50, 10, 100);
+    EXPECT_EQ(buffer.overruns(), 0u);
+}
+
 TEST(DoubleBufferTest, OversizedClauseIsFatal)
 {
     DoubleBuffer buffer(64);
@@ -426,6 +444,40 @@ TEST(ResultMemoryTest, SlotTruncation)
     rm.commit();
     EXPECT_TRUE(rm.clauseTruncated());
     EXPECT_EQ(rm.slot(0).size(), 512u);
+}
+
+TEST(ResultMemoryTest, ResetClearsAllStickyStateForReplay)
+{
+    // Regression: a replayed query must not inherit the previous
+    // query's overflow / truncation / dropped-satisfier state.
+    ResultMemory rm(2 * 512, 512);      // two slots only
+    std::vector<std::uint8_t> big(600, 7);
+    for (int i = 0; i < 3; ++i) {       // overflows the 6-bit counter
+        rm.beginClause(big.data(), 600);
+        rm.commit();                    // and truncates every clause
+    }
+    ASSERT_TRUE(rm.overflowed());
+    ASSERT_TRUE(rm.clauseTruncated());
+    ASSERT_GT(rm.droppedSatisfiers(), 0u);
+
+    rm.reset();
+    EXPECT_EQ(rm.satisfierCount(), 0u);
+    EXPECT_FALSE(rm.overflowed());
+    EXPECT_FALSE(rm.clauseTruncated());
+    EXPECT_EQ(rm.droppedSatisfiers(), 0u);
+
+    // A replay is indistinguishable from the same query on a fresh
+    // memory.
+    ResultMemory fresh(2 * 512, 512);
+    std::vector<std::uint8_t> small{1, 2, 3};
+    for (ResultMemory *m : {&rm, &fresh}) {
+        m->beginClause(small.data(), 3);
+        m->commit();
+    }
+    EXPECT_EQ(rm.satisfierCount(), fresh.satisfierCount());
+    EXPECT_EQ(rm.slot(0), fresh.slot(0));
+    EXPECT_EQ(rm.overflowed(), fresh.overflowed());
+    EXPECT_EQ(rm.clauseTruncated(), fresh.clauseTruncated());
 }
 
 TEST(ResultMemoryTest, WorstCaseSizingMatchesOneTrack)

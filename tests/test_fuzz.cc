@@ -24,12 +24,14 @@
 
 #include "crs/server.hh"
 #include "crs/store_io.hh"
+#include "crs/transaction.hh"
 #include "pif/encoder.hh"
 #include "storage/file_io.hh"
 #include "support/fault_injector.hh"
 #include "support/random.hh"
 #include "term/term_reader.hh"
 #include "term/term_writer.hh"
+#include "unify/oracle.hh"
 
 namespace clare {
 namespace {
@@ -372,6 +374,114 @@ TEST(InjectedFaultSweep, NoSeedCrashesTheServer)
     // The sweep must not degenerate into all-permanent failures.
     EXPECT_GT(served, 0);
 }
+
+// ---------------------------------------------------------------------
+// Cache-interleave fuzz: random queries against a cache-enabled server
+// with invalidating transactions mixed in, every answer checked
+// against the ground-truth unification oracle.
+// ---------------------------------------------------------------------
+
+class CacheInterleaveFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CacheInterleaveFuzz, CachedAnswersAlwaysMatchTheOracle)
+{
+    term::SymbolTable sym;
+    term::TermReader reader(sym);
+    std::string text;
+    for (int p = 0; p < 3; ++p)
+        for (int i = 0; i < 40; ++i) {
+            text += "p" + std::to_string(p) + "(k" +
+                std::to_string(i % 7) + ", v" + std::to_string(i % 11) +
+                ").\n";
+        }
+    term::Program program;
+    for (auto &c : reader.parseProgram(text))
+        program.add(std::move(c));
+    crs::PredicateStore store(sym, scw::CodewordGenerator{});
+    store.addProgram(program);
+    store.finalize();
+
+    crs::CrsConfig config;
+    config.cache.enabled = true;
+    config.cache.goalCapacity = 8;      // small: force evictions too
+    config.cache.survivorCapacity = 8;
+    crs::ClauseRetrievalServer server(sym, store, config);
+    crs::ClauseRetrievalServer plain(sym, store);
+    crs::LockManager locks;
+
+    // Goal pool: ground, half-ground, and fully variable shapes.
+    std::vector<term::ParsedTerm> goals;
+    for (int p = 0; p < 3; ++p) {
+        for (int k = 0; k < 7; k += 2) {
+            goals.push_back(reader.parseTerm(
+                "p" + std::to_string(p) + "(k" + std::to_string(k) +
+                ", X)"));
+            goals.push_back(reader.parseTerm(
+                "p" + std::to_string(p) + "(k" + std::to_string(k) +
+                ", v" + std::to_string(k) + ")"));
+        }
+        goals.push_back(reader.parseTerm(
+            "p" + std::to_string(p) + "(X, Y)"));
+    }
+
+    const crs::SearchMode modes[] = {crs::SearchMode::SoftwareOnly,
+                                     crs::SearchMode::Fs1Only,
+                                     crs::SearchMode::Fs2Only,
+                                     crs::SearchMode::TwoStage};
+    Rng rng(GetParam());
+    for (int iter = 0; iter < 300; ++iter) {
+        if (rng.chance(0.15)) {
+            // An invalidating update transaction on a random predicate.
+            term::PredicateId pred{
+                sym.intern("p" + std::to_string(rng.below(3))), 2};
+            crs::Transaction tx(locks, 1, &server);
+            ASSERT_TRUE(tx.acquire(pred, crs::LockKind::Exclusive));
+            tx.commit();
+            continue;
+        }
+        const term::ParsedTerm &goal = goals[rng.below(goals.size())];
+        crs::RetrievalRequest request;
+        request.arena = &goal.arena;
+        request.goal = goal.root;
+        request.mode = modes[rng.below(4)];
+        request.bypassCache = rng.chance(0.1);
+        crs::RetrievalResponse got = server.serve(request);
+
+        // Ground truth, recomputed from the program: the per-predicate
+        // ordinals whose clause head truly unifies with the goal.
+        term::PredicateId pred{goal.arena.functor(goal.root),
+                               goal.arena.arity(goal.root)};
+        std::vector<std::uint32_t> expected;
+        std::uint32_t ordinal = 0;
+        for (std::size_t ci : program.clausesOf(pred)) {
+            if (unify::wouldUnify(goal.arena, goal.root,
+                                  program.clause(ci)))
+                expected.push_back(ordinal);
+            ++ordinal;
+        }
+        EXPECT_EQ(got.answers, expected)
+            << "iteration " << iter << " mode "
+            << static_cast<int>(*request.mode)
+            << (request.bypassCache ? " (bypass)" : "");
+
+        // And the cached pipeline never diverges from a cache-free
+        // server on any payload field.
+        crs::RetrievalRequest same = request;
+        same.bypassCache = false;
+        crs::RetrievalResponse ref = plain.serve(same);
+        EXPECT_EQ(got.candidates, ref.candidates) << "iteration " << iter;
+        EXPECT_EQ(got.answers, ref.answers) << "iteration " << iter;
+        EXPECT_EQ(got.indexEntriesScanned, ref.indexEntriesScanned)
+            << "iteration " << iter;
+        EXPECT_EQ(got.clausesExamined, ref.clausesExamined)
+            << "iteration " << iter;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheInterleaveFuzz,
+                         ::testing::Values(7u, 77u, 777u));
 
 } // namespace
 } // namespace clare
