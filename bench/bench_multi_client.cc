@@ -36,7 +36,8 @@ namespace {
  * sequential path.
  */
 void
-batchedFrontDoorSweep(json::Value &json_rows)
+batchedFrontDoorSweep(const bench::SlicedKnobs &knobs,
+                      json::Value &json_rows)
 {
     using Request = crs::ClauseRetrievalServer::Request;
 
@@ -54,6 +55,8 @@ batchedFrontDoorSweep(json::Value &json_rows)
     term::Program program = kbgen.generate(spec);
     crs::PredicateStore store(sym, scw::CodewordGenerator{});
     store.addProgram(program);
+    if (knobs.sliced)
+        store.buildSlicedIndexes();
     store.finalize();
 
     term::TermReader reader(sym);
@@ -83,6 +86,7 @@ batchedFrontDoorSweep(json::Value &json_rows)
     for (std::uint32_t workers : {1u, 2u, 4u, 8u}) {
         crs::CrsConfig config;
         config.workers = workers;
+        knobs.apply(config);
         crs::ClauseRetrievalServer server(sym, store, config);
         server.retrieveMany(batch);    // warm-up
 
@@ -120,6 +124,9 @@ batchedFrontDoorSweep(json::Value &json_rows)
         json::Value row = json::Value::object();
         row.set("sweep", "batched_front_door");
         row.set("workers", workers);
+        row.set("sliced", knobs.sliced);
+        if (knobs.batchWidth > 0)
+            row.set("batch_width", knobs.batchWidth);
         row.set("wall_seconds", seconds);
         row.set("identical", identical);
         row.set("total_queue_wait_ticks", queue_wait);
@@ -252,6 +259,7 @@ main(int argc, char **argv)
     setQuiet(true);
     std::string json_path = bench::jsonPathArg(argc, argv);
     bench::CacheKnobs cache_knobs = bench::cacheConfigArg(argc, argv);
+    bench::SlicedKnobs sliced_knobs = bench::slicedConfigArg(argc, argv);
     json::Value json_rows = json::Value::array();
 
     term::SymbolTable sym;
@@ -316,7 +324,7 @@ main(int argc, char **argv)
                 "spreading the\nsame update load over disjoint "
                 "predicates removes the contention.\n\n");
 
-    batchedFrontDoorSweep(json_rows);
+    batchedFrontDoorSweep(sliced_knobs, json_rows);
     repeatedGoalCacheSweep(json_rows, cache_knobs);
     std::printf("\nhost cores: %u\n",
                 std::thread::hardware_concurrency());

@@ -42,6 +42,8 @@ compileStore(term::SymbolTable &symbols, const term::Program &program,
     out.store = std::make_unique<crs::PredicateStore>(
         symbols, scw::CodewordGenerator(scw_config));
     out.store->addProgram(program);
+    if (crs_config.fs1.sliced)
+        out.store->buildSlicedIndexes();
     out.store->finalize();
     out.server = std::make_unique<crs::ClauseRetrievalServer>(
         symbols, *out.store, crs_config);
@@ -203,6 +205,51 @@ cacheConfigArg(int argc, char **argv)
                 std::strtoul(v, nullptr, 10));
         } else if (std::strcmp(argv[i], "--cache-bypass") == 0) {
             knobs.bypass = true;
+        }
+    }
+    return knobs;
+}
+
+/**
+ * Parsed `--sliced` / `--batch-width=K` knobs shared by the bench
+ * harnesses.  Absent flags leave both off, so a default run is
+ * bit-identical to the row-major scan path.
+ */
+struct SlicedKnobs
+{
+    /** `--sliced`: scan through the bit-sliced plane. */
+    bool sliced = false;
+    /** `--batch-width=K`: group up to K FS1 goals per plane pass
+     *  (implies `--sliced`; 0 means "not given"). */
+    std::uint32_t batchWidth = 0;
+
+    /** Fold the knobs into a server config. */
+    void
+    apply(crs::CrsConfig &config) const
+    {
+        if (sliced)
+            config.fs1.sliced = true;
+        if (batchWidth > 0)
+            config.batchWidth = batchWidth;
+    }
+};
+
+/**
+ * Parse the bit-sliced scan knobs: `--sliced` turns the word-parallel
+ * FS1 kernel on, `--batch-width=K` groups up to K same-predicate FS1
+ * goals into one plane pass (and implies `--sliced`).
+ */
+inline SlicedKnobs
+slicedConfigArg(int argc, char **argv)
+{
+    SlicedKnobs knobs;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--sliced") == 0) {
+            knobs.sliced = true;
+        } else if (std::strncmp(argv[i], "--batch-width=", 14) == 0) {
+            knobs.batchWidth = static_cast<std::uint32_t>(
+                std::strtoul(argv[i] + 14, nullptr, 10));
+            knobs.sliced = true;
         }
     }
     return knobs;

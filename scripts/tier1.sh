@@ -2,8 +2,11 @@
 # Tier-1 verification: the canonical build + full test suite, then the
 # fault-injection/corruption suites again under ASan+UBSan so the
 # error paths are proven free of undefined behavior, not just of
-# wrong answers, and the cache-hierarchy suite again under TSan so the
-# shared L1/L2/L3 caches are proven free of data races.
+# wrong answers, the cache-hierarchy suite again under TSan so the
+# shared L1/L2/L3 caches are proven free of data races, and the
+# bit-sliced equivalence suite again under ASan so the word-indexed
+# plane arithmetic (edge-masked partial ranges in particular) is
+# proven in-bounds.
 #
 # Usage: scripts/tier1.sh [build-dir] [asan-build-dir] [tsan-build-dir]
 set -euo pipefail
@@ -22,6 +25,9 @@ echo "== tier-1: ASan+UBSan build + faults-labeled tests =="
 cmake -B "$ASAN_BUILD" -S . -DCLARE_SANITIZE=address
 cmake --build "$ASAN_BUILD" -j
 ctest --test-dir "$ASAN_BUILD" -L faults --output-on-failure -j
+
+echo "== tier-1: ASan+UBSan build + sliced-equivalence tests =="
+ctest --test-dir "$ASAN_BUILD" -L sliced --output-on-failure -j
 
 echo "== tier-1: TSan build + cache-labeled tests =="
 cmake -B "$TSAN_BUILD" -S . -DCLARE_SANITIZE=thread

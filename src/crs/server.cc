@@ -248,8 +248,8 @@ ClauseRetrievalServer::scanIndex(const StoredPredicate &stored,
     }
 
     scw::Signature query_sig = store_.generator().encode(q_arena, goal);
-    scan.fs1 = fs1_.search(stored.index, query_sig, pool_.get(),
-                           scanShards_, obs, parent);
+    scan.fs1 = fs1_.search(stored.index, stored.sliced.get(), query_sig,
+                           pool_.get(), scanShards_, obs, parent);
     return scan;
 }
 
@@ -322,8 +322,8 @@ ClauseRetrievalServer::rawScan(const StoredPredicate &stored,
                                obs::SpanId parent) const
 {
     IndexScan scan;
-    scan.fs1 = fs1_.search(stored.index, sig, pool_.get(), scanShards_,
-                           obs, parent);
+    scan.fs1 = fs1_.search(stored.index, stored.sliced.get(), sig,
+                           pool_.get(), scanShards_, obs, parent);
     return scan;
 }
 
@@ -580,6 +580,57 @@ ClauseRetrievalServer::serveBatch(const std::vector<RetrievalRequest> &
                          observer(batch[i].trace), batch_span.id());
     };
 
+    // Multi-query batch scanning: group FS1-mode goals of the same
+    // predicate (up to batchWidth, in batch order) so one pass over
+    // the predicate's bit-sliced plane answers the whole group.
+    // Predicted cache hits stay ungrouped — they are expected to skip
+    // the scan entirely — and fault-armed runs group nothing, since
+    // scanIndex() models per-query fault exposure.  Each grouped
+    // query's Fs1Result is bit-identical to its own scan, so caching,
+    // queue-wait modeling, and responses are unaffected.
+    constexpr std::size_t kNoGroup = ~std::size_t{0};
+    const bool grouping =
+        config_.batchWidth > 1 && config_.faults == nullptr;
+    std::vector<std::size_t> group_of(n, kNoGroup);
+    std::vector<std::vector<std::size_t>> groups;
+    if (grouping) {
+        std::map<term::PredicateId, std::size_t> open;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!usesFs1(modes[i]) || predicted[i])
+                continue;
+            auto it = open.find(preds[i]);
+            if (it == open.end() ||
+                groups[it->second].size() >= config_.batchWidth) {
+                groups.emplace_back();
+                it = open.insert_or_assign(preds[i],
+                                           groups.size() - 1).first;
+            }
+            group_of[i] = it->second;
+            groups[it->second].push_back(i);
+        }
+    }
+    auto scan_group = [&](std::size_t g) -> std::vector<IndexScan> {
+        const std::vector<std::size_t> &members = groups[g];
+        const StoredPredicate &sp = *stored[members.front()];
+        std::vector<scw::Signature> qsigs;
+        std::vector<obs::Observer> obss;
+        qsigs.reserve(members.size());
+        obss.reserve(members.size());
+        for (std::size_t m : members) {
+            qsigs.push_back(sigs[m]
+                            ? *sigs[m]
+                            : store_.generator().encode(*batch[m].arena,
+                                                        batch[m].goal));
+            obss.push_back(observer(batch[m].trace));
+        }
+        std::vector<fs1::Fs1Result> results = fs1_.searchBatch(
+            sp.index, sp.sliced.get(), qsigs, obss, batch_span.id());
+        std::vector<IndexScan> scans(members.size());
+        for (std::size_t k = 0; k < members.size(); ++k)
+            scans[k].fs1 = std::move(results[k]);
+        return scans;
+    };
+
     // Modeled pipeline timeline: the FS1 hardware scans the batch
     // serially while the (serial) host back half drains finished
     // scans; a scan that finishes before the back half is free waits
@@ -658,8 +709,21 @@ ClauseRetrievalServer::serveBatch(const std::vector<RetrievalRequest> &
     };
 
     if (!pool_) {
-        for (std::size_t i = 0; i < n; ++i)
-            finish_one(i, scan(i));
+        // Groups are scanned lazily, when their first member is
+        // finished, and deliver members in batch order.
+        std::vector<std::vector<IndexScan>> group_scans(groups.size());
+        std::vector<std::size_t> group_next(groups.size(), 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (group_of[i] != kNoGroup) {
+                const std::size_t g = group_of[i];
+                if (group_scans[g].empty())
+                    group_scans[g] = scan_group(g);
+                finish_one(i,
+                           std::move(group_scans[g][group_next[g]++]));
+            } else {
+                finish_one(i, scan(i));
+            }
+        }
         return out;
     }
 
@@ -668,29 +732,68 @@ ClauseRetrievalServer::serveBatch(const std::vector<RetrievalRequest> &
     // FS1-ahead-of-FS2 overlap).  Up to `workers` scans are in flight
     // so their device/disk waits overlap each other, not just the
     // back half.  Requests complete in batch order regardless.
-    std::deque<std::future<IndexScan>> pending;
+    //
+    // The units of work are scan groups (a singleton for every
+    // ungrouped request, including no-op scans): a unit is queued at
+    // its first member's batch position and scatters one IndexScan per
+    // member, so grouped members later in the batch find theirs ready.
+    struct ScanUnit
+    {
+        std::size_t first;                 ///< batch index of member 0
+        std::size_t group;                 ///< kNoGroup for singletons
+    };
+    std::vector<ScanUnit> units;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (group_of[i] == kNoGroup)
+            units.push_back({i, kNoGroup});
+        else if (groups[group_of[i]].front() == i)
+            units.push_back({i, group_of[i]});
+    }
+    std::vector<std::optional<IndexScan>> ready(n);
+    std::deque<std::pair<ScanUnit, std::future<std::vector<IndexScan>>>>
+        pending;
     std::size_t next = 0;
     auto refill = [&] {
-        while (next < n && pending.size() < scanAhead_) {
-            std::size_t j = next++;
-            pending.push_back(
-                pool_->async([&scan, j] { return scan(j); }));
+        while (next < units.size() && pending.size() < scanAhead_) {
+            const ScanUnit unit = units[next++];
+            pending.emplace_back(
+                unit,
+                pool_->async([&scan, &scan_group, unit] {
+                    if (unit.group == kNoGroup) {
+                        std::vector<IndexScan> one;
+                        one.push_back(scan(unit.first));
+                        return one;
+                    }
+                    return scan_group(unit.group);
+                }));
         }
     };
     refill();
     try {
         for (std::size_t i = 0; i < n; ++i) {
-            IndexScan scanned = pending.front().get();
-            pending.pop_front();
-            refill();
-            finish_one(i, std::move(scanned));
+            while (!ready[i]) {
+                auto [unit, future] = std::move(pending.front());
+                pending.pop_front();
+                std::vector<IndexScan> scans = future.get();
+                refill();
+                if (unit.group == kNoGroup) {
+                    ready[unit.first] = std::move(scans.front());
+                } else {
+                    const std::vector<std::size_t> &members =
+                        groups[unit.group];
+                    for (std::size_t k = 0; k < members.size(); ++k)
+                        ready[members[k]] = std::move(scans[k]);
+                }
+            }
+            finish_one(i, std::move(*ready[i]));
+            ready[i].reset();
         }
     } catch (...) {
         // In-flight scans reference locals; drain them before the
         // locals go out of scope.
-        for (std::future<IndexScan> &f : pending)
-            if (f.valid())
-                f.wait();
+        for (auto &p : pending)
+            if (p.second.valid())
+                p.second.wait();
         throw;
     }
     return out;

@@ -128,6 +128,17 @@ struct CrsConfig
     std::uint32_t workers = 1;
 
     /**
+     * serveBatch() multi-query batch scanning: up to this many
+     * FS1-mode goals of one predicate are answered by a single pass
+     * over the predicate's bit-sliced plane.  1 (default) scans per
+     * query.  Widths > 1 require fs1.sliced (grouping without the
+     * sliced kernel would just serialize the scans) and compose with
+     * workers and the caches; results stay bit-identical because each
+     * grouped query is accounted exactly like its own full-file scan.
+     */
+    std::uint32_t batchWidth = 1;
+
+    /**
      * Bound on modeled re-reads of a chunk after transient disk
      * errors.  Each retry re-positions the head, so it costs a full
      * access time that shows honestly in the stage breakdown.

@@ -51,7 +51,9 @@ PredicateStore::addProgram(const term::Program &program)
 void
 PredicateStore::addStored(const term::PredicateId &pred,
                           storage::ClauseFile clauses,
-                          scw::SecondaryFile index)
+                          scw::SecondaryFile index,
+                          std::shared_ptr<const scw::BitSlicedIndex>
+                              sliced)
 {
     clare_assert(!finalized_, "store already finalized");
     if (preds_.count(pred))
@@ -67,8 +69,21 @@ PredicateStore::addStored(const term::PredicateId &pred,
           static_cast<double>(clauses.clauseCount());
     stored.clauses = std::move(clauses);
     stored.index = std::move(index);
+    stored.sliced = std::move(sliced);
     preds_.emplace(pred, std::move(stored));
     order_.push_back(pred);
+}
+
+void
+PredicateStore::buildSlicedIndexes()
+{
+    for (auto &kv : preds_) {
+        StoredPredicate &stored = kv.second;
+        if (stored.sliced != nullptr)
+            continue;
+        stored.sliced = std::make_shared<scw::BitSlicedIndex>(
+            scw::BitSlicedIndex::build(generator_, stored.index));
+    }
 }
 
 void

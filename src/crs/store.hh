@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "scw/bit_sliced_index.hh"
 #include "scw/codeword.hh"
 #include "scw/index_file.hh"
 #include "storage/clause_file.hh"
@@ -41,6 +42,15 @@ struct StoredPredicate
      * instead of matching garbage codewords.
      */
     std::vector<std::uint32_t> indexPageCrcs;
+
+    /**
+     * Transposed (bit-sliced) plane of the secondary file, for the
+     * word-parallel FS1 host kernel.  Null when planes were neither
+     * loaded from a v3 store nor built with buildSlicedIndexes();
+     * the engine then scans row-major.  Shared so cached IndexScans
+     * and concurrent workers can hold it without copying.
+     */
+    std::shared_ptr<const scw::BitSlicedIndex> sliced;
 };
 
 /**
@@ -63,10 +73,22 @@ class PredicateStore
     /**
      * Insert an already-compiled predicate (the store-loading path);
      * the rule fraction is re-derived from the record flags.
+     * @param sliced pre-built bit-sliced plane (e.g. deserialized from
+     *        a v3 store), or null to leave the predicate row-major
      */
     void addStored(const term::PredicateId &pred,
                    storage::ClauseFile clauses,
-                   scw::SecondaryFile index);
+                   scw::SecondaryFile index,
+                   std::shared_ptr<const scw::BitSlicedIndex> sliced =
+                       nullptr);
+
+    /**
+     * Build the transposed plane for every predicate that lacks one
+     * (addProgram leaves them unbuilt; v2 stores load without them).
+     * Idempotent; callable before or after finalize() — the plane is
+     * host-side metadata and does not change the on-disk images.
+     */
+    void buildSlicedIndexes();
 
     /** Finish layout: load the concatenated images onto the disks. */
     void finalize();

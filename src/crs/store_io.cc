@@ -6,6 +6,7 @@
 #include <map>
 #include <sstream>
 
+#include "scw/bit_sliced_index.hh"
 #include "scw/codeword.hh"
 #include "storage/file_io.hh"
 #include "support/crc32.hh"
@@ -126,7 +127,18 @@ saveStore(const std::string &directory, const PredicateStore &store,
         std::string kbc = directory + "/" + stem + ".kbc";
         std::string idx = directory + "/" + stem + ".idx";
         storage::saveClauseFile(kbc, stored.clauses);
-        storage::writeFramedBytes(idx, stored.index.image());
+        // The framed .idx payload is the raw entry image followed by
+        // the bit-sliced plane section (index format v3).  Reuse the
+        // store's plane when it already built one; otherwise transpose
+        // transiently just for persistence.
+        std::vector<std::uint8_t> idx_payload = stored.index.image();
+        if (stored.sliced != nullptr) {
+            stored.sliced->serialize(idx_payload);
+        } else {
+            scw::BitSlicedIndex::build(store.generator(), stored.index)
+                .serialize(idx_payload);
+        }
+        storage::writeFramedBytes(idx, idx_payload);
         manifest << "pred " << pred.functor << ' ' << pred.arity << ' '
                  << stem << ' ' << sizeOnDisk(kbc) << ' '
                  << sizeOnDisk(idx) << '\n';
@@ -225,10 +237,12 @@ loadStore(const std::string &directory, term::SymbolTable &symbols)
             throw bad_manifest("missing index-format line, got '" +
                                line + "'");
     }
-    if (index_format != scw::kIndexFormatVersion) {
+    if (index_format < scw::kIndexFormatVersionCompat ||
+        index_format > scw::kIndexFormatVersion) {
         throw bad_manifest(
             "store uses index format " + std::to_string(index_format) +
-            " but this build writes format " +
+            " but this build reads formats " +
+            std::to_string(scw::kIndexFormatVersionCompat) + "-" +
             std::to_string(scw::kIndexFormatVersion) +
             "; rebuild the store to regenerate its signatures");
     }
@@ -300,21 +314,46 @@ loadStore(const std::string &directory, term::SymbolTable &symbols)
         // is position-independent, so a size check suffices).  v3
         // images are page-framed; v2 images are raw.
         const std::string idx_path = directory + "/" + e.stem + ".idx";
-        std::vector<std::uint8_t> index_image = version >= 3
+        std::vector<std::uint8_t> idx_payload = version >= 3
             ? storage::readFramedBytes(idx_path)
             : storage::readBytes(idx_path);
         scw::CodewordGenerator generator(config);
         std::size_t entry_bytes = generator.signatureBytes() + 8;
-        if (index_image.size() != entry_bytes * clauses.clauseCount())
+        std::size_t entry_total = entry_bytes * clauses.clauseCount();
+        // Index format v2 payloads are exactly the entry image; v3
+        // payloads carry the bit-sliced plane section after it.
+        if (index_format < 3
+                ? idx_payload.size() != entry_total
+                : idx_payload.size() <= entry_total)
             throw CorruptionError(
                 idx_path, kNoFilePosition, kNoFilePosition,
-                "holds " + std::to_string(index_image.size()) +
+                "holds " + std::to_string(idx_payload.size()) +
                 " payload bytes, expected " +
-                std::to_string(entry_bytes * clauses.clauseCount()));
+                (index_format < 3 ? "" : "more than ") +
+                std::to_string(entry_total));
+        std::vector<std::uint8_t> index_image(
+            idx_payload.begin(),
+            idx_payload.begin() +
+                static_cast<std::ptrdiff_t>(entry_total));
         scw::SecondaryFile index = scw::SecondaryFile::fromImage(
             std::move(index_image), clauses.clauseCount(), entry_bytes);
 
-        store.addStored(pred, std::move(clauses), std::move(index));
+        std::shared_ptr<const scw::BitSlicedIndex> sliced;
+        if (index_format >= 3) {
+            std::size_t at = entry_total;
+            sliced = std::make_shared<scw::BitSlicedIndex>(
+                scw::BitSlicedIndex::deserialize(idx_payload, at,
+                                                 generator, index,
+                                                 idx_path));
+            if (at != idx_payload.size())
+                throw CorruptionError(
+                    idx_path, kNoFilePosition, kNoFilePosition,
+                    std::to_string(idx_payload.size() - at) +
+                    " trailing bytes after the sliced plane section");
+        }
+
+        store.addStored(pred, std::move(clauses), std::move(index),
+                        std::move(sliced));
     }
     store.finalize();
     return store;

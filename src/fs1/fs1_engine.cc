@@ -5,6 +5,9 @@
 #include <thread>
 #include <utility>
 
+#include "fs1/sliced_matcher.hh"
+#include "support/logging.hh"
+
 namespace clare::fs1 {
 
 Fs1Engine::Fs1Engine(scw::CodewordGenerator generator, Fs1Config config)
@@ -22,6 +25,7 @@ Fs1Engine::busyTicks(std::uint64_t bytes) const
 
 Fs1Engine::ShardScan
 Fs1Engine::scanRange(const scw::SecondaryFile &index,
+                     const scw::BitSlicedIndex *sliced,
                      const scw::Signature &query,
                      const scw::EntryRange &range,
                      std::uint64_t prefix_bytes,
@@ -32,11 +36,28 @@ Fs1Engine::scanRange(const scw::SecondaryFile &index,
     // ran).
     obs::ScopedSpan span(obs.tracer, "fs1.shard", parent);
     ShardScan scan;
-    for (std::size_t i = range.begin; i < range.end; ++i) {
-        scw::IndexEntry entry = index.entry(generator_, i);
-        if (generator_.matches(query, entry.signature)) {
-            scan.clauseOffsets.push_back(entry.clauseOffset);
-            scan.ordinals.push_back(entry.ordinal);
+    if (slicedUsable(index, sliced)) {
+        // Word-parallel kernel over the transposed plane.  Shard
+        // ranges need not be word-aligned; the matcher edge-masks
+        // partial words, so per-shard hit lists still concatenate
+        // into exactly the sequential order.
+        SlicedMatcher matcher;
+        SlicedMatcher::Hits hits = matcher.scanRange(*sliced, query,
+                                                     range);
+        scan.clauseOffsets = std::move(hits.clauseOffsets);
+        scan.ordinals = std::move(hits.ordinals);
+        scan.wordOps = hits.wordOps;
+        scan.sliced = true;
+    } else {
+        // Row-major scan, decoding entries into one scratch register
+        // hoisted out of the loop (no per-entry allocation).
+        scw::IndexEntry entry;
+        for (std::size_t i = range.begin; i < range.end; ++i) {
+            index.entryInto(generator_, i, entry);
+            if (generator_.matches(query, entry.signature)) {
+                scan.clauseOffsets.push_back(entry.clauseOffset);
+                scan.ordinals.push_back(entry.ordinal);
+            }
         }
     }
     scan.entriesScanned = range.size();
@@ -46,6 +67,10 @@ Fs1Engine::scanRange(const scw::SecondaryFile &index,
         span.attr("hits",
                   static_cast<std::uint64_t>(scan.ordinals.size()));
         span.attr("bytes", scan.bytesScanned);
+        if (scan.sliced) {
+            span.attr("sliced", static_cast<std::uint64_t>(1));
+            span.attr("word_ops", scan.wordOps);
+        }
         // This shard's share of the device busy time, computed as a
         // difference of *cumulative* conversions: shards are
         // contiguous, so the per-shard spans telescope to exactly the
@@ -72,6 +97,8 @@ Fs1Engine::merge(std::vector<ShardScan> shards,
     Fs1Result result;
     result.shards = shards.empty()
         ? 1 : static_cast<std::uint32_t>(shards.size());
+    std::uint64_t word_ops = 0;
+    bool sliced = false;
     // Shards are contiguous and processed here in shard order, so the
     // concatenation reproduces the sequential scan order exactly.
     for (ShardScan &scan : shards) {
@@ -83,6 +110,8 @@ Fs1Engine::merge(std::vector<ShardScan> shards,
                                scan.ordinals.end());
         result.entriesScanned += scan.entriesScanned;
         result.bytesScanned += scan.bytesScanned;
+        word_ops += scan.wordOps;
+        sliced = sliced || scan.sliced;
     }
     // Sum bytes across shards first, then convert once, rounding to
     // the nearest tick: truncating the cast undercounted by up to one
@@ -100,6 +129,15 @@ Fs1Engine::merge(std::vector<ShardScan> shards,
         result.ordinals.size();
     stats_.scalar("bytesScanned", "secondary file bytes streamed") +=
         result.bytesScanned;
+    // Sliced-kernel activity registers only when the kernel ran, so
+    // a default (row-major) run's stats dump is unchanged.
+    if (sliced) {
+        stats_.scalar("slicedScans",
+                      "scans through the bit-sliced plane") += 1;
+        stats_.scalar("slicedWordOps",
+                      "64-bit plane operations in sliced scans") +=
+            word_ops;
+    }
 
     // Mirror the fold into the shared metrics registry (the StatGroup
     // is per-engine; the registry aggregates across the pipeline).
@@ -115,6 +153,14 @@ Fs1Engine::merge(std::vector<ShardScan> shards,
         obs.metrics->counter("fs1.bytes_scanned",
                              "secondary file bytes streamed") +=
             result.bytesScanned;
+        if (sliced) {
+            ++obs.metrics->counter("fs1.sliced.scans",
+                                   "scans through the bit-sliced "
+                                   "plane");
+            obs.metrics->counter("fs1.sliced.word_ops",
+                                 "64-bit plane operations in sliced "
+                                 "scans") += word_ops;
+        }
     }
     return result;
 }
@@ -124,19 +170,7 @@ Fs1Engine::search(const scw::SecondaryFile &index,
                   const scw::Signature &query, const obs::Observer &obs,
                   obs::SpanId parent) const
 {
-    obs::ScopedSpan span(obs.tracer, "fs1.scan", parent);
-    std::vector<ShardScan> one;
-    one.push_back(scanRange(index, query,
-                            scw::EntryRange{0, index.entryCount()},
-                            0, obs, span.id()));
-    Fs1Result result = merge(std::move(one), obs);
-    if (span.active()) {
-        span.attr("shards", static_cast<std::uint64_t>(result.shards));
-        span.attr("hits",
-                  static_cast<std::uint64_t>(result.ordinals.size()));
-        span.setSimTicks(result.busyTime);
-    }
-    return result;
+    return search(index, nullptr, query, nullptr, 1, obs, parent);
 }
 
 Fs1Result
@@ -145,12 +179,36 @@ Fs1Engine::search(const scw::SecondaryFile &index,
                   support::ThreadPool *pool, std::uint32_t shards,
                   const obs::Observer &obs, obs::SpanId parent) const
 {
-    if (pool == nullptr || pool->threadCount() == 0 || shards <= 1)
-        return search(index, query, obs, parent);
+    return search(index, nullptr, query, pool, shards, obs, parent);
+}
+
+Fs1Result
+Fs1Engine::search(const scw::SecondaryFile &index,
+                  const scw::BitSlicedIndex *sliced,
+                  const scw::Signature &query,
+                  support::ThreadPool *pool, std::uint32_t shards,
+                  const obs::Observer &obs, obs::SpanId parent) const
+{
+    if (pool == nullptr || pool->threadCount() == 0 || shards <= 1) {
+        obs::ScopedSpan span(obs.tracer, "fs1.scan", parent);
+        std::vector<ShardScan> one;
+        one.push_back(scanRange(index, sliced, query,
+                                scw::EntryRange{0, index.entryCount()},
+                                0, obs, span.id()));
+        Fs1Result result = merge(std::move(one), obs);
+        if (span.active()) {
+            span.attr("shards",
+                      static_cast<std::uint64_t>(result.shards));
+            span.attr("hits", static_cast<std::uint64_t>(
+                          result.ordinals.size()));
+            span.setSimTicks(result.busyTime);
+        }
+        return result;
+    }
 
     std::vector<scw::EntryRange> ranges = index.shardRanges(shards);
     if (ranges.size() <= 1)
-        return search(index, query, obs, parent);
+        return search(index, sliced, query, nullptr, 1, obs, parent);
 
     obs::ScopedSpan span(obs.tracer, "fs1.scan", parent);
     std::vector<ShardScan> scans(ranges.size());
@@ -160,8 +218,8 @@ Fs1Engine::search(const scw::SecondaryFile &index,
     for (std::size_t s = 1; s < ranges.size(); ++s)
         prefix[s] = prefix[s - 1] + index.rangeBytes(ranges[s - 1]);
     pool->parallelFor(ranges.size(), [&](std::size_t s) {
-        scans[s] = scanRange(index, query, ranges[s], prefix[s], obs,
-                             span.id());
+        scans[s] = scanRange(index, sliced, query, ranges[s], prefix[s],
+                             obs, span.id());
     });
     Fs1Result result = merge(std::move(scans), obs);
     if (span.active()) {
@@ -171,6 +229,77 @@ Fs1Engine::search(const scw::SecondaryFile &index,
         span.setSimTicks(result.busyTime);
     }
     return result;
+}
+
+std::vector<Fs1Result>
+Fs1Engine::searchBatch(const scw::SecondaryFile &index,
+                       const scw::BitSlicedIndex *sliced,
+                       const std::vector<scw::Signature> &queries,
+                       const std::vector<obs::Observer> &observers,
+                       obs::SpanId parent) const
+{
+    clare_assert(observers.size() == queries.size(),
+                 "searchBatch needs one observer per query (%zu for "
+                 "%zu queries)", observers.size(), queries.size());
+    std::vector<Fs1Result> out;
+    out.reserve(queries.size());
+    if (!slicedUsable(index, sliced) || queries.size() <= 1) {
+        for (std::size_t k = 0; k < queries.size(); ++k)
+            out.push_back(search(index, sliced, queries[k], nullptr, 1,
+                                 observers[k], parent));
+        return out;
+    }
+
+    SlicedMatcher matcher;
+    std::vector<SlicedMatcher::Hits> hits =
+        matcher.scanBatch(*sliced, queries);
+    if (observers[0].metrics != nullptr) {
+        ++observers[0].metrics->counter(
+            "fs1.sliced.batches", "multi-query batch plane scans");
+        observers[0].metrics->counter(
+            "fs1.sliced.batch_queries",
+            "queries answered by batch plane scans") += queries.size();
+    }
+    for (std::size_t k = 0; k < queries.size(); ++k) {
+        const obs::Observer &ob = observers[k];
+        obs::ScopedSpan span(ob.tracer, "fs1.scan", parent);
+        // Each query of the batch is accounted exactly like its own
+        // sequential full-file scan: the modeled hardware streams the
+        // file once per query (the host merely computed them
+        // together), so entriesScanned, bytesScanned, and busyTime
+        // are bit-identical to the unbatched path.
+        ShardScan scan;
+        scan.clauseOffsets = std::move(hits[k].clauseOffsets);
+        scan.ordinals = std::move(hits[k].ordinals);
+        scan.entriesScanned = index.entryCount();
+        scan.bytesScanned = index.image().size();
+        scan.wordOps = hits[k].wordOps;
+        scan.sliced = true;
+        std::vector<ShardScan> one;
+        one.push_back(std::move(scan));
+        Fs1Result result = merge(std::move(one), ob);
+        if (span.active()) {
+            span.attr("shards",
+                      static_cast<std::uint64_t>(result.shards));
+            span.attr("hits", static_cast<std::uint64_t>(
+                          result.ordinals.size()));
+            span.attr("batch_width",
+                      static_cast<std::uint64_t>(queries.size()));
+            span.setSimTicks(result.busyTime);
+        }
+        out.push_back(std::move(result));
+    }
+    if (config_.paceScale > 0) {
+        // Paced replay charges the modeled device serially per query,
+        // exactly like the unbatched path would.
+        double device_s =
+            static_cast<double>(index.image().size()) *
+            static_cast<double>(queries.size()) / config_.scanRate /
+            config_.paceScale;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(device_s));
+    }
+    return out;
 }
 
 } // namespace clare::fs1

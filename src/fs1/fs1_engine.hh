@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "scw/bit_sliced_index.hh"
 #include "scw/codeword.hh"
 #include "scw/index_file.hh"
 #include "support/obs.hh"
@@ -50,6 +51,16 @@ struct Fs1Config
      * Simulated Ticks are unaffected.  0 (default) disables pacing.
      */
     double paceScale = 0.0;
+
+    /**
+     * Scan through the bit-sliced plane when the caller supplies one
+     * (word-parallel host path).  The survivor sets, modeled busy
+     * time, and every Fs1Result field are bit-identical to the
+     * row-major scan — only the host CPU cost changes — so defaulting
+     * off keeps clean-run metric dumps byte-stable (no fs1.sliced.*
+     * counters appear).
+     */
+    bool sliced = false;
 };
 
 /** Outcome of one FS1 index scan. */
@@ -112,6 +123,39 @@ class Fs1Engine
                      const obs::Observer &obs = {},
                      obs::SpanId parent = 0) const;
 
+    /**
+     * Like the sharded search(), additionally offering a bit-sliced
+     * plane of @p index.  The plane is used only when config().sliced
+     * is set and the plane covers the file; either way the result is
+     * bit-identical (the sliced kernel changes host CPU cost, never
+     * the survivors or the modeled timing).  @p sliced may be null.
+     */
+    Fs1Result search(const scw::SecondaryFile &index,
+                     const scw::BitSlicedIndex *sliced,
+                     const scw::Signature &query,
+                     support::ThreadPool *pool, std::uint32_t shards,
+                     const obs::Observer &obs = {},
+                     obs::SpanId parent = 0) const;
+
+    /**
+     * Multi-query batch scan: answer @p queries over one index in a
+     * single pass over the sliced plane (blocks outer, queries
+     * inner), amortizing index memory traffic across the batch.
+     * Element k is bit-identical to search(index, queries[k]) — same
+     * survivors, same entriesScanned/bytesScanned/busyTime — and each
+     * query is accounted (stats, metrics, spans) as its own search.
+     * Falls back to sequential per-query scans when the plane is
+     * absent, config().sliced is off, or the batch has one query.
+     *
+     * @param observers one observer per query (sizes must match)
+     */
+    std::vector<Fs1Result>
+    searchBatch(const scw::SecondaryFile &index,
+                const scw::BitSlicedIndex *sliced,
+                const std::vector<scw::Signature> &queries,
+                const std::vector<obs::Observer> &observers,
+                obs::SpanId parent = 0) const;
+
     /** Cumulative statistics across searches. */
     StatGroup &stats() { return stats_; }
 
@@ -123,20 +167,35 @@ class Fs1Engine
         std::vector<std::uint32_t> ordinals;
         std::uint64_t entriesScanned = 0;
         std::uint64_t bytesScanned = 0;
+        /** 64-bit plane operations (sliced kernel only). */
+        std::uint64_t wordOps = 0;
+        /** This shard ran through the bit-sliced kernel. */
+        bool sliced = false;
     };
 
     /**
+     * @param sliced bit-sliced plane to scan through (null, or ignored
+     *        unless config().sliced is set and it covers the file)
      * @param prefix_bytes bytes scanned by the shards before this one,
      *        so the shard's span ticks can be computed as a difference
      *        of cumulative conversions (see busyTicks()) and per-shard
      *        span totals telescope exactly to the merged busyTime
      */
     ShardScan scanRange(const scw::SecondaryFile &index,
+                        const scw::BitSlicedIndex *sliced,
                         const scw::Signature &query,
                         const scw::EntryRange &range,
                         std::uint64_t prefix_bytes,
                         const obs::Observer &obs,
                         obs::SpanId parent) const;
+
+    /** Is the sliced kernel usable for this (config, plane, file)? */
+    bool slicedUsable(const scw::SecondaryFile &index,
+                      const scw::BitSlicedIndex *sliced) const
+    {
+        return config_.sliced && sliced != nullptr &&
+            sliced->entryCount() == index.entryCount();
+    }
 
     /** Cumulative bytes-to-ticks conversion shared by spans + merge. */
     Tick busyTicks(std::uint64_t bytes) const;

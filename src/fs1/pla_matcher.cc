@@ -64,13 +64,14 @@ PlaMatcher::present(const scw::Signature &clause)
 }
 
 std::vector<scw::IndexEntry>
-PlaMatcher::scan(const scw::SecondaryFile &index)
+PlaMatcher::streamFile(const scw::SecondaryFile &index)
 {
     std::vector<scw::IndexEntry> matches;
+    scw::IndexEntry entry;
     for (std::size_t i = 0; i < index.entryCount(); ++i) {
-        scw::IndexEntry entry = index.entry(generator_, i);
+        index.entryInto(generator_, i, entry);
         if (present(entry.signature))
-            matches.push_back(std::move(entry));
+            matches.push_back(entry);
     }
     return matches;
 }

@@ -78,10 +78,21 @@ class PlaMatcher
     /**
      * Stream a whole secondary file, collecting matching entries.
      * Equivalent to Fs1Engine::search but driven through the
-     * structural plane.
+     * structural plane.  Entries are decoded into one scratch
+     * register hoisted out of the loop, so the streaming path
+     * performs no per-entry allocation (only hits are copied out) —
+     * which keeps this oracle a fair scan-rate baseline for the
+     * bit-sliced path.
      */
     std::vector<scw::IndexEntry>
-    scan(const scw::SecondaryFile &index);
+    streamFile(const scw::SecondaryFile &index);
+
+    /** Deprecated name for streamFile(). */
+    std::vector<scw::IndexEntry>
+    scan(const scw::SecondaryFile &index)
+    {
+        return streamFile(index);
+    }
 
     /** Field-cell evaluations performed (activity counter). */
     std::uint64_t cellEvaluations() const { return cellEvaluations_; }

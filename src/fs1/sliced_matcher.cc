@@ -1,0 +1,155 @@
+#include "fs1/sliced_matcher.hh"
+
+#include <bit>
+
+#include "support/logging.hh"
+
+namespace clare::fs1 {
+
+namespace {
+
+/**
+ * Words evaluated per block (16 K entries).  Small enough that one
+ * block of every touched plane row stays cache-resident while the
+ * batch inner loop revisits it per query, large enough that the loop
+ * overhead amortizes.
+ */
+constexpr std::size_t kBlockWords = 256;
+
+constexpr std::uint64_t kAllOnes = ~std::uint64_t{0};
+
+} // namespace
+
+SlicedMatcher::QueryPlan
+SlicedMatcher::buildPlan(const scw::BitSlicedIndex &plane,
+                         const scw::Signature &query)
+{
+    clare_assert(query.fields.size() == plane.fields(),
+                 "query signature layout mismatch: %zu fields for a "
+                 "%u-field plane", query.fields.size(), plane.fields());
+    QueryPlan plan;
+    for (std::uint32_t f = 0; f < plane.fields(); ++f) {
+        const BitVec &code = query.fields[f];
+        FieldPlan field;
+        for (std::uint32_t b = 0; b < plane.fieldBits(); ++b)
+            if (code.test(b))
+                field.planes.push_back(plane.codePlane(f, b));
+        // A field with no query bits constrains nothing (the empty
+        // code is a subset of every clause code), exactly like the
+        // behavioural rule — its planes are never loaded.
+        if (field.planes.empty())
+            continue;
+        field.mask = plane.maskPlane(f);
+        plan.fields.push_back(std::move(field));
+    }
+    return plan;
+}
+
+void
+SlicedMatcher::scanBlock(const scw::BitSlicedIndex &plane,
+                         const QueryPlan &plan, std::size_t word_begin,
+                         std::size_t word_count,
+                         std::uint64_t first_mask, std::size_t last_word,
+                         std::uint64_t last_mask, Hits &out)
+{
+    if (surv_.size() < word_count)
+        surv_.resize(word_count);
+    for (std::size_t j = 0; j < word_count; ++j)
+        surv_[j] = kAllOnes;
+    // Edge masking: a shard range need not start or end on a word
+    // boundary, and the final word of the file has slack bits past the
+    // last entry.  Clearing them up front keeps the kernel branch-free
+    // and makes partial ranges concatenate bit-identically.
+    surv_[0] &= first_mask;
+    if (last_word >= word_begin && last_word < word_begin + word_count)
+        surv_[last_word - word_begin] &= last_mask;
+
+    for (const FieldPlan &field : plan.fields) {
+        const std::uint64_t *const *planes = field.planes.data();
+        const std::size_t nplanes = field.planes.size();
+        const std::uint64_t *mask = field.mask;
+        for (std::size_t j = 0; j < word_count; ++j) {
+            const std::size_t w = word_begin + j;
+            std::uint64_t acc = planes[0][w];
+            for (std::size_t t = 1; t < nplanes; ++t)
+                acc &= planes[t][w];
+            surv_[j] &= acc | mask[w];
+        }
+        out.wordOps +=
+            static_cast<std::uint64_t>(word_count) * (nplanes + 1);
+    }
+
+    for (std::size_t j = 0; j < word_count; ++j) {
+        std::uint64_t w = surv_[j];
+        const std::size_t base = (word_begin + j) * 64;
+        while (w != 0) {
+            const std::size_t e =
+                base + static_cast<std::size_t>(std::countr_zero(w));
+            out.clauseOffsets.push_back(plane.clauseOffset(e));
+            out.ordinals.push_back(plane.ordinal(e));
+            w &= w - 1;
+        }
+    }
+}
+
+SlicedMatcher::Hits
+SlicedMatcher::scanRange(const scw::BitSlicedIndex &plane,
+                         const scw::Signature &query,
+                         const scw::EntryRange &range)
+{
+    Hits out;
+    if (range.begin >= range.end)
+        return out;
+    clare_assert(range.end <= plane.entryCount(),
+                 "entry range [%zu, %zu) exceeds plane of %zu entries",
+                 range.begin, range.end, plane.entryCount());
+    const QueryPlan plan = buildPlan(plane, query);
+
+    const std::size_t w0 = range.begin / 64;
+    const std::size_t w1 = (range.end + 63) / 64;
+    const std::uint64_t first_mask = kAllOnes << (range.begin % 64);
+    const std::size_t last_word = (range.end - 1) / 64;
+    const std::uint64_t last_mask = (range.end % 64) != 0
+        ? kAllOnes >> (64 - range.end % 64)
+        : kAllOnes;
+
+    for (std::size_t bw = w0; bw < w1; bw += kBlockWords) {
+        const std::size_t count = std::min(kBlockWords, w1 - bw);
+        scanBlock(plane, plan, bw, count, bw == w0 ? first_mask : kAllOnes,
+                  last_word, last_mask, out);
+    }
+    return out;
+}
+
+std::vector<SlicedMatcher::Hits>
+SlicedMatcher::scanBatch(const scw::BitSlicedIndex &plane,
+                         const std::vector<scw::Signature> &queries)
+{
+    std::vector<Hits> out(queries.size());
+    if (queries.empty() || plane.entryCount() == 0)
+        return out;
+
+    std::vector<QueryPlan> plans;
+    plans.reserve(queries.size());
+    for (const scw::Signature &query : queries)
+        plans.push_back(buildPlan(plane, query));
+
+    const std::size_t words = plane.planeWords();
+    const std::size_t last_word = words - 1;
+    const std::uint64_t last_mask = (plane.entryCount() % 64) != 0
+        ? kAllOnes >> (64 - plane.entryCount() % 64)
+        : kAllOnes;
+
+    // Blocks outer, queries inner: each block of plane words is
+    // loaded once and revisited (cache-hot) by every query in the
+    // batch, instead of streaming the whole plane K times.
+    for (std::size_t bw = 0; bw < words; bw += kBlockWords) {
+        const std::size_t count = std::min(kBlockWords, words - bw);
+        for (std::size_t q = 0; q < queries.size(); ++q)
+            scanBlock(plane, plans[q], bw, count, kAllOnes, last_word,
+                      last_mask, out[q]);
+    }
+    return out;
+}
+
+} // namespace clare::fs1

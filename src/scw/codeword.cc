@@ -205,13 +205,22 @@ CodewordGenerator::deserialize(const std::vector<std::uint8_t> &in,
                                std::size_t &offset) const
 {
     Signature sig;
+    deserializeInto(in, offset, sig);
+    return sig;
+}
+
+void
+CodewordGenerator::deserializeInto(const std::vector<std::uint8_t> &in,
+                                   std::size_t &offset,
+                                   Signature &sig) const
+{
+    sig.fields.resize(config_.encodedArgs);
     for (std::uint32_t f = 0; f < config_.encodedArgs; ++f)
-        sig.fields.push_back(BitVec::deserialize(in, offset,
-                                                 config_.fieldBits));
+        sig.fields[f].deserializeInto(in, offset, config_.fieldBits);
     clare_assert(offset + 4 <= in.size(), "signature mask truncated");
+    sig.maskBits = 0;
     for (int i = 0; i < 4; ++i)
         sig.maskBits |= static_cast<std::uint32_t>(in[offset++]) << (8 * i);
-    return sig;
 }
 
 } // namespace clare::scw

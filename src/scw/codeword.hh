@@ -42,8 +42,18 @@ namespace clare::scw {
  *  1 — original scheme; token kinds XORed into the raw value's top
  *      byte (aliased across kinds for values with high bits set)
  *  2 — token values mixed before the kind tag is combined
+ *  3 — same token hashing and entry wire layout as v2; the persisted
+ *      .idx payload additionally carries the transposed (bit-sliced)
+ *      plane section after the entry records
  */
-constexpr int kIndexFormatVersion = 2;
+constexpr int kIndexFormatVersion = 3;
+
+/**
+ * Oldest index format whose entries this build decodes identically.
+ * v2 and v3 share the token hashing and entry layout — a v3 loader
+ * reads a v2 store and simply rebuilds the sliced plane in memory.
+ */
+constexpr int kIndexFormatVersionCompat = 2;
 
 /** Tunable parameters of the SCW+MB scheme. */
 struct ScwConfig
@@ -94,6 +104,14 @@ class CodewordGenerator
     /** Decode a signature at @p offset, advancing it. */
     Signature deserialize(const std::vector<std::uint8_t> &in,
                           std::size_t &offset) const;
+
+    /**
+     * In-place decode into @p sig, reusing its field vectors so a
+     * scan loop decoding entries into one scratch signature performs
+     * no per-entry allocation.
+     */
+    void deserializeInto(const std::vector<std::uint8_t> &in,
+                         std::size_t &offset, Signature &sig) const;
 
   private:
     ScwConfig config_;

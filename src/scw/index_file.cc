@@ -70,18 +70,27 @@ IndexEntry
 SecondaryFile::entry(const CodewordGenerator &generator,
                      std::size_t i) const
 {
-    clare_assert(i < count_, "index entry %zu out of range", i);
     IndexEntry e;
+    entryInto(generator, i, e);
+    return e;
+}
+
+void
+SecondaryFile::entryInto(const CodewordGenerator &generator,
+                         std::size_t i, IndexEntry &scratch) const
+{
+    clare_assert(i < count_, "index entry %zu out of range", i);
     std::size_t at = i * entryBytes_;
-    e.signature = generator.deserialize(image_, at);
+    generator.deserializeInto(image_, at, scratch.signature);
+    scratch.clauseOffset = 0;
+    scratch.ordinal = 0;
     for (int b = 0; b < 4; ++b)
-        e.clauseOffset |=
+        scratch.clauseOffset |=
             static_cast<std::uint32_t>(image_[at + b]) << (8 * b);
     at += 4;
     for (int b = 0; b < 4; ++b)
-        e.ordinal |=
+        scratch.ordinal |=
             static_cast<std::uint32_t>(image_[at + b]) << (8 * b);
-    return e;
 }
 
 } // namespace clare::scw

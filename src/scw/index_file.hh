@@ -72,6 +72,14 @@ class SecondaryFile
                      std::size_t i) const;
 
     /**
+     * Decode entry @p i into @p scratch, reusing its signature's field
+     * vectors — the allocation-free variant the streaming scan loops
+     * use (one scratch entry hoisted out of the loop).
+     */
+    void entryInto(const CodewordGenerator &generator, std::size_t i,
+                   IndexEntry &scratch) const;
+
+    /**
      * Partition the file into at most @p shards contiguous ranges of
      * near-equal size (never more ranges than entries; an empty file
      * yields no ranges).

@@ -1,5 +1,6 @@
 #include "support/bitvec.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "support/logging.hh"
@@ -80,10 +81,16 @@ BitVec::operator&=(const BitVec &other)
 bool
 BitVec::subsetOf(const BitVec &other) const
 {
-    clare_assert(width_ == other.width_, "width mismatch %zu vs %zu",
-                 width_, other.width_);
-    for (std::size_t i = 0; i < words_.size(); ++i)
-        if (words_[i] & ~other.words_[i])
+    return andNotIsZero(*this, other);
+}
+
+bool
+BitVec::andNotIsZero(const BitVec &a, const BitVec &b)
+{
+    clare_assert(a.width_ == b.width_, "width mismatch %zu vs %zu",
+                 a.width_, b.width_);
+    for (std::size_t i = 0; i < a.words_.size(); ++i)
+        if (a.words_[i] & ~b.words_[i])
             return false;
     return true;
 }
@@ -119,17 +126,29 @@ BitVec
 BitVec::deserialize(const std::vector<std::uint8_t> &in,
                     std::size_t &offset, std::size_t width)
 {
-    BitVec v(width);
+    BitVec v;
+    v.deserializeInto(in, offset, width);
+    return v;
+}
+
+void
+BitVec::deserializeInto(const std::vector<std::uint8_t> &in,
+                        std::size_t &offset, std::size_t width)
+{
+    if (width_ != width) {
+        width_ = width;
+        words_.resize((width + 63) / 64);
+    }
+    std::fill(words_.begin(), words_.end(), 0);
     std::size_t bytes = serializedBytes(width);
     clare_assert(offset + bytes <= in.size(),
                  "bitvec deserialize overrun at offset %zu", offset);
     for (std::size_t b = 0; b < bytes; ++b) {
         std::size_t word = b / 8;
         std::size_t shift = (b % 8) * 8;
-        v.words_[word] |= static_cast<std::uint64_t>(in[offset + b]) << shift;
+        words_[word] |= static_cast<std::uint64_t>(in[offset + b]) << shift;
     }
     offset += bytes;
-    return v;
 }
 
 std::size_t

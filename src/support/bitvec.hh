@@ -50,6 +50,20 @@ class BitVec
      */
     bool subsetOf(const BitVec &other) const;
 
+    /**
+     * `(a & ~b) == 0`, word-wise with early exit — the FS1 match
+     * plane's per-field AND condition.  Equivalent to a.subsetOf(b);
+     * exposed by name so the matcher code reads like the hardware
+     * equation.  Widths must match.
+     */
+    static bool andNotIsZero(const BitVec &a, const BitVec &b);
+
+    /** Number of 64-bit words backing this vector. */
+    std::size_t wordCount() const { return words_.size(); }
+
+    /** Word @p i of the backing storage (bit b lives in word b/64). */
+    std::uint64_t word(std::size_t i) const { return words_[i]; }
+
     bool operator==(const BitVec &other) const;
 
     /** Binary rendering, most significant word first (for debugging). */
@@ -61,6 +75,15 @@ class BitVec
     /** Deserialize width bits from a byte stream at offset; advances it. */
     static BitVec deserialize(const std::vector<std::uint8_t> &in,
                               std::size_t &offset, std::size_t width);
+
+    /**
+     * In-place deserialize: overwrite this vector with @p width bits
+     * read at @p offset (advanced past them).  Reuses the backing
+     * words when the width already matches, so a scan loop decoding
+     * entries into a scratch vector performs no per-entry allocation.
+     */
+    void deserializeInto(const std::vector<std::uint8_t> &in,
+                         std::size_t &offset, std::size_t width);
 
     /** Number of bytes the serialized form occupies for a given width. */
     static std::size_t serializedBytes(std::size_t width);

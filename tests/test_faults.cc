@@ -598,12 +598,21 @@ TEST_F(StoreFaultTest, VersionTwoStoreStillLoads)
                 scw_line = line;
             if (line.rfind("pred ", 0) == 0) {
                 std::istringstream fields(line);
-                std::string word, functor, arity, stem;
+                std::string word, stem;
+                std::uint32_t functor = 0, arity = 0;
                 fields >> word >> functor >> arity >> stem;
-                pred_lines.push_back("pred " + functor + " " + arity +
-                                     " " + stem);
+                pred_lines.push_back("pred " + std::to_string(functor) +
+                                     " " + std::to_string(arity) + " " +
+                                     stem);
                 std::vector<std::uint8_t> raw = storage::readFramedBytes(
                     dir_ + "/" + stem + ".idx");
+                // A real v2 secondary file is the bare entry image —
+                // drop the v3 bit-sliced plane section.
+                raw.resize(store_
+                               ->predicate(term::PredicateId{functor,
+                                                             arity})
+                               .index.image()
+                               .size());
                 storage::writeBytes(dir_ + "/" + stem + ".idx", raw);
             }
         }

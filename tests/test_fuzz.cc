@@ -10,7 +10,15 @@
  * label: faults) extend the same idea to the robustness layer: any
  * byte-level damage to a saved store, and any fault seed against a
  * live server, must end in a typed clare::Error or a correct answer —
- * never a crash, an abort, or silently wrong results.
+ * never a crash, an abort, or silently wrong results.  Saved stores
+ * carry the v3 bit-sliced plane section, so the corruption fuzzer also
+ * exercises damaged planes; when a damaged store loads anyway, both
+ * the row-major and the sliced scan path must answer identically.
+ *
+ * The sliced-oracle fuzz drives the word-parallel SlicedMatcher
+ * against the structural PlaMatcher over random generator geometries,
+ * arities (including past the encoding limit), mask densities, and
+ * entry counts — the two matchers must agree entry-for-entry.
  */
 
 #include <gtest/gtest.h>
@@ -25,13 +33,18 @@
 #include "crs/server.hh"
 #include "crs/store_io.hh"
 #include "crs/transaction.hh"
+#include "fs1/pla_matcher.hh"
+#include "fs1/sliced_matcher.hh"
 #include "pif/encoder.hh"
+#include "scw/bit_sliced_index.hh"
 #include "storage/file_io.hh"
 #include "support/fault_injector.hh"
 #include "support/random.hh"
 #include "term/term_reader.hh"
 #include "term/term_writer.hh"
 #include "unify/oracle.hh"
+#include "workload/kb_generator.hh"
+#include "workload/query_generator.hh"
 
 namespace clare {
 namespace {
@@ -305,11 +318,19 @@ TEST_P(StoreCorruptionFuzz, DamagedStoresFailTypedOrAnswerCorrectly)
             term::SymbolTable fresh;
             crs::PredicateStore loaded = crs::loadStore(dir_, fresh);
             // The mutation slipped past the load (e.g. it re-created
-            // the original bytes): retrieval must still be correct.
+            // the original bytes): retrieval must still be correct —
+            // through the row-major path and through the loaded
+            // bit-sliced plane alike.
             crs::ClauseRetrievalServer server(fresh, loaded);
             EXPECT_EQ(answersPerMode(server, fresh, "p(a, X)"),
                       expected_)
                 << "iteration " << iter << " on " << victim;
+            crs::CrsConfig sliced_cfg;
+            sliced_cfg.fs1.sliced = true;
+            crs::ClauseRetrievalServer sliced(fresh, loaded, sliced_cfg);
+            EXPECT_EQ(answersPerMode(sliced, fresh, "p(a, X)"),
+                      expected_)
+                << "sliced, iteration " << iter << " on " << victim;
         } catch (const Error &) {
             // Typed rejection is the expected outcome.  Anything else
             // — a crash, an abort, an unknown exception — fails the
@@ -482,6 +503,154 @@ TEST_P(CacheInterleaveFuzz, CachedAnswersAlwaysMatchTheOracle)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CacheInterleaveFuzz,
                          ::testing::Values(7u, 77u, 777u));
+
+// ---------------------------------------------------------------------
+// Sliced-oracle fuzz: the word-parallel matcher vs the PLA plane.
+// ---------------------------------------------------------------------
+
+class SlicedOracleFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SlicedOracleFuzz, SlicedMatcherAgreesWithPlaMatcher)
+{
+    Rng rng(GetParam());
+    for (int iter = 0; iter < 8; ++iter) {
+        term::SymbolTable sym;
+        scw::ScwConfig scw_config;
+        const std::uint32_t widths[] = {8, 12, 16, 24, 32};
+        scw_config.fieldBits = widths[rng.below(std::size(widths))];
+        scw_config.bitsPerTerm =
+            static_cast<std::uint32_t>(rng.range(1, 3));
+        scw::CodewordGenerator gen(scw_config);
+
+        workload::KbSpec spec;
+        spec.predicates = 1;
+        spec.clausesPerPredicate =
+            static_cast<std::uint32_t>(rng.range(1, 260));
+        spec.arityMin = static_cast<std::uint32_t>(rng.range(1, 6));
+        // Sometimes past the 12-argument hardware encoding limit.
+        spec.arityMax = spec.arityMin +
+            static_cast<std::uint32_t>(rng.range(0, 9));
+        spec.varProb = rng.uniform() * 0.7;     // mask density
+        spec.structProb = rng.uniform() * 0.4;
+        spec.seed = GetParam() * 1000 + static_cast<std::uint64_t>(iter);
+        workload::KbGenerator kbgen(sym);
+        term::Program program = kbgen.generate(spec);
+        const auto &pred = program.predicates()[0];
+
+        term::TermWriter writer(sym);
+        storage::ClauseFileBuilder builder(writer);
+        std::vector<scw::Signature> sigs;
+        for (std::size_t i : program.clausesOf(pred)) {
+            const term::Clause &c = program.clause(i);
+            builder.add(c);
+            sigs.push_back(gen.encode(c.arena(), c.head()));
+        }
+        storage::ClauseFile file = builder.finish();
+        scw::SecondaryFile index =
+            scw::SecondaryFile::build(gen, sigs, file);
+        scw::BitSlicedIndex plane =
+            scw::BitSlicedIndex::build(gen, index);
+
+        workload::QuerySpec qspec;
+        qspec.boundArgProb = rng.uniform();
+        qspec.sharedVarProb = rng.uniform() * 0.5;
+        qspec.seed = spec.seed + 7;
+        workload::QueryGenerator qgen(sym, qspec);
+
+        fs1::SlicedMatcher matcher;
+        for (int q = 0; q < 4; ++q) {
+            workload::GeneratedQuery gq = qgen.generate(program, pred);
+            scw::Signature query = gen.encode(gq.arena, gq.goal);
+
+            // Full file plus one random sub-range per query.
+            std::size_t count = index.entryCount();
+            std::size_t begin = rng.below(count + 1);
+            std::size_t end = begin + rng.below(count - begin + 1);
+            for (scw::EntryRange range :
+                 {scw::EntryRange{0, count},
+                  scw::EntryRange{begin, end}}) {
+                fs1::PlaMatcher pla(gen);
+                pla.setQuery(query);
+                std::vector<std::uint32_t> want_offsets, want_ordinals;
+                for (std::size_t i = range.begin; i < range.end; ++i) {
+                    scw::IndexEntry entry = index.entry(gen, i);
+                    if (pla.present(entry.signature)) {
+                        want_offsets.push_back(entry.clauseOffset);
+                        want_ordinals.push_back(entry.ordinal);
+                    }
+                }
+                fs1::SlicedMatcher::Hits got =
+                    matcher.scanRange(plane, query, range);
+                EXPECT_EQ(got.clauseOffsets, want_offsets)
+                    << "iter " << iter << " query " << q << " range ["
+                    << range.begin << ", " << range.end << ")";
+                EXPECT_EQ(got.ordinals, want_ordinals)
+                    << "iter " << iter << " query " << q << " range ["
+                    << range.begin << ", " << range.end << ")";
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SlicedOracleFuzz,
+                         ::testing::Values(5u, 55u, 555u));
+
+TEST(InjectedFaultSweep, SlicedServerDegradesIdentically)
+{
+    // The sliced twin of NoSeedCrashesTheServer: with the plane built
+    // and fs1.sliced on, every fault seed still yields either a typed
+    // error or the exact clean-run answers.
+    term::SymbolTable sym;
+    term::TermReader reader(sym);
+    std::string text;
+    for (int i = 0; i < 80; ++i) {
+        text += "p(k" + std::to_string(i % 6) + ", v" +
+            std::to_string(i) + ").\n";
+    }
+    term::Program program;
+    for (auto &c : reader.parseProgram(text))
+        program.add(std::move(c));
+    crs::PredicateStore store(sym, scw::CodewordGenerator{});
+    store.addProgram(program);
+    store.buildSlicedIndexes();
+    store.finalize();
+
+    crs::ClauseRetrievalServer clean(sym, store);
+    std::vector<std::vector<std::uint32_t>> expected =
+        answersPerMode(clean, sym, "p(k2, V)");
+
+    support::FaultConfig config;
+    config.bitFlipRate = 0.3;
+    config.transientReadRate = 0.3;
+    config.delayRate = 0.2;
+    int served = 0;
+    for (config.seed = 1; config.seed <= 32; ++config.seed) {
+        support::FaultInjector inj(config);
+        crs::CrsConfig cfg;
+        cfg.faults = &inj;
+        cfg.fs1.sliced = true;
+        crs::ClauseRetrievalServer faulty(sym, store, cfg);
+        term::ParsedTerm q = reader.parseTerm("p(k2, V)");
+        const crs::SearchMode modes[] = {crs::SearchMode::SoftwareOnly,
+                                         crs::SearchMode::Fs1Only,
+                                         crs::SearchMode::Fs2Only,
+                                         crs::SearchMode::TwoStage};
+        for (std::size_t m = 0; m < 4; ++m) {
+            try {
+                crs::RetrievalResponse r = faulty.retrieve(
+                    q.arena, q.root, modes[m]);
+                ++served;
+                EXPECT_EQ(r.answers, expected[m])
+                    << "seed " << config.seed << " mode " << m;
+            } catch (const IoError &) {
+                // Bounded retries exhausted: typed, not a crash.
+            }
+        }
+    }
+    EXPECT_GT(served, 0);
+}
 
 } // namespace
 } // namespace clare

@@ -1,0 +1,606 @@
+/**
+ * @file
+ * The bit-sliced FS1 index plane (ctest label: sliced).
+ *
+ * The contract under test is exactness: the word-parallel kernel is a
+ * host-side optimization, so every observable — survivor sets (order
+ * included), entriesScanned, bytesScanned, busyTime, the full server
+ * response — must be bit-identical to the row-major scan at any worker
+ * count and any batch width.  The suite property-tests the
+ * SlicedMatcher against the structural PlaMatcher across generator
+ * configurations, mask densities, and entry counts straddling 64-entry
+ * word boundaries; round-trips the persisted v3 plane section; and
+ * checks that a corrupted plane is a typed load error, never wrong
+ * survivors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crs/server.hh"
+#include "crs/store.hh"
+#include "crs/store_io.hh"
+#include "fs1/fs1_engine.hh"
+#include "fs1/pla_matcher.hh"
+#include "fs1/sliced_matcher.hh"
+#include "scw/bit_sliced_index.hh"
+#include "storage/file_io.hh"
+#include "support/errors.hh"
+#include "support/thread_pool.hh"
+#include "term/term_reader.hh"
+#include "term/term_writer.hh"
+#include "workload/kb_generator.hh"
+#include "workload/query_generator.hh"
+
+namespace clare {
+namespace {
+
+/** One generated predicate compiled to all three index forms. */
+struct BuiltIndex
+{
+    scw::CodewordGenerator generator;
+    storage::ClauseFile file;
+    scw::SecondaryFile index;
+    scw::BitSlicedIndex plane;
+    std::vector<scw::Signature> queries;
+};
+
+BuiltIndex
+buildIndex(term::SymbolTable &sym, scw::ScwConfig scw_config,
+           const workload::KbSpec &spec, std::size_t query_count,
+           double bound_arg_prob)
+{
+    BuiltIndex out{scw::CodewordGenerator(scw_config), {}, {}, {}, {}};
+    workload::KbGenerator kbgen(sym);
+    term::Program program = kbgen.generate(spec);
+    const auto &pred = program.predicates()[0];
+
+    term::TermWriter writer(sym);
+    storage::ClauseFileBuilder builder(writer);
+    std::vector<scw::Signature> sigs;
+    for (std::size_t i : program.clausesOf(pred)) {
+        const term::Clause &c = program.clause(i);
+        builder.add(c);
+        sigs.push_back(out.generator.encode(c.arena(), c.head()));
+    }
+    out.file = builder.finish();
+    out.index = scw::SecondaryFile::build(out.generator, sigs, out.file);
+    out.plane = scw::BitSlicedIndex::build(out.generator, out.index);
+
+    workload::QuerySpec qspec;
+    qspec.boundArgProb = bound_arg_prob;
+    qspec.seed = spec.seed + 1000;
+    workload::QueryGenerator qgen(sym, qspec);
+    for (std::size_t q = 0; q < query_count; ++q) {
+        workload::GeneratedQuery gq = qgen.generate(program, pred);
+        out.queries.push_back(out.generator.encode(gq.arena, gq.goal));
+    }
+    return out;
+}
+
+/** PlaMatcher survivors of @p query over @p range, in entry order. */
+std::vector<scw::IndexEntry>
+plaSurvivors(const BuiltIndex &built, const scw::Signature &query,
+             const scw::EntryRange &range)
+{
+    fs1::PlaMatcher pla(built.generator);
+    pla.setQuery(query);
+    std::vector<scw::IndexEntry> hits;
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+        scw::IndexEntry entry = built.index.entry(built.generator, i);
+        if (pla.present(entry.signature))
+            hits.push_back(std::move(entry));
+    }
+    return hits;
+}
+
+void
+expectSameHits(const std::vector<scw::IndexEntry> &expected,
+               const fs1::SlicedMatcher::Hits &got,
+               const std::string &label)
+{
+    ASSERT_EQ(got.clauseOffsets.size(), expected.size()) << label;
+    ASSERT_EQ(got.ordinals.size(), expected.size()) << label;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(got.clauseOffsets[i], expected[i].clauseOffset)
+            << label << " hit " << i;
+        EXPECT_EQ(got.ordinals[i], expected[i].ordinal)
+            << label << " hit " << i;
+    }
+}
+
+// ---------------------------------------------------------------------
+// SlicedMatcher vs PlaMatcher: the exactness property.
+// ---------------------------------------------------------------------
+
+TEST(SlicedMatcherTest, AgreesWithPlaAcrossConfigsAndMaskDensities)
+{
+    struct Case
+    {
+        std::uint32_t fieldBits;
+        std::uint32_t bitsPerTerm;
+        std::uint32_t arityMin, arityMax;
+        std::uint32_t clauses;      // straddle 64-entry word boundaries
+        double varProb;             // mask-plane density
+    };
+    const Case cases[] = {
+        {16, 2, 1, 3, 63, 0.0},     // ground, just under one word
+        {16, 2, 1, 3, 64, 0.15},    // exactly one word
+        {16, 2, 2, 4, 65, 0.35},    // one word + 1 entry
+        {8, 1, 1, 2, 130, 0.6},     // narrow fields, mask-heavy
+        {32, 3, 2, 5, 200, 0.1},    // wide fields
+        {16, 2, 10, 14, 90, 0.2},   // arity past the encoding limit
+    };
+    for (const Case &c : cases) {
+        term::SymbolTable sym;
+        scw::ScwConfig scw_config;
+        scw_config.fieldBits = c.fieldBits;
+        scw_config.bitsPerTerm = c.bitsPerTerm;
+        workload::KbSpec spec;
+        spec.predicates = 1;
+        spec.clausesPerPredicate = c.clauses;
+        spec.arityMin = c.arityMin;
+        spec.arityMax = c.arityMax;
+        spec.varProb = c.varProb;
+        spec.structProb = 0.2;
+        spec.seed = 7 + c.clauses;
+        BuiltIndex built = buildIndex(sym, scw_config, spec, 6, 0.7);
+        ASSERT_EQ(built.plane.entryCount(), built.index.entryCount());
+
+        scw::EntryRange all{0, built.index.entryCount()};
+        fs1::SlicedMatcher matcher;
+        for (std::size_t q = 0; q < built.queries.size(); ++q) {
+            std::string label = std::to_string(c.clauses) + " clauses, "
+                + std::to_string(c.fieldBits) + " bits, query "
+                + std::to_string(q);
+            expectSameHits(
+                plaSurvivors(built, built.queries[q], all),
+                matcher.scanRange(built.plane, built.queries[q], all),
+                label);
+        }
+    }
+}
+
+TEST(SlicedMatcherTest, PartialRangesAreEdgeMaskedExactly)
+{
+    term::SymbolTable sym;
+    workload::KbSpec spec;
+    spec.predicates = 1;
+    spec.clausesPerPredicate = 150;
+    spec.varProb = 0.25;
+    spec.seed = 21;
+    BuiltIndex built = buildIndex(sym, {}, spec, 3, 0.6);
+
+    // Ranges deliberately misaligned with the 64-entry word grid,
+    // including within-one-word and empty ranges.
+    const scw::EntryRange ranges[] = {
+        {0, 1},   {0, 63},  {1, 64},   {63, 65}, {64, 128},
+        {65, 67}, {17, 93}, {100, 150}, {149, 150}, {70, 70},
+    };
+    fs1::SlicedMatcher matcher;
+    for (const scw::EntryRange &range : ranges) {
+        for (std::size_t q = 0; q < built.queries.size(); ++q) {
+            std::string label = "range [" + std::to_string(range.begin) +
+                ", " + std::to_string(range.end) + ") query " +
+                std::to_string(q);
+            expectSameHits(
+                plaSurvivors(built, built.queries[q], range),
+                matcher.scanRange(built.plane, built.queries[q], range),
+                label);
+        }
+    }
+}
+
+TEST(SlicedMatcherTest, ScanBatchMatchesPerQueryScans)
+{
+    term::SymbolTable sym;
+    workload::KbSpec spec;
+    spec.predicates = 1;
+    spec.clausesPerPredicate = 127;
+    spec.varProb = 0.2;
+    spec.seed = 33;
+    BuiltIndex built = buildIndex(sym, {}, spec, 9, 0.8);
+
+    fs1::SlicedMatcher matcher;
+    std::vector<fs1::SlicedMatcher::Hits> batch =
+        matcher.scanBatch(built.plane, built.queries);
+    ASSERT_EQ(batch.size(), built.queries.size());
+    scw::EntryRange all{0, built.index.entryCount()};
+    for (std::size_t q = 0; q < built.queries.size(); ++q) {
+        fs1::SlicedMatcher single;
+        fs1::SlicedMatcher::Hits expected =
+            single.scanRange(built.plane, built.queries[q], all);
+        EXPECT_EQ(batch[q].clauseOffsets, expected.clauseOffsets)
+            << "query " << q;
+        EXPECT_EQ(batch[q].ordinals, expected.ordinals) << "query " << q;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fs1Engine: sliced scans are bit-identical, shards and batches alike.
+// ---------------------------------------------------------------------
+
+void
+expectSameResult(const fs1::Fs1Result &a, const fs1::Fs1Result &b,
+                 const std::string &label)
+{
+    EXPECT_EQ(a.clauseOffsets, b.clauseOffsets) << label;
+    EXPECT_EQ(a.ordinals, b.ordinals) << label;
+    EXPECT_EQ(a.entriesScanned, b.entriesScanned) << label;
+    EXPECT_EQ(a.bytesScanned, b.bytesScanned) << label;
+    EXPECT_EQ(a.busyTime, b.busyTime) << label;
+}
+
+TEST(Fs1SlicedEngineTest, SearchBitIdenticalAtAnyWorkerCount)
+{
+    term::SymbolTable sym;
+    workload::KbSpec spec;
+    spec.predicates = 1;
+    spec.clausesPerPredicate = 321;
+    spec.varProb = 0.15;
+    spec.seed = 44;
+    BuiltIndex built = buildIndex(sym, {}, spec, 5, 0.7);
+
+    fs1::Fs1Engine scalar(built.generator);
+    fs1::Fs1Config sliced_config;
+    sliced_config.sliced = true;
+    fs1::Fs1Engine sliced(built.generator, sliced_config);
+
+    support::ThreadPool pool(4);
+    for (const scw::Signature &query : built.queries) {
+        fs1::Fs1Result baseline = scalar.search(built.index, query);
+        for (std::uint32_t shards : {1u, 2u, 4u, 7u}) {
+            fs1::Fs1Result got = sliced.search(
+                built.index, &built.plane, query,
+                shards > 1 ? &pool : nullptr, shards);
+            expectSameResult(baseline, got,
+                             std::to_string(shards) + " shards");
+            EXPECT_EQ(got.shards,
+                      shards > 1 ? shards : 1u);
+        }
+    }
+}
+
+TEST(Fs1SlicedEngineTest, SearchBatchIdenticalToPerQuerySearches)
+{
+    term::SymbolTable sym;
+    workload::KbSpec spec;
+    spec.predicates = 1;
+    spec.clausesPerPredicate = 256;
+    spec.varProb = 0.2;
+    spec.seed = 55;
+    BuiltIndex built = buildIndex(sym, {}, spec, 8, 0.8);
+
+    fs1::Fs1Config config;
+    config.sliced = true;
+    fs1::Fs1Engine engine(built.generator, config);
+    std::vector<obs::Observer> no_obs(built.queries.size());
+    std::vector<fs1::Fs1Result> batch = engine.searchBatch(
+        built.index, &built.plane, built.queries, no_obs);
+    ASSERT_EQ(batch.size(), built.queries.size());
+
+    fs1::Fs1Engine scalar(built.generator);
+    for (std::size_t q = 0; q < built.queries.size(); ++q) {
+        fs1::Fs1Result expected =
+            scalar.search(built.index, built.queries[q]);
+        expectSameResult(expected, batch[q],
+                         "query " + std::to_string(q));
+    }
+}
+
+TEST(Fs1SlicedEngineTest, MissingPlaneFallsBackToScalarScan)
+{
+    term::SymbolTable sym;
+    workload::KbSpec spec;
+    spec.predicates = 1;
+    spec.clausesPerPredicate = 80;
+    spec.seed = 66;
+    BuiltIndex built = buildIndex(sym, {}, spec, 2, 0.7);
+
+    fs1::Fs1Config config;
+    config.sliced = true;
+    fs1::Fs1Engine engine(built.generator, config);
+    fs1::Fs1Engine scalar(built.generator);
+    for (const scw::Signature &query : built.queries) {
+        expectSameResult(scalar.search(built.index, query),
+                         engine.search(built.index, nullptr, query,
+                                       nullptr, 1),
+                         "null plane");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Persistence: the v3 CLSX section round-trips, corruption is typed.
+// ---------------------------------------------------------------------
+
+class SlicedStoreTest : public ::testing::Test
+{
+  protected:
+    std::string dir_ = ::testing::TempDir() + "clare_sliced_store";
+    term::SymbolTable sym_;
+    std::unique_ptr<crs::PredicateStore> store_;
+
+    void
+    SetUp() override
+    {
+        term::TermReader reader(sym_);
+        term::Program program;
+        for (auto &c : reader.parseProgram(
+                 "p(a, 1).\np(b, 2).\np(a, 3).\np(c, 4).\n"
+                 "q(a).\nq(b).\nq(c).\n"))
+            program.add(std::move(c));
+        store_ = std::make_unique<crs::PredicateStore>(
+            sym_, scw::CodewordGenerator{});
+        store_->addProgram(program);
+        store_->buildSlicedIndexes();
+        store_->finalize();
+        crs::saveStore(dir_, *store_, sym_);
+    }
+
+    void
+    TearDown() override
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(dir_, ec);
+    }
+
+    std::string
+    idxPathOf(std::uint32_t arity) const
+    {
+        for (const term::PredicateId &pred : store_->predicates()) {
+            if (pred.arity == arity)
+                return dir_ + "/pred_" + std::to_string(pred.functor) +
+                    "_" + std::to_string(pred.arity) + ".idx";
+        }
+        ADD_FAILURE() << "no predicate of arity " << arity;
+        return "";
+    }
+};
+
+TEST_F(SlicedStoreTest, BuildSlicedIndexesIsIdempotent)
+{
+    for (const term::PredicateId &pred : store_->predicates())
+        ASSERT_NE(store_->predicate(pred).sliced, nullptr);
+    const scw::BitSlicedIndex *before =
+        store_->predicate(store_->predicates()[0]).sliced.get();
+    store_->buildSlicedIndexes();
+    EXPECT_EQ(store_->predicate(store_->predicates()[0]).sliced.get(),
+              before);
+}
+
+TEST_F(SlicedStoreTest, V3RoundTripCarriesIdenticalPlanes)
+{
+    term::SymbolTable fresh;
+    crs::PredicateStore loaded = crs::loadStore(dir_, fresh);
+    ASSERT_EQ(loaded.predicates().size(), store_->predicates().size());
+    for (const term::PredicateId &pred : loaded.predicates()) {
+        const crs::StoredPredicate &got = loaded.predicate(pred);
+        ASSERT_NE(got.sliced, nullptr);
+        EXPECT_TRUE(*got.sliced ==
+                    scw::BitSlicedIndex::build(loaded.generator(),
+                                               got.index));
+        EXPECT_TRUE(*got.sliced ==
+                    *store_->predicate(pred).sliced);
+    }
+}
+
+TEST_F(SlicedStoreTest, SaveWithoutPrebuiltPlanesStillWritesV3)
+{
+    // A store whose planes were never built saves a transient
+    // transpose, so every v3 store loads with planes available.
+    term::SymbolTable sym2;
+    term::TermReader reader(sym2);
+    term::Program program;
+    for (auto &c : reader.parseProgram("r(x).\nr(y).\n"))
+        program.add(std::move(c));
+    crs::PredicateStore plain(sym2, scw::CodewordGenerator{});
+    plain.addProgram(program);
+    plain.finalize();
+    std::string dir = ::testing::TempDir() + "clare_sliced_transient";
+    crs::saveStore(dir, plain, sym2);
+
+    term::SymbolTable fresh;
+    crs::PredicateStore loaded = crs::loadStore(dir, fresh);
+    for (const term::PredicateId &pred : loaded.predicates())
+        EXPECT_NE(loaded.predicate(pred).sliced, nullptr);
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+}
+
+TEST_F(SlicedStoreTest, CorruptPlaneSectionIsTypedLoadError)
+{
+    // Flip a plane word *inside* the page frame (re-framing keeps the
+    // page CRC valid), so only the CLSX section CRC can catch it.
+    std::string idx = idxPathOf(2);
+    std::vector<std::uint8_t> payload = storage::readFramedBytes(idx);
+    std::size_t entry_bytes = 0;
+    for (const term::PredicateId &pred : store_->predicates())
+        if (pred.arity == 2)
+            entry_bytes = store_->predicate(pred).index.image().size();
+    ASSERT_GT(payload.size(), entry_bytes + 40);
+    payload[entry_bytes + 40] ^= 0x04;
+    storage::writeFramedBytes(idx, payload);
+
+    term::SymbolTable fresh;
+    try {
+        crs::loadStore(dir_, fresh);
+        FAIL() << "corrupt plane section loaded";
+    } catch (const CorruptionError &e) {
+        EXPECT_NE(std::string(e.what()).find("sliced plane section"),
+                  std::string::npos) << e.what();
+    }
+}
+
+TEST_F(SlicedStoreTest, TrailingBytesAfterPlaneSectionRejected)
+{
+    std::string idx = idxPathOf(1);
+    std::vector<std::uint8_t> payload = storage::readFramedBytes(idx);
+    payload.push_back(0);
+    storage::writeFramedBytes(idx, payload);
+    // The framed size change is caught by the store audit; what must
+    // never happen is a silent load.
+    term::SymbolTable fresh;
+    EXPECT_THROW(crs::loadStore(dir_, fresh), CorruptionError);
+}
+
+// ---------------------------------------------------------------------
+// Server: --sliced + batchWidth is bit-identical to the plain server.
+// ---------------------------------------------------------------------
+
+class SlicedServerTest : public ::testing::Test
+{
+  protected:
+    term::SymbolTable sym;
+    std::unique_ptr<crs::PredicateStore> store;
+    std::unique_ptr<term::TermReader> reader;
+    std::vector<term::ParsedTerm> goals;
+
+    void
+    SetUp() override
+    {
+        workload::KbGenerator kbgen(sym);
+        workload::KbSpec spec;
+        spec.predicates = 3;
+        spec.clausesPerPredicate = 150;
+        spec.arityMin = 2;
+        spec.arityMax = 2;
+        spec.varProb = 0.1;
+        spec.seed = 47;
+        term::Program program = kbgen.generate(spec);
+        store = std::make_unique<crs::PredicateStore>(
+            sym, scw::CodewordGenerator{});
+        store->addProgram(program);
+        store->buildSlicedIndexes();
+        store->finalize();
+        reader = std::make_unique<term::TermReader>(sym);
+        for (const char *text :
+             {"p0(a1, X)", "p0(a2, X)", "p0(a3, X)", "p0(a1, b)",
+              "p1(a4, X)", "p1(a5, X)", "p2(a6, X)", "p2(a7, X)"}) {
+            goals.push_back(reader->parseTerm(text));
+        }
+    }
+
+    std::unique_ptr<crs::ClauseRetrievalServer>
+    makeServer(crs::CrsConfig config = {})
+    {
+        return std::make_unique<crs::ClauseRetrievalServer>(sym, *store,
+                                                            config);
+    }
+
+    static crs::RetrievalRequest
+    request(const term::ParsedTerm &goal,
+            crs::SearchMode mode = crs::SearchMode::TwoStage)
+    {
+        crs::RetrievalRequest r;
+        r.arena = &goal.arena;
+        r.goal = goal.root;
+        r.mode = mode;
+        return r;
+    }
+
+    /** A batch mixing FS1 modes with non-FS1 ones, repeated goals. */
+    std::vector<crs::RetrievalRequest>
+    mixedBatch() const
+    {
+        std::vector<crs::RetrievalRequest> batch;
+        for (int round = 0; round < 2; ++round) {
+            for (std::size_t g = 0; g < goals.size(); ++g) {
+                batch.push_back(request(goals[g]));
+                if (g % 3 == 0)
+                    batch.push_back(request(
+                        goals[g], crs::SearchMode::SoftwareOnly));
+                if (g % 4 == 1)
+                    batch.push_back(request(
+                        goals[g], crs::SearchMode::Fs1Only));
+            }
+        }
+        return batch;
+    }
+
+    static void
+    expectIdentical(const crs::RetrievalResponse &a,
+                    const crs::RetrievalResponse &b,
+                    const std::string &label)
+    {
+        EXPECT_EQ(a.mode, b.mode) << label;
+        EXPECT_EQ(a.candidates, b.candidates) << label;
+        EXPECT_EQ(a.answers, b.answers) << label;
+        EXPECT_EQ(a.indexEntriesScanned, b.indexEntriesScanned) << label;
+        EXPECT_EQ(a.fs1Hits, b.fs1Hits) << label;
+        EXPECT_EQ(a.clausesExamined, b.clausesExamined) << label;
+        EXPECT_EQ(a.filterOps, b.filterOps) << label;
+        EXPECT_EQ(a.breakdown.queueWait, b.breakdown.queueWait) << label;
+        EXPECT_EQ(a.breakdown.indexTime, b.breakdown.indexTime) << label;
+        EXPECT_EQ(a.breakdown.filterTime, b.breakdown.filterTime)
+            << label;
+        EXPECT_EQ(a.breakdown.hostUnifyTime, b.breakdown.hostUnifyTime)
+            << label;
+        EXPECT_EQ(a.elapsed, b.elapsed) << label;
+        EXPECT_EQ(a.elapsed, a.breakdown.serviceTime()) << label;
+    }
+};
+
+TEST_F(SlicedServerTest, ServeBatchIdenticalAcrossWidthsAndWorkers)
+{
+    std::vector<crs::RetrievalRequest> batch = mixedBatch();
+    for (std::uint32_t workers : {1u, 2u, 4u}) {
+        crs::CrsConfig plain_config;
+        plain_config.workers = workers;
+        auto plain = makeServer(plain_config);
+        std::vector<crs::RetrievalResponse> expected =
+            plain->serveBatch(batch);
+
+        for (std::uint32_t width : {2u, 4u, 8u}) {
+            crs::CrsConfig config;
+            config.workers = workers;
+            config.fs1.sliced = true;
+            config.batchWidth = width;
+            auto server = makeServer(config);
+            std::vector<crs::RetrievalResponse> got =
+                server->serveBatch(batch);
+            ASSERT_EQ(got.size(), expected.size());
+            for (std::size_t i = 0; i < got.size(); ++i) {
+                expectIdentical(expected[i], got[i],
+                                "workers " + std::to_string(workers) +
+                                    " width " + std::to_string(width) +
+                                    " request " + std::to_string(i));
+            }
+        }
+    }
+}
+
+TEST_F(SlicedServerTest, SlicedSingleRequestsMatchPlainServer)
+{
+    auto plain = makeServer();
+    crs::CrsConfig config;
+    config.fs1.sliced = true;
+    auto sliced = makeServer(config);
+    for (const term::ParsedTerm &goal : goals) {
+        for (crs::SearchMode mode : {crs::SearchMode::Fs1Only,
+                                     crs::SearchMode::TwoStage}) {
+            expectIdentical(plain->serve(request(goal, mode)),
+                            sliced->serve(request(goal, mode)),
+                            crs::searchModeSlug(mode));
+        }
+    }
+}
+
+TEST_F(SlicedServerTest, BatchWidthConfigValidation)
+{
+    crs::CrsConfig config;
+    config.batchWidth = 4;      // requires fs1.sliced
+    EXPECT_THROW(makeServer(config), crs::ConfigError);
+    config.fs1.sliced = true;
+    EXPECT_NO_THROW(makeServer(config));
+    config.batchWidth = 0;
+    EXPECT_THROW(makeServer(config), crs::ConfigError);
+    config.batchWidth = 257;
+    EXPECT_THROW(makeServer(config), crs::ConfigError);
+}
+
+} // namespace
+} // namespace clare

@@ -233,6 +233,62 @@ TEST(BitVec, OrAndOperators)
     EXPECT_TRUE(a.test(2));
 }
 
+TEST(BitVec, AndNotIsZeroMatchesSubsetOf)
+{
+    BitVec a(130);
+    BitVec b(130);
+    EXPECT_TRUE(BitVec::andNotIsZero(a, b));    // empty a passes
+    a.set(5);
+    a.set(128);
+    EXPECT_FALSE(BitVec::andNotIsZero(a, b));
+    b.set(5);
+    EXPECT_FALSE(BitVec::andNotIsZero(a, b));   // bit 128 still missing
+    b.set(128);
+    EXPECT_TRUE(BitVec::andNotIsZero(a, b));
+    b.set(77);                                   // extra bits in b are fine
+    EXPECT_TRUE(BitVec::andNotIsZero(a, b));
+    EXPECT_EQ(BitVec::andNotIsZero(a, b), a.subsetOf(b));
+    EXPECT_EQ(BitVec::andNotIsZero(b, a), b.subsetOf(a));
+}
+
+TEST(BitVec, PopcountCountsAcrossWordBoundaries)
+{
+    BitVec v(200);
+    EXPECT_EQ(v.popcount(), 0u);
+    for (std::size_t bit : {0u, 63u, 64u, 127u, 128u, 199u})
+        v.set(bit);
+    EXPECT_EQ(v.popcount(), 6u);
+    v.clear(64);
+    EXPECT_EQ(v.popcount(), 5u);
+}
+
+TEST(BitVec, WordAccessorsExposeBackingWords)
+{
+    BitVec v(70);
+    v.set(1);
+    v.set(65);
+    ASSERT_EQ(v.wordCount(), 2u);
+    EXPECT_EQ(v.word(0), std::uint64_t{1} << 1);
+    EXPECT_EQ(v.word(1), std::uint64_t{1} << 1);
+}
+
+TEST(BitVec, DeserializeIntoReusesBackingWords)
+{
+    BitVec v(100);
+    v.set(42);
+    v.set(99);
+    std::vector<std::uint8_t> bytes;
+    v.serialize(bytes);
+
+    BitVec scratch(100);
+    scratch.set(7);
+    std::size_t offset = 0;
+    scratch.deserializeInto(bytes, offset, 100);
+    EXPECT_EQ(offset, bytes.size());
+    EXPECT_TRUE(scratch == v);
+    EXPECT_FALSE(scratch.test(7));
+}
+
 TEST(BitVec, SerializeRoundTrip)
 {
     BitVec v(100);
