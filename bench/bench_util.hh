@@ -17,6 +17,7 @@
 
 #include "crs/server.hh"
 #include "crs/store.hh"
+#include "fs1/kernels.hh"
 #include "support/fault_injector.hh"
 #include "support/json.hh"
 #include "support/obs.hh"
@@ -222,6 +223,12 @@ struct SlicedKnobs
     /** `--batch-width=K`: group up to K FS1 goals per plane pass
      *  (implies `--sliced`; 0 means "not given"). */
     std::uint32_t batchWidth = 0;
+    /** `--kernel=NAME`: force an FS1 block kernel (implies
+     *  `--sliced`; Auto means "not given"). */
+    fs1::Fs1Kernel kernel = fs1::Fs1Kernel::Auto;
+    /** `--fs2-compiled`: dispatch FS2 through the AOT-compiled
+     *  microroutines instead of the WCS interpreter. */
+    bool fs2Compiled = false;
 
     /** Fold the knobs into a server config. */
     void
@@ -231,13 +238,21 @@ struct SlicedKnobs
             config.fs1.sliced = true;
         if (batchWidth > 0)
             config.batchWidth = batchWidth;
+        config.fs1.kernel = kernel;
+        config.fs2.compiled = fs2Compiled;
     }
 };
 
 /**
  * Parse the bit-sliced scan knobs: `--sliced` turns the word-parallel
  * FS1 kernel on, `--batch-width=K` groups up to K same-predicate FS1
- * goals into one plane pass (and implies `--sliced`).
+ * goals into one plane pass (and implies `--sliced`),
+ * `--kernel=NAME` forces a specific block kernel from the registry
+ * (scalar64 / avx2 / avx512 / auto; implies `--sliced`), and
+ * `--fs2-compiled` routes FS2 matching through the AOT-compiled
+ * microroutines (bit-identical to the interpreter, just faster on the
+ * host).  An unknown kernel name exits with the supported list rather
+ * than silently falling back.
  */
 inline SlicedKnobs
 slicedConfigArg(int argc, char **argv)
@@ -250,6 +265,27 @@ slicedConfigArg(int argc, char **argv)
             knobs.batchWidth = static_cast<std::uint32_t>(
                 std::strtoul(argv[i] + 14, nullptr, 10));
             knobs.sliced = true;
+        } else if (std::strncmp(argv[i], "--kernel=", 9) == 0) {
+            const char *name = argv[i] + 9;
+            fs1::Fs1Kernel parsed = fs1::Fs1Kernel::Auto;
+            if (!fs1::parseKernelName(name, parsed)) {
+                std::fprintf(stderr,
+                             "unknown --kernel '%s' (expected auto, "
+                             "scalar64, avx2, or avx512)\n",
+                             name);
+                std::exit(2);
+            }
+            if (!fs1::kernelSupported(parsed)) {
+                std::fprintf(stderr,
+                             "--kernel '%s' is not supported on this "
+                             "host (use auto)\n",
+                             name);
+                std::exit(2);
+            }
+            knobs.kernel = parsed;
+            knobs.sliced = true;
+        } else if (std::strcmp(argv[i], "--fs2-compiled") == 0) {
+            knobs.fs2Compiled = true;
         }
     }
     return knobs;

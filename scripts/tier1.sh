@@ -6,7 +6,10 @@
 # shared L1/L2/L3 caches are proven free of data races, and the
 # bit-sliced equivalence suite again under ASan so the word-indexed
 # plane arithmetic (edge-masked partial ranges in particular) is
-# proven in-bounds.
+# proven in-bounds, and finally the kernel-dispatch suites under ASan
+# so every FS1 kernel the host supports (scalar64/avx2/avx512) and
+# both FS2 dispatch targets (interpreter and compiled routines) run
+# sanitized.
 #
 # Usage: scripts/tier1.sh [build-dir] [asan-build-dir] [tsan-build-dir]
 set -euo pipefail
@@ -28,6 +31,12 @@ ctest --test-dir "$ASAN_BUILD" -L faults --output-on-failure -j
 
 echo "== tier-1: ASan+UBSan build + sliced-equivalence tests =="
 ctest --test-dir "$ASAN_BUILD" -L sliced --output-on-failure -j
+
+echo "== tier-1: ASan+UBSan build + kernel-dispatch tests =="
+# The kernels-labeled suites internally sweep every FS1 kernel the
+# host supports (skipping the rest) and both FS2 dispatch targets, so
+# one labeled run covers the whole registry.
+ctest --test-dir "$ASAN_BUILD" -L kernels --output-on-failure -j
 
 echo "== tier-1: TSan build + cache-labeled tests =="
 cmake -B "$TSAN_BUILD" -S . -DCLARE_SANITIZE=thread

@@ -41,7 +41,7 @@ Fs1Engine::scanRange(const scw::SecondaryFile &index,
         // ranges need not be word-aligned; the matcher edge-masks
         // partial words, so per-shard hit lists still concatenate
         // into exactly the sequential order.
-        SlicedMatcher matcher;
+        SlicedMatcher matcher(config_.kernel);
         SlicedMatcher::Hits hits = matcher.scanRange(*sliced, query,
                                                      range);
         scan.clauseOffsets = std::move(hits.clauseOffsets);
@@ -250,7 +250,7 @@ Fs1Engine::searchBatch(const scw::SecondaryFile &index,
         return out;
     }
 
-    SlicedMatcher matcher;
+    SlicedMatcher matcher(config_.kernel);
     std::vector<SlicedMatcher::Hits> hits =
         matcher.scanBatch(*sliced, queries);
     if (observers[0].metrics != nullptr) {

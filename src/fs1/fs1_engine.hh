@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fs1/kernels.hh"
 #include "scw/bit_sliced_index.hh"
 #include "scw/codeword.hh"
 #include "scw/index_file.hh"
@@ -61,6 +62,16 @@ struct Fs1Config
      * counters appear).
      */
     bool sliced = false;
+
+    /**
+     * Block kernel for sliced scans: Auto (default) resolves to the
+     * widest vector ISA the host supports; explicit choices must be
+     * supported (CrsConfig::validate rejects the rest).  Every kernel
+     * is bit-identical in answers, survivor order, scan stats, and
+     * modeled busyTime — only host CPU cost changes.  Ignored on the
+     * row-major path (sliced == false).
+     */
+    Fs1Kernel kernel = Fs1Kernel::Auto;
 };
 
 /** Outcome of one FS1 index scan. */

@@ -20,6 +20,11 @@ constexpr std::uint64_t kAllOnes = ~std::uint64_t{0};
 
 } // namespace
 
+SlicedMatcher::SlicedMatcher(Fs1Kernel kernel)
+    : kernel_(resolveKernel(kernel)), kernelFn_(kernelFn(kernel_))
+{
+}
+
 SlicedMatcher::QueryPlan
 SlicedMatcher::buildPlan(const scw::BitSlicedIndex &plane,
                          const scw::Signature &query)
@@ -65,18 +70,15 @@ SlicedMatcher::scanBlock(const scw::BitSlicedIndex &plane,
         surv_[last_word - word_begin] &= last_mask;
 
     for (const FieldPlan &field : plan.fields) {
-        const std::uint64_t *const *planes = field.planes.data();
-        const std::size_t nplanes = field.planes.size();
-        const std::uint64_t *mask = field.mask;
-        for (std::size_t j = 0; j < word_count; ++j) {
-            const std::size_t w = word_begin + j;
-            std::uint64_t acc = planes[0][w];
-            for (std::size_t t = 1; t < nplanes; ++t)
-                acc &= planes[t][w];
-            surv_[j] &= acc | mask[w];
-        }
-        out.wordOps +=
-            static_cast<std::uint64_t>(word_count) * (nplanes + 1);
+        kernelFn_(surv_.data(), field.planes.data(),
+                  field.planes.size(), field.mask, word_begin,
+                  word_count);
+        // The activity counter models 64-bit plane operations, so it
+        // is kernel-independent: a vector kernel fuses several words
+        // per host op but the modeled hardware still touches every
+        // word of every plane row.
+        out.wordOps += static_cast<std::uint64_t>(word_count) *
+            (field.planes.size() + 1);
     }
 
     for (std::size_t j = 0; j < word_count; ++j) {
@@ -105,18 +107,14 @@ SlicedMatcher::scanRange(const scw::BitSlicedIndex &plane,
                  range.begin, range.end, plane.entryCount());
     const QueryPlan plan = buildPlan(plane, query);
 
-    const std::size_t w0 = range.begin / 64;
-    const std::size_t w1 = (range.end + 63) / 64;
-    const std::uint64_t first_mask = kAllOnes << (range.begin % 64);
-    const std::size_t last_word = (range.end - 1) / 64;
-    const std::uint64_t last_mask = (range.end % 64) != 0
-        ? kAllOnes >> (64 - range.end % 64)
-        : kAllOnes;
-
-    for (std::size_t bw = w0; bw < w1; bw += kBlockWords) {
-        const std::size_t count = std::min(kBlockWords, w1 - bw);
-        scanBlock(plane, plan, bw, count, bw == w0 ? first_mask : kAllOnes,
-                  last_word, last_mask, out);
+    const EdgeMasks masks = edgeMasks(range.begin, range.end);
+    for (std::size_t bw = masks.firstWord; bw < masks.wordEnd;
+         bw += kBlockWords) {
+        const std::size_t count = std::min(kBlockWords,
+                                           masks.wordEnd - bw);
+        scanBlock(plane, plan, bw, count,
+                  bw == masks.firstWord ? masks.firstMask : kAllOnes,
+                  masks.lastWord, masks.lastMask, out);
     }
     return out;
 }
@@ -134,20 +132,20 @@ SlicedMatcher::scanBatch(const scw::BitSlicedIndex &plane,
     for (const scw::Signature &query : queries)
         plans.push_back(buildPlan(plane, query));
 
-    const std::size_t words = plane.planeWords();
-    const std::size_t last_word = words - 1;
-    const std::uint64_t last_mask = (plane.entryCount() % 64) != 0
-        ? kAllOnes >> (64 - plane.entryCount() % 64)
-        : kAllOnes;
+    const EdgeMasks masks = edgeMasks(0, plane.entryCount());
+    clare_assert(masks.wordEnd == plane.planeWords(),
+                 "plane row of %zu words for %zu entries",
+                 plane.planeWords(), plane.entryCount());
 
     // Blocks outer, queries inner: each block of plane words is
     // loaded once and revisited (cache-hot) by every query in the
     // batch, instead of streaming the whole plane K times.
-    for (std::size_t bw = 0; bw < words; bw += kBlockWords) {
-        const std::size_t count = std::min(kBlockWords, words - bw);
+    for (std::size_t bw = 0; bw < masks.wordEnd; bw += kBlockWords) {
+        const std::size_t count = std::min(kBlockWords,
+                                           masks.wordEnd - bw);
         for (std::size_t q = 0; q < queries.size(); ++q)
-            scanBlock(plane, plans[q], bw, count, kAllOnes, last_word,
-                      last_mask, out[q]);
+            scanBlock(plane, plans[q], bw, count, kAllOnes,
+                      masks.lastWord, masks.lastMask, out[q]);
     }
     return out;
 }

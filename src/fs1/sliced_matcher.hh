@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fs1/kernels.hh"
 #include "scw/bit_sliced_index.hh"
 #include "scw/codeword.hh"
 #include "scw/index_file.hh"
@@ -40,6 +41,18 @@ namespace clare::fs1 {
 class SlicedMatcher
 {
   public:
+    /**
+     * @param kernel block kernel to evaluate fields with; Auto picks
+     *        the widest ISA the host supports.  Every kernel yields
+     *        bit-identical hits, order, and wordOps (the counter
+     *        models 64-bit plane operations regardless of how many
+     *        the host fuses per vector op).
+     */
+    explicit SlicedMatcher(Fs1Kernel kernel = Fs1Kernel::Auto);
+
+    /** The kernel scans actually run through (Auto resolved). */
+    Fs1Kernel kernel() const { return kernel_; }
+
     /** Survivors of one query, in entry order. */
     struct Hits
     {
@@ -90,6 +103,10 @@ class SlicedMatcher
                    std::size_t last_word, std::uint64_t last_mask,
                    Hits &out);
 
+    /** Resolved kernel identity (never Auto after construction). */
+    Fs1Kernel kernel_;
+    /** The block function of kernel_. */
+    BlockKernelFn kernelFn_;
     /** Survivor-word scratch, reused across blocks and queries. */
     std::vector<std::uint64_t> surv_;
 };

@@ -19,6 +19,8 @@ Fs2Engine::Fs2Engine(Fs2Config config)
     : config_(config),
       tue_(config.level, config.crossBinding),
       wcs_(WcsConfig{config.sequencerOverhead, 1u << 20}),
+      compiled_(config.level, config.crossBinding,
+                WcsConfig{config.sequencerOverhead, 1u << 20}),
       doubleBuffer_(config.doubleBufferBank),
       resultMemory_(config.resultMemoryBytes, config.resultSlotBytes)
 {
@@ -92,6 +94,7 @@ Fs2Engine::runStream(const ClauseFile &file,
     Fs2SearchResult result;
     tue_.resetStats();
     wcs_.resetStats();
+    compiled_.resetStats();
     doubleBuffer_.reset();
     resultMemory_.reset();
 
@@ -151,10 +154,19 @@ Fs2Engine::runStream(const ClauseFile &file,
                                   rec.length);
 
         tue_.resetForClause(db_args.varSlots, query_.varSlots);
-        Tick busy_before = tue_.busyTime() + wcs_.sequencerTime();
-        ClauseVerdict verdict = wcs_.runClause(tue_, db_args.items,
-                                               rec.arity, query_);
-        Tick processing = (tue_.busyTime() + wcs_.sequencerTime()) -
+        // Both dispatch targets accumulate the identical sequencer
+        // clock, so the busy-time delta reads whichever one ran.
+        Tick busy_before = tue_.busyTime() +
+            (config_.compiled ? compiled_.sequencerTime()
+                              : wcs_.sequencerTime());
+        ClauseVerdict verdict = config_.compiled
+            ? compiled_.runClause(tue_, db_args.items, rec.arity,
+                                  query_)
+            : wcs_.runClause(tue_, db_args.items, rec.arity, query_);
+        Tick processing = (tue_.busyTime() +
+                           (config_.compiled
+                                ? compiled_.sequencerTime()
+                                : wcs_.sequencerTime())) -
             busy_before;
 
         doubleBuffer_.admit(delivered, processing, rec.length);
@@ -183,8 +195,11 @@ Fs2Engine::runStream(const ClauseFile &file,
 
     result.ops = tue_.opCounts();
     result.tueBusyTime = tue_.busyTime();
-    result.sequencerTime = wcs_.sequencerTime();
-    result.microInstructions = wcs_.instructionsExecuted();
+    result.sequencerTime = config_.compiled
+        ? compiled_.sequencerTime() : wcs_.sequencerTime();
+    result.microInstructions = config_.compiled
+        ? compiled_.instructionsExecuted()
+        : wcs_.instructionsExecuted();
     result.stallTime = doubleBuffer_.stallTime();
     result.overruns = doubleBuffer_.overruns();
     if (disk) {

@@ -25,6 +25,7 @@
 #include <optional>
 #include <vector>
 
+#include "fs2/compiled_routines.hh"
 #include "fs2/double_buffer.hh"
 #include "fs2/result_memory.hh"
 #include "fs2/tue.hh"
@@ -44,6 +45,16 @@ struct Fs2Config
     int level = 3;                  ///< matching level (paper: 3)
     bool crossBinding = true;       ///< cross-binding checks (added)
     Tick sequencerOverhead = 0;     ///< per-microinstruction time
+    /**
+     * Run clauses through the AOT-compiled match routines instead of
+     * the microcode interpreter.  Verdicts, Table-1 op streams,
+     * microinstruction counts, and every timing field are
+     * bit-identical either way (the EngineEquivalence fuzz enforces
+     * it); only the host CPU cost per clause changes.  The
+     * microprogram is still assembled and loaded, so disassembly and
+     * the WCS remain inspectable.
+     */
+    bool compiled = false;
     std::uint32_t doubleBufferBank = 8192;
     std::uint32_t resultMemoryBytes = 32 * 1024;
     std::uint32_t resultSlotBytes = 512;
@@ -155,6 +166,7 @@ class Fs2Engine
     Fs2Config config_;
     TestUnificationEngine tue_;
     Wcs wcs_;
+    CompiledMatcher compiled_;
     DoubleBuffer doubleBuffer_;
     ResultMemory resultMemory_;
     Microprogram program_;

@@ -28,6 +28,33 @@ isInlineComplexClass(TagClass cls)
 
 } // namespace
 
+MatchRoutine
+selectRoutine(TagClass dc, TagClass qc, int level, bool cross_binding)
+{
+    // Query-variable classes never appear in a database stream, and
+    // vice versa: trap those addresses.
+    if (isQueryVarClass(dc) || isDbVarClass(qc))
+        return MatchRoutine::Trap;
+    if (dc == TagClass::AnonymousVar || qc == TagClass::AnonymousVar)
+        return MatchRoutine::Skip;
+    if (dc == TagClass::FirstDbVar)
+        return cross_binding ? MatchRoutine::DbStore
+                             : MatchRoutine::Skip;
+    if (dc == TagClass::SubDbVar)
+        return cross_binding ? MatchRoutine::DbFetch
+                             : MatchRoutine::Skip;
+    if (qc == TagClass::FirstQueryVar)
+        return cross_binding ? MatchRoutine::QueryStore
+                             : MatchRoutine::Skip;
+    if (qc == TagClass::SubQueryVar)
+        return cross_binding ? MatchRoutine::QueryFetch
+                             : MatchRoutine::Skip;
+    if (level >= 3 && isInlineComplexClass(dc) &&
+        isInlineComplexClass(qc))
+        return MatchRoutine::MatchComplex;
+    return MatchRoutine::MatchSimple;
+}
+
 MapRom
 MapRom::program(int level, bool cross_binding,
                 const RoutineAddresses &routines)
@@ -38,30 +65,31 @@ MapRom::program(int level, bool cross_binding,
             TagClass dc = static_cast<TagClass>(d);
             TagClass qc = static_cast<TagClass>(q);
 
-            // Query-variable classes never appear in a database
-            // stream, and vice versa: trap those addresses.
-            if (isQueryVarClass(dc) || isDbVarClass(qc))
-                continue;
-
             std::uint16_t target;
-            if (dc == TagClass::AnonymousVar ||
-                qc == TagClass::AnonymousVar) {
+            switch (selectRoutine(dc, qc, level, cross_binding)) {
+              case MatchRoutine::Trap:
+                continue;
+              case MatchRoutine::Skip:
                 target = routines.skip;
-            } else if (dc == TagClass::FirstDbVar) {
-                target = cross_binding ? routines.dbStore : routines.skip;
-            } else if (dc == TagClass::SubDbVar) {
-                target = cross_binding ? routines.dbFetch : routines.skip;
-            } else if (qc == TagClass::FirstQueryVar) {
-                target = cross_binding ? routines.queryStore
-                                       : routines.skip;
-            } else if (qc == TagClass::SubQueryVar) {
-                target = cross_binding ? routines.queryFetch
-                                       : routines.skip;
-            } else if (level >= 3 && isInlineComplexClass(dc) &&
-                       isInlineComplexClass(qc)) {
-                target = routines.matchComplex;
-            } else {
+                break;
+              case MatchRoutine::DbStore:
+                target = routines.dbStore;
+                break;
+              case MatchRoutine::DbFetch:
+                target = routines.dbFetch;
+                break;
+              case MatchRoutine::QueryStore:
+                target = routines.queryStore;
+                break;
+              case MatchRoutine::QueryFetch:
+                target = routines.queryFetch;
+                break;
+              case MatchRoutine::MatchSimple:
                 target = routines.matchSimple;
+                break;
+              case MatchRoutine::MatchComplex:
+                target = routines.matchComplex;
+                break;
             }
             rom.entries_[index(dc, qc)] = target;
         }

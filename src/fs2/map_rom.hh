@@ -16,11 +16,38 @@
 
 #include "fs2/microcode.hh"
 #include "pif/type_tags.hh"
+#include "support/logging.hh"
 
 namespace clare::fs2 {
 
 /** Entry value marking an impossible type pair. */
 constexpr std::uint16_t kMapTrap = 0xffff;
+
+/**
+ * The microroutine a map entry dispatches to.  Trap marks type pairs
+ * that cannot occur in a well-formed stream (query-variable classes on
+ * the database side and vice versa).
+ */
+enum class MatchRoutine : std::uint8_t
+{
+    Trap,
+    Skip,
+    DbStore,
+    DbFetch,
+    QueryStore,
+    QueryFetch,
+    MatchSimple,
+    MatchComplex,
+};
+
+/**
+ * The single source of truth for the 14x14 dispatch rule, shared by
+ * MapRom::program (which lowers it to microprogram addresses) and by
+ * the compiled routines (which lower it to direct calls) — the two
+ * engines cannot disagree on dispatch.
+ */
+MatchRoutine selectRoutine(pif::TagClass db_class, pif::TagClass q_class,
+                           int level, bool cross_binding);
 
 /** The programmable jump-vector ROM. */
 class MapRom
@@ -39,10 +66,26 @@ class MapRom
     static MapRom program(int level, bool cross_binding,
                           const RoutineAddresses &routines);
 
-    /** Look up the routine address for a type-class pair. */
+    /**
+     * Look up the routine address for a type-class pair.  The classes
+     * must be the decoded enum values: a raw tag byte corrupted after
+     * decoding would otherwise index past the 14x14 table, so the
+     * bound is checked here (the load path rejects corrupt tags with
+     * a typed CorruptionError before they ever reach the engine; this
+     * assert is the engine-side backstop).
+     */
     std::uint16_t
     lookup(pif::TagClass db_class, pif::TagClass q_class) const
     {
+        clare_assert(static_cast<std::size_t>(db_class) <
+                             pif::kTagClassCount &&
+                         static_cast<std::size_t>(q_class) <
+                             pif::kTagClassCount,
+                     "tag class pair (%u, %u) outside the %zux%zu map "
+                     "ROM",
+                     static_cast<unsigned>(db_class),
+                     static_cast<unsigned>(q_class),
+                     pif::kTagClassCount, pif::kTagClassCount);
         return entries_[index(db_class, q_class)];
     }
 

@@ -156,11 +156,31 @@ Wcs::runClause(TestUnificationEngine &tue,
             upc = stack[--sp];
             break;
           case SeqOp::Accept:
+            checkAccounting();
             return ClauseVerdict::Accepted;
           case SeqOp::Reject:
+            checkAccounting();
             return ClauseVerdict::Rejected;
         }
     }
+}
+
+void
+Wcs::checkAccounting() const
+{
+    // Every executed microword charges the sequencer clock exactly
+    // once, so the accumulated time is always the instruction count
+    // times the per-instruction overhead.  A drift here means an
+    // accounting path double-charged or skipped an instruction.
+    clare_assert(sequencerTime_ ==
+                     static_cast<Tick>(instructions_) *
+                         config_.sequencerOverhead,
+                 "sequencer clock %llu ticks out of step with %llu "
+                 "instructions at %llu ticks each",
+                 static_cast<unsigned long long>(sequencerTime_),
+                 static_cast<unsigned long long>(instructions_),
+                 static_cast<unsigned long long>(
+                     config_.sequencerOverhead));
 }
 
 } // namespace clare::fs2

@@ -78,6 +78,9 @@ class Wcs
     }
 
   private:
+    /** Assert sequencerTime == instructions * sequencerOverhead. */
+    void checkAccounting() const;
+
     WcsConfig config_;
     std::vector<std::uint64_t> ram_;
     std::uint16_t entry_ = 0;

@@ -1,5 +1,10 @@
 #include "storage/clause_file.hh"
 
+#include <algorithm>
+#include <cstdio>
+
+#include "support/crc32.hh"
+#include "support/errors.hh"
 #include "support/logging.hh"
 
 namespace clare::storage {
@@ -71,20 +76,69 @@ pif::EncodedArgs
 ClauseFile::decodeArgsAt(const std::vector<std::uint8_t> &image,
                          const ClauseRecord &rec)
 {
+    // This is the boundary between stored bytes and the engine: a
+    // clause-file v1 image has no page checksums, so a flipped byte
+    // arrives here undetected.  Every structural property the engine
+    // relies on is validated with a typed CorruptionError — the
+    // engine's own guards are clare_assert backstops, not error
+    // reporting.
+    auto fail = [](std::size_t at, const std::string &why) {
+        throw CorruptionError(
+            "clause image", at / support::kChecksumPageBytes, at, why);
+    };
+    auto hex_tag = [](pif::Tag tag) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "0x%02x",
+                      static_cast<unsigned>(tag));
+        return std::string(buf);
+    };
+    const std::size_t rec_end = std::min<std::size_t>(
+        static_cast<std::size_t>(rec.offset) + rec.length, image.size());
+
     pif::EncodedArgs args;
+    std::vector<std::size_t> item_at;
+    item_at.reserve(rec.itemCount);
     std::size_t at = rec.offset + kRecordHeaderBytes;
-    for (std::uint16_t i = 0; i < rec.itemCount; ++i)
+    for (std::uint16_t i = 0; i < rec.itemCount; ++i) {
+        if (at >= rec_end)
+            fail(at, "PIF stream truncated after " +
+                     std::to_string(i) + " of " +
+                     std::to_string(rec.itemCount) + " items");
+        const pif::Tag tag = image[at];
+        if (!pif::isValidTag(tag))
+            fail(at, "invalid PIF tag " + hex_tag(tag));
+        const pif::TagClass cls = pif::tagClass(tag);
+        if (cls == pif::TagClass::FirstQueryVar ||
+            cls == pif::TagClass::SubQueryVar)
+            fail(at, "query-variable tag " + hex_tag(tag) +
+                     " in a database stream");
+        if (at + (pif::tagHasExtension(tag) ? 9u : 5u) > rec_end)
+            fail(at, "PIF item overruns the record body");
+        item_at.push_back(at);
+        // All of deserializeItem's fatal paths are pre-checked above
+        // (against the record end, which is tighter than the image
+        // end), so this cannot abort.
         args.items.push_back(pif::deserializeItem(image, at));
+    }
 
     // Rebuild the argument index and variable-slot count.
     std::uint32_t max_slot = 0;
     bool any_var = false;
-    for (const auto &item : args.items) {
+    for (std::size_t i = 0; i < args.items.size(); ++i) {
+        const pif::PifItem &item = args.items[i];
         pif::TagClass cls = pif::tagClass(item.tag);
-        if (cls == pif::TagClass::FirstQueryVar ||
-            cls == pif::TagClass::SubQueryVar ||
-            cls == pif::TagClass::FirstDbVar ||
+        if (cls == pif::TagClass::FirstDbVar ||
             cls == pif::TagClass::SubDbVar) {
+            // Slots are assigned densely from zero, one per distinct
+            // variable, so a slot at or past the item count can only
+            // come from a corrupted content word — and would size the
+            // TUE binding memory arbitrarily.
+            if (item.content >= rec.itemCount)
+                fail(item_at[i], "variable slot " +
+                                 std::to_string(item.content) +
+                                 " out of range for a record of " +
+                                 std::to_string(rec.itemCount) +
+                                 " items");
             any_var = true;
             max_slot = std::max(max_slot, item.content);
         }
@@ -95,12 +149,25 @@ ClauseFile::decodeArgsAt(const std::vector<std::uint8_t> &image,
     std::uint32_t seen = 0;
     while (idx < args.items.size()) {
         args.argIndex.push_back(idx);
-        idx += pif::itemWidth(args.items, idx);
+        const pif::PifItem &item = args.items[idx];
+        std::size_t width = 1;
+        if (pif::isInlineComplexTag(item.tag)) {
+            width = 1 + pif::tagArity(item.tag);
+            if (idx + width > args.items.size())
+                fail(item_at[idx],
+                     "in-line complex item needs " +
+                         std::to_string(width - 1) +
+                         " elements but only " +
+                         std::to_string(args.items.size() - idx - 1) +
+                         " items follow");
+        }
+        idx += width;
         ++seen;
     }
-    clare_assert(seen == rec.arity,
-                 "decoded %u arguments but record arity is %u",
-                 seen, rec.arity);
+    if (seen != rec.arity)
+        fail(rec.offset, "decoded " + std::to_string(seen) +
+                         " arguments but record arity is " +
+                         std::to_string(rec.arity));
     return args;
 }
 

@@ -1,0 +1,31 @@
+#include "support/cpu.hh"
+
+namespace clare::support {
+
+namespace {
+
+CpuFeatures
+probe()
+{
+    CpuFeatures features;
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+    // __builtin_cpu_supports folds in the XGETBV/OS-save checks, so a
+    // kernel that disabled AVX state reports the feature as absent.
+    __builtin_cpu_init();
+    features.avx2 = __builtin_cpu_supports("avx2");
+    features.avx512f = __builtin_cpu_supports("avx512f");
+#endif
+    return features;
+}
+
+} // namespace
+
+const CpuFeatures &
+cpuFeatures()
+{
+    static const CpuFeatures features = probe();
+    return features;
+}
+
+} // namespace clare::support

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Runtime CPU feature detection for the SIMD-dispatched kernels.
+ *
+ * The FS1 kernel registry picks the widest vector unit the host
+ * offers at startup; everything downstream of the pick is required to
+ * be bit-identical, so detection only ever changes host CPU cost,
+ * never results.  Detection is done once and cached — the answer
+ * cannot change while the process runs.
+ */
+
+#ifndef CLARE_SUPPORT_CPU_HH
+#define CLARE_SUPPORT_CPU_HH
+
+namespace clare::support {
+
+/** Vector ISA extensions usable by the word-parallel kernels. */
+struct CpuFeatures
+{
+    /** 256-bit integer ops (4 plane words per op). */
+    bool avx2 = false;
+    /** AVX-512 foundation: 512-bit integer ops (8 words per op). */
+    bool avx512f = false;
+};
+
+/** The host's features, probed once on first use. */
+const CpuFeatures &cpuFeatures();
+
+} // namespace clare::support
+
+#endif // CLARE_SUPPORT_CPU_HH

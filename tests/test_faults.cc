@@ -25,7 +25,9 @@
 
 #include "crs/server.hh"
 #include "crs/store_io.hh"
+#include "fs2/fs2_engine.hh"
 #include "fs2/result_memory.hh"
+#include "pif/type_tags.hh"
 #include "storage/disk_model.hh"
 #include "storage/file_io.hh"
 #include "support/crc32.hh"
@@ -402,6 +404,73 @@ TEST_F(FormatFaultTest, ClauseFileRejectsEveryBitFlip)
     storage::saveClauseFile(path_, buildClauseFile());
     expectEveryByteFlipDetected(
         [&] { storage::loadClauseFile(path_); });
+}
+
+TEST_F(FormatFaultTest, V1FlippedTagByteIsTypedCorruptionNotACrash)
+{
+    // A v1 clause file has no page checksums, and its load-time walk
+    // parses only record headers — a flipped tag byte *inside* the PIF
+    // item stream loads without complaint.  The damage must then
+    // surface as a typed CorruptionError when the stream is decoded
+    // for the engine: not a clare_fatal abort (invalid tag), and not a
+    // map-ROM trap abort (a tag that is valid but belongs to the query
+    // side).
+    storage::ClauseFile file = buildClauseFile();
+    auto write_v1 = [&](const std::vector<std::uint8_t> &image) {
+        std::vector<std::uint8_t> out;
+        auto put = [&](std::uint32_t v) {
+            for (int i = 0; i < 4; ++i)
+                out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+        };
+        put(storage::kClauseFileMagic);
+        put(storage::kClauseFileVersionCompat);
+        put(file.predicate().functor);
+        put(file.predicate().arity);
+        put(static_cast<std::uint32_t>(file.clauseCount()));
+        put(static_cast<std::uint32_t>(image.size()));
+        out.insert(out.end(), image.begin(), image.end());
+        storage::writeBytes(path_, out);
+    };
+
+    // The first item's tag byte of clause 0.
+    const std::size_t tag_at =
+        file.record(0).offset + storage::kRecordHeaderBytes;
+    const std::uint8_t flips[] = {
+        0x00,                   // not a PIF tag at all
+        pif::kFirstQueryVar,    // valid tag, wrong side of the stream
+        0xff,                   // in-line list of arity 31: overrun
+    };
+    for (std::uint8_t bad : flips) {
+        std::vector<std::uint8_t> image = file.image();
+        ASSERT_NE(image[tag_at], bad);
+        image[tag_at] = bad;
+        write_v1(image);
+
+        storage::ClauseFile damaged = storage::loadClauseFile(path_);
+        ASSERT_EQ(damaged.clauseCount(), file.clauseCount());
+
+        EXPECT_THROW(damaged.decodeArgs(0), CorruptionError)
+            << "tag 0x" << std::hex << static_cast<int>(bad);
+
+        // End to end: the same damage reached through an FS2 search
+        // over the loaded file (the engine decodes each record as the
+        // stream arrives).
+        pif::EncodedArgs qargs;
+        qargs.items.push_back(pif::PifItem{pif::kFirstQueryVar, 0, 0});
+        qargs.items.push_back(pif::PifItem{pif::kFirstQueryVar, 1, 0});
+        qargs.varSlots = 2;
+        qargs.argIndex = {0, 1};
+        fs2::Fs2Engine engine;
+        engine.setQuery(qargs, damaged.predicate());
+        EXPECT_THROW(engine.search(damaged), CorruptionError)
+            << "tag 0x" << std::hex << static_cast<int>(bad);
+    }
+
+    // The pristine image still decodes and retrieves cleanly through
+    // the same v1 vehicle.
+    write_v1(file.image());
+    storage::ClauseFile clean = storage::loadClauseFile(path_);
+    EXPECT_NO_THROW(clean.decodeArgs(0));
 }
 
 TEST_F(FormatFaultTest, FramedBytesRejectEveryBitFlip)

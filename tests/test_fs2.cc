@@ -719,6 +719,86 @@ TEST_P(EngineEquivalence, MatchesFunctionalModel)
     }
 }
 
+/**
+ * The compiled routines against their oracle: the AOT-lowered matcher
+ * must reproduce the interpreter bit for bit — verdicts, Table-1 op
+ * streams, microinstruction counts, and every timing field — across
+ * randomized clause sets, at every level and cross-binding setting.
+ * Nonzero sequencer overhead so the tick streams actually diverge if
+ * an instruction is mis-counted.
+ */
+TEST_P(EngineEquivalence, CompiledRoutinesMatchInterpreter)
+{
+    auto [level, cross_binding] = GetParam();
+
+    term::SymbolTable sym;
+    term::TermWriter writer(sym);
+    workload::KbGenerator kbgen(sym);
+    workload::KbSpec spec;
+    spec.predicates = 2;
+    spec.clausesPerPredicate = 120;
+    spec.varProb = 0.25;
+    spec.sharedVarProb = 0.35;
+    spec.structProb = 0.3;
+    spec.listProb = 0.1;
+    spec.seed = 97 + static_cast<std::uint64_t>(level);
+    term::Program program = kbgen.generate(spec);
+
+    workload::QuerySpec qspec;
+    qspec.boundArgProb = 0.45;
+    qspec.sharedVarProb = 0.4;
+    qspec.seed = 11;
+    workload::QueryGenerator qgen(sym, qspec);
+    pif::Encoder encoder;
+
+    for (const auto &pred : program.predicates()) {
+        storage::ClauseFileBuilder builder(writer);
+        for (std::size_t i : program.clausesOf(pred))
+            builder.add(program.clause(i));
+        storage::ClauseFile file = builder.finish();
+
+        for (int qi = 0; qi < 5; ++qi) {
+            workload::GeneratedQuery q = qgen.generate(program, pred);
+            pif::EncodedArgs qargs = encoder.encodeArgs(
+                q.arena, q.goal, pif::Side::Query);
+
+            Fs2Config config;
+            config.level = level;
+            config.crossBinding = cross_binding;
+            config.sequencerOverhead = 125 * kNanosecond;
+
+            Fs2Engine interp(config);
+            interp.setQuery(qargs, pred);
+            Fs2SearchResult expected = interp.search(file);
+
+            config.compiled = true;
+            Fs2Engine compiled(config);
+            compiled.setQuery(qargs, pred);
+            Fs2SearchResult got = compiled.search(file);
+
+            const std::string label = "level " +
+                std::to_string(level) +
+                (cross_binding ? " cb" : " nocb") + " query " +
+                std::to_string(qi);
+            EXPECT_EQ(got.acceptedOrdinals, expected.acceptedOrdinals)
+                << label;
+            EXPECT_EQ(got.ops, expected.ops) << label;
+            EXPECT_EQ(got.microInstructions, expected.microInstructions)
+                << label;
+            EXPECT_EQ(got.tueBusyTime, expected.tueBusyTime) << label;
+            EXPECT_EQ(got.sequencerTime, expected.sequencerTime)
+                << label;
+            EXPECT_EQ(got.elapsed, expected.elapsed) << label;
+            EXPECT_EQ(got.clausesExamined, expected.clausesExamined)
+                << label;
+            EXPECT_EQ(got.bytesStreamed, expected.bytesStreamed)
+                << label;
+            EXPECT_EQ(got.satisfiers, expected.satisfiers) << label;
+            EXPECT_EQ(got.stallTime, expected.stallTime) << label;
+        }
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Configs, EngineEquivalence,
     ::testing::Combine(::testing::Values(1, 2, 3), ::testing::Bool()),
@@ -726,6 +806,39 @@ INSTANTIATE_TEST_SUITE_P(
         return "L" + std::to_string(std::get<0>(info.param)) +
             (std::get<1>(info.param) ? "_cb" : "_nocb");
     });
+
+// ---------------------------------------------------------------------
+// WCS accounting: the sequencer clock is instructions x overhead.
+// ---------------------------------------------------------------------
+
+TEST(WcsAccountingTest, SequencerTimeIsInstructionsTimesOverhead)
+{
+    term::SymbolTable sym;
+    term::TermReader reader(sym);
+    term::TermWriter writer(sym);
+    storage::ClauseFileBuilder builder(writer);
+    for (auto &c : reader.parseProgram(
+             "p(a, f(b, c)).\np(X, g(X)).\np(b, [1, 2, 3]).\n"))
+        builder.add(c);
+    storage::ClauseFile file = builder.finish();
+    term::ParsedQuery q = reader.parseQuery("p(X, Y)");
+
+    for (Tick overhead : {Tick{0}, 125 * kNanosecond, 7 * kNanosecond}) {
+        for (bool compiled : {false, true}) {
+            Fs2Config config;
+            config.sequencerOverhead = overhead;
+            config.compiled = compiled;
+            Fs2Engine engine(config);
+            engine.setQuery(q.arena, q.goals[0]);
+            Fs2SearchResult r = engine.search(file);
+            EXPECT_GT(r.microInstructions, 0u);
+            EXPECT_EQ(r.sequencerTime,
+                      static_cast<Tick>(r.microInstructions) * overhead)
+                << "overhead " << overhead << (compiled ? " compiled"
+                                                        : " interpreted");
+        }
+    }
+}
 
 } // namespace
 } // namespace clare::fs2

@@ -652,5 +652,120 @@ TEST(InjectedFaultSweep, SlicedServerDegradesIdentically)
     EXPECT_GT(served, 0);
 }
 
+// ---------------------------------------------------------------------
+// Kernel-sweep fuzz: the same seed replayed across every dispatch
+// target — each supported FS1 kernel crossed with interpreted and
+// compiled FS2 — must produce byte-identical responses and stage
+// breakdowns (unsupported ISAs are skipped, not failed).
+// ---------------------------------------------------------------------
+
+class KernelSweepFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(KernelSweepFuzz, DispatchTargetsAreBitIdentical)
+{
+    Rng rng(GetParam());
+    for (int iter = 0; iter < 3; ++iter) {
+        term::SymbolTable sym;
+        workload::KbSpec spec;
+        spec.predicates = 2;
+        spec.clausesPerPredicate =
+            static_cast<std::uint32_t>(rng.range(40, 300));
+        spec.arityMin = 2;
+        spec.arityMax = static_cast<std::uint32_t>(rng.range(2, 5));
+        spec.varProb = rng.uniform() * 0.4;
+        spec.structProb = rng.uniform() * 0.4;
+        spec.listProb = rng.uniform() * 0.2;
+        spec.seed = GetParam() * 100 + static_cast<std::uint64_t>(iter);
+        workload::KbGenerator kbgen(sym);
+        term::Program program = kbgen.generate(spec);
+        crs::PredicateStore store(sym, scw::CodewordGenerator{});
+        store.addProgram(program);
+        store.buildSlicedIndexes();
+        store.finalize();
+
+        workload::QuerySpec qspec;
+        qspec.boundArgProb = 0.5;
+        qspec.sharedVarProb = 0.3;
+        qspec.seed = spec.seed + 13;
+        workload::QueryGenerator qgen(sym, qspec);
+        struct Goal
+        {
+            workload::GeneratedQuery q;
+            crs::SearchMode mode;
+        };
+        std::vector<Goal> goals;
+        const crs::SearchMode modes[] = {crs::SearchMode::SoftwareOnly,
+                                         crs::SearchMode::Fs1Only,
+                                         crs::SearchMode::Fs2Only,
+                                         crs::SearchMode::TwoStage};
+        for (int g = 0; g < 6; ++g) {
+            const auto &pred = program.predicates()[
+                rng.below(program.predicates().size())];
+            goals.push_back(Goal{qgen.generate(program, pred),
+                                 modes[rng.below(4)]});
+        }
+
+        // The baseline target: row-major FS1, interpreted FS2.
+        auto responses = [&](const crs::CrsConfig &cfg) {
+            crs::ClauseRetrievalServer server(sym, store, cfg);
+            std::vector<crs::RetrievalResponse> out;
+            for (const Goal &goal : goals)
+                out.push_back(server.retrieve(goal.q.arena, goal.q.goal,
+                                              goal.mode));
+            return out;
+        };
+        std::vector<crs::RetrievalResponse> expected =
+            responses(crs::CrsConfig{});
+
+        for (fs1::Fs1Kernel kernel : {fs1::Fs1Kernel::Scalar64,
+                                      fs1::Fs1Kernel::Avx2,
+                                      fs1::Fs1Kernel::Avx512}) {
+            if (!fs1::kernelSupported(kernel))
+                continue;
+            for (bool compiled : {false, true}) {
+                crs::CrsConfig cfg;
+                cfg.fs1.sliced = true;
+                cfg.fs1.kernel = kernel;
+                cfg.fs2.compiled = compiled;
+                std::vector<crs::RetrievalResponse> got = responses(cfg);
+                ASSERT_EQ(got.size(), expected.size());
+                for (std::size_t i = 0; i < got.size(); ++i) {
+                    const std::string label = std::string("iter ") +
+                        std::to_string(iter) + " " +
+                        fs1::kernelName(kernel) +
+                        (compiled ? " compiled" : " interpreted") +
+                        " goal " + std::to_string(i);
+                    const crs::RetrievalResponse &a = expected[i];
+                    const crs::RetrievalResponse &b = got[i];
+                    EXPECT_EQ(a.answers, b.answers) << label;
+                    EXPECT_EQ(a.candidates, b.candidates) << label;
+                    EXPECT_EQ(a.indexEntriesScanned,
+                              b.indexEntriesScanned) << label;
+                    EXPECT_EQ(a.fs1Hits, b.fs1Hits) << label;
+                    EXPECT_EQ(a.clausesExamined, b.clausesExamined)
+                        << label;
+                    EXPECT_EQ(a.filterOps, b.filterOps) << label;
+                    EXPECT_EQ(a.breakdown.queueWait,
+                              b.breakdown.queueWait) << label;
+                    EXPECT_EQ(a.breakdown.cacheTime,
+                              b.breakdown.cacheTime) << label;
+                    EXPECT_EQ(a.breakdown.indexTime,
+                              b.breakdown.indexTime) << label;
+                    EXPECT_EQ(a.breakdown.filterTime,
+                              b.breakdown.filterTime) << label;
+                    EXPECT_EQ(a.breakdown.hostUnifyTime,
+                              b.breakdown.hostUnifyTime) << label;
+                    EXPECT_EQ(a.elapsed, b.elapsed) << label;
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelSweepFuzz,
+                         ::testing::Values(3u, 33u, 333u));
+
 } // namespace
 } // namespace clare

@@ -602,5 +602,244 @@ TEST_F(SlicedServerTest, BatchWidthConfigValidation)
     EXPECT_THROW(makeServer(config), crs::ConfigError);
 }
 
+// ---------------------------------------------------------------------
+// Kernel registry: detection, parsing, validation, dispatch.
+// ---------------------------------------------------------------------
+
+/** Concrete kernels the host can run, scalar oracle first. */
+std::vector<fs1::Fs1Kernel>
+supportedKernels()
+{
+    std::vector<fs1::Fs1Kernel> out;
+    for (fs1::Fs1Kernel k : {fs1::Fs1Kernel::Scalar64,
+                             fs1::Fs1Kernel::Avx2,
+                             fs1::Fs1Kernel::Avx512})
+        if (fs1::kernelSupported(k))
+            out.push_back(k);
+    return out;
+}
+
+TEST(KernelRegistryTest, ScalarAlwaysAvailableAndAutoResolves)
+{
+    EXPECT_TRUE(fs1::kernelSupported(fs1::Fs1Kernel::Scalar64));
+    EXPECT_TRUE(fs1::kernelSupported(fs1::Fs1Kernel::Auto));
+    fs1::Fs1Kernel resolved = fs1::resolveKernel(fs1::Fs1Kernel::Auto);
+    EXPECT_NE(resolved, fs1::Fs1Kernel::Auto);
+    EXPECT_TRUE(fs1::kernelSupported(resolved));
+    // Explicit choices pass through unresolved.
+    EXPECT_EQ(fs1::resolveKernel(fs1::Fs1Kernel::Scalar64),
+              fs1::Fs1Kernel::Scalar64);
+    EXPECT_NE(fs1::kernelFn(fs1::Fs1Kernel::Scalar64), nullptr);
+}
+
+TEST(KernelRegistryTest, NamesRoundTripAndRejectJunk)
+{
+    for (fs1::Fs1Kernel k : {fs1::Fs1Kernel::Auto,
+                             fs1::Fs1Kernel::Scalar64,
+                             fs1::Fs1Kernel::Avx2,
+                             fs1::Fs1Kernel::Avx512}) {
+        fs1::Fs1Kernel parsed;
+        ASSERT_TRUE(fs1::parseKernelName(fs1::kernelName(k), parsed))
+            << fs1::kernelName(k);
+        EXPECT_EQ(parsed, k);
+    }
+    fs1::Fs1Kernel parsed = fs1::Fs1Kernel::Avx2;
+    EXPECT_FALSE(fs1::parseKernelName("sse9", parsed));
+    EXPECT_FALSE(fs1::parseKernelName("", parsed));
+    EXPECT_FALSE(fs1::parseKernelName("AVX2", parsed));
+    EXPECT_EQ(parsed, fs1::Fs1Kernel::Avx2);    // no write on failure
+}
+
+TEST(KernelRegistryTest, UnsupportedExplicitKernelIsConfigError)
+{
+    // An unsupported ISA must be a typed config rejection, not a
+    // runtime crash.  On hosts supporting everything there is nothing
+    // to reject; the validator accepting all supported choices is
+    // still asserted.
+    for (fs1::Fs1Kernel k : {fs1::Fs1Kernel::Avx2,
+                             fs1::Fs1Kernel::Avx512}) {
+        crs::CrsConfig config;
+        config.fs1.sliced = true;
+        config.fs1.kernel = k;
+        if (fs1::kernelSupported(k))
+            EXPECT_NO_THROW(config.validate()) << fs1::kernelName(k);
+        else
+            EXPECT_THROW(config.validate(), crs::ConfigError)
+                << fs1::kernelName(k);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Edge-mask derivation: the shared helper, all partial-word cases.
+// ---------------------------------------------------------------------
+
+TEST(EdgeMasksTest, CoversEveryPartialWordCase)
+{
+    constexpr std::uint64_t kOnes = ~std::uint64_t{0};
+
+    // Full single word.
+    fs1::EdgeMasks m = fs1::edgeMasks(0, 64);
+    EXPECT_EQ(m.firstWord, 0u);
+    EXPECT_EQ(m.wordEnd, 1u);
+    EXPECT_EQ(m.lastWord, 0u);
+    EXPECT_EQ(m.firstMask, kOnes);
+    EXPECT_EQ(m.lastMask, kOnes);       // word-aligned end: no shift
+
+    // Single entry.
+    m = fs1::edgeMasks(0, 1);
+    EXPECT_EQ(m.wordCount(), 1u);
+    EXPECT_EQ(m.firstMask, kOnes);
+    EXPECT_EQ(m.lastMask, std::uint64_t{1});
+
+    // Just under a word.
+    m = fs1::edgeMasks(0, 63);
+    EXPECT_EQ(m.wordCount(), 1u);
+    EXPECT_EQ(m.lastMask, kOnes >> 1);
+
+    // One word plus one entry.
+    m = fs1::edgeMasks(0, 65);
+    EXPECT_EQ(m.wordCount(), 2u);
+    EXPECT_EQ(m.lastWord, 1u);
+    EXPECT_EQ(m.lastMask, std::uint64_t{1});
+
+    // Same-word range: both masks land on word 1, and their AND keeps
+    // exactly bits [1, 3).
+    m = fs1::edgeMasks(65, 67);
+    EXPECT_EQ(m.firstWord, 1u);
+    EXPECT_EQ(m.lastWord, 1u);
+    EXPECT_EQ(m.wordCount(), 1u);
+    EXPECT_EQ(m.firstMask & m.lastMask, std::uint64_t{0x6});
+
+    // Mid-word begin, word-aligned end.
+    m = fs1::edgeMasks(70, 128);
+    EXPECT_EQ(m.firstWord, 1u);
+    EXPECT_EQ(m.wordEnd, 2u);
+    EXPECT_EQ(m.firstMask, kOnes << 6);
+    EXPECT_EQ(m.lastMask, kOnes);
+
+    // Word-aligned begin, mid-word end, multi-word.
+    m = fs1::edgeMasks(64, 200);
+    EXPECT_EQ(m.firstWord, 1u);
+    EXPECT_EQ(m.wordEnd, 4u);
+    EXPECT_EQ(m.lastWord, 3u);
+    EXPECT_EQ(m.firstMask, kOnes);
+    EXPECT_EQ(m.lastMask, (std::uint64_t{1} << 8) - 1);
+}
+
+// ---------------------------------------------------------------------
+// Boundary geometries vs the PLA oracle, on every supported kernel.
+// ---------------------------------------------------------------------
+
+TEST(SlicedKernelTest, BoundaryRangesAgreeWithPlaOnEveryKernel)
+{
+    term::SymbolTable sym;
+    workload::KbSpec spec;
+    spec.predicates = 1;
+    spec.clausesPerPredicate = 193;     // three words + one entry
+    spec.varProb = 0.25;
+    spec.seed = 91;
+    BuiltIndex built = buildIndex(sym, {}, spec, 4, 0.6);
+
+    // Every length the issue calls out (0, 1, 63, 64, 65), plus
+    // same-word and word-aligned-end ranges, at offsets that exercise
+    // both aligned and misaligned begins.
+    const scw::EntryRange ranges[] = {
+        {0, 0},     {64, 64},   {100, 100},         // empty
+        {0, 1},     {63, 64},   {64, 65}, {192, 193},
+        {0, 63},    {1, 64},    {65, 128},          // length 63
+        {0, 64},    {64, 128},  {128, 192},         // length 64
+        {0, 65},    {63, 128},  {128, 193},         // length 65
+        {65, 67},   {190, 193},                     // same-word
+        {7, 64},    {70, 192},                      // word-aligned end
+        {0, 193},                                   // whole plane
+    };
+    for (fs1::Fs1Kernel kernel : supportedKernels()) {
+        fs1::SlicedMatcher matcher(kernel);
+        EXPECT_EQ(matcher.kernel(), kernel);
+        for (const scw::EntryRange &range : ranges) {
+            for (std::size_t q = 0; q < built.queries.size(); ++q) {
+                std::string label = std::string(fs1::kernelName(kernel))
+                    + " range [" + std::to_string(range.begin) + ", "
+                    + std::to_string(range.end) + ") query "
+                    + std::to_string(q);
+                expectSameHits(
+                    plaSurvivors(built, built.queries[q], range),
+                    matcher.scanRange(built.plane, built.queries[q],
+                                      range),
+                    label);
+            }
+        }
+    }
+}
+
+TEST(SlicedKernelTest, BoundaryPlaneSizesAgreeAcrossKernels)
+{
+    // Whole planes of the boundary entry counts: the slack bits past
+    // the last entry are the hazard here, not range edges.
+    for (std::uint32_t clauses : {1u, 63u, 64u, 65u}) {
+        term::SymbolTable sym;
+        workload::KbSpec spec;
+        spec.predicates = 1;
+        spec.clausesPerPredicate = clauses;
+        spec.varProb = 0.2;
+        spec.seed = 120 + clauses;
+        BuiltIndex built = buildIndex(sym, {}, spec, 3, 0.5);
+        scw::EntryRange all{0, built.index.entryCount()};
+        for (fs1::Fs1Kernel kernel : supportedKernels()) {
+            fs1::SlicedMatcher matcher(kernel);
+            for (std::size_t q = 0; q < built.queries.size(); ++q) {
+                expectSameHits(
+                    plaSurvivors(built, built.queries[q], all),
+                    matcher.scanRange(built.plane, built.queries[q],
+                                      all),
+                    std::string(fs1::kernelName(kernel)) + " " +
+                        std::to_string(clauses) + " clauses, query " +
+                        std::to_string(q));
+            }
+        }
+    }
+}
+
+TEST(SlicedKernelTest, EngineBitIdenticalAcrossKernelsShardsAndBatches)
+{
+    term::SymbolTable sym;
+    workload::KbSpec spec;
+    spec.predicates = 1;
+    spec.clausesPerPredicate = 321;
+    spec.varProb = 0.15;
+    spec.seed = 77;
+    BuiltIndex built = buildIndex(sym, {}, spec, 6, 0.7);
+
+    fs1::Fs1Engine scalar(built.generator);
+    support::ThreadPool pool(4);
+    std::vector<obs::Observer> no_obs(built.queries.size());
+    for (fs1::Fs1Kernel kernel : supportedKernels()) {
+        fs1::Fs1Config config;
+        config.sliced = true;
+        config.kernel = kernel;
+        fs1::Fs1Engine engine(built.generator, config);
+        const std::string name = fs1::kernelName(kernel);
+
+        for (const scw::Signature &query : built.queries) {
+            fs1::Fs1Result baseline = scalar.search(built.index, query);
+            for (std::uint32_t shards : {1u, 3u, 7u}) {
+                expectSameResult(
+                    baseline,
+                    engine.search(built.index, &built.plane, query,
+                                  shards > 1 ? &pool : nullptr, shards),
+                    name + " " + std::to_string(shards) + " shards");
+            }
+        }
+        std::vector<fs1::Fs1Result> batch = engine.searchBatch(
+            built.index, &built.plane, built.queries, no_obs);
+        ASSERT_EQ(batch.size(), built.queries.size());
+        for (std::size_t q = 0; q < built.queries.size(); ++q)
+            expectSameResult(scalar.search(built.index,
+                                           built.queries[q]),
+                             batch[q],
+                             name + " batch query " + std::to_string(q));
+    }
+}
+
 } // namespace
 } // namespace clare
