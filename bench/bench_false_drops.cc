@@ -201,10 +201,12 @@ main()
             term::TermReader freader(fsym);
             term::ParsedTerm goal =
                 freader.parseTerm("married_couple(S, S)");
-            crs::RetrievalResult fs1 = cs.server->retrieve(
-                goal.arena, goal.root, crs::SearchMode::Fs1Only);
-            crs::RetrievalResult two = cs.server->retrieve(
-                goal.arena, goal.root, crs::SearchMode::TwoStage);
+            crs::RetrievalResponse fs1 = bench::serveOne(
+                *cs.server, goal.arena, goal.root,
+                crs::SearchMode::Fs1Only);
+            crs::RetrievalResponse two = bench::serveOne(
+                *cs.server, goal.arena, goal.root,
+                crs::SearchMode::TwoStage);
 
             term::PredicateId married{fsym.lookup("married_couple"), 2};
             std::size_t total =

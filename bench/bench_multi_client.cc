@@ -8,20 +8,38 @@
  * and reports lock waits, rounds, and makespan: readers of one
  * predicate share rounds, updates serialize them, and working sets
  * over disjoint predicates scale without contention.
+ *
+ * The load-generator section takes the same question to the networked
+ * tier: it boots a live loopback cluster (backend NetServers behind
+ * the predicate-sharded Router) and drives it with concurrent wire
+ * clients in closed loop (each client fires its next request when the
+ * previous answer lands) and open loop (requests arrive on a fixed
+ * schedule at --lg-qps regardless of completion, so queueing delay
+ * shows up in the tail).  Latencies land in an obs histogram and are
+ * reported as p50/p99/p999; a sample of the wire answers is checked
+ * bit-identical to a single-process serve() of the same goals.
  */
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 #include <thread>
 
 #include "bench_util.hh"
 #include "crs/client_sim.hh"
 #include "crs/server.hh"
+#include "crs/store_io.hh"
+#include "net/client.hh"
+#include "net/router.hh"
+#include "net/server.hh"
 #include "support/logging.hh"
+#include "support/obs.hh"
 #include "support/table.hh"
 #include "term/term_reader.hh"
 #include "workload/kb_generator.hh"
+#include "workload/query_generator.hh"
 
 using namespace clare;
 
@@ -29,7 +47,7 @@ namespace {
 
 /**
  * The batched front door: every client's pending retrievals enter one
- * retrieveMany() call and the sharded pipeline serves them — FS1 of
+ * serveBatch() call and the sharded pipeline serves them — FS1 of
  * query k+1 overlapped with FS2 + host unification of query k.  The
  * table sweeps the worker count and reports real wall-clock makespan
  * for the whole batch, checking answers stay bit-identical to the
@@ -39,7 +57,7 @@ void
 batchedFrontDoorSweep(const bench::SlicedKnobs &knobs,
                       json::Value &json_rows)
 {
-    using Request = crs::ClauseRetrievalServer::Request;
+    using Request = crs::RetrievalRequest;
 
     // A read-heavy working set large enough that retrieval cost is
     // the index scan, as in the paper's disk-resident modules.
@@ -81,18 +99,18 @@ batchedFrontDoorSweep(const bench::SlicedKnobs &knobs,
             "(64 jobs, auto mode)");
     t.header({"Workers", "Wall time", "Jobs/s", "Speedup",
               "Identical results"});
-    std::vector<crs::RetrievalResult> baseline;
+    std::vector<crs::RetrievalResponse> baseline;
     double base_seconds = 0.0;
     for (std::uint32_t workers : {1u, 2u, 4u, 8u}) {
         crs::CrsConfig config;
         config.workers = workers;
         knobs.apply(config);
         crs::ClauseRetrievalServer server(sym, store, config);
-        server.retrieveMany(batch);    // warm-up
+        server.serveBatch(batch);    // warm-up
 
         auto start = std::chrono::steady_clock::now();
-        std::vector<crs::RetrievalResult> results =
-            server.retrieveMany(batch);
+        std::vector<crs::RetrievalResponse> results =
+            server.serveBatch(batch);
         auto stop = std::chrono::steady_clock::now();
         double seconds =
             std::chrono::duration<double>(stop - start).count();
@@ -119,7 +137,7 @@ batchedFrontDoorSweep(const bench::SlicedKnobs &knobs,
                identical ? "yes" : "NO"});
 
         Tick queue_wait = 0;
-        for (const crs::RetrievalResult &r : results)
+        for (const crs::RetrievalResponse &r : results)
             queue_wait += r.breakdown.queueWait;
         json::Value row = json::Value::object();
         row.set("sweep", "batched_front_door");
@@ -251,6 +269,256 @@ repeatedGoalCacheSweep(json::Value &json_rows,
     json_rows.push(std::move(row));
 }
 
+/** Load-generator knobs (`--lg-*`; `--no-router` skips the section). */
+struct LoadGenKnobs
+{
+    bool enabled = true;
+    std::uint32_t clients = 4;    ///< concurrent wire clients
+    std::uint32_t requests = 256; ///< per sweep (closed and open)
+    double qps = 2000.0;          ///< open-loop arrival rate
+};
+
+LoadGenKnobs
+loadGenConfigArg(int argc, char **argv)
+{
+    LoadGenKnobs knobs;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--no-router") == 0)
+            knobs.enabled = false;
+        else if (std::strncmp(argv[i], "--lg-clients=", 13) == 0)
+            knobs.clients = static_cast<std::uint32_t>(
+                std::strtoul(argv[i] + 13, nullptr, 10));
+        else if (std::strncmp(argv[i], "--lg-requests=", 14) == 0)
+            knobs.requests = static_cast<std::uint32_t>(
+                std::strtoul(argv[i] + 14, nullptr, 10));
+        else if (std::strncmp(argv[i], "--lg-qps=", 9) == 0)
+            knobs.qps = std::strtod(argv[i] + 9, nullptr);
+    }
+    if (knobs.clients == 0)
+        knobs.clients = 1;
+    return knobs;
+}
+
+/** One backend of the in-process cluster: its own schema copy. */
+struct InProcessBackend
+{
+    term::SymbolTable symbols;
+    std::unique_ptr<crs::PredicateStore> store;
+    std::unique_ptr<crs::ClauseRetrievalServer> server;
+    std::unique_ptr<net::NetServer> net;
+};
+
+/** Results of one load run against the router. */
+struct LoadRunResult
+{
+    double wallSeconds = 0.0;
+    std::uint64_t completed = 0;
+    std::uint64_t failures = 0;
+    double p50 = 0.0, p99 = 0.0, p999 = 0.0;
+};
+
+/**
+ * Drive @p total requests through @p port with @p clients threads.
+ * Closed loop when @p qps <= 0; otherwise open loop with request i
+ * scheduled at i/qps and latency measured from the *scheduled* start
+ * (queueing delay is part of the answer, as in any open-loop bench).
+ */
+LoadRunResult
+runLoad(std::uint16_t port, const std::vector<term::ParsedTerm> &goals,
+        std::uint32_t clients, std::uint32_t total, double qps)
+{
+    using Clock = std::chrono::steady_clock;
+    obs::Histogram latency(obs::Histogram::exponential(10.0, 1.5, 40));
+    std::atomic<std::uint32_t> next{0};
+    std::atomic<std::uint64_t> failures{0};
+
+    auto start = Clock::now();
+    std::vector<std::thread> threads;
+    for (std::uint32_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            net::NetClient client(port, "lg-client-" +
+                                            std::to_string(c));
+            while (true) {
+                std::uint32_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= total)
+                    break;
+                Clock::time_point begin = Clock::now();
+                if (qps > 0.0) {
+                    // Open loop: arrivals on the fixed schedule.
+                    begin = start + std::chrono::microseconds(
+                        static_cast<std::uint64_t>(i * 1e6 / qps));
+                    std::this_thread::sleep_until(begin);
+                }
+                const term::ParsedTerm &g = goals[i % goals.size()];
+                crs::RetrievalRequest request;
+                request.arena = &g.arena;
+                request.goal = g.root;
+                try {
+                    client.serve(request);
+                    latency.record(
+                        std::chrono::duration<double, std::micro>(
+                            Clock::now() - begin).count());
+                } catch (const Error &) {
+                    failures.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    LoadRunResult r;
+    r.wallSeconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    r.completed = latency.count();
+    r.failures = failures.load();
+    r.p50 = obs::histogramPercentile(latency, 0.50);
+    r.p99 = obs::histogramPercentile(latency, 0.99);
+    r.p999 = obs::histogramPercentile(latency, 0.999);
+    return r;
+}
+
+/**
+ * Boot 2 backends + router on loopback, drive them closed- and
+ * open-loop, and verify a sample of wire answers against the local
+ * front door.
+ */
+void
+routerLoadSweep(const LoadGenKnobs &knobs, json::Value &json_rows)
+{
+    // Build and persist a store so every backend (and the verifying
+    // local server) opens the identical schema, as real processes do.
+    term::SymbolTable sym;
+    workload::KbGenerator kbgen(sym);
+    workload::KbSpec spec;
+    spec.predicates = 4;
+    spec.clausesPerPredicate = 1000;
+    spec.arityMin = 2;
+    spec.arityMax = 2;
+    spec.atomVocabulary = 500;
+    spec.seed = 67;
+    term::Program program = kbgen.generate(spec);
+
+    // Goals before saveStore so their symbols persist in the schema.
+    term::TermReader reader(sym);
+    std::vector<term::ParsedTerm> goals;
+    Rng rng(71);
+    for (int g = 0; g < 32; ++g) {
+        std::string pred = "p" + std::to_string(g % spec.predicates);
+        std::string key =
+            "a" + std::to_string(rng.below(spec.atomVocabulary));
+        goals.push_back(reader.parseTerm(pred + "(" + key + ", B)"));
+    }
+
+    crs::PredicateStore built(sym, scw::CodewordGenerator{});
+    built.addProgram(program);
+    built.finalize();
+    std::string dir = (std::filesystem::temp_directory_path() /
+                       "clare_bench_lg_store").string();
+    std::filesystem::remove_all(dir);
+    crs::saveStore(dir, built, sym);
+
+    // 2 backends + router, replication 2: every request has a
+    // failover target, and both backends see load.
+    std::vector<InProcessBackend> backends(2);
+    net::RouterConfig router_config;
+    for (InProcessBackend &b : backends) {
+        b.store = std::make_unique<crs::PredicateStore>(
+            crs::loadStore(dir, b.symbols));
+        b.server = std::make_unique<crs::ClauseRetrievalServer>(
+            b.symbols, *b.store);
+        b.net = std::make_unique<net::NetServer>(b.symbols, *b.store,
+                                                 *b.server);
+        b.net->start();
+        router_config.backendPorts.push_back(b.net->port());
+    }
+    router_config.replication = 2;
+    net::Router router(router_config);
+    router.start();
+
+    Table t("Router load generator (2 backends, replication 2, " +
+            std::to_string(knobs.clients) + " wire clients, " +
+            std::to_string(knobs.requests) + " requests)");
+    t.header({"Loop", "Wall time", "QPS", "p50", "p99", "p999",
+              "Failures"});
+    auto report = [&](const char *loop, double target_qps,
+                      const LoadRunResult &r) {
+        char wall[32], qv[32], p50[32], p99[32], p999[32];
+        std::snprintf(wall, sizeof(wall), "%.1f ms",
+                      r.wallSeconds * 1e3);
+        std::snprintf(qv, sizeof(qv), "%.0f",
+                      static_cast<double>(r.completed) / r.wallSeconds);
+        std::snprintf(p50, sizeof(p50), "%.0f us", r.p50);
+        std::snprintf(p99, sizeof(p99), "%.0f us", r.p99);
+        std::snprintf(p999, sizeof(p999), "%.0f us", r.p999);
+        t.row({loop, wall, qv, p50, p99, p999,
+               std::to_string(r.failures)});
+
+        json::Value row = json::Value::object();
+        row.set("sweep", "router_load");
+        row.set("loop", loop);
+        row.set("clients", knobs.clients);
+        row.set("requests", knobs.requests);
+        if (target_qps > 0.0)
+            row.set("target_qps", target_qps);
+        row.set("wall_seconds", r.wallSeconds);
+        row.set("achieved_qps",
+                static_cast<double>(r.completed) / r.wallSeconds);
+        row.set("completed", r.completed);
+        row.set("failures", r.failures);
+        row.set("p50_us", r.p50);
+        row.set("p99_us", r.p99);
+        row.set("p999_us", r.p999);
+        json_rows.push(std::move(row));
+    };
+
+    report("closed", 0.0,
+           runLoad(router.port(), goals, knobs.clients, knobs.requests,
+                   0.0));
+    report("open", knobs.qps,
+           runLoad(router.port(), goals, knobs.clients, knobs.requests,
+                   knobs.qps));
+
+    // Exactness spot check: every distinct goal once through the wire
+    // vs the local front door, bit-identical field for field.
+    crs::ClauseRetrievalServer local(sym, built);
+    net::NetClient probe(router.port(), "lg-verify");
+    bool identical = true;
+    for (const term::ParsedTerm &g : goals) {
+        crs::RetrievalRequest request;
+        request.arena = &g.arena;
+        request.goal = g.root;
+        identical = identical &&
+            net::responsesIdentical(probe.serve(request),
+                                    local.serve(request));
+    }
+    t.row({"verify", "-", "-", "-", "-", "-",
+           identical ? "identical" : "MISMATCH"});
+    t.print(std::cout);
+    std::printf("shape: closed loop measures service capacity (each "
+                "client waits for its answer);\nopen loop at a fixed "
+                "arrival rate exposes queueing in p99/p999.  Wire "
+                "answers\nmatch the local front door exactly.\n\n");
+
+    json::Value vrow = json::Value::object();
+    vrow.set("sweep", "router_load_verify");
+    vrow.set("identical", identical);
+    vrow.set("relayed", static_cast<std::uint64_t>(
+        router.metrics().counter("router.relayed").value()));
+    vrow.set("failovers", static_cast<std::uint64_t>(
+        router.metrics().counter("router.failovers").value()));
+    json_rows.push(std::move(vrow));
+
+    router.stop();
+    for (InProcessBackend &b : backends)
+        b.net->stop();
+    std::filesystem::remove_all(dir);
+
+    if (!identical)
+        std::exit(1);
+}
+
 } // namespace
 
 int
@@ -260,6 +528,7 @@ main(int argc, char **argv)
     std::string json_path = bench::jsonPathArg(argc, argv);
     bench::CacheKnobs cache_knobs = bench::cacheConfigArg(argc, argv);
     bench::SlicedKnobs sliced_knobs = bench::slicedConfigArg(argc, argv);
+    LoadGenKnobs lg_knobs = loadGenConfigArg(argc, argv);
     json::Value json_rows = json::Value::array();
 
     term::SymbolTable sym;
@@ -326,10 +595,12 @@ main(int argc, char **argv)
 
     batchedFrontDoorSweep(sliced_knobs, json_rows);
     repeatedGoalCacheSweep(json_rows, cache_knobs);
+    if (lg_knobs.enabled)
+        routerLoadSweep(lg_knobs, json_rows);
     std::printf("\nhost cores: %u\n",
                 std::thread::hardware_concurrency());
     std::printf("shape: batching the clients' pending retrievals "
-                "through retrieveMany() lets the\nsharded FS1 scan "
+                "through serveBatch() lets the\nsharded FS1 scan "
                 "and the pipeline overlap turn host cores into "
                 "throughput while\nevery client still sees exactly "
                 "the sequential answers.  With fewer cores than\n"

@@ -186,7 +186,7 @@ void
 workerScalingSweep(const bench::SlicedKnobs &knobs,
                    json::Value &json_rows)
 {
-    using Request = crs::ClauseRetrievalServer::Request;
+    using Request = crs::RetrievalRequest;
 
     term::SymbolTable sym;
     workload::KbGenerator kbgen(sym);
@@ -225,7 +225,7 @@ workerScalingSweep(const bench::SlicedKnobs &knobs,
     t.header({"Workers", "Wall time", "Queries/s", "Speedup",
               "Identical results"});
 
-    std::vector<crs::RetrievalResult> baseline;
+    std::vector<crs::RetrievalResponse> baseline;
     double base_seconds = 0.0;
     for (std::uint32_t workers : {1u, 2u, 4u, 8u}) {
         crs::CrsConfig config;
@@ -234,11 +234,11 @@ workerScalingSweep(const bench::SlicedKnobs &knobs,
         crs::ClauseRetrievalServer server(sym, store, config);
         // Warm-up pass so allocator/page effects don't skew the 1-
         // worker baseline.
-        server.retrieveMany(batch);
+        server.serveBatch(batch);
 
         auto start = std::chrono::steady_clock::now();
-        std::vector<crs::RetrievalResult> results =
-            server.retrieveMany(batch);
+        std::vector<crs::RetrievalResponse> results =
+            server.serveBatch(batch);
         auto stop = std::chrono::steady_clock::now();
         double seconds =
             std::chrono::duration<double>(stop - start).count();
@@ -267,7 +267,7 @@ workerScalingSweep(const bench::SlicedKnobs &knobs,
                identical ? "yes" : "NO"});
 
         Tick queue_wait = 0;
-        for (const crs::RetrievalResult &r : results)
+        for (const crs::RetrievalResponse &r : results)
             queue_wait += r.breakdown.queueWait;
         json::Value row = json::Value::object();
         row.set("sweep", "worker_scaling");
@@ -306,7 +306,7 @@ workerScalingSweep(const bench::SlicedKnobs &knobs,
 void
 pacedDeviceSweep(json::Value &json_rows)
 {
-    using Request = crs::ClauseRetrievalServer::Request;
+    using Request = crs::RetrievalRequest;
 
     term::SymbolTable sym;
     workload::KbGenerator kbgen(sym);
@@ -343,18 +343,18 @@ pacedDeviceSweep(json::Value &json_rows)
     t.header({"Workers", "Wall time", "Queries/s", "Speedup",
               "Identical results"});
 
-    std::vector<crs::RetrievalResult> baseline;
+    std::vector<crs::RetrievalResponse> baseline;
     double base_seconds = 0.0;
     for (std::uint32_t workers : {1u, 2u, 4u, 8u}) {
         crs::CrsConfig config;
         config.workers = workers;
         config.fs1.paceScale = 4.0;
         crs::ClauseRetrievalServer server(sym, store, config);
-        server.retrieveMany(batch);    // warm-up
+        server.serveBatch(batch);    // warm-up
 
         auto start = std::chrono::steady_clock::now();
-        std::vector<crs::RetrievalResult> results =
-            server.retrieveMany(batch);
+        std::vector<crs::RetrievalResponse> results =
+            server.serveBatch(batch);
         auto stop = std::chrono::steady_clock::now();
         double seconds =
             std::chrono::duration<double>(stop - start).count();
@@ -452,8 +452,8 @@ main(int argc, char **argv)
         qspec.seed = 5;
         workload::QueryGenerator qgen(sym, qspec);
         workload::GeneratedQuery q = qgen.generate(program, pred);
-        crs::RetrievalResult r = cs.server->retrieve(
-            q.arena, q.goal, crs::SearchMode::TwoStage);
+        crs::RetrievalResponse r = bench::serveOne(
+            *cs.server, q.arena, q.goal, crs::SearchMode::TwoStage);
 
         t.row({std::to_string(clauses), std::to_string(kb_bytes),
                fits ? "yes" : "NO",
@@ -504,8 +504,8 @@ main(int argc, char **argv)
         qspec.seed = 6;
         workload::QueryGenerator qgen(sym, qspec);
         workload::GeneratedQuery q = qgen.generate(program, pred);
-        crs::RetrievalResult r = cs.server->retrieve(
-            q.arena, q.goal, crs::SearchMode::TwoStage);
+        crs::RetrievalResponse r = bench::serveOne(
+            *cs.server, q.arena, q.goal, crs::SearchMode::TwoStage);
 
         Table amortize("Amortization (120k clauses, ~11 MB — exceeds "
                        "the 4 MB workstation)");

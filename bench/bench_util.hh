@@ -51,6 +51,18 @@ compileStore(term::SymbolTable &symbols, const term::Program &program,
     return out;
 }
 
+/** One goal through the unified front door. */
+inline crs::RetrievalResponse
+serveOne(crs::ClauseRetrievalServer &server, const term::TermArena &arena,
+         term::TermRef goal, std::optional<crs::SearchMode> mode = {})
+{
+    crs::RetrievalRequest request;
+    request.arena = &arena;
+    request.goal = goal;
+    request.mode = mode;
+    return server.serve(request);
+}
+
 /** "12.34 ms" style human duration from ticks. */
 inline std::string
 formatTime(Tick t)

@@ -55,8 +55,11 @@ main()
                                  crs::SearchMode::Fs1Only,
                                  crs::SearchMode::Fs2Only,
                                  crs::SearchMode::TwoStage}) {
-        crs::RetrievalResult r = server.retrieve(query.arena, query.root,
-                                                 mode);
+        crs::RetrievalRequest request;
+        request.arena = &query.arena;
+        request.goal = query.root;
+        request.mode = mode;
+        crs::RetrievalResponse r = server.serve(request);
         std::printf("%-16s %12zu %9zu %9.3f %9.2f ms\n",
                     crs::searchModeName(mode), r.candidates.size(),
                     r.answers.size(), r.falseDropRate(),

@@ -77,8 +77,11 @@ main()
                                      crs::SearchMode::Fs1Only,
                                      crs::SearchMode::Fs2Only,
                                      crs::SearchMode::TwoStage}) {
-            crs::RetrievalResult r = server.retrieve(q.arena, q.goal,
-                                                     mode);
+            crs::RetrievalRequest request;
+            request.arena = &q.arena;
+            request.goal = q.goal;
+            request.mode = mode;
+            crs::RetrievalResponse r = server.serve(request);
             Totals &t = totals[static_cast<std::size_t>(mode)];
             t.candidates += r.candidates.size();
             t.answers += r.answers.size();

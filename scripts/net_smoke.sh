@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Loopback cluster smoke: build a persisted store, boot three
+# clare_server backends (one with a fault-injector-poisoned store) and
+# a clare_router with 3-way replication in front of them, then run
+# clare_client --verify-local, which requires every routed response to
+# be field-for-field identical — answers AND modeled StageBreakdown
+# ticks — to an in-process serve() on the same store.  The poisoned
+# backend proves failover: its degraded responses are held by the
+# router in favor of a clean replica, so the client sees none.
+#
+# Usage: scripts/net_smoke.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+TOOLS="$BUILD/tools"
+WORK="$(mktemp -d /tmp/clare-net-smoke.XXXXXX)"
+
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+wait_port() { # logfile -> port
+    local log="$1" port="" tries=0
+    while [ -z "$port" ] && [ "$tries" -lt 50 ]; do
+        port="$(awk '/^listening on /{print $3}' "$log" 2>/dev/null ||
+                true)"
+        [ -n "$port" ] || { sleep 0.1; tries=$((tries + 1)); }
+    done
+    [ -n "$port" ] || { echo "server did not come up ($log)" >&2
+                        exit 1; }
+    echo "$port"
+}
+
+echo "== net-smoke: building store + queries =="
+"$TOOLS/clare_mkstore" --out "$WORK/store" --queries "$WORK/q.txt" \
+    --predicates=6 --clauses=80 --num-queries=48 --seed=11
+
+echo "== net-smoke: booting 3 backends (backend 3 poisoned) =="
+"$TOOLS/clare_server" --store "$WORK/store" > "$WORK/s1.log" &
+PIDS+=($!)
+"$TOOLS/clare_server" --store "$WORK/store" > "$WORK/s2.log" &
+PIDS+=($!)
+"$TOOLS/clare_server" --store "$WORK/store" \
+    --fault-seed=42 --fault-flip=0.5 > "$WORK/s3.log" &
+PIDS+=($!)
+P1="$(wait_port "$WORK/s1.log")"
+P2="$(wait_port "$WORK/s2.log")"
+P3="$(wait_port "$WORK/s3.log")"
+
+echo "== net-smoke: booting router (replication 3) =="
+"$TOOLS/clare_router" --backend "$P1" --backend "$P2" \
+    --backend "$P3" --replication=3 > "$WORK/r.log" &
+PIDS+=($!)
+RP="$(wait_port "$WORK/r.log")"
+
+echo "== net-smoke: client vs local serve() (must be identical) =="
+"$TOOLS/clare_client" --store "$WORK/store" --port="$RP" \
+    --queries "$WORK/q.txt" --verify-local
+
+echo "net-smoke OK"

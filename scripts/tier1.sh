@@ -43,4 +43,11 @@ cmake -B "$TSAN_BUILD" -S . -DCLARE_SANITIZE=thread
 cmake --build "$TSAN_BUILD" -j
 ctest --test-dir "$TSAN_BUILD" -L cache --output-on-failure -j
 
+echo "== tier-1: loopback cluster smoke (3 backends + router) =="
+# Boots a 3-replica clare_server cluster (one backend fault-poisoned)
+# behind clare_router and diffs every routed response against an
+# in-process serve() on the same store — answers and modeled ticks
+# must be bit-identical through the wire.
+scripts/net_smoke.sh "$BUILD"
+
 echo "tier-1 OK"

@@ -5,9 +5,9 @@
  * One RetrievalRequest (goal, optional mode override, trace options)
  * enters serve()/serveBatch(); one RetrievalResponse (candidates,
  * answers, a StageBreakdown of per-stage simulated time, and a trace
- * handle) comes back.  The legacy retrieve()/retrieveAuto()/
- * retrieveMany() entry points are thin wrappers over this pair, so
- * per-stage accounting has a single authoritative code path.
+ * handle) comes back.  This pair is the single authoritative code
+ * path for per-stage accounting — local and networked (net/) callers
+ * alike go through it, so responses agree bit-for-bit everywhere.
  */
 
 #ifndef CLARE_CRS_API_HH
@@ -218,9 +218,6 @@ struct RetrievalResponse
               static_cast<double>(candidates.size());
     }
 };
-
-/** Deprecated name kept for pre-observability callers. */
-using RetrievalResult = RetrievalResponse;
 
 } // namespace clare::crs
 

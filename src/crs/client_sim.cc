@@ -82,9 +82,10 @@ ClientSimulation::run()
             const ClientJob &job = client.jobs.front();
             Tick elapsed = 0;
             if (!job.exclusive) {
-                RetrievalResult r = server_.retrieveAuto(
-                    entry.second.arena, entry.second.root);
-                elapsed = r.elapsed;
+                RetrievalRequest request;
+                request.arena = &entry.second.arena;
+                request.goal = entry.second.root;
+                elapsed = server_.serve(request).elapsed;
             } else {
                 // Updates are out of scope for the immutable store;
                 // charge a nominal write window.

@@ -17,7 +17,7 @@
  * server filters those before calling put().
  *
  * All access is mutex-guarded: the cache is shared across
- * retrieveMany() workers and concurrent serve() callers.
+ * serveBatch() workers and concurrent serve() callers.
  */
 
 #ifndef CLARE_CRS_GOAL_CACHE_HH

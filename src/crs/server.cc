@@ -800,37 +800,6 @@ ClauseRetrievalServer::serveBatch(const std::vector<RetrievalRequest> &
 }
 
 // ---------------------------------------------------------------------
-// Deprecated wrappers.
-// ---------------------------------------------------------------------
-
-RetrievalResult
-ClauseRetrievalServer::retrieveAuto(const TermArena &q_arena,
-                                    TermRef goal)
-{
-    RetrievalRequest request;
-    request.arena = &q_arena;
-    request.goal = goal;
-    return serve(request);
-}
-
-RetrievalResult
-ClauseRetrievalServer::retrieve(const TermArena &q_arena, TermRef goal,
-                                SearchMode mode)
-{
-    RetrievalRequest request;
-    request.arena = &q_arena;
-    request.goal = goal;
-    request.mode = mode;
-    return serve(request);
-}
-
-std::vector<RetrievalResult>
-ClauseRetrievalServer::retrieveMany(const std::vector<Request> &batch)
-{
-    return serveBatch(batch);
-}
-
-// ---------------------------------------------------------------------
 // The single back half / accounting path.
 // ---------------------------------------------------------------------
 

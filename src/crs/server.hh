@@ -20,8 +20,9 @@
  * The front door is the unified request/response API (crs/api.hh):
  * serve() retrieves one RetrievalRequest, serveBatch() pipelines a
  * batch, and both share one accounting path that fills the response's
- * StageBreakdown.  retrieve()/retrieveAuto()/retrieveMany() remain as
- * thin wrappers for pre-observability callers.
+ * StageBreakdown.  The same pair is the *only* entry: networked
+ * callers reach it through net::NetServer/NetClient, whose responses
+ * are bit-identical to a local call.
  *
  * With `CrsConfig::workers > 1` the server runs a parallel pipeline
  * mirroring the paper's FS1/FS2 overlap: the FS1 index scan is sharded
@@ -210,9 +211,6 @@ struct QueryProfile
 class ClauseRetrievalServer : public CacheInvalidationSink
 {
   public:
-    /** Deprecated name for the unified request type. */
-    using Request = RetrievalRequest;
-
     /**
      * @param symbols shared symbol table (non-const: candidate clauses
      *        are re-parsed for host-side unification)
@@ -239,18 +237,6 @@ class ClauseRetrievalServer : public CacheInvalidationSink
      */
     std::vector<RetrievalResponse>
     serveBatch(const std::vector<RetrievalRequest> &batch);
-
-    /** Deprecated: serve() with an explicit mode and no tracing. */
-    RetrievalResult retrieve(const term::TermArena &q_arena,
-                             term::TermRef goal, SearchMode mode);
-
-    /** Deprecated: serve() with the CRS choosing the mode. */
-    RetrievalResult retrieveAuto(const term::TermArena &q_arena,
-                                 term::TermRef goal);
-
-    /** Deprecated: serveBatch() under its pre-observability name. */
-    std::vector<RetrievalResult>
-    retrieveMany(const std::vector<Request> &batch);
 
     /** The mode-selection heuristic (exposed for tests/benches). */
     SearchMode selectMode(const term::TermArena &q_arena,

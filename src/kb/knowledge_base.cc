@@ -251,9 +251,11 @@ KnowledgeBase::clausesFor(const term::TermArena &q_arena,
 
     RetrievedClauses out;
     if (compiled_ && isLarge(pred)) {
-        crs::RetrievalResult r = mode
-            ? server_->retrieve(q_arena, goal, *mode)
-            : server_->retrieveAuto(q_arena, goal);
+        crs::RetrievalRequest request;
+        request.arena = &q_arena;
+        request.goal = goal;
+        request.mode = mode;
+        crs::RetrievalResponse r = server_->serve(request);
         const crs::StoredPredicate &stored = store_->predicate(pred);
         for (std::uint32_t ordinal : r.candidates) {
             std::string text = stored.clauses.sourceText(ordinal);

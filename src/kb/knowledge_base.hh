@@ -49,7 +49,7 @@ struct RetrievedClauses
     std::vector<term::Clause> clauses;
 
     /** Present when the goal hit a large (disk-resident) predicate. */
-    std::optional<crs::RetrievalResult> retrieval;
+    std::optional<crs::RetrievalResponse> retrieval;
 };
 
 /** The integrated knowledge base. */

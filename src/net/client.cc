@@ -1,0 +1,101 @@
+#include "net/client.hh"
+
+#include "net/term_codec.hh"
+#include "support/logging.hh"
+
+namespace clare::net {
+
+NetClient::NetClient(std::uint16_t port, std::string peer,
+                     int timeoutMillis)
+    : port_(port),
+      peer_(std::move(peer)),
+      timeoutMillis_(timeoutMillis)
+{
+}
+
+ClientStream &
+NetClient::stream()
+{
+    if (!stream_)
+        stream_.emplace(port_, peer_, timeoutMillis_);
+    return *stream_;
+}
+
+ReceivedFrame
+NetClient::callGuarded(FrameType type,
+                       const std::vector<std::uint8_t> &payload)
+{
+    // A transport or framing failure leaves the stream desynchronized;
+    // drop it so the next call starts on a fresh connection.
+    try {
+        return stream().call(type, payload);
+    } catch (const Error &) {
+        close();
+        throw;
+    }
+}
+
+crs::RetrievalResponse
+NetClient::serve(const crs::RetrievalRequest &request)
+{
+    clare_assert(request.arena != nullptr,
+                 "NetClient::serve needs a goal arena");
+    WireRequest wire;
+    wire.id = nextId_++;
+    const term::TermArena &arena = *request.arena;
+    if (arena.kind(request.goal) == term::TermKind::Atom)
+        wire.predicate = {arena.atomSymbol(request.goal), 0};
+    else
+        wire.predicate = {arena.functor(request.goal),
+                          arena.arity(request.goal)};
+    wire.goalPif = encodeGoal(arena, request.goal);
+    wire.mode = request.mode;
+    wire.bypassCache = request.bypassCache;
+
+    ReceivedFrame frame =
+        callGuarded(FrameType::Request, encodeRequest(wire));
+    if (frame.type == FrameType::Error) {
+        WireError error = decodeError(frame.payload, peer_);
+        throw RemoteError(error.code, error.message);
+    }
+    if (frame.type != FrameType::Response) {
+        close();
+        throw CorruptionError(peer_, kNoFilePosition, 0,
+                              "unexpected frame type in reply to a "
+                              "request");
+    }
+    WireResponse response = decodeResponse(frame.payload, peer_);
+    if (response.id != wire.id) {
+        close();
+        throw CorruptionError(peer_, kNoFilePosition, 0,
+                              "response id does not match the request");
+    }
+    return std::move(response.response);
+}
+
+json::Value
+NetClient::health()
+{
+    ReceivedFrame frame = callGuarded(FrameType::Health, {});
+    if (frame.type == FrameType::Error) {
+        WireError error = decodeError(frame.payload, peer_);
+        throw RemoteError(error.code, error.message);
+    }
+    if (frame.type != FrameType::HealthReply) {
+        close();
+        throw CorruptionError(peer_, kNoFilePosition, 0,
+                              "unexpected frame type in reply to a "
+                              "health probe");
+    }
+    std::string body(frame.payload.begin(), frame.payload.end());
+    std::string error;
+    std::optional<json::Value> doc = json::Value::parse(body, &error);
+    if (!doc) {
+        close();
+        throw CorruptionError(peer_, kNoFilePosition, 0,
+                              "health reply is not JSON: " + error);
+    }
+    return std::move(*doc);
+}
+
+} // namespace clare::net

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * NetClient: the wire-side twin of ClauseRetrievalServer's front door.
+ *
+ * serve(RetrievalRequest) has the same shape as the local call — that
+ * is the point of the API redesign: a caller ports from in-process to
+ * networked retrieval by constructing a NetClient where it constructed
+ * a ClauseRetrievalServer, and the request/response types do not
+ * change.  The response is bit-identical (answers and modeled
+ * StageBreakdown ticks) to the local serve() because the server runs
+ * the identical single code path and the codec is lossless.
+ *
+ * Failure surfaces as the typed taxonomy, never a crash:
+ *
+ *   IoError          transport: refused, reset, timeout, short read
+ *   CorruptionError  damaged frame or payload bytes
+ *   RemoteError      the peer answered with an Error frame (carries
+ *                    the ErrorCode: Overloaded, Unavailable, ...)
+ *
+ * One NetClient is one connection (plus lazy reconnect after close());
+ * it is not thread-safe — give each client thread its own.
+ */
+
+#ifndef CLARE_NET_CLIENT_HH
+#define CLARE_NET_CLIENT_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "crs/api.hh"
+#include "net/socket.hh"
+#include "net/wire.hh"
+#include "support/json.hh"
+
+namespace clare::net {
+
+/** A blocking wire client speaking the framed protocol. */
+class NetClient
+{
+  public:
+    /**
+     * @param timeoutMillis per-operation deadline (connect/send/recv)
+     *
+     * Connects lazily on the first call, and reconnects after a
+     * transport failure was surfaced.  The goal's symbol ids travel
+     * as-is, so the caller's arena must be built over the same
+     * persisted store the server opened — the symbol table is the
+     * shared schema of the protocol.
+     */
+    NetClient(std::uint16_t port, std::string peer,
+              int timeoutMillis = 2000);
+
+    const std::string &peer() const { return peer_; }
+
+    /**
+     * Retrieve over the wire.  @p request.arena/goal must be set, as
+     * for the local front door; TraceOptions do not travel (spans live
+     * in the server's tracer).
+     *
+     * @throws Error (encode), IoError, CorruptionError, RemoteError
+     */
+    crs::RetrievalResponse serve(const crs::RetrievalRequest &request);
+
+    /** Health probe; returns the peer's JSON status document. */
+    json::Value health();
+
+    /** Drop the connection (the next call reconnects). */
+    void close() { stream_.reset(); }
+    bool connected() const { return stream_.has_value(); }
+
+  private:
+    ClientStream &stream();
+    ReceivedFrame callGuarded(FrameType type,
+                              const std::vector<std::uint8_t> &payload);
+
+    std::uint16_t port_;
+    std::string peer_;
+    int timeoutMillis_;
+    std::uint64_t nextId_ = 1;
+    std::optional<ClientStream> stream_;
+};
+
+} // namespace clare::net
+
+#endif // CLARE_NET_CLIENT_HH

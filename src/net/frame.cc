@@ -1,0 +1,103 @@
+#include "net/frame.hh"
+
+#include "support/crc32.hh"
+
+namespace clare::net {
+
+namespace {
+
+void
+putU32(std::uint32_t v, std::vector<std::uint8_t> &out)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t
+getU32(const std::uint8_t *data)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(data[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+bool
+isValidFrameType(std::uint8_t type)
+{
+    switch (static_cast<FrameType>(type)) {
+      case FrameType::Request:
+      case FrameType::Response:
+      case FrameType::Error:
+      case FrameType::Health:
+      case FrameType::HealthReply:
+        return true;
+    }
+    return false;
+}
+
+void
+encodeFrame(FrameType type, const std::vector<std::uint8_t> &payload,
+            std::vector<std::uint8_t> &out)
+{
+    out.reserve(out.size() + kFrameHeaderBytes + payload.size());
+    std::size_t start = out.size();
+    putU32(kFrameMagic, out);
+    out.push_back(kProtocolVersion);
+    out.push_back(static_cast<std::uint8_t>(type));
+    out.push_back(0);
+    out.push_back(0);
+    putU32(static_cast<std::uint32_t>(payload.size()), out);
+    // The CRC chains the header prefix with the payload, so a flipped
+    // bit anywhere in the frame fails verification — including a type
+    // byte flipped onto another *valid* type, which field validation
+    // alone cannot see.
+    std::uint32_t prefix = support::crc32(out.data() + start, 12);
+    putU32(support::crc32(payload.data(), payload.size(), prefix), out);
+    out.insert(out.end(), payload.begin(), payload.end());
+}
+
+FrameHeader
+decodeFrameHeader(const std::uint8_t *data, const std::string &peer)
+{
+    if (getU32(data) != kFrameMagic)
+        throw CorruptionError(peer, kNoFilePosition, 0,
+                              "bad frame magic");
+    if (data[4] != kProtocolVersion)
+        throw CorruptionError(peer, kNoFilePosition, 4,
+                              "unsupported protocol version " +
+                                  std::to_string(data[4]));
+    if (!isValidFrameType(data[5]))
+        throw CorruptionError(peer, kNoFilePosition, 5,
+                              "unknown frame type " +
+                                  std::to_string(data[5]));
+    if (data[6] != 0 || data[7] != 0)
+        throw CorruptionError(peer, kNoFilePosition, 6,
+                              "nonzero reserved frame-header bytes");
+    FrameHeader header;
+    header.type = static_cast<FrameType>(data[5]);
+    header.payloadBytes = getU32(data + 8);
+    header.payloadCrc = getU32(data + 12);
+    header.prefixCrc = support::crc32(data, 12);
+    if (header.payloadBytes > kMaxFramePayload)
+        throw CorruptionError(peer, kNoFilePosition, 8,
+                              "frame payload length " +
+                                  std::to_string(header.payloadBytes) +
+                                  " exceeds the protocol bound");
+    return header;
+}
+
+void
+verifyFramePayload(const FrameHeader &header,
+                   const std::uint8_t *payload, std::size_t size,
+                   const std::string &peer)
+{
+    if (support::crc32(payload, size, header.prefixCrc) !=
+        header.payloadCrc)
+        throw CorruptionError(peer, kNoFilePosition, kFrameHeaderBytes,
+                              "frame payload failed its CRC check");
+}
+
+} // namespace clare::net

@@ -1,0 +1,531 @@
+#include "net/router.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace clare::net {
+
+namespace {
+
+/** splitmix64 finalizer (the repo's standard avalanche step). */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+shardHash(const term::PredicateId &pred)
+{
+    return mix((static_cast<std::uint64_t>(pred.functor) << 32) |
+               pred.arity);
+}
+
+} // namespace
+
+Router::Router(RouterConfig config)
+    : config_(std::move(config)),
+      listener_(config_.port)
+{
+    if (config_.backendPorts.empty())
+        throw Error("router needs at least one backend");
+    if (config_.replication == 0)
+        throw Error("router replication must be at least 1");
+    if (config_.replication > config_.backendPorts.size())
+        config_.replication =
+            static_cast<std::uint32_t>(config_.backendPorts.size());
+
+    for (std::uint16_t port : config_.backendPorts) {
+        Backend backend;
+        backend.port = port;
+        backend.name = "backend:" + std::to_string(port);
+        backends_.push_back(std::move(backend));
+    }
+
+    int efd = ::epoll_create1(0);
+    if (efd < 0)
+        throw IoError("router", "epoll_create1 failed");
+    epollFd_ = OwnedFd(efd);
+    int wfd = ::eventfd(0, EFD_NONBLOCK);
+    if (wfd < 0)
+        throw IoError("router", "eventfd failed");
+    wakeFd_ = OwnedFd(wfd);
+
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listener_.fd();
+    ::epoll_ctl(epollFd_.get(), EPOLL_CTL_ADD, listener_.fd(), &ev);
+    ev.data.fd = wakeFd_.get();
+    ::epoll_ctl(epollFd_.get(), EPOLL_CTL_ADD, wakeFd_.get(), &ev);
+}
+
+Router::~Router()
+{
+    stop();
+}
+
+void
+Router::start()
+{
+    if (running_.exchange(true))
+        return;
+    thread_ = std::thread([this] { run(); });
+}
+
+void
+Router::stop()
+{
+    if (running_.exchange(false)) {
+        std::uint64_t one = 1;
+        [[maybe_unused]] ssize_t n =
+            ::write(wakeFd_.get(), &one, sizeof(one));
+    }
+    if (thread_.joinable())
+        thread_.join();
+    connections_.clear();
+    for (Backend &backend : backends_)
+        backend.stream.reset();
+}
+
+std::vector<std::uint32_t>
+Router::replicasOf(const term::PredicateId &pred) const
+{
+    std::uint64_t base = shardHash(pred);
+    std::size_t n = backends_.size();
+    std::vector<std::uint32_t> replicas;
+    replicas.reserve(config_.replication);
+    for (std::uint32_t i = 0; i < config_.replication; ++i)
+        replicas.push_back(
+            static_cast<std::uint32_t>((base + i) % n));
+    return replicas;
+}
+
+void
+Router::run()
+{
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point lastProbe = Clock::now();
+    epoll_event events[64];
+    while (running_.load()) {
+        int n = ::epoll_wait(epollFd_.get(), events, 64,
+                             config_.probeIntervalMillis);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        for (int i = 0; i < n; ++i) {
+            int fd = events[i].data.fd;
+            if (fd == wakeFd_.get()) {
+                std::uint64_t drained;
+                [[maybe_unused]] ssize_t rd =
+                    ::read(wakeFd_.get(), &drained, sizeof(drained));
+                continue;
+            }
+            if (fd == listener_.fd()) {
+                acceptPending();
+                continue;
+            }
+            auto it = connections_.find(fd);
+            if (it == connections_.end())
+                continue;
+            bool alive = true;
+            if (events[i].events & (EPOLLHUP | EPOLLERR))
+                alive = false;
+            if (alive && (events[i].events & EPOLLIN))
+                alive = readReady(it->second);
+            if (alive && (events[i].events & EPOLLOUT))
+                alive = writeReady(it->second);
+            if (!alive)
+                closeConnection(fd);
+        }
+        Clock::time_point now = Clock::now();
+        if (now - lastProbe >= std::chrono::milliseconds(
+                                   config_.probeIntervalMillis)) {
+            lastProbe = now;
+            probeBackends();
+        }
+    }
+}
+
+void
+Router::acceptPending()
+{
+    for (;;) {
+        OwnedFd fd = listener_.accept();
+        if (!fd.valid())
+            return;
+        if (connections_.size() >= config_.maxConnections) {
+            ++metrics_.counter("router.shed",
+                               "requests/connections shed");
+            std::vector<std::uint8_t> frame;
+            encodeFrame(FrameType::Error,
+                        encodeError(ErrorCode::Overloaded,
+                                    "connection limit reached"),
+                        frame);
+            [[maybe_unused]] ssize_t n =
+                ::send(fd.get(), frame.data(), frame.size(),
+                       MSG_NOSIGNAL);
+            continue;
+        }
+        ++metrics_.counter("router.accepted", "connections accepted");
+        int raw = fd.get();
+        Connection conn;
+        conn.peer = "client:" + std::to_string(raw);
+        conn.fd = std::move(fd);
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = raw;
+        ::epoll_ctl(epollFd_.get(), EPOLL_CTL_ADD, raw, &ev);
+        connections_.emplace(raw, std::move(conn));
+    }
+}
+
+bool
+Router::readReady(Connection &conn)
+{
+    for (;;) {
+        std::size_t have = conn.inbound.size();
+        if (have < conn.needed) {
+            std::uint8_t buf[4096];
+            std::size_t want =
+                std::min(conn.needed - have, sizeof(buf));
+            ssize_t n = ::recv(conn.fd.get(), buf, want, 0);
+            if (n == 0)
+                return false;
+            if (n < 0) {
+                if (errno == EAGAIN || errno == EWOULDBLOCK)
+                    return true;
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            conn.inbound.insert(conn.inbound.end(), buf, buf + n);
+            if (conn.inbound.size() < conn.needed)
+                continue;
+        }
+        if (conn.readingHeader) {
+            try {
+                conn.header =
+                    decodeFrameHeader(conn.inbound.data(), conn.peer);
+            } catch (const CorruptionError &) {
+                ++metrics_.counter("router.bad_frames",
+                                   "client frames failing validation");
+                return false;
+            }
+            conn.readingHeader = false;
+            conn.needed = conn.header.payloadBytes;
+            conn.inbound.clear();
+            if (conn.needed > 0)
+                continue;
+        }
+        std::vector<std::uint8_t> payload = std::move(conn.inbound);
+        conn.inbound = {};
+        conn.readingHeader = true;
+        conn.needed = kFrameHeaderBytes;
+        try {
+            verifyFramePayload(conn.header, payload.data(),
+                               payload.size(), conn.peer);
+        } catch (const CorruptionError &) {
+            ++metrics_.counter("router.bad_frames",
+                               "client frames failing validation");
+            return false;
+        }
+        if (!dispatchFrame(conn, std::move(payload)))
+            return false;
+    }
+}
+
+bool
+Router::dispatchFrame(Connection &conn,
+                      std::vector<std::uint8_t> payload)
+{
+    switch (conn.header.type) {
+      case FrameType::Request:
+        relayRequest(conn, payload);
+        break;
+      case FrameType::Health: {
+        std::string body = healthJson().dump();
+        queueFrame(conn, FrameType::HealthReply,
+                   std::vector<std::uint8_t>(body.begin(),
+                                             body.end()));
+        break;
+      }
+      case FrameType::Response:
+      case FrameType::Error:
+      case FrameType::HealthReply:
+        ++metrics_.counter("router.bad_frames",
+                           "client frames failing validation");
+        return false;
+    }
+    updateEpoll(conn);
+    return true;
+}
+
+ReceivedFrame
+Router::callBackend(Backend &backend,
+                    const std::vector<std::uint8_t> &payload)
+{
+    try {
+        if (!backend.stream)
+            backend.stream.emplace(backend.port, backend.name,
+                                   config_.backendTimeoutMillis);
+        return backend.stream->call(FrameType::Request, payload);
+    } catch (const Error &) {
+        // Transport fault or damaged frame: the stream is unusable
+        // and the backend suspect until a probe clears it.
+        backend.stream.reset();
+        backend.healthy = false;
+        throw;
+    }
+}
+
+void
+Router::relayRequest(Connection &conn,
+                     const std::vector<std::uint8_t> &payload)
+{
+    ++metrics_.counter("router.requests", "requests received");
+
+    if (conn.outbound.size() - conn.outboundAt >
+        config_.maxOutboundBytes) {
+        ++metrics_.counter("router.shed",
+                           "requests/connections shed");
+        queueFrame(conn, FrameType::Error,
+                   encodeError(ErrorCode::Overloaded,
+                               "outbound backlog limit reached"));
+        return;
+    }
+
+    WireRequest request;
+    try {
+        // Only the predicate field matters here; the goal bytes stay
+        // opaque and travel to the backend verbatim.
+        request = decodeRequest(payload, conn.peer);
+    } catch (const CorruptionError &e) {
+        ++metrics_.counter("router.bad_requests",
+                           "requests failing validation");
+        queueFrame(conn, FrameType::Error,
+                   encodeError(ErrorCode::BadRequest, e.what()));
+        return;
+    }
+
+    std::vector<std::uint32_t> replicas =
+        replicasOf(request.predicate);
+    // Healthy replicas first; the ones marked down are a last resort
+    // (they may have recovered since the probe that marked them).
+    std::vector<std::uint32_t> order;
+    order.reserve(replicas.size());
+    for (std::uint32_t idx : replicas)
+        if (backends_[idx].healthy)
+            order.push_back(idx);
+    for (std::uint32_t idx : replicas)
+        if (!backends_[idx].healthy)
+            order.push_back(idx);
+
+    std::optional<std::vector<std::uint8_t>> degradedPayload;
+    bool first = true;
+    for (std::uint32_t idx : order) {
+        Backend &backend = backends_[idx];
+        if (!first)
+            ++metrics_.counter("router.failovers",
+                               "replica attempts after a failure");
+        first = false;
+        ReceivedFrame frame;
+        try {
+            frame = callBackend(backend, payload);
+        } catch (const Error &) {
+            continue;
+        }
+        if (frame.type == FrameType::Error) {
+            WireError error;
+            try {
+                error = decodeError(frame.payload, backend.name);
+            } catch (const CorruptionError &) {
+                backend.healthy = false;
+                continue;
+            }
+            if (error.code == ErrorCode::BadRequest) {
+                // The request itself is at fault; no replica will
+                // disagree.  Relay the verdict.
+                ++metrics_.counter("router.bad_requests",
+                                   "requests failing validation");
+                queueFrame(conn, FrameType::Error, frame.payload);
+                return;
+            }
+            continue; // Overloaded/Unavailable/Internal: fail over
+        }
+        if (frame.type != FrameType::Response) {
+            backend.stream.reset();
+            backend.healthy = false;
+            continue;
+        }
+        bool degraded = false;
+        try {
+            WireResponse reply =
+                decodeResponse(frame.payload, backend.name);
+            degraded = reply.response.degraded;
+        } catch (const CorruptionError &) {
+            backend.healthy = false;
+            continue;
+        }
+        if (degraded && !degradedPayload) {
+            // Hold the degraded answer, hunt for a clean replica.
+            ++metrics_.counter(
+                "router.degraded_held",
+                "degraded replies held pending a clean replica");
+            degradedPayload = frame.payload;
+            continue;
+        }
+        if (degraded)
+            continue;
+        ++metrics_.counter("router.relayed", "responses relayed");
+        queueFrame(conn, FrameType::Response, frame.payload);
+        return;
+    }
+
+    if (degradedPayload) {
+        // Every replica is degraded (or down): the degraded answer is
+        // still *correct* — host unification scrubbed the candidates —
+        // so return it rather than failing the query.
+        ++metrics_.counter("router.relayed_degraded",
+                           "degraded responses relayed");
+        queueFrame(conn, FrameType::Response, *degradedPayload);
+        return;
+    }
+    ++metrics_.counter("router.unavailable",
+                       "requests with no replica able to answer");
+    queueFrame(conn, FrameType::Error,
+               encodeError(ErrorCode::Unavailable,
+                           "no replica could answer"));
+}
+
+void
+Router::probeBackends()
+{
+    for (Backend &backend : backends_) {
+        try {
+            if (!backend.stream)
+                backend.stream.emplace(backend.port, backend.name,
+                                       config_.backendTimeoutMillis);
+            ReceivedFrame reply =
+                backend.stream->call(FrameType::Health, {});
+            bool ok = reply.type == FrameType::HealthReply;
+            if (ok && !backend.healthy)
+                ++metrics_.counter("router.recovered",
+                                   "backends probed back to healthy");
+            backend.healthy = ok;
+            if (!ok)
+                backend.stream.reset();
+        } catch (const Error &) {
+            backend.stream.reset();
+            backend.healthy = false;
+        }
+        ++metrics_.counter("router.probes", "health probes sent");
+    }
+    std::uint64_t healthy = 0;
+    for (const Backend &backend : backends_)
+        healthy += backend.healthy ? 1 : 0;
+    metrics_.gauge("router.healthy_backends",
+                   "backends currently healthy")
+        .set(static_cast<double>(healthy));
+}
+
+json::Value
+Router::healthJson()
+{
+    json::Value doc = json::Value::object();
+    doc.set("status", "ok");
+    doc.set("role", "router");
+    doc.set("replication",
+            static_cast<std::uint64_t>(config_.replication));
+    json::Value list = json::Value::array();
+    for (const Backend &backend : backends_) {
+        json::Value b = json::Value::object();
+        b.set("port", static_cast<std::uint64_t>(backend.port));
+        b.set("healthy", backend.healthy);
+        list.push(std::move(b));
+    }
+    doc.set("backends", std::move(list));
+    return doc;
+}
+
+void
+Router::queueFrame(Connection &conn, FrameType type,
+                   const std::vector<std::uint8_t> &payload)
+{
+    std::vector<std::uint8_t> frame;
+    encodeFrame(type, payload, frame);
+    conn.outbound.insert(conn.outbound.end(), frame.begin(),
+                         frame.end());
+}
+
+bool
+Router::writeReady(Connection &conn)
+{
+    while (conn.outboundAt < conn.outbound.size()) {
+        ssize_t n = ::send(conn.fd.get(),
+                           conn.outbound.data() + conn.outboundAt,
+                           conn.outbound.size() - conn.outboundAt,
+                           MSG_NOSIGNAL);
+        if (n > 0) {
+            conn.outboundAt += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            break;
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    if (conn.outboundAt == conn.outbound.size()) {
+        conn.outbound.clear();
+        conn.outboundAt = 0;
+    }
+    updateEpoll(conn);
+    return true;
+}
+
+void
+Router::updateEpoll(Connection &conn)
+{
+    if (conn.outboundAt < conn.outbound.size()) {
+        ssize_t n = ::send(conn.fd.get(),
+                           conn.outbound.data() + conn.outboundAt,
+                           conn.outbound.size() - conn.outboundAt,
+                           MSG_NOSIGNAL);
+        if (n > 0)
+            conn.outboundAt += static_cast<std::size_t>(n);
+        if (conn.outboundAt == conn.outbound.size()) {
+            conn.outbound.clear();
+            conn.outboundAt = 0;
+        }
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    if (conn.outboundAt < conn.outbound.size())
+        ev.events |= EPOLLOUT;
+    ev.data.fd = conn.fd.get();
+    ::epoll_ctl(epollFd_.get(), EPOLL_CTL_MOD, conn.fd.get(), &ev);
+}
+
+void
+Router::closeConnection(int fd)
+{
+    auto it = connections_.find(fd);
+    if (it == connections_.end())
+        return;
+    ::epoll_ctl(epollFd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+    ++metrics_.counter("router.closed", "connections closed");
+    connections_.erase(it);
+}
+
+} // namespace clare::net

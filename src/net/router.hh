@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Router: the predicate-sharded front of a multi-backend cluster.
+ *
+ * Clients speak the same framed protocol to the router they would
+ * speak to a single NetServer — the router is transparent.  For each
+ * Request it reads the predicate TLV field (never the PIF goal: the
+ * goal bytes stay opaque), picks the predicate's replica set, and
+ * relays the request payload *verbatim* to one backend, then relays
+ * the response payload verbatim back.  Verbatim relay is what makes
+ * the exactness contract compose: the bytes the client decodes are the
+ * bytes the backend's serve() produced, so answers and modeled
+ * StageBreakdown ticks through the router are bit-identical to a
+ * single-process serve() on the same store.
+ *
+ * Sharding and replication: predicate p lives on replicas
+ * (hash(p) + i) mod N for i in [0, R).  Every backend loads the full
+ * store — sharding is a *routing policy* (cache locality: one
+ * predicate's queries always land on the same R backends, so their
+ * survivor memos and goal caches stay hot), not a data partition, and
+ * it is what keeps per-backend responses bit-identical to
+ * single-process retrieval regardless of cluster size.
+ *
+ * Failover: a replica attempt fails over to the next replica on a
+ * transport fault (IoError), a damaged frame (CorruptionError), or an
+ * Error frame of code Overloaded/Unavailable/Internal (BadRequest is
+ * the client's fault and is relayed, not retried).  A *degraded*
+ * response (backend index corruption downgraded the scan) is held and
+ * the next replica is tried for a clean one — the degraded answer is
+ * returned only when no replica can do better, so one poisoned store
+ * in a 3-replica set is invisible to clients except in the counters.
+ * When every replica fails, the client gets Error(Unavailable).
+ *
+ * Health: replicas that fail are marked down and skipped; a periodic
+ * Health probe (on the event-loop tick) brings them back.  Load
+ * shedding mirrors NetServer: a connection cap at the door plus a
+ * per-connection outbound bound.
+ *
+ * The router owns its MetricsRegistry (router.* counters: relayed,
+ * failovers, degraded_held, unavailable, shed, probes).
+ */
+
+#ifndef CLARE_NET_ROUTER_HH
+#define CLARE_NET_ROUTER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hh"
+#include "net/wire.hh"
+#include "support/obs.hh"
+#include "term/clause.hh"
+
+namespace clare::net {
+
+/** Router knobs. */
+struct RouterConfig
+{
+    /** Listen port; 0 picks an ephemeral port. */
+    std::uint16_t port = 0;
+
+    /** Backend NetServer ports, in shard order. */
+    std::vector<std::uint16_t> backendPorts;
+
+    /** Replicas tried per predicate (clamped to the backend count). */
+    std::uint32_t replication = 2;
+
+    /** Per-call deadline against one backend. */
+    int backendTimeoutMillis = 2000;
+
+    /** Event-loop tick driving the health probes. */
+    int probeIntervalMillis = 500;
+
+    /** Client-side admission bounds (as in NetServerConfig). */
+    std::uint32_t maxConnections = 64;
+    std::uint32_t maxOutboundBytes = 4u << 20;
+};
+
+/** The predicate-sharding relay. */
+class Router
+{
+  public:
+    /**
+     * Binds immediately; relays nothing until start().
+     * @throws IoError when the port cannot be bound
+     * @throws Error on an empty backend list or zero replication
+     */
+    explicit Router(RouterConfig config);
+    ~Router();
+
+    Router(const Router &) = delete;
+    Router &operator=(const Router &) = delete;
+
+    std::uint16_t port() const { return listener_.port(); }
+
+    void start();
+    void stop();
+
+    /** Replica set of @p pred under this config (exposed for tests). */
+    std::vector<std::uint32_t>
+    replicasOf(const term::PredicateId &pred) const;
+
+    obs::MetricsRegistry &metrics() { return metrics_; }
+    const obs::MetricsRegistry &metrics() const { return metrics_; }
+
+  private:
+    struct Backend
+    {
+        std::uint16_t port = 0;
+        std::string name;
+        std::optional<ClientStream> stream; ///< lazy, rebuilt on fault
+        bool healthy = true;
+    };
+
+    struct Connection
+    {
+        OwnedFd fd;
+        std::string peer;
+        std::vector<std::uint8_t> inbound;
+        std::size_t needed = kFrameHeaderBytes;
+        bool readingHeader = true;
+        FrameHeader header;
+        std::vector<std::uint8_t> outbound;
+        std::size_t outboundAt = 0;
+    };
+
+    void run();
+    void acceptPending();
+    bool readReady(Connection &conn);
+    bool writeReady(Connection &conn);
+    bool dispatchFrame(Connection &conn,
+                       std::vector<std::uint8_t> payload);
+    void relayRequest(Connection &conn,
+                      const std::vector<std::uint8_t> &payload);
+    void probeBackends();
+    json::Value healthJson();
+
+    /**
+     * One attempt against one backend: send the request payload
+     * verbatim, read one frame.  Throws the typed taxonomy on any
+     * failure; marks the backend down on transport/framing faults.
+     */
+    ReceivedFrame callBackend(Backend &backend,
+                              const std::vector<std::uint8_t> &payload);
+
+    void queueFrame(Connection &conn, FrameType type,
+                    const std::vector<std::uint8_t> &payload);
+    void updateEpoll(Connection &conn);
+    void closeConnection(int fd);
+
+    RouterConfig config_;
+    Listener listener_;
+    OwnedFd epollFd_;
+    OwnedFd wakeFd_;
+    std::vector<Backend> backends_;
+    std::map<int, Connection> connections_;
+    obs::MetricsRegistry metrics_;
+    std::thread thread_;
+    std::atomic<bool> running_{false};
+};
+
+} // namespace clare::net
+
+#endif // CLARE_NET_ROUTER_HH

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * NetServer: the network front door of one Clause Retrieval Server.
+ *
+ * Wraps a crs::ClauseRetrievalServer behind the framed wire protocol:
+ * an epoll event loop (own thread, started by start()) accepts
+ * loopback connections, runs a per-connection state machine (read
+ * header → read payload → dispatch → queue reply), and serves each
+ * decoded Request through the wrapped server's serve() — the same
+ * single authoritative code path local callers use, so a response over
+ * the wire is bit-identical (answers *and* modeled StageBreakdown
+ * ticks) to a local serve() of the same goal.
+ *
+ * Admission control:
+ *   - at most maxConnections concurrent connections; excess accepts
+ *     are answered Error(Overloaded) and closed
+ *   - a connection whose outbound buffer exceeds maxOutboundBytes is
+ *     shed (Error(Overloaded)) instead of served — a reader that
+ *     stops draining cannot pin server memory
+ *   - oversized/damaged frames close the connection (framing cannot
+ *     resynchronize); the failure is counted, never a crash
+ *
+ * Wire fault injection: a FaultInjector with frame rates set poisons
+ * *outbound* frames, keyed by a server-wide frame sequence number
+ * (site "wire.conn") that survives reconnects — keying per connection
+ * would replay the identical fault on every retry of a dropped first
+ * frame, wedging deterministic clients forever.  A seed still replays
+ * the same fault schedule regardless of timing: Drop and Truncate close the connection, Corrupt flips one
+ * bit after the CRC was computed (the receiver's CRC check must catch
+ * it), Delay stalls delivery.  This is how the tests prove the client
+ * and router survive a hostile wire.
+ *
+ * Everything observable lands in the wrapped server's MetricsRegistry
+ * under net.* (accepted, served, shed, bad frames, faults injected by
+ * class), next to the crs.* counters the pipeline already keeps.
+ */
+
+#ifndef CLARE_NET_SERVER_HH
+#define CLARE_NET_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "crs/server.hh"
+#include "net/socket.hh"
+#include "net/wire.hh"
+#include "support/fault_injector.hh"
+
+namespace clare::net {
+
+/** NetServer knobs. */
+struct NetServerConfig
+{
+    /** Listen port; 0 picks an ephemeral port (read it via port()). */
+    std::uint16_t port = 0;
+
+    /** Concurrent-connection admission bound. */
+    std::uint32_t maxConnections = 64;
+
+    /**
+     * Outbound-buffer bound per connection; requests arriving while
+     * the peer is this far behind are shed, not served.
+     */
+    std::uint32_t maxOutboundBytes = 4u << 20;
+
+    /**
+     * Wire fault oracle (not owned; null = ideal wire).  Only the
+     * frame* rates apply here — disk rates belong to the CRS config.
+     */
+    const support::FaultInjector *wireFaults = nullptr;
+};
+
+/** The epoll front door wrapping one ClauseRetrievalServer. */
+class NetServer
+{
+  public:
+    /**
+     * @param symbols the store's symbol table (shared protocol schema;
+     *        non-const: decoded goals intern synthetic variable names)
+     * @param store   the predicate store @p server serves (validates
+     *        requested predicates before dispatch)
+     *
+     * Binds immediately (so port() is valid before start()) but
+     * serves nothing until start().
+     *
+     * @throws IoError when the port cannot be bound
+     */
+    NetServer(term::SymbolTable &symbols,
+              const crs::PredicateStore &store,
+              crs::ClauseRetrievalServer &server,
+              NetServerConfig config = {});
+    ~NetServer();
+
+    NetServer(const NetServer &) = delete;
+    NetServer &operator=(const NetServer &) = delete;
+
+    /** The bound port (ephemeral when config.port was 0). */
+    std::uint16_t port() const { return listener_.port(); }
+
+    /** Spawn the event-loop thread.  Idempotent. */
+    void start();
+
+    /** Stop the loop, join the thread, close every connection. */
+    void stop();
+
+  private:
+    struct Connection
+    {
+        OwnedFd fd;
+        std::string peer;
+        /** Read state: header bytes, then payload bytes. */
+        std::vector<std::uint8_t> inbound;
+        std::size_t needed = kFrameHeaderBytes;
+        bool readingHeader = true;
+        FrameHeader header;
+        /** Encoded frames not yet accepted by the kernel. */
+        std::vector<std::uint8_t> outbound;
+        std::size_t outboundAt = 0;
+        bool closing = false; ///< close once outbound drains
+    };
+
+    void run();
+    void acceptPending();
+    bool readReady(Connection &conn);   ///< false = close connection
+    bool writeReady(Connection &conn);  ///< false = close connection
+    bool dispatchFrame(Connection &conn,
+                       std::vector<std::uint8_t> payload);
+    void serveRequest(Connection &conn,
+                      const std::vector<std::uint8_t> &payload);
+    json::Value healthJson() const;
+
+    /**
+     * Frame a payload onto the connection's outbound buffer, applying
+     * the wire fault oracle.  Returns false when the fault (Drop /
+     * Truncate) requires the connection to be closed.
+     */
+    bool queueFrame(Connection &conn, FrameType type,
+                    const std::vector<std::uint8_t> &payload);
+    void updateEpoll(Connection &conn);
+    void closeConnection(int fd);
+
+    term::SymbolTable &symbols_;
+    const crs::PredicateStore &store_;
+    crs::ClauseRetrievalServer &server_;
+    NetServerConfig config_;
+    Listener listener_;
+    OwnedFd epollFd_;
+    OwnedFd wakeFd_;
+    std::map<int, Connection> connections_;
+    std::thread thread_;
+    std::atomic<bool> running_{false};
+    std::uint64_t served_ = 0;
+    /** Server-wide outbound frame sequence number (wire fault key). */
+    std::uint64_t framesSent_ = 0;
+};
+
+} // namespace clare::net
+
+#endif // CLARE_NET_SERVER_HH

@@ -1,0 +1,214 @@
+#include "net/socket.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace clare::net {
+
+namespace {
+
+[[noreturn]] void
+throwErrno(const std::string &peer, const std::string &what)
+{
+    throw IoError(peer, what + ": " + std::strerror(errno));
+}
+
+sockaddr_in
+loopbackAddr(std::uint16_t port)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    return addr;
+}
+
+} // namespace
+
+void
+OwnedFd::reset()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+Listener::Listener(std::uint16_t port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throwErrno("listener", "socket");
+    fd_ = OwnedFd(fd);
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr = loopbackAddr(port);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        throwErrno("listener", "bind 127.0.0.1:" + std::to_string(port));
+    if (::listen(fd, 128) != 0)
+        throwErrno("listener", "listen");
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                      &len) != 0)
+        throwErrno("listener", "getsockname");
+    port_ = ntohs(bound.sin_port);
+    setNonBlocking(fd);
+}
+
+OwnedFd
+Listener::accept()
+{
+    int fd = ::accept(fd_.get(), nullptr, nullptr);
+    if (fd < 0)
+        return OwnedFd();
+    setNonBlocking(fd);
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return OwnedFd(fd);
+}
+
+ClientStream::ClientStream(std::uint16_t port, std::string peer,
+                           int timeoutMillis)
+    : peer_(std::move(peer)),
+      timeoutMillis_(timeoutMillis)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throwErrno(peer_, "socket");
+    fd_ = OwnedFd(fd);
+    // Connect nonblocking so the deadline applies to the handshake
+    // too, then drop back to blocking (all waits go through poll()).
+    setNonBlocking(fd);
+    sockaddr_in addr = loopbackAddr(port);
+    int rc = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS)
+        throwErrno(peer_, "connect");
+    if (rc != 0) {
+        pollfd pfd{fd, POLLOUT, 0};
+        int ready = ::poll(&pfd, 1, timeoutMillis_);
+        if (ready == 0)
+            throw IoError(peer_, "connect timed out after " +
+                                     std::to_string(timeoutMillis_) +
+                                     "ms");
+        if (ready < 0)
+            throwErrno(peer_, "poll");
+        int err = 0;
+        socklen_t len = sizeof(err);
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+        if (err != 0) {
+            errno = err;
+            throwErrno(peer_, "connect");
+        }
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void
+ClientStream::sendAll(const std::uint8_t *data, std::size_t size)
+{
+    if (!fd_.valid())
+        throw IoError(peer_, "send on a closed connection");
+    std::size_t sent = 0;
+    while (sent < size) {
+        ssize_t n = ::send(fd_.get(), data + sent, size - sent,
+                           MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            pollfd pfd{fd_.get(), POLLOUT, 0};
+            int ready = ::poll(&pfd, 1, timeoutMillis_);
+            if (ready == 0)
+                throw IoError(peer_, "send timed out after " +
+                                         std::to_string(timeoutMillis_) +
+                                         "ms");
+            if (ready < 0)
+                throwErrno(peer_, "poll");
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        throwErrno(peer_, "send");
+    }
+}
+
+void
+ClientStream::recvExact(std::uint8_t *data, std::size_t size)
+{
+    if (!fd_.valid())
+        throw IoError(peer_, "receive on a closed connection");
+    std::size_t got = 0;
+    while (got < size) {
+        ssize_t n = ::recv(fd_.get(), data + got, size - got, 0);
+        if (n > 0) {
+            got += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n == 0)
+            throw IoError(peer_, "connection closed mid-frame (" +
+                                     std::to_string(got) + " of " +
+                                     std::to_string(size) + " bytes)");
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            pollfd pfd{fd_.get(), POLLIN, 0};
+            int ready = ::poll(&pfd, 1, timeoutMillis_);
+            if (ready == 0)
+                throw IoError(peer_, "receive timed out after " +
+                                         std::to_string(timeoutMillis_) +
+                                         "ms");
+            if (ready < 0)
+                throwErrno(peer_, "poll");
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        throwErrno(peer_, "recv");
+    }
+}
+
+void
+ClientStream::writeFrame(FrameType type,
+                         const std::vector<std::uint8_t> &payload)
+{
+    std::vector<std::uint8_t> frame;
+    encodeFrame(type, payload, frame);
+    sendAll(frame.data(), frame.size());
+}
+
+ReceivedFrame
+ClientStream::readFrame()
+{
+    std::uint8_t headerBytes[kFrameHeaderBytes];
+    recvExact(headerBytes, kFrameHeaderBytes);
+    FrameHeader header = decodeFrameHeader(headerBytes, peer_);
+    ReceivedFrame frame;
+    frame.type = header.type;
+    frame.payload.resize(header.payloadBytes);
+    if (header.payloadBytes > 0)
+        recvExact(frame.payload.data(), frame.payload.size());
+    verifyFramePayload(header, frame.payload.data(),
+                       frame.payload.size(), peer_);
+    return frame;
+}
+
+} // namespace clare::net

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Thin POSIX socket wrappers used by the serving tier.
+ *
+ * Everything here is loopback TCP: the serving tier's unit of
+ * deployment is "N backends and a router on one host or a trusted
+ * LAN", and the tests run whole clusters on 127.0.0.1 with ephemeral
+ * ports so they can run in parallel.
+ *
+ * Two shapes:
+ *
+ *   Listener      a bound, listening socket (port 0 picks an ephemeral
+ *                 port, readable via port()) whose fd is handed to an
+ *                 epoll loop
+ *   ClientStream  a blocking connection with poll()-bounded timeouts;
+ *                 every transport failure (refused, reset, short read,
+ *                 timeout) is a typed IoError naming the peer, and
+ *                 every framing/validation failure from the frame
+ *                 layer is a CorruptionError — callers never see errno
+ *
+ * ClientStream::call() is the request/response primitive the router
+ * and the smoke client share: write one frame, read one frame.
+ */
+
+#ifndef CLARE_NET_SOCKET_HH
+#define CLARE_NET_SOCKET_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/frame.hh"
+
+namespace clare::net {
+
+/** RAII file descriptor; move-only. */
+class OwnedFd
+{
+  public:
+    OwnedFd() = default;
+    explicit OwnedFd(int fd) : fd_(fd) {}
+    ~OwnedFd() { reset(); }
+
+    OwnedFd(OwnedFd &&other) noexcept : fd_(other.release()) {}
+    OwnedFd &
+    operator=(OwnedFd &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            fd_ = other.release();
+        }
+        return *this;
+    }
+    OwnedFd(const OwnedFd &) = delete;
+    OwnedFd &operator=(const OwnedFd &) = delete;
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+    int
+    release()
+    {
+        int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+    void reset();
+
+  private:
+    int fd_ = -1;
+};
+
+/** Mark @p fd nonblocking (used by the epoll loops). */
+void setNonBlocking(int fd);
+
+/** A listening loopback TCP socket. */
+class Listener
+{
+  public:
+    /**
+     * Bind 127.0.0.1:@p port (0 = kernel-assigned ephemeral port) and
+     * listen.  @throws IoError when the port cannot be bound.
+     */
+    explicit Listener(std::uint16_t port);
+
+    /** The bound port (the ephemeral one when constructed with 0). */
+    std::uint16_t port() const { return port_; }
+    int fd() const { return fd_.get(); }
+
+    /**
+     * Accept one pending connection, nonblocking.  Returns an invalid
+     * OwnedFd when no connection is pending; the accepted socket is
+     * already nonblocking.
+     */
+    OwnedFd accept();
+
+  private:
+    OwnedFd fd_;
+    std::uint16_t port_ = 0;
+};
+
+/** A decoded frame as delivered to a ClientStream caller. */
+struct ReceivedFrame
+{
+    FrameType type = FrameType::Error;
+    std::vector<std::uint8_t> payload;
+};
+
+/**
+ * A blocking loopback TCP connection with bounded waits.  All
+ * deadlines are per-operation, in milliseconds.
+ */
+class ClientStream
+{
+  public:
+    /**
+     * Connect to 127.0.0.1:@p port.  @p peer names the connection in
+     * errors (e.g. "backend:39441").
+     *
+     * @throws IoError when the connection cannot be established within
+     *         @p timeoutMillis
+     */
+    ClientStream(std::uint16_t port, std::string peer,
+                 int timeoutMillis);
+
+    const std::string &peer() const { return peer_; }
+    bool connected() const { return fd_.valid(); }
+    void close() { fd_.reset(); }
+
+    /** Send one frame. @throws IoError on a transport failure. */
+    void writeFrame(FrameType type,
+                    const std::vector<std::uint8_t> &payload);
+
+    /**
+     * Receive one frame, verifying header and payload CRC.
+     *
+     * @throws IoError on EOF, reset, or timeout
+     * @throws CorruptionError on a damaged frame
+     */
+    ReceivedFrame readFrame();
+
+    /** writeFrame() then readFrame(): one request/response exchange. */
+    ReceivedFrame
+    call(FrameType type, const std::vector<std::uint8_t> &payload)
+    {
+        writeFrame(type, payload);
+        return readFrame();
+    }
+
+  private:
+    void sendAll(const std::uint8_t *data, std::size_t size);
+    void recvExact(std::uint8_t *data, std::size_t size);
+
+    OwnedFd fd_;
+    std::string peer_;
+    int timeoutMillis_;
+};
+
+} // namespace clare::net
+
+#endif // CLARE_NET_SOCKET_HH

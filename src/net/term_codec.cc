@@ -1,0 +1,237 @@
+#include "net/term_codec.hh"
+
+#include <map>
+
+#include "pif/pif_item.hh"
+#include "pif/type_tags.hh"
+#include "support/errors.hh"
+
+namespace clare::net {
+
+using term::TermArena;
+using term::TermKind;
+using term::TermRef;
+
+namespace {
+
+struct EncodeState
+{
+    std::map<term::VarId, std::uint32_t> slots;
+    std::uint32_t nextSlot = 0;
+};
+
+void
+encodeTerm(const TermArena &arena, TermRef t, EncodeState &state,
+           std::vector<std::uint8_t> &out)
+{
+    switch (arena.kind(t)) {
+      case TermKind::Atom:
+        pif::serializeItem(
+            pif::PifItem{pif::kAtomPointer, arena.atomSymbol(t), 0}, out);
+        return;
+      case TermKind::Float:
+        pif::serializeItem(
+            pif::PifItem{pif::kFloatPointer, arena.floatId(t), 0}, out);
+        return;
+      case TermKind::Int: {
+        std::int64_t v = arena.intValue(t);
+        if (!pif::PifItem::integerFits(v))
+            throw Error("wire goal integer " + std::to_string(v) +
+                        " exceeds the PIF 36-bit in-line range");
+        pif::serializeItem(pif::PifItem::makeInteger(v), out);
+        return;
+      }
+      case TermKind::Var: {
+        if (arena.isAnonymous(t)) {
+            pif::serializeItem(pif::PifItem{pif::kAnonymousVar, 0, 0},
+                               out);
+            return;
+        }
+        auto [it, first] =
+            state.slots.emplace(arena.varId(t), state.nextSlot);
+        if (first)
+            ++state.nextSlot;
+        pif::Tag tag =
+            first ? pif::kFirstQueryVar : pif::kSubQueryVar;
+        pif::serializeItem(pif::PifItem{tag, it->second, 0}, out);
+        return;
+      }
+      case TermKind::Struct: {
+        std::uint32_t arity = arena.arity(t);
+        if (arity > pif::kMaxInlineArity)
+            throw Error("wire goal structure arity " +
+                        std::to_string(arity) +
+                        " exceeds the PIF 5-bit arity field");
+        pif::serializeItem(
+            pif::PifItem{pif::makeComplexTag(pif::kStructInlineBase,
+                                             arity),
+                         arena.functor(t), 0},
+            out);
+        for (std::uint32_t i = 0; i < arity; ++i)
+            encodeTerm(arena, arena.arg(t, i), state, out);
+        return;
+      }
+      case TermKind::List: {
+        std::uint32_t count = arena.arity(t);
+        if (count > pif::kMaxInlineArity)
+            throw Error("wire goal list of " + std::to_string(count) +
+                        " elements exceeds the PIF 5-bit arity field");
+        bool terminated = arena.isTerminatedList(t);
+        pif::Tag base = terminated ? pif::kTermListInlineBase
+                                   : pif::kUntermListInlineBase;
+        pif::serializeItem(
+            pif::PifItem{pif::makeComplexTag(base, count), 0, 0}, out);
+        for (std::uint32_t i = 0; i < count; ++i)
+            encodeTerm(arena, arena.arg(t, i), state, out);
+        if (!terminated)
+            encodeTerm(arena, arena.listTail(t), state, out);
+        return;
+      }
+    }
+    throw Error("wire goal term of unknown kind");
+}
+
+struct DecodeState
+{
+    const std::vector<std::uint8_t> &bytes;
+    std::size_t offset = 0;
+    const std::string &peer;
+    term::SymbolTable &symbols;
+    TermArena &arena;
+    std::map<std::uint32_t, std::pair<term::VarId, term::SymbolId>> slots;
+    term::VarId nextVar = 0;
+
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw CorruptionError(peer, kNoFilePosition, offset,
+                              "wire goal: " + why);
+    }
+};
+
+pif::PifItem
+readItem(DecodeState &state)
+{
+    const std::vector<std::uint8_t> &bytes = state.bytes;
+    if (state.offset >= bytes.size())
+        state.fail("truncated item stream");
+    pif::PifItem item;
+    item.tag = bytes[state.offset];
+    if (!pif::isValidTag(item.tag))
+        state.fail("invalid PIF tag byte " + std::to_string(item.tag));
+    std::size_t need = pif::tagHasExtension(item.tag) ? 9 : 5;
+    if (bytes.size() - state.offset < need)
+        state.fail("item overruns the stream");
+    auto u32At = [&bytes](std::size_t at) {
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(bytes[at + i]) << (8 * i);
+        return v;
+    };
+    item.content = u32At(state.offset + 1);
+    if (need == 9)
+        item.extension = u32At(state.offset + 5);
+    state.offset += need;
+    return item;
+}
+
+TermRef
+decodeTerm(DecodeState &state)
+{
+    pif::PifItem item = readItem(state);
+    switch (pif::tagClass(item.tag)) {
+      case pif::TagClass::Atom:
+        return state.arena.makeAtom(item.content);
+      case pif::TagClass::Float:
+        return state.arena.makeFloat(item.content);
+      case pif::TagClass::Integer:
+        return state.arena.makeInt(item.integerValue());
+      case pif::TagClass::AnonymousVar:
+        return state.arena.makeVar(state.nextVar++);
+      case pif::TagClass::FirstQueryVar: {
+        if (state.slots.count(item.content))
+            state.fail("variable slot " + std::to_string(item.content) +
+                       " introduced twice");
+        // The slot's name never travels (retrieval is renaming-
+        // invariant); intern a synthetic one so the variable decodes
+        // as named, not anonymous — sharing must survive.
+        term::SymbolId name = state.symbols.intern(
+            "_W" + std::to_string(item.content));
+        term::VarId var = state.nextVar++;
+        state.slots.emplace(item.content, std::make_pair(var, name));
+        return state.arena.makeVar(var, name);
+      }
+      case pif::TagClass::SubQueryVar: {
+        auto it = state.slots.find(item.content);
+        if (it == state.slots.end())
+            state.fail("subsequent variable slot " +
+                       std::to_string(item.content) +
+                       " never introduced");
+        return state.arena.makeVar(it->second.first, it->second.second);
+      }
+      case pif::TagClass::FirstDbVar:
+      case pif::TagClass::SubDbVar:
+        state.fail("database-side variable tag in a query goal");
+      case pif::TagClass::StructInline: {
+        std::uint32_t arity = pif::tagArity(item.tag);
+        if (arity == 0)
+            state.fail("in-line structure with zero arity");
+        std::vector<TermRef> args;
+        args.reserve(arity);
+        for (std::uint32_t i = 0; i < arity; ++i)
+            args.push_back(decodeTerm(state));
+        return state.arena.makeStruct(item.content, args);
+      }
+      case pif::TagClass::TermListInline:
+      case pif::TagClass::UntermListInline: {
+        std::uint32_t count = pif::tagArity(item.tag);
+        std::vector<TermRef> elems;
+        elems.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i)
+            elems.push_back(decodeTerm(state));
+        if (pif::tagClass(item.tag) == pif::TagClass::TermListInline)
+            return state.arena.makeList(elems);
+        TermRef tail = decodeTerm(state);
+        if (state.arena.kind(tail) != TermKind::Var)
+            state.fail("unterminated list tail is not a variable");
+        return state.arena.makeList(elems, tail);
+      }
+      case pif::TagClass::StructPointer:
+      case pif::TagClass::TermListPointer:
+      case pif::TagClass::UntermListPointer:
+        state.fail("pointer tag is illegal in the recursive wire "
+                   "dialect");
+    }
+    state.fail("unhandled PIF tag class");
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeGoal(const TermArena &arena, TermRef goal)
+{
+    TermKind k = arena.kind(goal);
+    if (k != TermKind::Atom && k != TermKind::Struct)
+        throw Error("wire goal must be an atom or structure");
+    std::vector<std::uint8_t> out;
+    EncodeState state;
+    encodeTerm(arena, goal, state, out);
+    return out;
+}
+
+term::TermRef
+decodeGoal(const std::vector<std::uint8_t> &bytes,
+           term::SymbolTable &symbols, term::TermArena &arena,
+           const std::string &peer)
+{
+    DecodeState state{bytes, 0, peer, symbols, arena, {}, 0};
+    TermRef goal = decodeTerm(state);
+    if (state.offset != bytes.size())
+        state.fail("trailing bytes after the goal term");
+    TermKind k = arena.kind(goal);
+    if (k != TermKind::Atom && k != TermKind::Struct)
+        state.fail("goal root is not an atom or structure");
+    return goal;
+}
+
+} // namespace clare::net

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The wire goal codec: a retrieval goal as a PIF item stream.
+ *
+ * The on-disk clause format and the FS2 hardware stream PIF at level 3
+ * (one level of in-lining, nested structure behind opaque pointer
+ * items), which is lossy by design.  The wire cannot afford lossy — the
+ * receiving server must reconstruct the exact goal term — so the wire
+ * dialect uses the same item vocabulary and byte encoding
+ * (pif::serializeItem) but in-lines complex terms *recursively*,
+ * depth-first: a structure or list item is followed immediately by the
+ * encodings of its elements, at any depth, and an unterminated list's
+ * tail variable follows its elements.  Pointer tags never appear.
+ *
+ * Variables travel as 1st-QV/Sub-QV slot items, so sharing is
+ * preserved exactly; names are not transmitted (retrieval is
+ * renaming-invariant).  Atom, float, and functor items carry symbol
+ * ids, which are meaningful because client and server open the same
+ * persisted store — the symbol table is the shared schema of the
+ * protocol, the way the codeword parameters already are for the index.
+ *
+ * Limits inherited from the PIF tag space: arity/element counts above
+ * 31 (the 5-bit arity field) and integers outside the 36-bit in-line
+ * range are not encodable and raise a typed Error at the *sender*; the
+ * decoder raises CorruptionError on any malformed stream.
+ */
+
+#ifndef CLARE_NET_TERM_CODEC_HH
+#define CLARE_NET_TERM_CODEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "term/symbol_table.hh"
+#include "term/term.hh"
+
+namespace clare::net {
+
+/**
+ * Encode @p goal (an atom or structure, as the CRS front door
+ * requires) as a recursive PIF item stream.
+ *
+ * @throws Error on a term the PIF tag space cannot carry (arity > 31,
+ *         integer outside the 36-bit in-line range)
+ */
+std::vector<std::uint8_t> encodeGoal(const term::TermArena &arena,
+                                     term::TermRef goal);
+
+/**
+ * Decode a recursive PIF item stream back into a goal term in
+ * @p arena.  Named variable slots are re-materialized as fresh
+ * variables (named through @p symbols so they stay non-anonymous);
+ * sharing is preserved.
+ *
+ * @throws CorruptionError on an invalid tag, a truncated stream, a
+ *         pointer tag (illegal on the wire), or trailing bytes
+ */
+term::TermRef decodeGoal(const std::vector<std::uint8_t> &bytes,
+                         term::SymbolTable &symbols,
+                         term::TermArena &arena,
+                         const std::string &peer);
+
+} // namespace clare::net
+
+#endif // CLARE_NET_TERM_CODEC_HH

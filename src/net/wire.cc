@@ -1,0 +1,468 @@
+#include "net/wire.hh"
+
+#include <cstring>
+
+namespace clare::net {
+
+namespace {
+
+// -- Little-endian primitive writers/readers over a byte vector. -----
+
+void
+putU8(std::uint8_t v, std::vector<std::uint8_t> &out)
+{
+    out.push_back(v);
+}
+
+void
+putU32(std::uint32_t v, std::vector<std::uint8_t> &out)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::uint64_t v, std::vector<std::uint8_t> &out)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+/** Open a TLV field: tag byte plus a length slot patched on close. */
+std::size_t
+openField(std::uint8_t tag, std::vector<std::uint8_t> &out)
+{
+    putU8(tag, out);
+    std::size_t at = out.size();
+    putU32(0, out);
+    return at;
+}
+
+void
+closeField(std::size_t at, std::vector<std::uint8_t> &out)
+{
+    std::uint32_t len = static_cast<std::uint32_t>(out.size() - at - 4);
+    for (int i = 0; i < 4; ++i)
+        out[at + i] = static_cast<std::uint8_t>(len >> (8 * i));
+}
+
+/** One TLV field's bytes, as handed to a decoder. */
+struct Field
+{
+    std::uint8_t tag = 0;
+    const std::uint8_t *data = nullptr;
+    std::uint32_t size = 0;
+};
+
+/**
+ * Cursor over a TLV payload.  Structural damage (a field overrunning
+ * the payload) raises CorruptionError; unknown tags are the *caller's*
+ * choice to skip, which every decoder here does.
+ */
+struct FieldReader
+{
+    const std::vector<std::uint8_t> &payload;
+    const std::string &peer;
+    const char *what; // "request" | "response" | "error"
+    std::size_t offset = 0;
+
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw CorruptionError(peer, kNoFilePosition, offset,
+                              std::string("wire ") + what + ": " + why);
+    }
+
+    bool
+    next(Field &field)
+    {
+        if (offset == payload.size())
+            return false;
+        if (payload.size() - offset < 5)
+            fail("truncated field header");
+        field.tag = payload[offset];
+        std::uint32_t len = 0;
+        for (int i = 0; i < 4; ++i)
+            len |= static_cast<std::uint32_t>(payload[offset + 1 + i])
+                << (8 * i);
+        if (payload.size() - offset - 5 < len)
+            fail("field of " + std::to_string(len) +
+                 " bytes overruns the payload");
+        field.data = payload.data() + offset + 5;
+        field.size = len;
+        offset += 5 + static_cast<std::size_t>(len);
+        return true;
+    }
+};
+
+/** Cursor over one field's bytes; underrun is structural damage. */
+struct ByteReader
+{
+    const Field &field;
+    FieldReader &reader;
+    std::size_t at = 0;
+
+    std::uint8_t
+    u8()
+    {
+        if (field.size - at < 1)
+            reader.fail("field " + std::to_string(field.tag) +
+                        " too short");
+        return field.data[at++];
+    }
+
+    std::uint32_t
+    u32()
+    {
+        if (field.size - at < 4)
+            reader.fail("field " + std::to_string(field.tag) +
+                        " too short");
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(field.data[at + i])
+                << (8 * i);
+        at += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t lo = u32();
+        std::uint64_t hi = u32();
+        return lo | (hi << 32);
+    }
+};
+
+// Request field tags.
+constexpr std::uint8_t kReqId = 1;
+constexpr std::uint8_t kReqPredicate = 2;
+constexpr std::uint8_t kReqGoal = 3;
+constexpr std::uint8_t kReqMode = 4;
+constexpr std::uint8_t kReqBypassCache = 5;
+
+// Response field tags.
+constexpr std::uint8_t kRspId = 1;
+constexpr std::uint8_t kRspMode = 2;
+constexpr std::uint8_t kRspCandidates = 3;
+constexpr std::uint8_t kRspAnswers = 4;
+constexpr std::uint8_t kRspScanStats = 5;
+constexpr std::uint8_t kRspFilterOps = 6;
+constexpr std::uint8_t kRspBreakdown = 7;
+constexpr std::uint8_t kRspElapsed = 8;
+constexpr std::uint8_t kRspFlags = 9;
+constexpr std::uint8_t kRspCorruptPages = 10;
+constexpr std::uint8_t kRspRequeued = 11;
+
+constexpr std::uint8_t kFlagDegraded = 1u << 0;
+constexpr std::uint8_t kFlagResultOverflow = 1u << 1;
+
+void
+putOrdinals(std::uint8_t tag, const std::vector<std::uint32_t> &ords,
+            std::vector<std::uint8_t> &out)
+{
+    std::size_t at = openField(tag, out);
+    putU32(static_cast<std::uint32_t>(ords.size()), out);
+    for (std::uint32_t o : ords)
+        putU32(o, out);
+    closeField(at, out);
+}
+
+std::vector<std::uint32_t>
+getOrdinals(const Field &field, FieldReader &reader)
+{
+    ByteReader bytes{field, reader};
+    std::uint32_t count = bytes.u32();
+    if ((field.size - 4) / 4 < count)
+        reader.fail("ordinal array count " + std::to_string(count) +
+                    " overruns its field");
+    std::vector<std::uint32_t> ords;
+    ords.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i)
+        ords.push_back(bytes.u32());
+    return ords;
+}
+
+} // namespace
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Overloaded: return "overloaded";
+      case ErrorCode::Unavailable: return "unavailable";
+      case ErrorCode::BadRequest: return "bad-request";
+      case ErrorCode::Internal: return "internal";
+    }
+    return "unknown";
+}
+
+std::vector<std::uint8_t>
+encodeRequest(const WireRequest &request)
+{
+    std::vector<std::uint8_t> out;
+    std::size_t at = openField(kReqId, out);
+    putU64(request.id, out);
+    closeField(at, out);
+
+    at = openField(kReqPredicate, out);
+    putU32(request.predicate.functor, out);
+    putU32(request.predicate.arity, out);
+    closeField(at, out);
+
+    at = openField(kReqGoal, out);
+    out.insert(out.end(), request.goalPif.begin(),
+               request.goalPif.end());
+    closeField(at, out);
+
+    if (request.mode) {
+        at = openField(kReqMode, out);
+        putU8(static_cast<std::uint8_t>(*request.mode), out);
+        closeField(at, out);
+    }
+    if (request.bypassCache) {
+        at = openField(kReqBypassCache, out);
+        putU8(1, out);
+        closeField(at, out);
+    }
+    return out;
+}
+
+WireRequest
+decodeRequest(const std::vector<std::uint8_t> &payload,
+              const std::string &peer)
+{
+    WireRequest request;
+    FieldReader reader{payload, peer, "request"};
+    bool sawId = false, sawPredicate = false, sawGoal = false;
+    Field field;
+    while (reader.next(field)) {
+        ByteReader bytes{field, reader};
+        switch (field.tag) {
+          case kReqId:
+            request.id = bytes.u64();
+            sawId = true;
+            break;
+          case kReqPredicate:
+            request.predicate.functor = bytes.u32();
+            request.predicate.arity = bytes.u32();
+            sawPredicate = true;
+            break;
+          case kReqGoal:
+            request.goalPif.assign(field.data, field.data + field.size);
+            sawGoal = true;
+            break;
+          case kReqMode: {
+            std::uint8_t m = bytes.u8();
+            if (m > static_cast<std::uint8_t>(crs::SearchMode::TwoStage))
+                reader.fail("search mode byte " + std::to_string(m) +
+                            " out of range");
+            request.mode = static_cast<crs::SearchMode>(m);
+            break;
+          }
+          case kReqBypassCache:
+            request.bypassCache = bytes.u8() != 0;
+            break;
+          default:
+            break; // unknown tag: skip for forward compatibility
+        }
+    }
+    if (!sawId || !sawPredicate || !sawGoal)
+        reader.fail("missing a required field (id/predicate/goal)");
+    return request;
+}
+
+std::vector<std::uint8_t>
+encodeResponse(std::uint64_t request_id, const crs::RetrievalResponse &r)
+{
+    std::vector<std::uint8_t> out;
+    std::size_t at = openField(kRspId, out);
+    putU64(request_id, out);
+    closeField(at, out);
+
+    at = openField(kRspMode, out);
+    putU8(static_cast<std::uint8_t>(r.mode), out);
+    closeField(at, out);
+
+    putOrdinals(kRspCandidates, r.candidates, out);
+    putOrdinals(kRspAnswers, r.answers, out);
+
+    at = openField(kRspScanStats, out);
+    putU64(r.indexEntriesScanned, out);
+    putU64(r.fs1Hits, out);
+    putU64(r.clausesExamined, out);
+    closeField(at, out);
+
+    at = openField(kRspFilterOps, out);
+    putU32(static_cast<std::uint32_t>(r.filterOps.size()), out);
+    for (std::uint64_t c : r.filterOps)
+        putU64(c, out);
+    closeField(at, out);
+
+    at = openField(kRspBreakdown, out);
+    putU64(r.breakdown.queueWait, out);
+    putU64(r.breakdown.cacheTime, out);
+    putU64(r.breakdown.indexTime, out);
+    putU64(r.breakdown.filterTime, out);
+    putU64(r.breakdown.hostUnifyTime, out);
+    closeField(at, out);
+
+    at = openField(kRspElapsed, out);
+    putU64(r.elapsed, out);
+    closeField(at, out);
+
+    std::uint8_t flags = 0;
+    if (r.degraded)
+        flags |= kFlagDegraded;
+    if (r.resultOverflow)
+        flags |= kFlagResultOverflow;
+    at = openField(kRspFlags, out);
+    putU8(flags, out);
+    closeField(at, out);
+
+    if (r.corruptIndexPages != 0) {
+        at = openField(kRspCorruptPages, out);
+        putU32(r.corruptIndexPages, out);
+        closeField(at, out);
+    }
+    if (r.satisfiersRequeued != 0) {
+        at = openField(kRspRequeued, out);
+        putU32(r.satisfiersRequeued, out);
+        closeField(at, out);
+    }
+    return out;
+}
+
+WireResponse
+decodeResponse(const std::vector<std::uint8_t> &payload,
+               const std::string &peer)
+{
+    WireResponse wire;
+    crs::RetrievalResponse &r = wire.response;
+    FieldReader reader{payload, peer, "response"};
+    bool sawId = false, sawMode = false;
+    Field field;
+    while (reader.next(field)) {
+        ByteReader bytes{field, reader};
+        switch (field.tag) {
+          case kRspId:
+            wire.id = bytes.u64();
+            sawId = true;
+            break;
+          case kRspMode: {
+            std::uint8_t m = bytes.u8();
+            if (m > static_cast<std::uint8_t>(crs::SearchMode::TwoStage))
+                reader.fail("search mode byte " + std::to_string(m) +
+                            " out of range");
+            r.mode = static_cast<crs::SearchMode>(m);
+            sawMode = true;
+            break;
+          }
+          case kRspCandidates:
+            r.candidates = getOrdinals(field, reader);
+            break;
+          case kRspAnswers:
+            r.answers = getOrdinals(field, reader);
+            break;
+          case kRspScanStats:
+            r.indexEntriesScanned = bytes.u64();
+            r.fs1Hits = bytes.u64();
+            r.clausesExamined = bytes.u64();
+            break;
+          case kRspFilterOps: {
+            std::uint32_t count = bytes.u32();
+            // More ops than we know is a newer peer: read ours, skip
+            // the rest.  Fewer is fine too — missing ops stay zero.
+            if ((field.size - 4) / 8 < count)
+                reader.fail("filter op count " + std::to_string(count) +
+                            " overruns its field");
+            for (std::uint32_t i = 0; i < count; ++i) {
+                std::uint64_t c = bytes.u64();
+                if (i < r.filterOps.size())
+                    r.filterOps[i] = c;
+            }
+            break;
+          }
+          case kRspBreakdown:
+            r.breakdown.queueWait = bytes.u64();
+            r.breakdown.cacheTime = bytes.u64();
+            r.breakdown.indexTime = bytes.u64();
+            r.breakdown.filterTime = bytes.u64();
+            r.breakdown.hostUnifyTime = bytes.u64();
+            break;
+          case kRspElapsed:
+            r.elapsed = bytes.u64();
+            break;
+          case kRspFlags: {
+            std::uint8_t flags = bytes.u8();
+            r.degraded = (flags & kFlagDegraded) != 0;
+            r.resultOverflow = (flags & kFlagResultOverflow) != 0;
+            break;
+          }
+          case kRspCorruptPages:
+            r.corruptIndexPages = bytes.u32();
+            break;
+          case kRspRequeued:
+            r.satisfiersRequeued = bytes.u32();
+            break;
+          default:
+            break; // unknown tag: skip for forward compatibility
+        }
+    }
+    if (!sawId || !sawMode)
+        reader.fail("missing a required field (id/mode)");
+    return wire;
+}
+
+std::vector<std::uint8_t>
+encodeError(ErrorCode code, const std::string &message)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(1 + message.size());
+    out.push_back(static_cast<std::uint8_t>(code));
+    for (char c : message)
+        out.push_back(static_cast<std::uint8_t>(c));
+    return out;
+}
+
+WireError
+decodeError(const std::vector<std::uint8_t> &payload,
+            const std::string &peer)
+{
+    if (payload.empty())
+        throw CorruptionError(peer, kNoFilePosition, 0,
+                              "wire error: empty payload");
+    std::uint8_t code = payload[0];
+    if (code < static_cast<std::uint8_t>(ErrorCode::Overloaded) ||
+        code > static_cast<std::uint8_t>(ErrorCode::Internal))
+        throw CorruptionError(peer, kNoFilePosition, 0,
+                              "wire error: unknown code " +
+                                  std::to_string(code));
+    WireError error;
+    error.code = static_cast<ErrorCode>(code);
+    error.message.assign(payload.begin() + 1, payload.end());
+    return error;
+}
+
+bool
+responsesIdentical(const crs::RetrievalResponse &a,
+                   const crs::RetrievalResponse &b)
+{
+    return a.mode == b.mode && a.candidates == b.candidates &&
+        a.answers == b.answers &&
+        a.indexEntriesScanned == b.indexEntriesScanned &&
+        a.fs1Hits == b.fs1Hits &&
+        a.clausesExamined == b.clausesExamined &&
+        a.filterOps == b.filterOps &&
+        a.breakdown.queueWait == b.breakdown.queueWait &&
+        a.breakdown.cacheTime == b.breakdown.cacheTime &&
+        a.breakdown.indexTime == b.breakdown.indexTime &&
+        a.breakdown.filterTime == b.breakdown.filterTime &&
+        a.breakdown.hostUnifyTime == b.breakdown.hostUnifyTime &&
+        a.elapsed == b.elapsed && a.degraded == b.degraded &&
+        a.corruptIndexPages == b.corruptIndexPages &&
+        a.resultOverflow == b.resultOverflow &&
+        a.satisfiersRequeued == b.satisfiersRequeued;
+}
+
+} // namespace clare::net

@@ -36,6 +36,8 @@ constexpr std::uint64_t kSaltBitIndex = 0x3;
 constexpr std::uint64_t kSaltDelay = 0x4;
 constexpr std::uint64_t kSaltTruncate = 0x5;
 constexpr std::uint64_t kSaltTruncateSize = 0x6;
+constexpr std::uint64_t kSaltFrame = 0x7;
+constexpr std::uint64_t kSaltFrameCut = 0x8;
 
 } // namespace
 
@@ -142,6 +144,39 @@ FaultInjector::rangeFaults(std::string_view site, std::uint64_t offset,
         out.delayTicks += chunkDelay(site, key);
     }
     return out;
+}
+
+FrameFault
+FaultInjector::frameFault(std::string_view site, std::uint64_t key) const
+{
+    if (!config_.anyFrameFaults())
+        return FrameFault::None;
+    // One roll, one fault: the classes partition [0, sum of rates), so
+    // each fires with exactly its configured rate (assuming the rates
+    // sum below 1, the only sane configuration).
+    double r = roll(site, key, kSaltFrame);
+    if (r < config_.frameDropRate)
+        return FrameFault::Drop;
+    r -= config_.frameDropRate;
+    if (r < config_.frameTruncateRate)
+        return FrameFault::Truncate;
+    r -= config_.frameTruncateRate;
+    if (r < config_.frameCorruptRate)
+        return FrameFault::Corrupt;
+    r -= config_.frameCorruptRate;
+    if (r < config_.frameDelayRate)
+        return FrameFault::Delay;
+    return FrameFault::None;
+}
+
+std::uint64_t
+FaultInjector::truncatedFrameBytes(std::string_view site,
+                                   std::uint64_t key,
+                                   std::uint64_t frame_bytes) const
+{
+    if (frame_bytes == 0)
+        return 0;
+    return hash(site, key, kSaltFrameCut) % frame_bytes;
 }
 
 const FaultInjector *

@@ -61,12 +61,46 @@ struct FaultConfig
     /** P(short read) per whole-file read (storage::readBytes). */
     double truncateRate = 0.0;
 
+    // ----- Wire faults (the network is not an ideal channel either).
+    // Drawn per *outbound frame* by the serving tier, keyed by the
+    // connection's frame sequence number, so a given seed poisons the
+    // same frames of a connection regardless of wall-clock timing.
+    // Disjoint from the disk rates above: a NetServer's wire injector
+    // and a CRS's disk injector are separate objects.
+
+    /** P(frame silently dropped, connection closed) per frame. */
+    double frameDropRate = 0.0;
+    /** P(frame cut short mid-payload, connection closed) per frame. */
+    double frameTruncateRate = 0.0;
+    /** P(one bit flipped after the CRC was computed) per frame. */
+    double frameCorruptRate = 0.0;
+    /** P(slow peer: delivery stalled frameDelayMillis) per frame. */
+    double frameDelayRate = 0.0;
+    std::uint32_t frameDelayMillis = 50;
+
     bool
     anyFaults() const
     {
         return bitFlipRate > 0 || transientReadRate > 0 ||
-            delayRate > 0 || truncateRate > 0;
+            delayRate > 0 || truncateRate > 0 || anyFrameFaults();
     }
+
+    bool
+    anyFrameFaults() const
+    {
+        return frameDropRate > 0 || frameTruncateRate > 0 ||
+            frameCorruptRate > 0 || frameDelayRate > 0;
+    }
+};
+
+/** What (if anything) happens to one outbound frame. */
+enum class FrameFault : std::uint8_t
+{
+    None,     ///< delivered intact
+    Drop,     ///< never sent; connection closed
+    Truncate, ///< header + partial payload sent; connection closed
+    Corrupt,  ///< one bit flipped after the CRC was computed
+    Delay,    ///< delivered intact, frameDelayMillis late
 };
 
 /** Aggregate fault outcome over a modeled byte range (one stream). */
@@ -136,6 +170,22 @@ class FaultInjector
     RangeFaults rangeFaults(std::string_view site, std::uint64_t offset,
                             std::uint64_t length,
                             std::uint32_t max_attempts) const;
+
+    /**
+     * The wire decision: what happens to outbound frame number @p key
+     * of channel @p site (e.g. "wire.conn").  At most one fault class
+     * fires per frame, drawn in severity order (drop, truncate,
+     * corrupt, delay) so rates compose predictably.
+     */
+    FrameFault frameFault(std::string_view site, std::uint64_t key) const;
+
+    /**
+     * Where a Truncate fault cuts an outbound frame of @p frame_bytes
+     * bytes: a prefix length in [0, frame_bytes).
+     */
+    std::uint64_t truncatedFrameBytes(std::string_view site,
+                                      std::uint64_t key,
+                                      std::uint64_t frame_bytes) const;
 
   private:
     /** The decision hash: uniform in [0,1) per (site, key, salt). */

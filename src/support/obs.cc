@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdio>
 
 #include "support/logging.hh"
@@ -182,6 +183,38 @@ Histogram::exponential(double first, double factor, std::size_t n)
         v *= factor;
     }
     return bounds;
+}
+
+double
+histogramPercentile(const Histogram &h, double q)
+{
+    clare_assert(q >= 0.0 && q <= 1.0, "quantile %f out of [0,1]", q);
+    std::uint64_t total = h.count();
+    if (total == 0)
+        return 0.0;
+    // Rank of the target sample (1-based, ceil so q=1 is the max).
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(total)));
+    if (rank == 0)
+        rank = 1;
+
+    const std::vector<double> &bounds = h.bounds();
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < h.buckets(); ++i) {
+        std::uint64_t in_bucket = h.bucketCount(i);
+        if (seen + in_bucket < rank) {
+            seen += in_bucket;
+            continue;
+        }
+        if (i >= bounds.size())    // overflow bucket: pin to last bound
+            return bounds.empty() ? 0.0 : bounds.back();
+        double lo = i == 0 ? 0.0 : bounds[i - 1];
+        double hi = bounds[i];
+        double frac = static_cast<double>(rank - seen) /
+            static_cast<double>(in_bucket);
+        return lo + (hi - lo) * frac;
+    }
+    return bounds.empty() ? 0.0 : bounds.back();
 }
 
 // ---------------------------------------------------------------------

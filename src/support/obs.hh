@@ -266,6 +266,15 @@ class Histogram
 };
 
 /**
+ * Estimated value at quantile @p q in [0, 1] (0.5 = median, 0.99 =
+ * p99) from the histogram's bucket counts, linearly interpolated
+ * inside the containing bucket.  Samples landing in the overflow
+ * bucket pin the estimate to the last finite bound — pick bounds that
+ * cover the tail you care about.  Returns 0 for an empty histogram.
+ */
+double histogramPercentile(const Histogram &h, double q);
+
+/**
  * A named collection of metrics.  Registration returns references
  * valid for the registry's lifetime; looking up an existing name
  * returns the same instrument.

@@ -2,7 +2,7 @@
  * @file
  * Concurrency coverage for the sharded retrieval pipeline: thread-pool
  * primitives, FS1 shard determinism (bit-identical candidates and
- * answers at any worker count), retrieveMany() equivalence with the
+ * answers at any worker count), serveBatch() equivalence with the
  * sequential loop, shard-accumulated busy-time accounting, and
  * thread-safe statistics.  These tests carry the `tsan` ctest label so
  * a -DCLARE_SANITIZE=thread build exercises them under ThreadSanitizer.
@@ -23,6 +23,18 @@
 
 namespace clare {
 namespace {
+
+/** One goal through the unified front door. */
+crs::RetrievalResponse
+serveOne(crs::ClauseRetrievalServer &server, const term::TermArena &arena,
+         term::TermRef goal, std::optional<crs::SearchMode> mode = {})
+{
+    crs::RetrievalRequest request;
+    request.arena = &arena;
+    request.goal = goal;
+    request.mode = mode;
+    return server.serve(request);
+}
 
 // ---------------------------------------------------------------------
 // ThreadPool primitives.
@@ -60,7 +72,7 @@ TEST(ThreadPoolTest, AsyncReturnsValues)
 
 TEST(ThreadPoolTest, NestedParallelForFromWorkerDoesNotDeadlock)
 {
-    // The retrieveMany pipeline runs sharded scans from inside a pool
+    // The serveBatch pipeline runs sharded scans from inside a pool
     // task; the construct must complete even when the nested loop's
     // helper jobs can never be picked up by another worker.
     support::ThreadPool pool(1);
@@ -232,10 +244,10 @@ TEST_F(PipelineTest, ShardedRetrievalIsBitIdenticalAcrossWorkerCounts)
         for (const workload::GeneratedQuery &q : queries) {
             for (crs::SearchMode mode : {crs::SearchMode::Fs1Only,
                                          crs::SearchMode::TwoStage}) {
-                crs::RetrievalResult seq =
-                    baseline->retrieve(q.arena, q.goal, mode);
-                crs::RetrievalResult par =
-                    server->retrieve(q.arena, q.goal, mode);
+                crs::RetrievalResponse seq =
+                    serveOne(*baseline, q.arena, q.goal, mode);
+                crs::RetrievalResponse par =
+                    serveOne(*server, q.arena, q.goal, mode);
                 EXPECT_EQ(par.candidates, seq.candidates)
                     << workers << " workers";
                 EXPECT_EQ(par.answers, seq.answers)
@@ -252,9 +264,9 @@ TEST_F(PipelineTest, ShardedRetrievalIsBitIdenticalAcrossWorkerCounts)
     }
 }
 
-TEST_F(PipelineTest, RetrieveManyMatchesSequentialLoop)
+TEST_F(PipelineTest, ServeBatchMatchesSequentialLoop)
 {
-    using Request = crs::ClauseRetrievalServer::Request;
+    using Request = crs::RetrievalRequest;
     std::vector<Request> batch;
     for (std::size_t i = 0; i < queries.size(); ++i) {
         Request r;
@@ -269,17 +281,15 @@ TEST_F(PipelineTest, RetrieveManyMatchesSequentialLoop)
     }
 
     auto seq_server = makeServer(1);
-    std::vector<crs::RetrievalResult> expected;
+    std::vector<crs::RetrievalResponse> expected;
     for (const Request &r : batch) {
-        expected.push_back(
-            r.mode ? seq_server->retrieve(*r.arena, r.goal, *r.mode)
-                   : seq_server->retrieveAuto(*r.arena, r.goal));
+        expected.push_back(seq_server->serve(r));
     }
 
     for (std::uint32_t workers : {1u, 2u, 8u}) {
         auto server = makeServer(workers);
-        std::vector<crs::RetrievalResult> got =
-            server->retrieveMany(batch);
+        std::vector<crs::RetrievalResponse> got =
+            server->serveBatch(batch);
         ASSERT_EQ(got.size(), expected.size()) << workers << " workers";
         for (std::size_t i = 0; i < got.size(); ++i) {
             EXPECT_EQ(got[i].mode, expected[i].mode) << "query " << i;
@@ -298,8 +308,8 @@ TEST_F(PipelineTest, SharedServerStatsAggregateAcrossWorkers)
     auto server = makeServer(4);
     std::uint64_t scanned = 0;
     for (const workload::GeneratedQuery &q : queries) {
-        crs::RetrievalResult r =
-            server->retrieve(q.arena, q.goal, crs::SearchMode::Fs1Only);
+        crs::RetrievalResponse r = serveOne(
+            *server, q.arena, q.goal, crs::SearchMode::Fs1Only);
         scanned += r.indexEntriesScanned;
     }
     EXPECT_EQ(server->fs1Stats().scalar("entriesScanned").value(),

@@ -38,11 +38,15 @@ class CrsTest : public ::testing::Test
         server = std::make_unique<ClauseRetrievalServer>(sym, *store);
     }
 
-    RetrievalResult
+    RetrievalResponse
     retrieve(const std::string &goal_text, SearchMode mode)
     {
         term::ParsedTerm goal = reader.parseTerm(goal_text);
-        return server->retrieve(goal.arena, goal.root, mode);
+        RetrievalRequest request;
+        request.arena = &goal.arena;
+        request.goal = goal.root;
+        request.mode = mode;
+        return server->serve(request);
     }
 };
 
@@ -86,7 +90,7 @@ TEST_F(CrsTest, AllModesAgreeOnAnswers)
     for (SearchMode mode : {SearchMode::SoftwareOnly,
                             SearchMode::Fs1Only, SearchMode::Fs2Only,
                             SearchMode::TwoStage}) {
-        RetrievalResult r = retrieve("edge(a, Y)", mode);
+        RetrievalResponse r = retrieve("edge(a, Y)", mode);
         EXPECT_EQ(r.answers, (std::vector<std::uint32_t>{0, 2, 3}))
             << searchModeName(mode);
         // Candidates are always a superset of answers, in order.
@@ -104,7 +108,7 @@ TEST_F(CrsTest, SharedVariableAnswersAcrossModes)
     for (SearchMode mode : {SearchMode::SoftwareOnly,
                             SearchMode::Fs1Only, SearchMode::Fs2Only,
                             SearchMode::TwoStage}) {
-        RetrievalResult r = retrieve("married_couple(S, S)", mode);
+        RetrievalResponse r = retrieve("married_couple(S, S)", mode);
         EXPECT_EQ(r.answers, (std::vector<std::uint32_t>{1, 2}))
             << searchModeName(mode);
     }
@@ -117,9 +121,9 @@ TEST_F(CrsTest, Fs2ReducesFalseDropsVersusFs1)
         "married_couple(pat, pat).\n"
         "married_couple(ann, bob).\n"
         "married_couple(eve, adam).\n");
-    RetrievalResult fs1 = retrieve("married_couple(S, S)",
+    RetrievalResponse fs1 = retrieve("married_couple(S, S)",
                                    SearchMode::Fs1Only);
-    RetrievalResult two = retrieve("married_couple(S, S)",
+    RetrievalResponse two = retrieve("married_couple(S, S)",
                                    SearchMode::TwoStage);
     // FS1 passes the whole predicate; FS2 keeps only the true answer.
     EXPECT_EQ(fs1.candidates.size(), 4u);
@@ -131,8 +135,8 @@ TEST_F(CrsTest, TwoStageCandidatesSubsetOfFs1)
 {
     buildStore(
         "p(a, b).\np(a, c).\np(b, b).\np(X, Y).\np(a, a).\n");
-    RetrievalResult fs1 = retrieve("p(a, Z)", SearchMode::Fs1Only);
-    RetrievalResult two = retrieve("p(a, Z)", SearchMode::TwoStage);
+    RetrievalResponse fs1 = retrieve("p(a, Z)", SearchMode::Fs1Only);
+    RetrievalResponse two = retrieve("p(a, Z)", SearchMode::TwoStage);
     for (std::uint32_t c : two.candidates) {
         EXPECT_NE(std::find(fs1.candidates.begin(), fs1.candidates.end(),
                             c), fs1.candidates.end());
@@ -146,7 +150,7 @@ TEST_F(CrsTest, TwoStageCandidatesSubsetOfFs1)
 // violation through falseNegatives(); debug builds assert.
 TEST_F(CrsTest, FalseDropsClampInsteadOfUnderflowing)
 {
-    RetrievalResult r;
+    RetrievalResponse r;
     r.candidates = {3};
     r.answers = {3, 7};     // one answer the filter never produced
 #ifdef NDEBUG
@@ -157,7 +161,7 @@ TEST_F(CrsTest, FalseDropsClampInsteadOfUnderflowing)
 #endif
     EXPECT_EQ(r.falseNegatives(), 1u);
 
-    RetrievalResult ok;
+    RetrievalResponse ok;
     ok.candidates = {1, 2, 3};
     ok.answers = {2};
     EXPECT_EQ(ok.falseDrops(), 2u);
@@ -167,12 +171,12 @@ TEST_F(CrsTest, FalseDropsClampInsteadOfUnderflowing)
 TEST_F(CrsTest, TimingFieldsPopulated)
 {
     buildStore("p(a).\np(b).\np(c).\n");
-    RetrievalResult sw = retrieve("p(a)", SearchMode::SoftwareOnly);
+    RetrievalResponse sw = retrieve("p(a)", SearchMode::SoftwareOnly);
     EXPECT_GT(sw.breakdown.filterTime, 0u);
     EXPECT_GT(sw.elapsed, 0u);
-    RetrievalResult fs1 = retrieve("p(a)", SearchMode::Fs1Only);
+    RetrievalResponse fs1 = retrieve("p(a)", SearchMode::Fs1Only);
     EXPECT_GT(fs1.breakdown.indexTime, 0u);
-    RetrievalResult two = retrieve("p(a)", SearchMode::TwoStage);
+    RetrievalResponse two = retrieve("p(a)", SearchMode::TwoStage);
     EXPECT_GT(two.breakdown.indexTime, 0u);
     EXPECT_GT(two.elapsed, two.breakdown.indexTime);
     // The breakdown is the authoritative accounting: its service time
@@ -217,11 +221,14 @@ TEST_F(CrsTest, ModeSelectionHeuristics)
     EXPECT_EQ(mode_for("rule_pred(a)"), SearchMode::TwoStage);
 }
 
-TEST_F(CrsTest, RetrieveAutoUsesSelectedMode)
+TEST_F(CrsTest, ServeDefaultsToSelectedMode)
 {
     buildStore("p(a, b).\np(c, d).\n");
     term::ParsedTerm t = reader.parseTerm("p(a, X)");
-    RetrievalResult r = server->retrieveAuto(t.arena, t.root);
+    RetrievalRequest request;
+    request.arena = &t.arena;
+    request.goal = t.root;
+    RetrievalResponse r = server->serve(request);
     EXPECT_EQ(r.mode, server->selectMode(t.arena, t.root));
 }
 

@@ -299,10 +299,16 @@ TEST_F(StoreIoTest, StoreRoundTripPreservesRetrieval)
                                      crs::SearchMode::Fs1Only,
                                      crs::SearchMode::Fs2Only,
                                      crs::SearchMode::TwoStage}) {
-            crs::RetrievalResult a = original_server.retrieve(
-                q1.arena, q1.root, mode);
-            crs::RetrievalResult b = loaded_server.retrieve(
-                q2.arena, q2.root, mode);
+            crs::RetrievalRequest ra;
+            ra.arena = &q1.arena;
+            ra.goal = q1.root;
+            ra.mode = mode;
+            crs::RetrievalRequest rb;
+            rb.arena = &q2.arena;
+            rb.goal = q2.root;
+            rb.mode = mode;
+            crs::RetrievalResponse a = original_server.serve(ra);
+            crs::RetrievalResponse b = loaded_server.serve(rb);
             EXPECT_EQ(a.candidates, b.candidates)
                 << query << " " << crs::searchModeName(mode);
             EXPECT_EQ(a.answers, b.answers)

@@ -711,10 +711,16 @@ TEST_F(StoreFaultTest, VersionTwoStoreStillLoads)
                                  crs::SearchMode::Fs1Only,
                                  crs::SearchMode::Fs2Only,
                                  crs::SearchMode::TwoStage}) {
-        crs::RetrievalResponse a = original.retrieve(q1.arena, q1.root,
-                                                     mode);
-        crs::RetrievalResponse b = reloaded.retrieve(q2.arena, q2.root,
-                                                     mode);
+        crs::RetrievalRequest ra;
+        ra.arena = &q1.arena;
+        ra.goal = q1.root;
+        ra.mode = mode;
+        crs::RetrievalRequest rb;
+        rb.arena = &q2.arena;
+        rb.goal = q2.root;
+        rb.mode = mode;
+        crs::RetrievalResponse a = original.serve(ra);
+        crs::RetrievalResponse b = reloaded.serve(rb);
         EXPECT_EQ(a.candidates, b.candidates);
         EXPECT_EQ(a.answers, b.answers);
     }
@@ -803,7 +809,11 @@ class CrsFaultTest : public ::testing::Test
     {
         term::TermReader reader(sym_);
         term::ParsedTerm q = reader.parseTerm("p(k3, V)");
-        return server.retrieve(q.arena, q.root, mode);
+        crs::RetrievalRequest request;
+        request.arena = &q.arena;
+        request.goal = q.root;
+        request.mode = mode;
+        return server.serve(request);
     }
 
     const crs::StoredPredicate &

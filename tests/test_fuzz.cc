@@ -49,6 +49,18 @@
 namespace clare {
 namespace {
 
+/** One goal through the unified front door. */
+crs::RetrievalResponse
+serveOne(crs::ClauseRetrievalServer &server, const term::TermArena &arena,
+         term::TermRef goal, std::optional<crs::SearchMode> mode = {})
+{
+    crs::RetrievalRequest request;
+    request.arena = &arena;
+    request.goal = goal;
+    request.mode = mode;
+    return server.serve(request);
+}
+
 /** Random term generator biased toward nasty shapes. */
 class TermFuzzer
 {
@@ -236,7 +248,7 @@ answersPerMode(crs::ClauseRetrievalServer &server,
                                  crs::SearchMode::Fs1Only,
                                  crs::SearchMode::Fs2Only,
                                  crs::SearchMode::TwoStage})
-        out.push_back(server.retrieve(q.arena, q.root, mode).answers);
+        out.push_back(serveOne(server, q.arena, q.root, mode).answers);
     return out;
 }
 
@@ -381,8 +393,8 @@ TEST(InjectedFaultSweep, NoSeedCrashesTheServer)
                                          crs::SearchMode::TwoStage};
         for (std::size_t m = 0; m < 4; ++m) {
             try {
-                crs::RetrievalResponse r = faulty.retrieve(
-                    q.arena, q.root, modes[m]);
+                crs::RetrievalResponse r = serveOne(
+                    faulty, q.arena, q.root, modes[m]);
                 ++served;
                 // Degraded or not, answers never change.
                 EXPECT_EQ(r.answers, expected[m])
@@ -639,8 +651,8 @@ TEST(InjectedFaultSweep, SlicedServerDegradesIdentically)
                                          crs::SearchMode::TwoStage};
         for (std::size_t m = 0; m < 4; ++m) {
             try {
-                crs::RetrievalResponse r = faulty.retrieve(
-                    q.arena, q.root, modes[m]);
+                crs::RetrievalResponse r = serveOne(
+                    faulty, q.arena, q.root, modes[m]);
                 ++served;
                 EXPECT_EQ(r.answers, expected[m])
                     << "seed " << config.seed << " mode " << m;
@@ -712,8 +724,8 @@ TEST_P(KernelSweepFuzz, DispatchTargetsAreBitIdentical)
             crs::ClauseRetrievalServer server(sym, store, cfg);
             std::vector<crs::RetrievalResponse> out;
             for (const Goal &goal : goals)
-                out.push_back(server.retrieve(goal.q.arena, goal.q.goal,
-                                              goal.mode));
+                out.push_back(serveOne(server, goal.q.arena,
+                                       goal.q.goal, goal.mode));
             return out;
         };
         std::vector<crs::RetrievalResponse> expected =

@@ -91,10 +91,13 @@ TEST(Integration, TwoStageFalseDropReduction)
     crs::ClauseRetrievalServer server(sym, store);
 
     term::ParsedTerm goal = reader.parseTerm("married_couple(S, S)");
-    crs::RetrievalResult fs1 = server.retrieve(goal.arena, goal.root,
-                                               crs::SearchMode::Fs1Only);
-    crs::RetrievalResult two = server.retrieve(goal.arena, goal.root,
-                                               crs::SearchMode::TwoStage);
+    crs::RetrievalRequest request;
+    request.arena = &goal.arena;
+    request.goal = goal.root;
+    request.mode = crs::SearchMode::Fs1Only;
+    crs::RetrievalResponse fs1 = server.serve(request);
+    request.mode = crs::SearchMode::TwoStage;
+    crs::RetrievalResponse two = server.serve(request);
     ASSERT_EQ(fs1.answers, two.answers);
     EXPECT_GT(fs1.falseDropRate(), 0.9);    // index passes everything
     EXPECT_EQ(two.falseDropRate(), 0.0);    // FS2 removes the ghosts
@@ -211,8 +214,11 @@ TEST(Integration, ClareRetrievalNeverChangesAnswers)
                                      crs::SearchMode::Fs1Only,
                                      crs::SearchMode::Fs2Only,
                                      crs::SearchMode::TwoStage}) {
-            crs::RetrievalResult r = server.retrieve(q.arena, q.goal,
-                                                     mode);
+            crs::RetrievalRequest request;
+            request.arena = &q.arena;
+            request.goal = q.goal;
+            request.mode = mode;
+            crs::RetrievalResponse r = server.serve(request);
             EXPECT_EQ(r.answers, truth)
                 << crs::searchModeName(mode) << " query " << qi;
             EXPECT_TRUE(std::is_sorted(r.candidates.begin(),

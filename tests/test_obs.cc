@@ -205,6 +205,29 @@ TEST(ObsMetrics, ExponentialBounds)
     EXPECT_DOUBLE_EQ(b[3], 1000.0);
 }
 
+TEST(ObsMetrics, HistogramPercentile)
+{
+    obs::Histogram h({10.0, 20.0, 40.0});
+    EXPECT_DOUBLE_EQ(obs::histogramPercentile(h, 0.5), 0.0); // empty
+
+    // 10 samples in [0,10], 10 in (10,20] — the median sits exactly at
+    // the first bucket's upper bound, p75 halfway into the second.
+    for (int i = 0; i < 10; ++i)
+        h.record(5.0);
+    for (int i = 0; i < 10; ++i)
+        h.record(15.0);
+    EXPECT_DOUBLE_EQ(obs::histogramPercentile(h, 0.5), 10.0);
+    EXPECT_DOUBLE_EQ(obs::histogramPercentile(h, 0.75), 15.0);
+    EXPECT_DOUBLE_EQ(obs::histogramPercentile(h, 1.0), 20.0);
+    // q = 0 clamps to the first sample's rank, interpolated from the
+    // bucket's lower edge.
+    EXPECT_DOUBLE_EQ(obs::histogramPercentile(h, 0.0), 1.0);
+
+    // Overflow samples pin the estimate to the last finite bound.
+    h.record(1e9);
+    EXPECT_DOUBLE_EQ(obs::histogramPercentile(h, 1.0), 40.0);
+}
+
 // ---------------------------------------------------------------------
 // JSON model and exporters.
 // ---------------------------------------------------------------------
@@ -474,33 +497,35 @@ TEST_F(ObsPipelineTest, BreakdownSumsToElapsedPipelined)
     }
 }
 
-TEST_F(ObsPipelineTest, DeprecatedWrappersMatchUnifiedFrontDoor)
+TEST_F(ObsPipelineTest, ServeIsDeterministicAcrossInstances)
 {
+    // Two freshly constructed servers over the same store answer the
+    // unified front door bit-identically -- the property the networked
+    // tier's replicas rely on.
     auto a = makeServer(1);
     auto b = makeServer(1);
     for (const workload::GeneratedQuery &q : queries) {
-        crs::RetrievalResult old_style =
-            a->retrieve(q.arena, q.goal, crs::SearchMode::TwoStage);
         crs::RetrievalRequest req;
         req.arena = &q.arena;
         req.goal = q.goal;
         req.mode = crs::SearchMode::TwoStage;
-        crs::RetrievalResponse new_style = b->serve(req);
-        EXPECT_EQ(old_style.candidates, new_style.candidates);
-        EXPECT_EQ(old_style.answers, new_style.answers);
-        EXPECT_EQ(old_style.elapsed, new_style.elapsed);
+        crs::RetrievalResponse ra = a->serve(req);
+        crs::RetrievalResponse rb = b->serve(req);
+        EXPECT_EQ(ra.candidates, rb.candidates);
+        EXPECT_EQ(ra.answers, rb.answers);
+        EXPECT_EQ(ra.elapsed, rb.elapsed);
 
-        crs::RetrievalResult auto_old = a->retrieveAuto(q.arena, q.goal);
         crs::RetrievalRequest auto_req;
         auto_req.arena = &q.arena;
         auto_req.goal = q.goal;
-        crs::RetrievalResponse auto_new = b->serve(auto_req);
-        EXPECT_EQ(auto_old.mode, auto_new.mode);
-        EXPECT_EQ(auto_old.answers, auto_new.answers);
+        crs::RetrievalResponse aa = a->serve(auto_req);
+        crs::RetrievalResponse ab = b->serve(auto_req);
+        EXPECT_EQ(aa.mode, ab.mode);
+        EXPECT_EQ(aa.answers, ab.answers);
     }
 
     std::vector<crs::RetrievalRequest> batch = makeBatch();
-    std::vector<crs::RetrievalResult> many = a->retrieveMany(batch);
+    std::vector<crs::RetrievalResponse> many = a->serveBatch(batch);
     std::vector<crs::RetrievalResponse> served = b->serveBatch(batch);
     ASSERT_EQ(many.size(), served.size());
     for (std::size_t i = 0; i < many.size(); ++i) {

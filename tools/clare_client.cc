@@ -1,0 +1,178 @@
+/**
+ * @file
+ * clare_client: smoke client for a clare_server / clare_router
+ * endpoint.
+ *
+ * Opens the same persisted store as the servers (the symbol table is
+ * the shared wire schema), parses a query file (one goal per line),
+ * serves each over the wire, and — with --verify-local — also serves
+ * each through an in-process ClauseRetrievalServer on the same store
+ * and requires the two responses to be field-for-field identical,
+ * modeled StageBreakdown ticks included.  This is the cluster
+ * exactness check scripts/tier1.sh runs against a live 3-backend
+ * router.
+ *
+ * Exit status: 0 when every query succeeded (and matched, under
+ * --verify-local); 1 otherwise.
+ *
+ * Usage:
+ *   clare_client --store DIR --port N --queries FILE
+ *                [--verify-local] [--mode auto|software|fs1|fs2|two]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "crs/server.hh"
+#include "crs/store_io.hh"
+#include "net/client.hh"
+#include "term/term_reader.hh"
+
+namespace {
+
+const char *
+value(const char *arg, const char *name)
+{
+    std::size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) == 0 && arg[n] == '=')
+        return arg + n + 1;
+    return nullptr;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace clare;
+
+    std::string storeDir;
+    std::string queriesPath;
+    std::uint16_t port = 0;
+    bool verifyLocal = false;
+    std::optional<crs::SearchMode> mode;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--store") == 0 && i + 1 < argc)
+            storeDir = argv[++i];
+        else if (const char *v = value(arg, "--store"))
+            storeDir = v;
+        else if (std::strcmp(arg, "--queries") == 0 && i + 1 < argc)
+            queriesPath = argv[++i];
+        else if (const char *v = value(arg, "--queries"))
+            queriesPath = v;
+        else if (const char *v = value(arg, "--port"))
+            port =
+                static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
+        else if (std::strcmp(arg, "--verify-local") == 0)
+            verifyLocal = true;
+        else if (const char *v = value(arg, "--mode")) {
+            if (std::strcmp(v, "auto") == 0)
+                mode.reset();
+            else if (std::strcmp(v, "software") == 0)
+                mode = crs::SearchMode::SoftwareOnly;
+            else if (std::strcmp(v, "fs1") == 0)
+                mode = crs::SearchMode::Fs1Only;
+            else if (std::strcmp(v, "fs2") == 0)
+                mode = crs::SearchMode::Fs2Only;
+            else if (std::strcmp(v, "two") == 0)
+                mode = crs::SearchMode::TwoStage;
+            else {
+                std::fprintf(stderr, "unknown mode: %s\n", v);
+                return 2;
+            }
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n", arg);
+            return 2;
+        }
+    }
+    if (storeDir.empty() || queriesPath.empty() || port == 0) {
+        std::fprintf(stderr,
+                     "usage: clare_client --store DIR --port N "
+                     "--queries FILE [--verify-local] [--mode M]\n");
+        return 2;
+    }
+
+    try {
+        term::SymbolTable symbols;
+        crs::PredicateStore store = crs::loadStore(storeDir, symbols);
+        std::unique_ptr<crs::ClauseRetrievalServer> local;
+        if (verifyLocal)
+            local = std::make_unique<crs::ClauseRetrievalServer>(
+                symbols, store);
+
+        std::ifstream file(queriesPath);
+        if (!file) {
+            std::fprintf(stderr, "cannot read %s\n",
+                         queriesPath.c_str());
+            return 1;
+        }
+
+        net::NetClient client(port, "server:" + std::to_string(port));
+        term::TermReader reader(symbols);
+
+        std::uint64_t queries = 0, answers = 0, degraded = 0,
+                      mismatches = 0, failures = 0;
+        std::string line;
+        while (std::getline(file, line)) {
+            if (line.empty())
+                continue;
+            term::ParsedTerm parsed = reader.parseTerm(line);
+            crs::RetrievalRequest request;
+            request.arena = &parsed.arena;
+            request.goal = parsed.root;
+            request.mode = mode;
+            ++queries;
+
+            crs::RetrievalResponse remote;
+            try {
+                remote = client.serve(request);
+            } catch (const Error &e) {
+                std::fprintf(stderr, "query %llu failed: %s\n",
+                             static_cast<unsigned long long>(queries),
+                             e.what());
+                ++failures;
+                continue;
+            }
+            answers += remote.answers.size();
+            degraded += remote.degraded ? 1 : 0;
+
+            if (local) {
+                crs::RetrievalResponse expect = local->serve(request);
+                if (!net::responsesIdentical(remote, expect)) {
+                    std::fprintf(
+                        stderr,
+                        "query %llu: wire response differs from "
+                        "local serve() (%zu vs %zu answers, %llu vs "
+                        "%llu elapsed ticks)\n",
+                        static_cast<unsigned long long>(queries),
+                        remote.answers.size(), expect.answers.size(),
+                        static_cast<unsigned long long>(remote.elapsed),
+                        static_cast<unsigned long long>(
+                            expect.elapsed));
+                    ++mismatches;
+                }
+            }
+        }
+
+        std::printf("%llu queries, %llu answers, %llu degraded, "
+                    "%llu failures",
+                    static_cast<unsigned long long>(queries),
+                    static_cast<unsigned long long>(answers),
+                    static_cast<unsigned long long>(degraded),
+                    static_cast<unsigned long long>(failures));
+        if (local)
+            std::printf(", %llu mismatches vs local serve()",
+                        static_cast<unsigned long long>(mismatches));
+        std::printf("\n");
+        return (failures == 0 && mismatches == 0) ? 0 : 1;
+    } catch (const Error &e) {
+        std::fprintf(stderr, "clare_client: %s\n", e.what());
+        return 1;
+    }
+}

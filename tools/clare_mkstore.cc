@@ -1,0 +1,132 @@
+/**
+ * @file
+ * clare_mkstore: build a persisted store (plus a query file) for the
+ * networked serving tools.
+ *
+ * The persisted symbol table is the shared schema of the wire
+ * protocol, so queries are generated *before* the store is saved:
+ * every symbol a query mentions is interned into the table the store
+ * persists, and clare_server / clare_client that open the same
+ * directory agree on every id.
+ *
+ * Usage:
+ *   clare_mkstore --out DIR [--queries FILE] [--predicates N]
+ *                 [--clauses N] [--num-queries N] [--seed N]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "crs/store.hh"
+#include "crs/store_io.hh"
+#include "term/term_writer.hh"
+#include "workload/kb_generator.hh"
+#include "workload/query_generator.hh"
+
+namespace {
+
+const char *
+value(const char *arg, const char *name)
+{
+    std::size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) == 0 && arg[n] == '=')
+        return arg + n + 1;
+    return nullptr;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace clare;
+
+    std::string out;
+    std::string queriesPath;
+    std::uint32_t predicates = 8;
+    std::uint32_t clauses = 200;
+    std::uint32_t numQueries = 64;
+    std::uint64_t seed = 1;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--out") == 0 && i + 1 < argc)
+            out = argv[++i];
+        else if (const char *v = value(arg, "--out"))
+            out = v;
+        else if (std::strcmp(arg, "--queries") == 0 && i + 1 < argc)
+            queriesPath = argv[++i];
+        else if (const char *v = value(arg, "--queries"))
+            queriesPath = v;
+        else if (const char *v = value(arg, "--predicates"))
+            predicates = std::strtoul(v, nullptr, 10);
+        else if (const char *v = value(arg, "--clauses"))
+            clauses = std::strtoul(v, nullptr, 10);
+        else if (const char *v = value(arg, "--num-queries"))
+            numQueries = std::strtoul(v, nullptr, 10);
+        else if (const char *v = value(arg, "--seed"))
+            seed = std::strtoull(v, nullptr, 10);
+        else {
+            std::fprintf(stderr, "unknown argument: %s\n", arg);
+            return 2;
+        }
+    }
+    if (out.empty()) {
+        std::fprintf(stderr,
+                     "usage: clare_mkstore --out DIR [--queries FILE] "
+                     "[--predicates N] [--clauses N] [--num-queries N] "
+                     "[--seed N]\n");
+        return 2;
+    }
+
+    term::SymbolTable symbols;
+    workload::KbGenerator generator(symbols);
+    workload::KbSpec spec;
+    spec.predicates = predicates;
+    spec.clausesPerPredicate = clauses;
+    spec.seed = seed;
+    term::Program program = generator.generate(spec);
+
+    // Queries first (see the file comment): their symbols must be in
+    // the table before saveStore persists it.
+    std::vector<std::string> queryLines;
+    if (!queriesPath.empty()) {
+        workload::QuerySpec querySpec;
+        querySpec.seed = seed + 1;
+        workload::QueryGenerator queries(symbols, querySpec);
+        term::TermWriter writer(symbols);
+        const std::vector<term::PredicateId> &preds =
+            program.predicates();
+        for (std::uint32_t i = 0; i < numQueries; ++i) {
+            workload::GeneratedQuery q = queries.generate(
+                program, preds[i % preds.size()]);
+            queryLines.push_back(writer.write(q.arena, q.goal));
+        }
+    }
+
+    crs::PredicateStore store(symbols,
+                              scw::CodewordGenerator(scw::ScwConfig{}));
+    store.addProgram(program);
+    store.finalize();
+    crs::saveStore(out, store, symbols);
+
+    if (!queriesPath.empty()) {
+        std::ofstream file(queriesPath);
+        if (!file) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         queriesPath.c_str());
+            return 1;
+        }
+        for (const std::string &line : queryLines)
+            file << line << "\n";
+    }
+
+    std::printf("store: %s (%u predicates, %u clauses each)\n",
+                out.c_str(), predicates, clauses);
+    if (!queriesPath.empty())
+        std::printf("queries: %s (%zu goals)\n", queriesPath.c_str(),
+                    queryLines.size());
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * clare_router: the predicate-sharded front of a clare_server cluster.
+ *
+ * Prints "listening on PORT" once bound, then relays until
+ * SIGINT/SIGTERM.
+ *
+ * Usage:
+ *   clare_router --backend PORT [--backend PORT ...]
+ *                [--port N] [--replication R] [--probe-ms N]
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "net/router.hh"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void
+onSignal(int)
+{
+    g_stop.store(true);
+}
+
+const char *
+value(const char *arg, const char *name)
+{
+    std::size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) == 0 && arg[n] == '=')
+        return arg + n + 1;
+    return nullptr;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace clare;
+
+    net::RouterConfig config;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--backend") == 0 && i + 1 < argc)
+            config.backendPorts.push_back(static_cast<std::uint16_t>(
+                std::strtoul(argv[++i], nullptr, 10)));
+        else if (const char *v = value(arg, "--backend"))
+            config.backendPorts.push_back(static_cast<std::uint16_t>(
+                std::strtoul(v, nullptr, 10)));
+        else if (const char *v = value(arg, "--port"))
+            config.port =
+                static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
+        else if (const char *v = value(arg, "--replication"))
+            config.replication = std::strtoul(v, nullptr, 10);
+        else if (const char *v = value(arg, "--probe-ms"))
+            config.probeIntervalMillis = std::atoi(v);
+        else {
+            std::fprintf(stderr, "unknown argument: %s\n", arg);
+            return 2;
+        }
+    }
+    if (config.backendPorts.empty()) {
+        std::fprintf(stderr,
+                     "usage: clare_router --backend PORT [--backend "
+                     "PORT ...] [--port N] [--replication R]\n");
+        return 2;
+    }
+
+    try {
+        net::Router router(std::move(config));
+        router.start();
+        std::printf("listening on %u\n",
+                    static_cast<unsigned>(router.port()));
+        std::fflush(stdout);
+
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+        while (!g_stop.load())
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+        router.stop();
+    } catch (const Error &e) {
+        std::fprintf(stderr, "clare_router: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * clare_server: one networked Clause Retrieval Server over a persisted
+ * store.
+ *
+ * Prints "listening on PORT" once the socket is bound (an ephemeral
+ * port when --port is omitted), then serves until SIGINT/SIGTERM.
+ *
+ * Usage:
+ *   clare_server --store DIR [--port N] [--workers N] [--cache]
+ *       [--fault-seed N --fault-flip R --fault-transient R]   (disk)
+ *       [--wire-seed N --wire-drop R --wire-truncate R
+ *        --wire-corrupt R --wire-delay R]                     (wire)
+ *
+ * The disk knobs arm CrsConfig::faults (index/data corruption, the
+ * degraded-scan path); the wire knobs arm NetServerConfig::wireFaults
+ * (outbound frame drop/truncate/bit-flip/delay).  Both are the
+ * deterministic seeded injector, so a cluster with one poisoned
+ * backend is a reproducible experiment, not a flaky one.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "crs/server.hh"
+#include "crs/store_io.hh"
+#include "net/server.hh"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void
+onSignal(int)
+{
+    g_stop.store(true);
+}
+
+const char *
+value(const char *arg, const char *name)
+{
+    std::size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) == 0 && arg[n] == '=')
+        return arg + n + 1;
+    return nullptr;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace clare;
+
+    std::string storeDir;
+    net::NetServerConfig netConfig;
+    crs::CrsConfig crsConfig;
+    bool cache = false;
+    support::FaultConfig diskFaults;
+    bool haveDiskFaults = false;
+    support::FaultConfig wireFaults;
+    bool haveWireFaults = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--store") == 0 && i + 1 < argc)
+            storeDir = argv[++i];
+        else if (const char *v = value(arg, "--store"))
+            storeDir = v;
+        else if (const char *v = value(arg, "--port"))
+            netConfig.port =
+                static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
+        else if (const char *v = value(arg, "--workers"))
+            crsConfig.workers = std::strtoul(v, nullptr, 10);
+        else if (std::strcmp(arg, "--cache") == 0)
+            cache = true;
+        else if (const char *v = value(arg, "--fault-seed")) {
+            diskFaults.seed = std::strtoull(v, nullptr, 10);
+            haveDiskFaults = true;
+        } else if (const char *v = value(arg, "--fault-flip"))
+            diskFaults.bitFlipRate = std::strtod(v, nullptr);
+        else if (const char *v = value(arg, "--fault-transient"))
+            diskFaults.transientReadRate = std::strtod(v, nullptr);
+        else if (const char *v = value(arg, "--wire-seed")) {
+            wireFaults.seed = std::strtoull(v, nullptr, 10);
+            haveWireFaults = true;
+        } else if (const char *v = value(arg, "--wire-drop"))
+            wireFaults.frameDropRate = std::strtod(v, nullptr);
+        else if (const char *v = value(arg, "--wire-truncate"))
+            wireFaults.frameTruncateRate = std::strtod(v, nullptr);
+        else if (const char *v = value(arg, "--wire-corrupt"))
+            wireFaults.frameCorruptRate = std::strtod(v, nullptr);
+        else if (const char *v = value(arg, "--wire-delay"))
+            wireFaults.frameDelayRate = std::strtod(v, nullptr);
+        else {
+            std::fprintf(stderr, "unknown argument: %s\n", arg);
+            return 2;
+        }
+    }
+    if (storeDir.empty()) {
+        std::fprintf(stderr,
+                     "usage: clare_server --store DIR [--port N] "
+                     "[--workers N] [--cache] [fault knobs]\n");
+        return 2;
+    }
+
+    try {
+        term::SymbolTable symbols;
+        crs::PredicateStore store = crs::loadStore(storeDir, symbols);
+
+        support::FaultInjector diskInjector(diskFaults);
+        if (haveDiskFaults)
+            crsConfig.faults = &diskInjector;
+        crsConfig.cache.enabled = cache;
+
+        crs::ClauseRetrievalServer server(symbols, store, crsConfig);
+
+        support::FaultInjector wireInjector(wireFaults);
+        if (haveWireFaults)
+            netConfig.wireFaults = &wireInjector;
+
+        net::NetServer netServer(symbols, store, server, netConfig);
+        netServer.start();
+        std::printf("listening on %u\n",
+                    static_cast<unsigned>(netServer.port()));
+        std::fflush(stdout);
+
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+        while (!g_stop.load())
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+        netServer.stop();
+    } catch (const Error &e) {
+        std::fprintf(stderr, "clare_server: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
