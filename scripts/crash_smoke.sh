@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke: boot clare_server with a WAL and a background
+# ingest stream, kill -9 the process mid-stream, and verify recovery:
+#
+#   1. the reopened store replays exactly the committed prefix — at
+#      least every commit the dead server acknowledged ("ingested N"
+#      prints after the WAL sync returns), at most one more (a commit
+#      whose sync raced the kill);
+#   2. recovery is deterministic: a second reopen replays the same
+#      count;
+#   3. the recovered server still shuts down gracefully on SIGTERM.
+#
+# The byte-exact kill-point fuzzing (every offset of commit and
+# checkpoint streams) lives in test_wal; this smoke proves the same
+# contract end to end against a real process kill.
+#
+# Usage: scripts/crash_smoke.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+TOOLS="$BUILD/tools"
+WORK="$(mktemp -d /tmp/clare-crash-smoke.XXXXXX)"
+
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        kill -9 "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+wait_line() { # logfile pattern
+    local log="$1" pattern="$2" tries=0
+    until grep -q "$pattern" "$log" 2>/dev/null; do
+        tries=$((tries + 1))
+        [ "$tries" -lt 100 ] || {
+            echo "timeout waiting for '$pattern' in $log" >&2
+            exit 1
+        }
+        sleep 0.1
+    done
+}
+
+echo "== crash-smoke: building store + ingest stream =="
+"$TOOLS/clare_mkstore" --out "$WORK/store" --predicates=4 \
+    --clauses=60 --seed=7 > /dev/null
+for i in $(seq 1 400); do
+    echo "live_fact($i, tag$((i % 7)))."
+done > "$WORK/ingest.txt"
+
+echo "== crash-smoke: ingesting live, then kill -9 mid-stream =="
+"$TOOLS/clare_server" --store "$WORK/store" --wal "$WORK/store/wal.log" \
+    --ingest "$WORK/ingest.txt" --ingest-delay-us=2000 \
+    > "$WORK/s.log" &
+PIDS+=($!)
+wait_line "$WORK/s.log" "^listening on "
+# Let a healthy prefix commit, then crash hard mid-ingest.
+until [ "$(grep -c '^ingested ' "$WORK/s.log" || true)" -ge 25 ]; do
+    sleep 0.05
+done
+kill -9 "${PIDS[0]}" 2>/dev/null
+wait "${PIDS[0]}" 2>/dev/null || true
+ACKED="$(grep -c '^ingested ' "$WORK/s.log" || true)"
+PIDS=()
+if grep -q "^ingest done$" "$WORK/s.log"; then
+    echo "ingest finished before the kill; nothing was in flight" >&2
+    exit 1
+fi
+
+echo "== crash-smoke: recover (acknowledged $ACKED commits) =="
+"$TOOLS/clare_server" --store "$WORK/store" \
+    --wal "$WORK/store/wal.log" > "$WORK/r1.log" &
+PIDS+=($!)
+wait_line "$WORK/r1.log" "^listening on "
+REC1="$(awk '/^wal recovered /{print $3}' "$WORK/r1.log")"
+kill -TERM "${PIDS[0]}"
+wait "${PIDS[0]}" || {
+    echo "recovered server did not shut down cleanly" >&2
+    exit 1
+}
+PIDS=()
+grep -q "shutdown complete" "$WORK/r1.log" || {
+    echo "recovered server skipped graceful shutdown" >&2
+    exit 1
+}
+
+# Exactly the committed prefix: every acknowledged commit, plus at
+# most the one whose durable sync raced the kill.
+if [ "$REC1" -lt "$ACKED" ] || [ "$REC1" -gt "$((ACKED + 1))" ]; then
+    echo "recovered $REC1 commits, expected $ACKED or $((ACKED + 1))" \
+        >&2
+    exit 1
+fi
+
+echo "== crash-smoke: recovery is deterministic =="
+"$TOOLS/clare_server" --store "$WORK/store" \
+    --wal "$WORK/store/wal.log" > "$WORK/r2.log" &
+PIDS+=($!)
+wait_line "$WORK/r2.log" "^listening on "
+REC2="$(awk '/^wal recovered /{print $3}' "$WORK/r2.log")"
+kill -TERM "${PIDS[0]}"
+wait "${PIDS[0]}" || true
+PIDS=()
+if [ "$REC1" != "$REC2" ]; then
+    echo "recovery replayed $REC1 then $REC2 commits" >&2
+    exit 1
+fi
+
+echo "crash-smoke OK (recovered $REC1 of $ACKED acknowledged commits)"

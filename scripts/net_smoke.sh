@@ -64,4 +64,20 @@ echo "== net-smoke: client vs local serve() (must be identical) =="
 "$TOOLS/clare_client" --store "$WORK/store" --port="$RP" \
     --queries "$WORK/q.txt" --verify-local
 
+echo "== net-smoke: graceful shutdown (SIGTERM, no kill -9) =="
+# Every process must drain and exit 0 on plain TERM; the EXIT trap
+# stays as a safety net but should find nothing left to kill.
+for pid in "${PIDS[@]}"; do
+    kill -TERM "$pid" 2>/dev/null || true
+done
+for pid in "${PIDS[@]}"; do
+    if ! wait "$pid"; then
+        echo "process $pid did not shut down cleanly" >&2
+        exit 1
+    fi
+done
+grep -q "shutdown complete" "$WORK/s1.log" || {
+    echo "backend 1 skipped graceful shutdown" >&2; exit 1; }
+PIDS=()
+
 echo "net-smoke OK"

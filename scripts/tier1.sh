@@ -29,6 +29,13 @@ cmake -B "$ASAN_BUILD" -S . -DCLARE_SANITIZE=address
 cmake --build "$ASAN_BUILD" -j
 ctest --test-dir "$ASAN_BUILD" -L faults --output-on-failure -j
 
+echo "== tier-1: ASan+UBSan build + wal-labeled tests =="
+# The WAL/live-update suite fuzzes torn tails and byte-granular crash
+# kill points through commit and checkpoint; running it sanitized
+# proves the recovery walks (CRC checks, truncation, replay) stay
+# in-bounds on every mangled input, not just correct.
+ctest --test-dir "$ASAN_BUILD" -L wal --output-on-failure -j
+
 echo "== tier-1: ASan+UBSan build + sliced-equivalence tests =="
 ctest --test-dir "$ASAN_BUILD" -L sliced --output-on-failure -j
 
@@ -49,5 +56,10 @@ echo "== tier-1: loopback cluster smoke (3 backends + router) =="
 # in-process serve() on the same store — answers and modeled ticks
 # must be bit-identical through the wire.
 scripts/net_smoke.sh "$BUILD"
+
+echo "== tier-1: crash-recovery smoke (kill -9 mid-ingest) =="
+# Hard-kills a live-updating clare_server mid-WAL-stream and verifies
+# the reopened store replays exactly the committed prefix.
+scripts/crash_smoke.sh "$BUILD"
 
 echo "tier-1 OK"

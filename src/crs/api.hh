@@ -83,6 +83,16 @@ struct RetrievalRequest
      * a server with caches disabled.
      */
     bool bypassCache = false;
+
+    /**
+     * Pin this request to an MVCC generation: the retrieval sees the
+     * newest predicate version published at or before the pinned
+     * generation, regardless of concurrent or later commits.  Empty
+     * serves the head (newest) generation.  Snapshot-pinned requests
+     * bypass the caches (whose entries are keyed to the live store)
+     * rather than risk serving a different generation's answers.
+     */
+    std::optional<std::uint64_t> snapshot;
 };
 
 /**

@@ -168,10 +168,19 @@ SearchMode
 ClauseRetrievalServer::selectMode(const TermArena &q_arena,
                                   TermRef goal) const
 {
-    QueryProfile p = profileQuery(q_arena, goal);
     term::PredicateId pred = goalPredicate(q_arena, goal);
-    double rule_fraction = store_.has(pred)
-        ? store_.predicate(pred).ruleFraction : 0.0;
+    std::shared_ptr<const StoredPredicate> head =
+        store_.predicateVersion(pred);
+    return selectModeFor(q_arena, goal,
+                         head ? head->ruleFraction : 0.0);
+}
+
+SearchMode
+ClauseRetrievalServer::selectModeFor(const TermArena &q_arena,
+                                     TermRef goal,
+                                     double rule_fraction)
+{
+    QueryProfile p = profileQuery(q_arena, goal);
 
     // Nothing for a filter to discriminate on: every clause of the
     // predicate is a candidate whatever we do.
@@ -248,8 +257,10 @@ ClauseRetrievalServer::scanIndex(const StoredPredicate &stored,
     }
 
     scw::Signature query_sig = store_.generator().encode(q_arena, goal);
-    scan.fs1 = fs1_.search(stored.index, stored.sliced.get(), query_sig,
-                           pool_.get(), scanShards_, obs, parent);
+    scan.fs1 = fs1_.search(stored.index, stored.sliced.get(),
+                           stored.deltaSliced.get(), stored.baseEntries,
+                           query_sig, pool_.get(), scanShards_, obs,
+                           parent);
     return scan;
 }
 
@@ -259,13 +270,22 @@ ClauseRetrievalServer::scanIndex(const StoredPredicate &stored,
 
 std::string
 ClauseRetrievalServer::goalKey(const TermArena &q_arena, TermRef goal,
-                               SearchMode mode)
+                               SearchMode mode,
+                               std::uint64_t generation)
 {
     // The resolved mode is part of the identity: the same goal served
-    // in two modes produces different candidate sets and timings.
+    // in two modes produces different candidate sets and timings.  So
+    // is the MVCC generation of the predicate version that answers it:
+    // key and payload derive from the same resolved version, so a
+    // commit racing with a fill can never park one generation's
+    // answers under another generation's key.
     std::string key = term::canonicalKey(q_arena, goal);
     key.push_back('#');
     key.push_back(static_cast<char>('0' + static_cast<int>(mode)));
+    if (generation != 0) {
+        key.push_back('@');
+        key += std::to_string(generation);
+    }
     return key;
 }
 
@@ -279,12 +299,15 @@ ClauseRetrievalServer::generationOf(const term::PredicateId &pred) const
 
 std::string
 ClauseRetrievalServer::survivorKey(const term::PredicateId &pred,
-                                   const scw::Signature &sig) const
+                                   const scw::Signature &sig,
+                                   std::uint64_t store_generation) const
 {
     // Identify the scan, not just the goal: predicate (two predicates
     // can encode identical argument signatures), index generation (a
-    // committed write makes every old memo unmatchable), and the
-    // signature's exact bits.
+    // committed write makes every old memo unmatchable), the MVCC
+    // generation of the version scanned (key and survivors from the
+    // same resolved version — race-free against in-flight commits),
+    // and the signature's exact bits.
     std::vector<std::uint8_t> bytes;
     auto put_u64 = [&bytes](std::uint64_t v) {
         for (int i = 0; i < 8; ++i)
@@ -293,6 +316,7 @@ ClauseRetrievalServer::survivorKey(const term::PredicateId &pred,
     put_u64(static_cast<std::uint64_t>(pred.functor));
     put_u64(pred.arity);
     put_u64(generationOf(pred));
+    put_u64(store_generation);
     put_u64(sig.maskBits);
     put_u64(sig.fields.size());
     for (const BitVec &field : sig.fields)
@@ -322,8 +346,9 @@ ClauseRetrievalServer::rawScan(const StoredPredicate &stored,
                                obs::SpanId parent) const
 {
     IndexScan scan;
-    scan.fs1 = fs1_.search(stored.index, stored.sliced.get(), sig,
-                           pool_.get(), scanShards_, obs, parent);
+    scan.fs1 = fs1_.search(stored.index, stored.sliced.get(),
+                           stored.deltaSliced.get(), stored.baseEntries,
+                           sig, pool_.get(), scanShards_, obs, parent);
     return scan;
 }
 
@@ -336,7 +361,7 @@ ClauseRetrievalServer::cachedScan(const StoredPredicate &stored,
                                   obs::SpanId parent)
 {
     scw::Signature sig = lookupSignature(goal_key, q_arena, goal, obs);
-    std::string skey = survivorKey(pred, sig);
+    std::string skey = survivorKey(pred, sig, stored.generation);
     if (std::optional<fs1::Fs1Result> memo =
             survivorCache_->find(skey, obs)) {
         IndexScan scan;
@@ -444,13 +469,24 @@ ClauseRetrievalServer::serve(const RetrievalRequest &request)
     clare_assert(request.arena != nullptr, "retrieval request has no "
                  "arena");
     RetrievalResponse response;
-    response.mode = request.mode
-        ? *request.mode
-        : selectMode(*request.arena, request.goal);
 
     const term::PredicateId pred =
         goalPredicate(*request.arena, request.goal);
-    const StoredPredicate &stored = store_.predicate(pred);
+    // Pin the MVCC version first: everything below — mode selection,
+    // cache keys, the scan, unification — derives from this one
+    // version, so a commit landing mid-request cannot tear the view.
+    std::shared_ptr<const StoredPredicate> pinned =
+        store_.predicateVersion(pred, request.snapshot);
+    if (pinned == nullptr)
+        clare_fatal("predicate %s/%u is not stored%s",
+                    symbols_.name(pred.functor).c_str(), pred.arity,
+                    request.snapshot ? " at the requested snapshot"
+                                     : "");
+    const StoredPredicate &stored = *pinned;
+    response.mode = request.mode
+        ? *request.mode
+        : selectModeFor(*request.arena, request.goal,
+                        stored.ruleFraction);
     obs::Observer ob = observer(request.trace);
     obs::ScopedSpan root(ob.tracer, "crs.retrieve");
     root.attr("mode", std::string(searchModeSlug(response.mode)));
@@ -458,7 +494,8 @@ ClauseRetrievalServer::serve(const RetrievalRequest &request)
     const bool caching = cachingActive(request);
     std::string goal_key;
     if (caching) {
-        goal_key = goalKey(*request.arena, request.goal, response.mode);
+        goal_key = goalKey(*request.arena, request.goal, response.mode,
+                           stored.generation);
         if (std::optional<RetrievalResponse> cached =
                 goalCache_->find(goal_key)) {
             serveGoalHit(*cached, response);
@@ -498,19 +535,31 @@ ClauseRetrievalServer::serveBatch(const std::vector<RetrievalRequest> &
                    "batch").set(static_cast<double>(n));
 
     // Resolve modes and predicates up front (cheap, read-only) so the
-    // pipeline stages below are pure scan/filter work.
+    // pipeline stages below are pure scan/filter work.  Each request
+    // pins its MVCC predicate version here; the pins keep the versions
+    // (and their images) alive for the whole batch, so pool workers
+    // scanning ahead never race a concurrent commit.
     std::vector<SearchMode> modes(n);
+    std::vector<std::shared_ptr<const StoredPredicate>> pins(n);
     std::vector<const StoredPredicate *> stored(n);
     std::vector<term::PredicateId> preds(n);
     bool any_tracing = false;
     for (std::size_t i = 0; i < n; ++i) {
         clare_assert(batch[i].arena != nullptr,
                      "serveBatch request %zu has no arena", i);
+        preds[i] = goalPredicate(*batch[i].arena, batch[i].goal);
+        pins[i] = store_.predicateVersion(preds[i], batch[i].snapshot);
+        if (pins[i] == nullptr)
+            clare_fatal("predicate %s/%u is not stored%s",
+                        symbols_.name(preds[i].functor).c_str(),
+                        preds[i].arity,
+                        batch[i].snapshot
+                            ? " at the requested snapshot" : "");
+        stored[i] = pins[i].get();
         modes[i] = batch[i].mode
             ? *batch[i].mode
-            : selectMode(*batch[i].arena, batch[i].goal);
-        preds[i] = goalPredicate(*batch[i].arena, batch[i].goal);
-        stored[i] = &store_.predicate(preds[i]);
+            : selectModeFor(*batch[i].arena, batch[i].goal,
+                            stored[i]->ruleFraction);
         out[i].mode = modes[i];
         any_tracing = any_tracing || batch[i].trace.enabled;
     }
@@ -538,7 +587,7 @@ ClauseRetrievalServer::serveBatch(const std::vector<RetrievalRequest> &
                 continue;
             caching[i] = 1;
             goal_keys[i] = goalKey(*batch[i].arena, batch[i].goal,
-                                   modes[i]);
+                                   modes[i], stored[i]->generation);
             if (goalCache_->contains(goal_keys[i]) ||
                 batch_goal_keys.count(goal_keys[i])) {
                 predicted[i] = 1;
@@ -549,7 +598,8 @@ ClauseRetrievalServer::serveBatch(const std::vector<RetrievalRequest> &
             sigs[i] = lookupSignature(goal_keys[i], *batch[i].arena,
                                       batch[i].goal,
                                       observer(batch[i].trace));
-            survivor_keys[i] = survivorKey(preds[i], *sigs[i]);
+            survivor_keys[i] = survivorKey(preds[i], *sigs[i],
+                                           stored[i]->generation);
             if (survivorCache_->contains(survivor_keys[i]) ||
                 batch_survivor_keys.count(survivor_keys[i])) {
                 predicted[i] = 1;
@@ -594,15 +644,26 @@ ClauseRetrievalServer::serveBatch(const std::vector<RetrievalRequest> &
     std::vector<std::size_t> group_of(n, kNoGroup);
     std::vector<std::vector<std::size_t>> groups;
     if (grouping) {
-        std::map<term::PredicateId, std::size_t> open;
+        // Keyed by the pinned version, not the predicate id: two
+        // requests of one predicate can pin different MVCC versions
+        // (snapshot pins, or a commit landing between their resolve
+        // steps), and a group must share one index.
+        std::map<const StoredPredicate *, std::size_t> open;
         for (std::size_t i = 0; i < n; ++i) {
             if (!usesFs1(modes[i]) || predicted[i])
                 continue;
-            auto it = open.find(preds[i]);
+            // A live (base + delta) version routes through the split
+            // scan, not the batch plane pass: the base plane alone
+            // does not cover the composite file.  (Grouping it would
+            // still be bit-identical — searchBatch falls back — but
+            // would silently lose the sliced path.)
+            if (stored[i]->deltaSliced != nullptr)
+                continue;
+            auto it = open.find(stored[i]);
             if (it == open.end() ||
                 groups[it->second].size() >= config_.batchWidth) {
                 groups.emplace_back();
-                it = open.insert_or_assign(preds[i],
+                it = open.insert_or_assign(stored[i],
                                            groups.size() - 1).first;
             }
             group_of[i] = it->second;
@@ -665,8 +726,8 @@ ClauseRetrievalServer::serveBatch(const std::vector<RetrievalRequest> &
                         sigs[i] = lookupSignature(goal_keys[i],
                                                   *batch[i].arena,
                                                   batch[i].goal, ob);
-                        survivor_keys[i] = survivorKey(preds[i],
-                                                       *sigs[i]);
+                        survivor_keys[i] = survivorKey(
+                            preds[i], *sigs[i], stored[i]->generation);
                     }
                     if (std::optional<fs1::Fs1Result> memo =
                             survivorCache_->find(survivor_keys[i],

@@ -238,7 +238,10 @@ class ClauseRetrievalServer : public CacheInvalidationSink
     std::vector<RetrievalResponse>
     serveBatch(const std::vector<RetrievalRequest> &batch);
 
-    /** The mode-selection heuristic (exposed for tests/benches). */
+    /**
+     * The mode-selection heuristic (exposed for tests/benches),
+     * evaluated against the head predicate version.
+     */
     SearchMode selectMode(const term::TermArena &q_arena,
                           term::TermRef goal) const;
 
@@ -333,6 +336,16 @@ class ClauseRetrievalServer : public CacheInvalidationSink
     term::PredicateId goalPredicate(const term::TermArena &q_arena,
                                     term::TermRef goal) const;
 
+    /**
+     * Mode selection against an already-resolved predicate version's
+     * rule fraction — serve()/serveBatch() pin the MVCC version first
+     * and select against that same version, never the (possibly
+     * newer) head.
+     */
+    static SearchMode selectModeFor(const term::TermArena &q_arena,
+                                    term::TermRef goal,
+                                    double rule_fraction);
+
     /** Does this mode run the FS1 index scan? */
     static bool usesFs1(SearchMode mode)
     {
@@ -356,22 +369,28 @@ class ClauseRetrievalServer : public CacheInvalidationSink
     // on the calling thread, in request (or batch) order, so hit/miss
     // counters and LRU state are deterministic at any worker count.
 
-    /** Do L2/L3 participate in this request? */
+    /**
+     * Do L2/L3 participate in this request?  Snapshot-pinned requests
+     * never cache: their answers belong to one historical generation.
+     */
     bool cachingActive(const RetrievalRequest &request) const
     {
-        return goalCache_ != nullptr && !request.bypassCache;
+        return goalCache_ != nullptr && !request.bypassCache &&
+            !request.snapshot;
     }
 
-    /** L3 key: canonical (renaming-invariant) goal key + mode. */
+    /** L3 key: canonical goal key + mode + MVCC generation. */
     static std::string goalKey(const term::TermArena &q_arena,
-                               term::TermRef goal, SearchMode mode);
+                               term::TermRef goal, SearchMode mode,
+                               std::uint64_t generation);
 
     /** Current index generation of a predicate (0 until written). */
     std::uint64_t generationOf(const term::PredicateId &pred) const;
 
-    /** L2b key: predicate + index generation + signature bytes. */
+    /** L2b key: predicate + generations + signature bytes. */
     std::string survivorKey(const term::PredicateId &pred,
-                            const scw::Signature &sig) const;
+                            const scw::Signature &sig,
+                            std::uint64_t store_generation) const;
 
     /** Encode the goal's signature through the L2a memo. */
     scw::Signature lookupSignature(const std::string &goal_key,

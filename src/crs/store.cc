@@ -9,7 +9,8 @@ PredicateStore::PredicateStore(const term::SymbolTable &symbols,
                                scw::CodewordGenerator generator,
                                storage::DiskGeometry geometry)
     : symbols_(symbols), generator_(std::move(generator)),
-      writer_(symbols_), dataDisk_(geometry), indexDisk_(geometry)
+      writer_(symbols_), dataDisk_(geometry), indexDisk_(geometry),
+      mvccMutex_(std::make_unique<std::shared_mutex>())
 {
 }
 
@@ -113,17 +114,84 @@ PredicateStore::finalize()
 bool
 PredicateStore::has(const term::PredicateId &pred) const
 {
-    return preds_.count(pred) != 0;
+    if (preds_.count(pred) != 0)
+        return true;
+    std::shared_lock lock(*mvccMutex_);
+    return versions_.count(pred) != 0;
 }
 
 const StoredPredicate &
 PredicateStore::predicate(const term::PredicateId &pred) const
 {
+    {
+        // Version chains only append, so the head version (and the
+        // reference) stays alive for the store's lifetime even after
+        // newer commits supersede it.
+        std::shared_lock lock(*mvccMutex_);
+        auto it = versions_.find(pred);
+        if (it != versions_.end() && !it->second.empty())
+            return *it->second.back().second;
+    }
     auto it = preds_.find(pred);
     if (it == preds_.end())
         clare_fatal("predicate %s/%u is not stored",
                     symbols_.name(pred.functor).c_str(), pred.arity);
     return it->second;
+}
+
+std::shared_ptr<const StoredPredicate>
+PredicateStore::predicateVersion(const term::PredicateId &pred,
+                                 std::optional<std::uint64_t> generation)
+    const
+{
+    {
+        std::shared_lock lock(*mvccMutex_);
+        auto it = versions_.find(pred);
+        if (it != versions_.end()) {
+            const auto &chain = it->second;
+            // Newest version with generation <= the pin, scanning the
+            // (short, append-only) chain backward.
+            for (auto rit = chain.rbegin(); rit != chain.rend(); ++rit)
+                if (!generation || rit->first <= *generation)
+                    return rit->second;
+            // Every chained version is newer than the pin: fall back
+            // to the generation-0 base below, if one exists.
+        }
+    }
+    auto it = preds_.find(pred);
+    if (it == preds_.end())
+        return nullptr;
+    // Generation 0 lives in preds_; alias the node (std::map nodes are
+    // address-stable) with an empty control block — the store itself
+    // keeps it alive.
+    return std::shared_ptr<const StoredPredicate>(
+        std::shared_ptr<const void>(), &it->second);
+}
+
+std::uint64_t
+PredicateStore::headGeneration() const
+{
+    std::shared_lock lock(*mvccMutex_);
+    return headGeneration_;
+}
+
+std::uint64_t
+PredicateStore::publish(
+    std::map<term::PredicateId,
+             std::shared_ptr<StoredPredicate>> versions)
+{
+    std::unique_lock lock(*mvccMutex_);
+    std::uint64_t gen = ++headGeneration_;
+    for (auto &kv : versions) {
+        kv.second->generation = gen;
+        auto &chain = versions_[kv.first];
+        bool brand_new = chain.empty() && preds_.count(kv.first) == 0;
+        chain.emplace_back(gen, std::shared_ptr<const StoredPredicate>(
+                                    std::move(kv.second)));
+        if (brand_new)
+            order_.push_back(kv.first);
+    }
+    return gen;
 }
 
 std::uint64_t

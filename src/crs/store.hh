@@ -11,6 +11,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <utility>
 #include <vector>
 
 #include "scw/bit_sliced_index.hh"
@@ -51,6 +54,30 @@ struct StoredPredicate
      * and concurrent workers can hold it without copying.
      */
     std::shared_ptr<const scw::BitSlicedIndex> sliced;
+
+    /**
+     * MVCC generation this version was published at.  0 = the
+     * immutable load-time base; live commits publish versions stamped
+     * with monotonically increasing generations.
+     */
+    std::uint64_t generation = 0;
+
+    /**
+     * Entries of `index` covered by the base `sliced` plane.  A live
+     * assertz commit concatenates new clauses onto the base images
+     * without rebuilding the (large) base plane; the tail
+     * [baseEntries, entryCount) is covered by `deltaSliced` instead.
+     * 0 means `sliced`, when present, covers the whole index.
+     */
+    std::size_t baseEntries = 0;
+
+    /**
+     * LSM-flavored delta mini-plane over the index tail appended since
+     * the base plane was built.  Rebuilt O(delta) at each commit;
+     * folded into a fresh full plane at checkpoint.  Null when the
+     * version carries no un-sliced tail.
+     */
+    std::shared_ptr<const scw::BitSlicedIndex> deltaSliced;
 };
 
 /**
@@ -94,7 +121,41 @@ class PredicateStore
     void finalize();
 
     bool has(const term::PredicateId &pred) const;
+
+    /**
+     * The head (newest) version of @p pred.  The reference stays valid
+     * for the store's lifetime only for generation-0 predicates; under
+     * live updates prefer predicateVersion(), which pins the version
+     * with shared ownership.
+     */
     const StoredPredicate &predicate(const term::PredicateId &pred) const;
+
+    /**
+     * Pin one MVCC version of @p pred: the newest version whose
+     * generation is <= @p generation (or the head when omitted).
+     * Returns null when the predicate does not exist, or existed only
+     * after the requested generation.  The returned pointer keeps the
+     * version (and its images) alive regardless of later commits, so
+     * readers never block on or observe an in-flight writer.
+     */
+    std::shared_ptr<const StoredPredicate>
+    predicateVersion(const term::PredicateId &pred,
+                     std::optional<std::uint64_t> generation = {}) const;
+
+    /** Generation of the newest published commit (0 = load-time). */
+    std::uint64_t headGeneration() const;
+
+    /**
+     * Publish new versions of the given predicates as one atomic
+     * commit.  Stamps every version with the new generation, appends
+     * it to the version chains, and registers predicates not seen
+     * before.  Readers pinned to older generations are unaffected.
+     * @return the generation the versions were published at
+     */
+    std::uint64_t publish(
+        std::map<term::PredicateId,
+                 std::shared_ptr<StoredPredicate>> versions);
+
     const std::vector<term::PredicateId> &predicates() const
     {
         return order_;
@@ -135,8 +196,31 @@ class PredicateStore
     storage::DiskModel dataDisk_;
     storage::DiskModel indexDisk_;
     std::map<term::PredicateId, StoredPredicate> preds_;
+
+    /**
+     * Predicate enumeration order.  Only publish() of a *new*
+     * predicate appends here (under mvccMutex_); concurrent readers
+     * iterating predicates() while a writer introduces a brand-new
+     * predicate is the one enumeration hazard — the serving tier
+     * resolves predicates by id, never by enumeration, on the hot
+     * path.
+     */
     std::vector<term::PredicateId> order_;
     bool finalized_ = false;
+
+    /**
+     * MVCC version chains, newest last, each entry (generation,
+     * version).  Generation-0 versions live in preds_ (keeping every
+     * pre-existing accessor valid); chains only exist for predicates
+     * touched by a live commit.  Guarded by mvccMutex_ (unique_ptr so
+     * the store stays movable before serving starts).
+     */
+    std::unique_ptr<std::shared_mutex> mvccMutex_;
+    std::uint64_t headGeneration_ = 0;
+    std::map<term::PredicateId,
+             std::vector<std::pair<std::uint64_t,
+                                   std::shared_ptr<const StoredPredicate>>>>
+        versions_;
 };
 
 } // namespace clare::crs

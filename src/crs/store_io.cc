@@ -17,15 +17,15 @@ namespace clare::crs {
 
 namespace fs = std::filesystem;
 
-namespace {
-
 std::string
-predicateStem(const term::PredicateId &pred)
+predicateFileStem(const term::PredicateId &pred)
 {
     // Functor names can contain anything; file stems use the id.
     return "pred_" + std::to_string(pred.functor) + "_" +
         std::to_string(pred.arity);
 }
+
+namespace {
 
 /** One pred line of the manifest (sizes are -1 in v2 manifests). */
 struct ManifestEntry
@@ -102,7 +102,7 @@ auditStoreDirectory(const std::string &directory,
 
 void
 saveStore(const std::string &directory, const PredicateStore &store,
-          const term::SymbolTable &symbols)
+          const term::SymbolTable &symbols, const StoreWalInfo *wal)
 {
     std::error_code ec;
     fs::create_directories(directory, ec);
@@ -121,18 +121,24 @@ saveStore(const std::string &directory, const PredicateStore &store,
     manifest << "index-format " << scw::kIndexFormatVersion << '\n';
     manifest << "scw " << config.fieldBits << ' ' << config.bitsPerTerm
              << ' ' << config.encodedArgs << ' ' << config.seed << '\n';
+    if (wal != nullptr && wal->present)
+        manifest << "wal " << wal->appliedLsn << '\n';
     for (const term::PredicateId &pred : store.predicates()) {
         const StoredPredicate &stored = store.predicate(pred);
-        std::string stem = predicateStem(pred);
+        std::string stem = predicateFileStem(pred);
         std::string kbc = directory + "/" + stem + ".kbc";
         std::string idx = directory + "/" + stem + ".idx";
         storage::saveClauseFile(kbc, stored.clauses);
         // The framed .idx payload is the raw entry image followed by
         // the bit-sliced plane section (index format v3).  Reuse the
-        // store's plane when it already built one; otherwise transpose
-        // transiently just for persistence.
+        // store's plane only when it covers the whole index — a live
+        // composite head's base plane stops at baseEntries, and
+        // persisting it would frame a plane that disagrees with the
+        // entry image; such heads get a fresh full transpose (this is
+        // where checkpointing folds the delta mini-plane away).
         std::vector<std::uint8_t> idx_payload = stored.index.image();
-        if (stored.sliced != nullptr) {
+        if (stored.sliced != nullptr &&
+            stored.sliced->entryCount() == stored.index.entryCount()) {
             stored.sliced->serialize(idx_payload);
         } else {
             scw::BitSlicedIndex::build(store.generator(), stored.index)
@@ -158,7 +164,8 @@ saveStore(const std::string &directory, const PredicateStore &store,
 }
 
 PredicateStore
-loadStore(const std::string &directory, term::SymbolTable &symbols)
+loadStore(const std::string &directory, term::SymbolTable &symbols,
+          StoreWalInfo *wal)
 {
     storage::loadSymbolTable(directory + "/symbols.tbl", symbols);
 
@@ -262,6 +269,19 @@ loadStore(const std::string &directory, term::SymbolTable &symbols)
     while (std::getline(in, line)) {
         if (line.empty())
             continue;
+        // v4: the optional WAL watermark line (replay skips records
+        // already folded into the checkpointed predicate files).
+        if (version >= 4 && line.rfind("wal ", 0) == 0) {
+            std::istringstream wal_line(line);
+            std::uint64_t applied = 0;
+            if (!(wal_line >> word >> applied))
+                throw bad_manifest("malformed wal line '" + line + "'");
+            if (wal != nullptr) {
+                wal->present = true;
+                wal->appliedLsn = applied;
+            }
+            continue;
+        }
         std::istringstream pred_line(line);
         ManifestEntry e;
         if (!(pred_line >> word >> e.functor >> e.arity >> e.stem) ||
@@ -357,6 +377,40 @@ loadStore(const std::string &directory, term::SymbolTable &symbols)
     }
     store.finalize();
     return store;
+}
+
+PredicateStore
+openStore(const std::string &root, term::SymbolTable &symbols,
+          StoreWalInfo *wal)
+{
+    const std::string current_path = root + "/CURRENT";
+    std::error_code ec;
+    if (!fs::exists(current_path, ec))
+        return loadStore(root, symbols, wal);
+
+    std::string name;
+    {
+        std::ifstream current(current_path);
+        if (!current || !std::getline(current, name) || name.empty())
+            throw CorruptionError(current_path, kNoFilePosition,
+                                  kNoFilePosition,
+                                  "empty or unreadable CURRENT file");
+    }
+    // CURRENT names a sibling subdirectory, nothing else: a corrupted
+    // pointer must not walk the filesystem.
+    if (name.find('/') != std::string::npos ||
+        name.find("..") != std::string::npos)
+        throw CorruptionError(current_path, kNoFilePosition,
+                              kNoFilePosition,
+                              "CURRENT names an invalid path '" + name +
+                              "'");
+    const std::string directory = root + "/" + name;
+    if (!fs::exists(directory + "/manifest.txt", ec))
+        throw CorruptionError(current_path, kNoFilePosition,
+                              kNoFilePosition,
+                              "CURRENT names '" + name +
+                              "' but no such checkpoint exists");
+    return loadStore(directory, symbols, wal);
 }
 
 } // namespace clare::crs

@@ -24,25 +24,57 @@
  * CorruptionError, so a damaged store is diagnosed in a single pass
  * rather than one failure per rerun.  v2 stores (raw .idx, no sizes)
  * still load.
+ *
+ * Manifest v4 (the live-update format) adds one optional line,
+ *
+ *   wal <appliedLsn>
+ *
+ * recording the write-ahead-log watermark the store was checkpointed
+ * at: WAL records with LSN below it are already folded into the
+ * predicate files and must be skipped on replay.  v2 and v3 stores
+ * (no wal line; watermark 0) still load unchanged.
+ *
+ * Checkpointing introduces the CURRENT indirection at the *root*
+ * directory (see crs::LiveStore::checkpoint): each checkpoint writes a
+ * complete store into `<root>/ckpt-<lsn>/` and then atomically renames
+ * CURRENT.tmp over `<root>/CURRENT`, whose single line names the live
+ * subdirectory.  openStore() follows CURRENT when present and falls
+ * back to treating the root itself as a (flat, pre-checkpoint) store
+ * directory, so every v2/v3 layout keeps loading.
  */
 
 #ifndef CLARE_CRS_STORE_IO_HH
 #define CLARE_CRS_STORE_IO_HH
 
+#include <cstdint>
 #include <string>
 
 #include "crs/store.hh"
 
 namespace clare::crs {
 
-/** Current manifest version (v3 = manifest crc, framed idx, sizes). */
-constexpr int kStoreManifestVersion = 3;
+/** Current manifest version (v4 = optional wal watermark line). */
+constexpr int kStoreManifestVersion = 4;
 /** Oldest manifest version still readable. */
 constexpr int kStoreManifestVersionCompat = 2;
 
-/** Persist a finalized store (and its symbol table) to a directory. */
+/** The WAL watermark of a manifest (absent below v4). */
+struct StoreWalInfo
+{
+    bool present = false;        ///< manifest carried a wal line
+    std::uint64_t appliedLsn = 0; ///< records below this are applied
+};
+
+/** File stem a predicate's .kbc/.idx pair is stored under. */
+std::string predicateFileStem(const term::PredicateId &pred);
+
+/**
+ * Persist a finalized store (and its symbol table) to a directory.
+ * @param wal optional watermark to record as the manifest's wal line
+ */
 void saveStore(const std::string &directory, const PredicateStore &store,
-               const term::SymbolTable &symbols);
+               const term::SymbolTable &symbols,
+               const StoreWalInfo *wal = nullptr);
 
 /**
  * Load a persisted store.
@@ -50,10 +82,24 @@ void saveStore(const std::string &directory, const PredicateStore &store,
  * @param symbols a *fresh* symbol table to repopulate (ids must come
  *        out dense and identical to the saved ones; loading into a
  *        table that already interned other names is rejected)
+ * @param wal when non-null, receives the manifest's WAL watermark
  * @return a finalized PredicateStore backed by the loaded images
  */
 PredicateStore loadStore(const std::string &directory,
-                         term::SymbolTable &symbols);
+                         term::SymbolTable &symbols,
+                         StoreWalInfo *wal = nullptr);
+
+/**
+ * CURRENT-aware store opening: when `<root>/CURRENT` exists its single
+ * line names the checkpoint subdirectory to load; otherwise @p root
+ * itself is loaded as a flat store directory.  This is the one entry
+ * point a recovering process needs — paired with replaying the WAL
+ * from the returned watermark, it reconstructs exactly the last
+ * committed state no matter where a crash interrupted a checkpoint.
+ */
+PredicateStore openStore(const std::string &root,
+                         term::SymbolTable &symbols,
+                         StoreWalInfo *wal = nullptr);
 
 } // namespace clare::crs
 

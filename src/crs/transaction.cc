@@ -36,8 +36,16 @@ bool
 LockManager::upgrade(ClientId client, const term::PredicateId &pred)
 {
     auto it = locks_.find(pred);
-    if (it == locks_.end() || !it->second.sharers.count(client))
+    if (it == locks_.end())
         return false;
+    // Already exclusive: upgrading one's own lock is a no-op success;
+    // someone else's is a conflict.
+    if (it->second.exclusive)
+        return it->second.exclusiveOwner == client;
+    if (!it->second.sharers.count(client))
+        return false;
+    // A sole sharer upgrades in place; any co-sharer is a conflict
+    // (acquire() handles both cases).
     return acquire(client, pred, LockKind::Exclusive);
 }
 
@@ -102,13 +110,32 @@ Transaction::~Transaction()
         abort();
 }
 
+void
+Transaction::recordHeld(const term::PredicateId &pred, LockKind kind)
+{
+    // The manager's acquire is idempotent for a lock the client
+    // already holds, so held_ must deduplicate: a second entry for
+    // the same predicate would double-release on commit/abort and
+    // trip the manager's unheld-lock assert.  Re-acquiring at a
+    // stronger kind records the strength in place (the manager
+    // granted exclusive; commit must invalidate).
+    for (auto &held : held_) {
+        if (held.first == pred) {
+            if (kind == LockKind::Exclusive)
+                held.second = LockKind::Exclusive;
+            return;
+        }
+    }
+    held_.emplace_back(pred, kind);
+}
+
 bool
 Transaction::acquire(const term::PredicateId &pred, LockKind kind)
 {
     clare_assert(active_, "operation on a finished transaction");
     if (!manager_.acquire(client_, pred, kind))
         return false;
-    held_.emplace_back(pred, kind);
+    recordHeld(pred, kind);
     return true;
 }
 
@@ -121,15 +148,29 @@ Transaction::acquireAll(std::vector<term::PredicateId> preds,
     preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
     std::vector<term::PredicateId> got;
     for (const auto &pred : preds) {
+        bool already = manager_.holds(client_, pred);
         if (!manager_.acquire(client_, pred, kind)) {
+            // Roll back only locks this call newly created; one the
+            // transaction already held stays held on failure.
             for (const auto &p : got)
                 manager_.release(client_, p);
             return false;
         }
-        got.push_back(pred);
+        if (!already)
+            got.push_back(pred);
     }
-    for (const auto &pred : got)
-        held_.emplace_back(pred, kind);
+    for (const auto &pred : preds)
+        recordHeld(pred, kind);
+    return true;
+}
+
+bool
+Transaction::upgrade(const term::PredicateId &pred)
+{
+    clare_assert(active_, "operation on a finished transaction");
+    if (!manager_.upgrade(client_, pred))
+        return false;
+    recordHeld(pred, LockKind::Exclusive);
     return true;
 }
 

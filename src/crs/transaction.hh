@@ -120,6 +120,14 @@ class Transaction
     /** Acquire a single lock. */
     bool acquire(const term::PredicateId &pred, LockKind kind);
 
+    /**
+     * Upgrade a held shared lock to exclusive.  Succeeds when this
+     * transaction is the sole sharer (or already exclusive); fails on
+     * any co-sharer.  On success commit() treats the predicate as
+     * written (invalidation).
+     */
+    bool upgrade(const term::PredicateId &pred);
+
     void commit();
     void abort();
 
@@ -130,10 +138,15 @@ class Transaction
     LockManager &manager_;
     ClientId client_;
     CacheInvalidationSink *sink_;
-    /** Held locks with the strength they were acquired at. */
+    /**
+     * Held locks with the strength they were acquired at — one entry
+     * per predicate (re-acquisition records the strongest kind in
+     * place; the manager's grants are idempotent).
+     */
     std::vector<std::pair<term::PredicateId, LockKind>> held_;
     bool active_ = true;
 
+    void recordHeld(const term::PredicateId &pred, LockKind kind);
     void releaseHeld();
 };
 

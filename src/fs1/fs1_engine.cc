@@ -231,6 +231,83 @@ Fs1Engine::search(const scw::SecondaryFile &index,
     return result;
 }
 
+Fs1Result
+Fs1Engine::search(const scw::SecondaryFile &index,
+                  const scw::BitSlicedIndex *sliced,
+                  const scw::BitSlicedIndex *delta,
+                  std::size_t base_entries,
+                  const scw::Signature &query,
+                  support::ThreadPool *pool, std::uint32_t shards,
+                  const obs::Observer &obs, obs::SpanId parent) const
+{
+    // The split path engages only when the base plane + delta plane
+    // exactly tile the composite file.  Anything else (no delta, a
+    // plane mismatch, sliced scanning disabled) forwards to the
+    // regular search — where a composite-sized `sliced` plane is
+    // either usable as-is or the scan degrades to row-major, both
+    // bit-identical in answers and modeled timing.
+    bool split_usable = config_.sliced && delta != nullptr &&
+        (base_entries == 0 ||
+         (sliced != nullptr && sliced->entryCount() == base_entries)) &&
+        base_entries + delta->entryCount() == index.entryCount();
+    if (!split_usable)
+        return search(index, sliced, query, pool, shards, obs, parent);
+
+    obs::ScopedSpan span(obs.tracer, "fs1.scan", parent);
+    SlicedMatcher matcher(config_.kernel);
+    std::vector<ShardScan> scans;
+
+    auto scanPlane = [&](const scw::BitSlicedIndex &plane,
+                         std::uint64_t prefix_bytes) {
+        obs::ScopedSpan shard(obs.tracer, "fs1.shard", span.id());
+        ShardScan scan;
+        SlicedMatcher::Hits hits = matcher.scanRange(
+            plane, query, scw::EntryRange{0, plane.entryCount()});
+        scan.clauseOffsets = std::move(hits.clauseOffsets);
+        scan.ordinals = std::move(hits.ordinals);
+        scan.wordOps = hits.wordOps;
+        scan.sliced = true;
+        scan.entriesScanned = plane.entryCount();
+        scan.bytesScanned = plane.entryCount() * index.entryBytes();
+        if (shard.active()) {
+            shard.attr("entries", scan.entriesScanned);
+            shard.attr("hits", static_cast<std::uint64_t>(
+                           scan.ordinals.size()));
+            shard.attr("bytes", scan.bytesScanned);
+            shard.attr("sliced", static_cast<std::uint64_t>(1));
+            shard.attr("word_ops", scan.wordOps);
+            shard.setSimTicks(
+                busyTicks(prefix_bytes + scan.bytesScanned) -
+                busyTicks(prefix_bytes));
+        }
+        if (config_.paceScale > 0) {
+            double device_s = static_cast<double>(scan.bytesScanned) /
+                config_.scanRate / config_.paceScale;
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(device_s));
+        }
+        return scan;
+    };
+
+    if (base_entries > 0)
+        scans.push_back(scanPlane(*sliced, 0));
+    scans.push_back(scanPlane(*delta,
+                              base_entries * index.entryBytes()));
+    // merge() sums bytesScanned across both parts before the single
+    // ticks conversion, so the split's busyTime matches the one-plane
+    // scan of the composite file to the tick.
+    Fs1Result result = merge(std::move(scans), obs);
+    if (span.active()) {
+        span.attr("shards", static_cast<std::uint64_t>(result.shards));
+        span.attr("hits",
+                  static_cast<std::uint64_t>(result.ordinals.size()));
+        span.attr("delta_entries", static_cast<std::uint64_t>(
+                      delta->entryCount()));
+        span.setSimTicks(result.busyTime);
+    }
+    return result;
+}
+
 std::vector<Fs1Result>
 Fs1Engine::searchBatch(const scw::SecondaryFile &index,
                        const scw::BitSlicedIndex *sliced,

@@ -149,6 +149,31 @@ class Fs1Engine
                      obs::SpanId parent = 0) const;
 
     /**
+     * Sliced scan over a live (base + delta) predicate version: the
+     * base plane covers entries [0, base_entries) of @p index and the
+     * delta mini-plane covers the appended tail [base_entries,
+     * entryCount) — the delta plane's entries carry composite
+     * ordinals and clause offsets, so concatenating base hits then
+     * delta hits reproduces the sequential order over the composite
+     * file exactly.  bytesScanned sums both parts before the one
+     * ticks conversion, so busyTime is bit-identical to scanning a
+     * freshly rebuilt full plane (or the row-major composite file).
+     *
+     * Falls back to the plain sliced/row-major search when the split
+     * does not cover the file (then @p sliced typically fails the
+     * coverage check too and the scan runs row-major — still
+     * bit-identical in answers and timing).
+     */
+    Fs1Result search(const scw::SecondaryFile &index,
+                     const scw::BitSlicedIndex *sliced,
+                     const scw::BitSlicedIndex *delta,
+                     std::size_t base_entries,
+                     const scw::Signature &query,
+                     support::ThreadPool *pool, std::uint32_t shards,
+                     const obs::Observer &obs = {},
+                     obs::SpanId parent = 0) const;
+
+    /**
      * Multi-query batch scan: answer @p queries over one index in a
      * single pass over the sliced plane (blocks outer, queries
      * inner), amortizing index memory traffic across the batch.

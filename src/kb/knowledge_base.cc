@@ -72,10 +72,16 @@ void
 KnowledgeBase::assertz(term::Clause clause)
 {
     term::PredicateId pred = clause.predicate();
-    if (compiled_ && isLarge(pred))
+    if (compiled_ && isLarge(pred)) {
+        if (live_ != nullptr) {
+            live_->assertz(clause);
+            return;
+        }
         clare_fatal("assert on disk-resident predicate %s/%u (the "
-                    "compiled store is immutable)",
+                    "compiled store is immutable; call "
+                    "enableLiveUpdates() for WAL-backed writes)",
                     symbols_.name(pred.functor).c_str(), pred.arity);
+    }
     program_.add(std::move(clause));
 }
 
@@ -83,10 +89,16 @@ void
 KnowledgeBase::asserta(term::Clause clause)
 {
     term::PredicateId pred = clause.predicate();
-    if (compiled_ && isLarge(pred))
+    if (compiled_ && isLarge(pred)) {
+        if (live_ != nullptr) {
+            live_->asserta(clause);
+            return;
+        }
         clare_fatal("assert on disk-resident predicate %s/%u (the "
-                    "compiled store is immutable)",
+                    "compiled store is immutable; call "
+                    "enableLiveUpdates() for WAL-backed writes)",
                     symbols_.name(pred.functor).c_str(), pred.arity);
+    }
     program_.addFront(std::move(clause));
 }
 
@@ -136,10 +148,14 @@ KnowledgeBase::retract(const term::TermArena &arena,
     } else {
         clare_fatal("retract pattern head must be an atom or structure");
     }
-    if (compiled_ && isLarge(pred))
+    if (compiled_ && isLarge(pred)) {
+        if (live_ != nullptr)
+            return live_->retract(arena, pattern).has_value();
         clare_fatal("retract on disk-resident predicate %s/%u (the "
-                    "compiled store is immutable)",
+                    "compiled store is immutable; call "
+                    "enableLiveUpdates() for WAL-backed writes)",
                     symbols_.name(pred.functor).c_str(), pred.arity);
+    }
 
     for (std::size_t ordinal : program_.clausesOf(pred)) {
         const term::Clause &clause = program_.clause(ordinal);
@@ -209,6 +225,21 @@ KnowledgeBase::compile()
     server_ = std::make_unique<crs::ClauseRetrievalServer>(
         symbols_, *store_, config_.crs);
     compiled_ = true;
+}
+
+void
+KnowledgeBase::enableLiveUpdates(const std::string &wal_path,
+                                 std::uint64_t applied_lsn)
+{
+    clare_assert(compiled_, "enableLiveUpdates() before compile()");
+    clare_assert(live_ == nullptr, "live updates already enabled");
+    live_ = std::make_unique<crs::LiveStore>(*store_, symbols_,
+                                             wal_path, applied_lsn,
+                                             config_.crs.faults);
+    live_->attachSink(server_.get());
+    // Predicates created (or grown) by WAL replay before this call
+    // returned are already published; nothing else to do — readers
+    // resolve versions per request.
 }
 
 bool

@@ -20,6 +20,7 @@
 #include <string_view>
 #include <vector>
 
+#include "crs/live_update.hh"
 #include "crs/server.hh"
 #include "crs/store.hh"
 #include "term/clause.hh"
@@ -78,10 +79,10 @@ class KnowledgeBase
      * @name Dynamic updates (assert/retract).
      *
      * Permitted before compile(), and afterwards for predicates that
-     * stayed in memory (small).  Updating a disk-resident predicate
-     * is rejected: transaction handling for the CLARE store is listed
-     * as ongoing work in the paper, and the compiled files here are
-     * immutable.
+     * stayed in memory (small).  A disk-resident predicate becomes
+     * updatable once enableLiveUpdates() attaches a WAL-backed
+     * crs::LiveStore; without one the update is rejected (the
+     * compiled files are immutable, as in the original PDBM model).
      */
     /// @{
     void assertz(term::Clause clause);
@@ -108,6 +109,20 @@ class KnowledgeBase
     void compile();
 
     bool compiled() const { return compiled_; }
+
+    /**
+     * Attach crash-recoverable live updates to the compiled store:
+     * opens (or recovers) the WAL at @p wal_path, replays committed
+     * records past @p applied_lsn (the manifest watermark of a
+     * checkpointed store; 0 otherwise), and routes assert/retract on
+     * disk-resident predicates through the MVCC commit path.  Commit
+     * invalidations flow into the server's caches automatically.
+     */
+    void enableLiveUpdates(const std::string &wal_path,
+                           std::uint64_t applied_lsn = 0);
+
+    /** The live-update front end (null until enableLiveUpdates()). */
+    crs::LiveStore *liveStore() { return live_.get(); }
 
     /** Is the predicate disk-resident (after compile())? */
     bool isLarge(const term::PredicateId &pred) const;
@@ -137,6 +152,7 @@ class KnowledgeBase
     std::vector<term::PredicateId> largePreds_;
     std::unique_ptr<crs::PredicateStore> store_;
     std::unique_ptr<crs::ClauseRetrievalServer> server_;
+    std::unique_ptr<crs::LiveStore> live_;
 };
 
 } // namespace clare::kb

@@ -214,7 +214,8 @@ ClauseFileBuilder::add(const term::Clause &clause)
     std::string source = writer_.writeClause(clause);
 
     ClauseRecord rec;
-    rec.ordinal = static_cast<std::uint32_t>(file_.records_.size());
+    rec.ordinal = firstOrdinal_ +
+        static_cast<std::uint32_t>(file_.records_.size());
     rec.offset = static_cast<std::uint32_t>(file_.image_.size());
     rec.functor = pred.functor;
     rec.arity = static_cast<std::uint8_t>(pred.arity);
@@ -246,6 +247,35 @@ ClauseFileBuilder::finish()
     ClauseFile out = std::move(file_);
     file_ = ClauseFile();
     havePredicate_ = false;
+    return out;
+}
+
+ClauseFile
+ClauseFile::concat(const ClauseFile &base, const ClauseFile &tail)
+{
+    if (base.clauseCount() == 0)
+        return tail;
+    if (tail.clauseCount() == 0)
+        return base;
+    clare_assert(base.predicate_ == tail.predicate_,
+                 "concatenating clause files of different predicates");
+    clare_assert(tail.records_.front().ordinal ==
+                     base.records_.size(),
+                 "tail ordinals start at %u, base holds %zu clauses",
+                 tail.records_.front().ordinal, base.records_.size());
+    ClauseFile out;
+    out.predicate_ = base.predicate_;
+    out.image_.reserve(base.image_.size() + tail.image_.size());
+    out.image_ = base.image_;
+    out.image_.insert(out.image_.end(), tail.image_.begin(),
+                      tail.image_.end());
+    out.records_ = base.records_;
+    out.records_.reserve(base.records_.size() + tail.records_.size());
+    std::uint32_t shift = static_cast<std::uint32_t>(base.image_.size());
+    for (ClauseRecord rec : tail.records_) {
+        rec.offset += shift;    // directory-only; not in the wire bytes
+        out.records_.push_back(rec);
+    }
     return out;
 }
 

@@ -85,6 +85,18 @@ class ClauseFile
     static pif::EncodedArgs decodeArgsAt(
         const std::vector<std::uint8_t> &image, const ClauseRecord &rec);
 
+    /**
+     * Concatenate two clause files of one predicate into a composite
+     * whose byte image equals base.image() + tail.image() — the live
+     * write path appends assertz deltas this way.  The tail must have
+     * been built with first_ordinal == base.clauseCount() (the record
+     * ordinals live inside the wire bytes, so numbering is fixed at
+     * build time); the result is then byte-identical to rebuilding
+     * the whole predicate from scratch.  An empty base yields tail.
+     */
+    static ClauseFile concat(const ClauseFile &base,
+                             const ClauseFile &tail);
+
   private:
     friend class ClauseFileBuilder;
     friend ClauseFile loadClauseFile(const std::string &path);
@@ -100,9 +112,14 @@ class ClauseFileBuilder
   public:
     /**
      * @param writer renders clause source text for the host-side copy
+     * @param first_ordinal ordinal of the first clause added — the
+     *        live write path builds *delta* files whose numbering
+     *        continues a base file's, so ClauseFile::concat yields an
+     *        image byte-identical to a from-scratch rebuild
      */
-    explicit ClauseFileBuilder(const term::TermWriter &writer)
-        : writer_(writer)
+    explicit ClauseFileBuilder(const term::TermWriter &writer,
+                               std::uint32_t first_ordinal = 0)
+        : writer_(writer), firstOrdinal_(first_ordinal)
     {}
 
     /** Append a clause; all clauses must share one predicate. */
@@ -119,6 +136,7 @@ class ClauseFileBuilder
     pif::Encoder encoder_;
     ClauseFile file_;
     bool havePredicate_ = false;
+    std::uint32_t firstOrdinal_ = 0;
 };
 
 } // namespace clare::storage

@@ -1,0 +1,303 @@
+#include "storage/wal.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "support/crc32.hh"
+#include "support/errors.hh"
+#include "support/logging.hh"
+
+namespace clare::storage {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t
+getU32(const std::vector<std::uint8_t> &in, std::size_t at)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(in[at + i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(const std::vector<std::uint8_t> &in, std::size_t at)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(in[at + i]) << (8 * i);
+    return v;
+}
+
+bool
+validKind(std::uint8_t k)
+{
+    return k >= static_cast<std::uint8_t>(Wal::RecordKind::Assert) &&
+        k <= static_cast<std::uint8_t>(Wal::RecordKind::Checkpoint);
+}
+
+std::vector<std::uint8_t>
+readWholeFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        throw IoError(path, "cannot open for reading");
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+    if (size > 0 &&
+        std::fread(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+        std::fclose(f);
+        throw IoError(path, "short read");
+    }
+    std::fclose(f);
+    return bytes;
+}
+
+} // namespace
+
+Wal::Wal(std::string path, const support::FaultInjector *faults)
+    : path_(std::move(path)), faults_(faults)
+{
+    std::error_code ec;
+    if (!fs::exists(path_, ec)) {
+        // Fresh log: persist the header immediately so a crash before
+        // the first commit recovers to an empty, valid log.
+        std::vector<std::uint8_t> header;
+        encodeHeader(header, 0);
+        std::FILE *f = std::fopen(path_.c_str(), "wb");
+        if (f == nullptr)
+            throw IoError(path_, "cannot create write-ahead log");
+        if (std::fwrite(header.data(), 1, header.size(), f) !=
+            header.size()) {
+            std::fclose(f);
+            throw IoError(path_, "short header write");
+        }
+        std::fflush(f);
+        std::fclose(f);
+        durableBytes_ = kWalHeaderBytes;
+        return;
+    }
+    recoverFrom(readWholeFile(path_));
+}
+
+void
+Wal::encodeHeader(std::vector<std::uint8_t> &out, std::uint64_t base_lsn)
+{
+    putU32(out, kWalMagic);
+    putU32(out, kWalVersion);
+    putU64(out, base_lsn);
+    out.reserve(out.size() + 4);
+    std::uint32_t crc = support::crc32(out.data() + out.size() - 16, 16);
+    putU32(out, crc);
+}
+
+void
+Wal::recoverFrom(std::vector<std::uint8_t> image)
+{
+    if (image.size() < kWalHeaderBytes) {
+        // A crash during creation left a partial header: nothing was
+        // ever committed, so recover to a fresh empty log.
+        std::vector<std::uint8_t> header;
+        encodeHeader(header, 0);
+        std::FILE *f = std::fopen(path_.c_str(), "wb");
+        if (f == nullptr)
+            throw IoError(path_, "cannot rewrite truncated header");
+        if (std::fwrite(header.data(), 1, header.size(), f) !=
+            header.size()) {
+            std::fclose(f);
+            throw IoError(path_, "short header write");
+        }
+        std::fflush(f);
+        std::fclose(f);
+        truncated_ = image.size();
+        durableBytes_ = kWalHeaderBytes;
+        return;
+    }
+    if (getU32(image, 0) != kWalMagic)
+        throw CorruptionError(path_, 0, 0, "bad WAL magic");
+    if (getU32(image, 4) != kWalVersion)
+        throw CorruptionError(path_, 0, 4,
+                              "unsupported WAL version " +
+                                  std::to_string(getU32(image, 4)));
+    if (support::crc32(image.data(), 16) != getU32(image, 16))
+        throw CorruptionError(path_, 0, 16, "WAL header checksum");
+    baseLsn_ = getU64(image, 8);
+
+    // Walk the records; remember the end of the last complete commit
+    // boundary and the committed records up to it.  Any structural
+    // damage past that boundary is a torn tail, recovered by
+    // truncation — the contract is "last complete commit", never a
+    // partial transaction, never an abort.
+    std::size_t at = kWalHeaderBytes;
+    std::size_t committed_end = kWalHeaderBytes;
+    std::vector<Record> group;
+    while (at + 9 <= image.size()) {
+        std::uint32_t payload_bytes = getU32(image, at);
+        if (payload_bytes > image.size() ||
+            at + 9 + payload_bytes > image.size())
+            break;  // torn length or half-written payload
+        std::uint8_t kind = image[at + 4];
+        if (!validKind(kind))
+            break;
+        std::uint32_t crc =
+            support::crc32(image.data() + at + 4, 1 + payload_bytes);
+        if (crc != getU32(image, at + 5 + payload_bytes))
+            break;  // bit-flipped tail record
+        Record rec;
+        rec.kind = static_cast<RecordKind>(kind);
+        rec.lsn = baseLsn_ + (at - kWalHeaderBytes);
+        rec.payload.assign(image.begin() + at + 5,
+                           image.begin() + at + 5 + payload_bytes);
+        at += 9 + payload_bytes;
+        bool boundary = rec.kind == RecordKind::Commit ||
+            rec.kind == RecordKind::Checkpoint;
+        group.push_back(std::move(rec));
+        if (boundary) {
+            committed_end = at;
+            for (Record &r : group)
+                recovered_.push_back(std::move(r));
+            group.clear();
+        }
+    }
+    if (committed_end < image.size()) {
+        truncated_ = image.size() - committed_end;
+        std::error_code ec;
+        fs::resize_file(path_, committed_end, ec);
+        if (ec)
+            throw IoError(path_, "cannot truncate torn tail: " +
+                                     ec.message());
+    }
+    durableBytes_ = committed_end;
+}
+
+std::uint64_t
+Wal::tailLsn() const
+{
+    return baseLsn_ + (durableBytes_ - kWalHeaderBytes) +
+        pending_.size();
+}
+
+std::uint64_t
+Wal::append(RecordKind kind, const std::vector<std::uint8_t> &payload)
+{
+    std::uint64_t lsn = tailLsn();
+    std::size_t start = pending_.size();
+    putU32(pending_, static_cast<std::uint32_t>(payload.size()));
+    pending_.push_back(static_cast<std::uint8_t>(kind));
+    pending_.insert(pending_.end(), payload.begin(), payload.end());
+    std::uint32_t crc = support::crc32(pending_.data() + start + 4,
+                                       1 + payload.size());
+    putU32(pending_, crc);
+    ++pendingRecords_;
+    return lsn;
+}
+
+std::uint64_t
+Wal::commit()
+{
+    std::uint64_t lsn = append(RecordKind::Commit, {});
+    sync();
+    return lsn;
+}
+
+void
+Wal::sync()
+{
+    if (pending_.empty())
+        return;
+    std::vector<std::uint8_t> bytes = std::move(pending_);
+    pending_.clear();
+    pendingRecords_ = 0;
+    writeDurable(bytes.data(), bytes.size(), "wal.commit");
+    durableBytes_ += bytes.size();
+}
+
+void
+Wal::reset(std::uint64_t applied_lsn)
+{
+    clare_assert(pending_.empty(),
+                 "reset with uncommitted buffered records");
+    std::vector<std::uint8_t> header;
+    encodeHeader(header, applied_lsn);
+    // Truncate-then-rewrite is not atomic at the file level, but it
+    // does not need to be: the checkpoint manifest already carries
+    // applied_lsn, so a crash leaving the old log intact merely
+    // replays records the manifest tells recovery to skip, and a
+    // crash leaving a partial header recovers to an empty log (the
+    // checkpointed store *is* the state).  The kill point makes both
+    // windows sweepable.
+    if (auto kill = faults_ != nullptr
+            ? faults_->killOffset("wal.checkpoint", cumulative_,
+                                  cumulative_ + header.size())
+            : std::nullopt) {
+        std::size_t keep = static_cast<std::size_t>(*kill - cumulative_);
+        std::FILE *f = std::fopen(path_.c_str(), "wb");
+        if (f != nullptr) {
+            std::fwrite(header.data(), 1, keep, f);
+            std::fflush(f);
+            std::fclose(f);
+        }
+        cumulative_ = *kill;
+        throw CrashError("wal.checkpoint", *kill);
+    }
+    std::FILE *f = std::fopen(path_.c_str(), "wb");
+    if (f == nullptr)
+        throw IoError(path_, "cannot rewrite write-ahead log");
+    if (std::fwrite(header.data(), 1, header.size(), f) !=
+        header.size()) {
+        std::fclose(f);
+        throw IoError(path_, "short header write");
+    }
+    std::fflush(f);
+    std::fclose(f);
+    cumulative_ += header.size();
+    baseLsn_ = applied_lsn;
+    durableBytes_ = kWalHeaderBytes;
+}
+
+void
+Wal::writeDurable(const std::uint8_t *data, std::size_t size,
+                  std::string_view site)
+{
+    std::optional<std::uint64_t> kill = faults_ != nullptr
+        ? faults_->killOffset(site, cumulative_, cumulative_ + size)
+        : std::nullopt;
+    std::size_t persist =
+        kill ? static_cast<std::size_t>(*kill - cumulative_) : size;
+    std::FILE *f = std::fopen(path_.c_str(), "ab");
+    if (f == nullptr)
+        throw IoError(path_, "cannot open write-ahead log for append");
+    if (persist > 0 &&
+        std::fwrite(data, 1, persist, f) != persist) {
+        std::fclose(f);
+        throw IoError(path_, "short append");
+    }
+    std::fflush(f);
+    std::fclose(f);
+    if (kill) {
+        cumulative_ = *kill;
+        throw CrashError(std::string(site), *kill);
+    }
+    cumulative_ += size;
+}
+
+} // namespace clare::storage

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Append-only write-ahead log for live KB updates (store format v4).
+ *
+ * The PDBM store was built once and immutable; a production service
+ * asserts and retracts online.  Durability protocol: every update
+ * transaction appends its operation records followed by one Commit
+ * record and syncs before the in-memory store publishes the new
+ * generation, so any crash replays to exactly a commit boundary.
+ *
+ * Wire format (all integers little-endian):
+ *
+ *   header   "CLWL" | u32 version (=1) | u64 baseLsn | u32 crc32
+ *            (crc over the 16 bytes before it)
+ *   record   u32 payloadBytes | u8 kind | payload | u32 crc32
+ *            (crc over kind + payload)
+ *
+ * A record's LSN is `baseLsn + (file offset - header size)`; reset()
+ * after a checkpoint rewrites the header with baseLsn = the applied
+ * LSN, so LSNs grow monotonically across the whole WAL lifetime and
+ * a manifest's `wal ... appliedLsn` watermark never collides with a
+ * post-reset record.
+ *
+ * Torn-tail discipline (the robustness contract): open() walks the
+ * records and truncates everything after the last complete Commit or
+ * Checkpoint record — a half-written record, a bit-flipped tail CRC,
+ * or uncommitted operation records are all discarded silently (that
+ * is recovery, not corruption).  Only a damaged *header* is a typed
+ * CorruptionError: there is no earlier commit boundary to fall back
+ * to, so the caller must decide.  Never a process abort.
+ *
+ * Crash kill points: every durable write consults the injector's
+ * killOffset() for site "wal.commit" (or "wal.checkpoint" during
+ * reset) against the cumulative bytes written this process run; a hit
+ * persists exactly the prefix and throws CrashError, which is what
+ * lets the fuzzers prove commit atomicity at every byte offset.
+ */
+
+#ifndef CLARE_STORAGE_WAL_HH
+#define CLARE_STORAGE_WAL_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/fault_injector.hh"
+
+namespace clare::storage {
+
+/** Magic number of a write-ahead log ("CLWL"). */
+constexpr std::uint32_t kWalMagic = 0x434c574cu;
+constexpr std::uint32_t kWalVersion = 1;
+/** Header bytes: magic + version + baseLsn + header crc. */
+constexpr std::size_t kWalHeaderBytes = 20;
+
+/** Append-only, CRC-framed, crash-recoverable log. */
+class Wal
+{
+  public:
+    enum class RecordKind : std::uint8_t
+    {
+        Assert = 1,     ///< payload: u8 front flag, u32 len, clause text
+        Retract = 2,    ///< payload: u32 arity, u32 ordinal,
+                        ///< u32 nameLen, functor name (by *name* so
+                        ///< replay survives symbol-id drift)
+        Commit = 3,     ///< empty payload; transaction boundary
+        Checkpoint = 4, ///< empty payload; store snapshot boundary
+    };
+
+    /** One committed record as recovered from disk. */
+    struct Record
+    {
+        RecordKind kind;
+        std::uint64_t lsn;
+        std::vector<std::uint8_t> payload;
+    };
+
+    /**
+     * Open (or create) the log at @p path, running torn-tail recovery.
+     *
+     * @param faults optional kill-point oracle for the durable writes
+     * @throws IoError on unopenable paths, CorruptionError on a
+     *         damaged header
+     */
+    explicit Wal(std::string path,
+                 const support::FaultInjector *faults = nullptr);
+
+    const std::string &path() const { return path_; }
+
+    /** Committed records recovered at open, in log order. */
+    const std::vector<Record> &recovered() const { return recovered_; }
+
+    /** Torn/uncommitted tail bytes discarded at open (0 = clean). */
+    std::uint64_t truncatedBytes() const { return truncated_; }
+
+    /** LSN the current header starts numbering from. */
+    std::uint64_t baseLsn() const { return baseLsn_; }
+
+    /** LSN the next appended record will get. */
+    std::uint64_t tailLsn() const;
+
+    /**
+     * Buffer one record.  Nothing is durable until commit() (or
+     * sync()) — a crash loses buffered records, by design: they are
+     * uncommitted.  @return the record's LSN
+     */
+    std::uint64_t append(RecordKind kind,
+                         const std::vector<std::uint8_t> &payload);
+
+    /**
+     * Append a Commit record and durably flush everything buffered.
+     * On return the transaction is recoverable.  @return commit LSN
+     * @throws CrashError at an armed kill point (prefix persisted),
+     *         IoError on real write failures
+     */
+    std::uint64_t commit();
+
+    /** Durably flush buffered records without a commit boundary. */
+    void sync();
+
+    /**
+     * Truncate to a fresh header with baseLsn = @p applied_lsn (the
+     * checkpoint watermark).  Records at or below the watermark are
+     * folded into the checkpointed store; the log restarts empty.
+     * Kill site: "wal.checkpoint".
+     */
+    void reset(std::uint64_t applied_lsn);
+
+  private:
+    /** Write + flush @p data, honoring the kill point of @p site. */
+    void writeDurable(const std::uint8_t *data, std::size_t size,
+                      std::string_view site);
+
+    /** Serialize a fresh header with @p base_lsn into @p out. */
+    static void encodeHeader(std::vector<std::uint8_t> &out,
+                             std::uint64_t base_lsn);
+
+    /** Walk the file image: recovery at construction. */
+    void recoverFrom(std::vector<std::uint8_t> image);
+
+    std::string path_;
+    const support::FaultInjector *faults_;
+
+    std::uint64_t baseLsn_ = 0;
+    /** Durable size of the file (header + complete records). */
+    std::uint64_t durableBytes_ = 0;
+    /** Records appended but not yet synced. */
+    std::vector<std::uint8_t> pending_;
+    std::uint64_t pendingRecords_ = 0;
+
+    /** Cumulative injector-visible bytes written this process run. */
+    std::uint64_t cumulative_ = 0;
+
+    std::vector<Record> recovered_;
+    std::uint64_t truncated_ = 0;
+};
+
+} // namespace clare::storage
+
+#endif // CLARE_STORAGE_WAL_HH

@@ -17,6 +17,12 @@
  *                        truncated image, a manifest that disagrees
  *                        with its directory — carries the file, the
  *                        checksum page, and the byte offset
+ *   +-- CrashError       a simulated process crash at an injector
+ *                        kill point (durable bytes up to the kill
+ *                        offset are on disk, nothing after) — thrown
+ *                        by the WAL/checkpoint write paths so the
+ *                        crash-recovery fuzzers can die and reload
+ *                        in-process
  */
 
 #ifndef CLARE_SUPPORT_ERRORS_HH
@@ -86,6 +92,32 @@ class CorruptionError : public IoError
     }
 
     std::uint64_t page_;
+    std::uint64_t offset_;
+};
+
+/**
+ * A simulated crash: the fault injector's kill point fired inside a
+ * durable write.  Everything up to byte offset() of the named site's
+ * cumulative write stream is persisted; nothing after it is.  The
+ * crash-recovery fuzzers catch this, reopen the store, and assert the
+ * recovered answer set equals exactly the pre- or post-commit state.
+ */
+class CrashError : public Error
+{
+  public:
+    CrashError(std::string site, std::uint64_t offset)
+        : Error("simulated crash at " + site + " byte " +
+                std::to_string(offset)),
+          site_(std::move(site)), offset_(offset)
+    {}
+
+    /** Kill site the crash fired in (e.g. "wal.commit"). */
+    const std::string &site() const { return site_; }
+    /** Cumulative durable byte offset the write stopped at. */
+    std::uint64_t offset() const { return offset_; }
+
+  private:
+    std::string site_;
     std::uint64_t offset_;
 };
 

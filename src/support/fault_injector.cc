@@ -72,8 +72,10 @@ FaultInjector::transientError(std::string_view site, std::uint64_t key,
 {
     if (config_.transientReadRate <= 0)
         return false;
-    return roll(site, key, kSaltTransient + 0x100ULL * attempt) <
+    bool hit = roll(site, key, kSaltTransient + 0x100ULL * attempt) <
         config_.transientReadRate;
+    noteSite(site, hit);
+    return hit;
 }
 
 bool
@@ -82,7 +84,9 @@ FaultInjector::corruptChunk(std::string_view site,
 {
     if (config_.bitFlipRate <= 0)
         return false;
-    return roll(site, key, kSaltBitFlip) < config_.bitFlipRate;
+    bool hit = roll(site, key, kSaltBitFlip) < config_.bitFlipRate;
+    noteSite(site, hit);
+    return hit;
 }
 
 std::uint64_t
@@ -100,9 +104,9 @@ FaultInjector::chunkDelay(std::string_view site, std::uint64_t key) const
 {
     if (config_.delayRate <= 0)
         return 0;
-    return roll(site, key, kSaltDelay) < config_.delayRate
-        ? config_.delayTicks
-        : 0;
+    bool hit = roll(site, key, kSaltDelay) < config_.delayRate;
+    noteSite(site, hit);
+    return hit ? config_.delayTicks : 0;
 }
 
 std::uint64_t
@@ -113,7 +117,9 @@ FaultInjector::truncatedSize(std::string_view site,
     if (config_.truncateRate <= 0 || size == 0)
         return size;
     std::uint64_t key = hashString(path);
-    if (roll(site, key, kSaltTruncate) >= config_.truncateRate)
+    bool hit = roll(site, key, kSaltTruncate) < config_.truncateRate;
+    noteSite(site, hit);
+    if (!hit)
         return size;
     // Cut somewhere in [0, size): a short read never grows the file.
     return hash(site, key, kSaltTruncateSize) % size;
@@ -155,18 +161,17 @@ FaultInjector::frameFault(std::string_view site, std::uint64_t key) const
     // each fires with exactly its configured rate (assuming the rates
     // sum below 1, the only sane configuration).
     double r = roll(site, key, kSaltFrame);
+    FrameFault fault = FrameFault::None;
     if (r < config_.frameDropRate)
-        return FrameFault::Drop;
-    r -= config_.frameDropRate;
-    if (r < config_.frameTruncateRate)
-        return FrameFault::Truncate;
-    r -= config_.frameTruncateRate;
-    if (r < config_.frameCorruptRate)
-        return FrameFault::Corrupt;
-    r -= config_.frameCorruptRate;
-    if (r < config_.frameDelayRate)
-        return FrameFault::Delay;
-    return FrameFault::None;
+        fault = FrameFault::Drop;
+    else if ((r -= config_.frameDropRate) < config_.frameTruncateRate)
+        fault = FrameFault::Truncate;
+    else if ((r -= config_.frameTruncateRate) < config_.frameCorruptRate)
+        fault = FrameFault::Corrupt;
+    else if ((r -= config_.frameCorruptRate) < config_.frameDelayRate)
+        fault = FrameFault::Delay;
+    noteSite(site, fault != FrameFault::None);
+    return fault;
 }
 
 std::uint64_t
@@ -177,6 +182,44 @@ FaultInjector::truncatedFrameBytes(std::string_view site,
     if (frame_bytes == 0)
         return 0;
     return hash(site, key, kSaltFrameCut) % frame_bytes;
+}
+
+std::optional<std::uint64_t>
+FaultInjector::killOffset(std::string_view site, std::uint64_t lo,
+                          std::uint64_t hi) const
+{
+    if (config_.killSite.empty() || site != config_.killSite)
+        return std::nullopt;
+    bool hit = lo <= config_.killAtByte && config_.killAtByte < hi;
+    noteSite(site, hit);
+    if (!hit)
+        return std::nullopt;
+    return config_.killAtByte;
+}
+
+void
+FaultInjector::noteSite(std::string_view site, bool triggered) const
+{
+    std::lock_guard<std::mutex> lock(sitesMutex_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) {
+        it = sites_.emplace(std::string(site), SiteReport{}).first;
+        it->second.site = std::string(site);
+    }
+    ++it->second.consulted;
+    if (triggered)
+        ++it->second.triggered;
+}
+
+std::vector<SiteReport>
+FaultInjector::sites() const
+{
+    std::lock_guard<std::mutex> lock(sitesMutex_);
+    std::vector<SiteReport> out;
+    out.reserve(sites_.size());
+    for (const auto &[name, report] : sites_)
+        out.push_back(report);
+    return out;
 }
 
 const FaultInjector *

@@ -25,7 +25,12 @@
 #define CLARE_SUPPORT_FAULT_INJECTOR_HH
 
 #include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "support/sim_time.hh"
 
@@ -78,6 +83,26 @@ struct FaultConfig
     double frameDelayRate = 0.0;
     std::uint32_t frameDelayMillis = 50;
 
+    // ----- Crash kill point (the process is not immortal either).
+    // Unlike the rates above this is not probabilistic: the fuzzer
+    // sweeps killAtByte over every offset of a durable write stream,
+    // proving commit/checkpoint atomicity at *every* byte, not a
+    // sampled few.  Deliberately excluded from anyFaults(): a
+    // kill-only injector must not flip the CRS onto its disk-fault
+    // modeling paths.
+
+    /**
+     * Durable-write site the kill point is armed on ("wal.commit",
+     * "checkpoint"); empty = no kill point.
+     */
+    std::string killSite;
+    /**
+     * Cumulative byte offset of that site's write stream (counted
+     * from injector-visible write #0 of the process run) at which the
+     * write stops and CrashError is thrown.
+     */
+    std::uint64_t killAtByte = 0;
+
     bool
     anyFaults() const
     {
@@ -101,6 +126,19 @@ enum class FrameFault : std::uint8_t
     Truncate, ///< header + partial payload sent; connection closed
     Corrupt,  ///< one bit flipped after the CRC was computed
     Delay,    ///< delivered intact, frameDelayMillis late
+};
+
+/**
+ * Coverage of one injection site: how often it consulted the oracle
+ * while its fault family was armed, and how often a fault actually
+ * fired there.  A fuzz sweep that leaves an armed site with zero
+ * triggers has gone silently dead — the suites assert against that.
+ */
+struct SiteReport
+{
+    std::string site;
+    std::uint64_t consulted = 0;
+    std::uint64_t triggered = 0;
 };
 
 /** Aggregate fault outcome over a modeled byte range (one stream). */
@@ -187,6 +225,24 @@ class FaultInjector
                                       std::uint64_t key,
                                       std::uint64_t frame_bytes) const;
 
+    /**
+     * Does the durable write covering cumulative bytes [lo, hi) of
+     * @p site hit the armed kill point?  Returns the cumulative
+     * offset to stop at (write bytes [lo, offset), persist them, then
+     * throw CrashError) or nullopt when the write survives.  Counts
+     * as a consult whenever a kill point is armed on @p site.
+     */
+    std::optional<std::uint64_t> killOffset(std::string_view site,
+                                            std::uint64_t lo,
+                                            std::uint64_t hi) const;
+
+    /**
+     * Site-coverage report: every site that consulted the oracle
+     * while its fault family was armed, with consult/trigger counts,
+     * sorted by site name.  Thread-safe snapshot.
+     */
+    std::vector<SiteReport> sites() const;
+
   private:
     /** The decision hash: uniform in [0,1) per (site, key, salt). */
     double roll(std::string_view site, std::uint64_t key,
@@ -195,7 +251,18 @@ class FaultInjector
     std::uint64_t hash(std::string_view site, std::uint64_t key,
                        std::uint64_t salt) const;
 
+    /**
+     * Record one oracle consult at @p site (armed fault family only)
+     * and whether it fired.  Mutable bookkeeping behind a mutex: the
+     * decision methods stay const and pure, the coverage report is a
+     * side channel.
+     */
+    void noteSite(std::string_view site, bool triggered) const;
+
     FaultConfig config_;
+
+    mutable std::mutex sitesMutex_;
+    mutable std::map<std::string, SiteReport, std::less<>> sites_;
 };
 
 /**

@@ -4,17 +4,28 @@
  * primitives, FS1 shard determinism (bit-identical candidates and
  * answers at any worker count), serveBatch() equivalence with the
  * sequential loop, shard-accumulated busy-time accounting, and
- * thread-safe statistics.  These tests carry the `tsan` ctest label so
- * a -DCLARE_SANITIZE=thread build exercises them under ThreadSanitizer.
+ * thread-safe statistics, transaction/lock-manager edge cases
+ * (re-acquisition, upgrade, partial acquireAll failure), and live-update
+ * interleaving: a writer thread streaming assertz commits through a
+ * LiveStore while concurrent serveBatch() readers prove that
+ * snapshot-pinned reads stay bit-identical to the quiesced pre-commit
+ * reference.  These tests carry the `tsan` ctest label so a
+ * -DCLARE_SANITIZE=thread build exercises them under ThreadSanitizer.
  */
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "crs/live_update.hh"
 #include "crs/server.hh"
 #include "crs/store.hh"
+#include "crs/transaction.hh"
 #include "support/stats.hh"
 #include "support/thread_pool.hh"
 #include "term/term_reader.hh"
@@ -316,6 +327,272 @@ TEST_F(PipelineTest, SharedServerStatsAggregateAcrossWorkers)
               scanned);
     EXPECT_EQ(server->fs1Stats().scalar("searches").value(),
               queries.size());
+}
+
+// ---------------------------------------------------------------------
+// Transaction / lock-manager edge cases.  These pin the exact contract
+// the live-update path depends on: held-lock bookkeeping must release
+// exactly once, commit must invalidate exactly the predicates written,
+// and neither abort path may invalidate anything.
+// ---------------------------------------------------------------------
+
+struct CountingSink : crs::CacheInvalidationSink
+{
+    std::map<term::PredicateId, int> counts;
+    void
+    invalidatePredicate(const term::PredicateId &pred) override
+    {
+        ++counts[pred];
+    }
+};
+
+TEST(TransactionEdgeTest, ReacquiredLockReleasesExactlyOnce)
+{
+    crs::LockManager lm;
+    const term::PredicateId p{3, 2};
+    crs::Transaction tx(lm, 7);
+    EXPECT_TRUE(tx.acquire(p, crs::LockKind::Shared));
+    EXPECT_TRUE(tx.acquire(p, crs::LockKind::Shared));
+    // A duplicate held-lock entry would double-release here and trip
+    // the manager's unheld-lock assert.
+    tx.commit();
+    EXPECT_FALSE(lm.holds(7, p));
+    EXPECT_EQ(lm.holders(p), 0u);
+}
+
+TEST(TransactionEdgeTest, SharedThenExclusiveInvalidatesOnceOnCommit)
+{
+    crs::LockManager lm;
+    CountingSink sink;
+    const term::PredicateId p{3, 2};
+    crs::Transaction tx(lm, 7, &sink);
+    EXPECT_TRUE(tx.acquire(p, crs::LockKind::Shared));
+    // The sole sharer is granted the in-place strengthen; the held
+    // record must follow it so commit treats the predicate as written.
+    EXPECT_TRUE(tx.acquire(p, crs::LockKind::Exclusive));
+    EXPECT_EQ(lm.holders(p), 1u);
+    tx.commit();
+    EXPECT_EQ(sink.counts[p], 1);
+    EXPECT_FALSE(lm.holds(7, p));
+}
+
+TEST(TransactionEdgeTest, UpgradeMarksPredicateWritten)
+{
+    crs::LockManager lm;
+    CountingSink sink;
+    const term::PredicateId p{4, 1};
+    crs::Transaction co(lm, 1);
+    ASSERT_TRUE(co.acquire(p, crs::LockKind::Shared));
+    crs::Transaction tx(lm, 2, &sink);
+    ASSERT_TRUE(tx.acquire(p, crs::LockKind::Shared));
+    // A co-sharer blocks the upgrade and must not corrupt the held
+    // record: tx still reads as a plain sharer.
+    EXPECT_FALSE(tx.upgrade(p));
+    co.commit();
+    // Now the sole sharer; the upgrade succeeds and is idempotent.
+    EXPECT_TRUE(tx.upgrade(p));
+    EXPECT_TRUE(tx.upgrade(p));
+    tx.commit();
+    EXPECT_EQ(sink.counts[p], 1);
+    EXPECT_EQ(lm.holders(p), 0u);
+}
+
+TEST(TransactionEdgeTest, FailedAcquireAllKeepsPriorLocks)
+{
+    crs::LockManager lm;
+    const term::PredicateId a{1, 1};
+    const term::PredicateId b{2, 1};
+    const term::PredicateId c{3, 1};
+    crs::Transaction blocker(lm, 1);
+    ASSERT_TRUE(blocker.acquire(b, crs::LockKind::Exclusive));
+    crs::Transaction tx(lm, 2);
+    ASSERT_TRUE(tx.acquire(a, crs::LockKind::Shared));
+    // The batch sorts to {a, b, c} and fails at b.  Only locks the
+    // call newly created may be rolled back — `a` predates it.
+    EXPECT_FALSE(tx.acquireAll({c, b, a}, crs::LockKind::Shared));
+    EXPECT_TRUE(lm.holds(2, a));
+    EXPECT_FALSE(lm.holds(2, c));
+    tx.commit();
+    EXPECT_EQ(lm.holders(a), 0u);
+    blocker.abort();
+    EXPECT_EQ(lm.holders(b), 0u);
+}
+
+TEST(TransactionEdgeTest, DestructorAbortNeverInvalidates)
+{
+    crs::LockManager lm;
+    CountingSink sink;
+    const term::PredicateId p{5, 2};
+    {
+        crs::Transaction tx(lm, 9, &sink);
+        ASSERT_TRUE(tx.acquire(p, crs::LockKind::Exclusive));
+    }
+    EXPECT_TRUE(sink.counts.empty());
+    EXPECT_EQ(lm.holders(p), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Live-update interleaving: a writer thread streams single-clause
+// assertz commits through a LiveStore while reader threads hammer
+// serveBatch() on the same server.  Reads pinned at snapshot 0 must be
+// bit-identical (answers AND modeled ticks) to the reference captured
+// before the writer started, at any worker count; unpinned head reads
+// may only grow (the stream is assertz-only) and must equal a quiesced
+// from-scratch rebuild once the writer joins.
+// ---------------------------------------------------------------------
+
+TEST(LiveInterleavingTest, SnapshotReadsAreIsolatedFromAStreamingWriter)
+{
+    constexpr const char *kLiveBase =
+        "edge(a, b). edge(b, c). edge(a, a). edge(c, d). edge(d, a).\n"
+        "link(a, b, c). link(b, c, d).\n";
+    const std::vector<std::string> goal_texts = {
+        "edge(a, X)", "edge(X, Y)", "edge(X, d)", "link(a, X, Y)"};
+    constexpr int kStream = 24;
+
+    for (std::uint32_t workers : {1u, 4u}) {
+        SCOPED_TRACE(std::to_string(workers) + " workers");
+        term::SymbolTable sym;
+        term::TermReader reader(sym);
+
+        auto build = [&](const std::string &text) {
+            term::Program program;
+            for (auto &c : reader.parseProgram(text))
+                program.add(std::move(c));
+            auto store = std::make_unique<crs::PredicateStore>(
+                sym, scw::CodewordGenerator{});
+            store->addProgram(program);
+            store->buildSlicedIndexes();
+            store->finalize();
+            return store;
+        };
+        auto store = build(kLiveBase);
+
+        const std::string wal_path =
+            ::testing::TempDir() + "live_interleave_" +
+            std::to_string(workers) + ".wal";
+        std::remove(wal_path.c_str());
+        crs::LiveStore live(*store, sym, wal_path);
+
+        crs::CrsConfig config;
+        config.workers = workers;
+        crs::ClauseRetrievalServer server(sym, *store, config);
+        live.attachSink(&server);
+
+        // Pre-parse every clause the writer will stream so all symbol
+        // interning happens before a second thread exists — the
+        // SymbolTable is unsynchronized, and once the names are in the
+        // table the commit path only performs lookups.
+        std::vector<term::Clause> stream;
+        std::string streamed_text;
+        for (int i = 0; i < kStream; ++i) {
+            std::string text = "edge(w" + std::to_string(i) + ", w" +
+                               std::to_string(i + 1) + ").";
+            stream.push_back(reader.parseClause(text));
+            streamed_text += text + "\n";
+        }
+
+        std::vector<term::ParsedTerm> goals;
+        for (const std::string &text : goal_texts)
+            goals.push_back(reader.parseTerm(text));
+        std::vector<crs::RetrievalRequest> pinned;
+        std::vector<crs::RetrievalRequest> head;
+        for (std::size_t i = 0; i < goals.size(); ++i) {
+            crs::RetrievalRequest r;
+            r.arena = &goals[i].arena;
+            r.goal = goals[i].root;
+            r.mode = (i % 2 == 0) ? crs::SearchMode::TwoStage
+                                  : crs::SearchMode::Fs1Only;
+            head.push_back(r);
+            r.snapshot = 0;
+            pinned.push_back(r);
+        }
+
+        // Reference captured while quiesced, before the first commit.
+        const std::vector<crs::RetrievalResponse> expected =
+            server.serveBatch(pinned);
+        ASSERT_EQ(expected.size(), pinned.size());
+
+        std::atomic<bool> done{false};
+        std::thread writer([&] {
+            for (const term::Clause &clause : stream)
+                live.assertz(clause);
+            done.store(true, std::memory_order_release);
+        });
+
+        // Pinned reader: every batch must be bit-identical to the
+        // pre-write reference no matter what the writer publishes.
+        std::thread snap_reader([&] {
+            do {
+                std::vector<crs::RetrievalResponse> got =
+                    server.serveBatch(pinned);
+                ASSERT_EQ(got.size(), expected.size());
+                for (std::size_t i = 0; i < got.size(); ++i) {
+                    EXPECT_EQ(got[i].mode, expected[i].mode) << i;
+                    EXPECT_EQ(got[i].candidates, expected[i].candidates)
+                        << "goal " << i;
+                    EXPECT_EQ(got[i].answers, expected[i].answers)
+                        << "goal " << i;
+                    EXPECT_EQ(got[i].indexEntriesScanned,
+                              expected[i].indexEntriesScanned)
+                        << "goal " << i;
+                    EXPECT_EQ(got[i].elapsed, expected[i].elapsed)
+                        << "goal " << i;
+                }
+            } while (!done.load(std::memory_order_acquire));
+        });
+
+        // Head reader: unpinned batches race the writer; with an
+        // assertz-only stream the all-variables scan can only grow.
+        std::thread head_reader([&] {
+            do {
+                std::vector<crs::RetrievalResponse> got =
+                    server.serveBatch(head);
+                ASSERT_EQ(got.size(), expected.size());
+                for (std::size_t i = 0; i < got.size(); ++i) {
+                    EXPECT_GE(got[i].answers, expected[i].answers)
+                        << "goal " << i;
+                }
+            } while (!done.load(std::memory_order_acquire));
+        });
+
+        writer.join();
+        snap_reader.join();
+        head_reader.join();
+        EXPECT_EQ(store->headGeneration(),
+                  static_cast<std::uint64_t>(kStream));
+
+        // Quiesced: the pinned view still reads pre-write...
+        std::vector<crs::RetrievalResponse> still =
+            server.serveBatch(pinned);
+        for (std::size_t i = 0; i < still.size(); ++i) {
+            EXPECT_EQ(still[i].answers, expected[i].answers) << i;
+            EXPECT_EQ(still[i].elapsed, expected[i].elapsed) << i;
+        }
+
+        // ...and the head view is bit-identical to a from-scratch
+        // rebuild of base + stream (shared symbol table, so signatures
+        // and modeled ticks must match exactly).
+        auto rebuilt = build(kLiveBase + streamed_text);
+        crs::ClauseRetrievalServer ref_server(sym, *rebuilt, config);
+        std::vector<crs::RetrievalResponse> live_head =
+            server.serveBatch(head);
+        std::vector<crs::RetrievalResponse> ref_head =
+            ref_server.serveBatch(head);
+        ASSERT_EQ(live_head.size(), ref_head.size());
+        for (std::size_t i = 0; i < live_head.size(); ++i) {
+            EXPECT_EQ(live_head[i].candidates, ref_head[i].candidates)
+                << "goal " << i;
+            EXPECT_EQ(live_head[i].answers, ref_head[i].answers)
+                << "goal " << i;
+            EXPECT_EQ(live_head[i].indexEntriesScanned,
+                      ref_head[i].indexEntriesScanned)
+                << "goal " << i;
+            EXPECT_EQ(live_head[i].elapsed, ref_head[i].elapsed)
+                << "goal " << i;
+        }
+        std::remove(wal_path.c_str());
+    }
 }
 
 } // namespace

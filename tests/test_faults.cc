@@ -96,6 +96,64 @@ TEST(FaultInjectorTest, SitesAreIndependentChannels)
     EXPECT_GT(differing, 0);
 }
 
+TEST(FaultInjectorTest, SiteCoverageReportTracksArmedConsults)
+{
+    // The coverage report exists so a fuzz sweep can prove its armed
+    // sites actually fired — a silently dead site is a sweep that
+    // tests nothing.
+    support::FaultConfig config;
+    config.seed = 13;
+    config.bitFlipRate = 0.5;
+    config.transientReadRate = 0.25;
+    support::FaultInjector inj(config);
+    EXPECT_TRUE(inj.sites().empty());
+
+    std::uint64_t flips = 0;
+    for (std::uint64_t key = 0; key < 128; ++key)
+        flips += inj.corruptChunk("disk.index", key) ? 1 : 0;
+    std::uint64_t transients = 0;
+    for (std::uint64_t key = 0; key < 128; ++key)
+        transients += inj.transientError("disk.data", key, 0) ? 1 : 0;
+    // Un-armed families never count as consults: delay is off, and no
+    // kill point is armed.
+    inj.chunkDelay("disk.data", 1);
+    inj.killOffset("wal.commit", 0, 100);
+
+    std::vector<support::SiteReport> sites = inj.sites();
+    ASSERT_EQ(sites.size(), 2u); // sorted by site name
+    EXPECT_EQ(sites[0].site, "disk.data");
+    EXPECT_EQ(sites[0].consulted, 128u);
+    EXPECT_EQ(sites[0].triggered, transients);
+    EXPECT_EQ(sites[1].site, "disk.index");
+    EXPECT_EQ(sites[1].consulted, 128u);
+    EXPECT_EQ(sites[1].triggered, flips);
+    // At these rates over 128 draws, a dead site means a broken oracle.
+    EXPECT_GT(flips, 0u);
+    EXPECT_GT(transients, 0u);
+}
+
+TEST(FaultInjectorTest, KillPointConsultsReportThroughSites)
+{
+    support::FaultConfig config;
+    config.killSite = "wal.commit";
+    config.killAtByte = 50;
+    support::FaultInjector inj(config);
+    // Armed site, range misses the kill byte: consulted, not triggered.
+    EXPECT_FALSE(inj.killOffset("wal.commit", 0, 10).has_value());
+    // Different site: not even a consult.
+    EXPECT_FALSE(inj.killOffset("wal.checkpoint", 0, 100).has_value());
+    // Range covering the kill byte: triggered.
+    ASSERT_TRUE(inj.killOffset("wal.commit", 40, 60).has_value());
+
+    std::vector<support::SiteReport> sites = inj.sites();
+    ASSERT_EQ(sites.size(), 1u);
+    EXPECT_EQ(sites[0].site, "wal.commit");
+    EXPECT_EQ(sites[0].consulted, 2u);
+    EXPECT_EQ(sites[0].triggered, 1u);
+    // A kill-only config must not arm the probabilistic fault paths.
+    EXPECT_FALSE(config.anyFaults());
+}
+
 TEST(FaultInjectorTest, ZeroRatesInjectNothing)
 {
     support::FaultConfig config;

@@ -8,6 +8,7 @@
  *
  * Usage:
  *   clare_server --store DIR [--port N] [--workers N] [--cache]
+ *       [--wal FILE [--ingest FILE] [--ingest-delay-us N]]    (live)
  *       [--fault-seed N --fault-flip R --fault-transient R]   (disk)
  *       [--wire-seed N --wire-drop R --wire-truncate R
  *        --wire-corrupt R --wire-delay R]                     (wire)
@@ -17,6 +18,18 @@
  * (outbound frame drop/truncate/bit-flip/delay).  Both are the
  * deterministic seeded injector, so a cluster with one poisoned
  * backend is a reproducible experiment, not a flaky one.
+ *
+ * --wal attaches a crs::LiveStore: the store opens CURRENT-aware
+ * (crs::openStore), committed WAL records past the manifest watermark
+ * replay before serving starts, and a recovery banner reports what was
+ * replayed.  --ingest streams clause lines from a file through the
+ * live commit path on a background thread (one commit per clause) —
+ * the crash-recovery smoke test kills the process mid-stream and
+ * checks the reopened store serves exactly the committed prefix.
+ *
+ * SIGINT/SIGTERM shut down gracefully: stop accepting, drain in-flight
+ * connections, finish the current ingest commit, and flush the WAL —
+ * so an orchestrator's plain TERM never loses a committed update.
  */
 
 #include <atomic>
@@ -25,11 +38,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <thread>
 
+#include "crs/live_update.hh"
 #include "crs/server.hh"
 #include "crs/store_io.hh"
 #include "net/server.hh"
+#include "term/term_reader.hh"
 
 namespace {
 
@@ -58,6 +74,9 @@ main(int argc, char **argv)
     using namespace clare;
 
     std::string storeDir;
+    std::string walPath;
+    std::string ingestPath;
+    unsigned long ingestDelayUs = 0;
     net::NetServerConfig netConfig;
     crs::CrsConfig crsConfig;
     bool cache = false;
@@ -77,6 +96,16 @@ main(int argc, char **argv)
                 static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
         else if (const char *v = value(arg, "--workers"))
             crsConfig.workers = std::strtoul(v, nullptr, 10);
+        else if (std::strcmp(arg, "--wal") == 0 && i + 1 < argc)
+            walPath = argv[++i];
+        else if (const char *v = value(arg, "--wal"))
+            walPath = v;
+        else if (std::strcmp(arg, "--ingest") == 0 && i + 1 < argc)
+            ingestPath = argv[++i];
+        else if (const char *v = value(arg, "--ingest"))
+            ingestPath = v;
+        else if (const char *v = value(arg, "--ingest-delay-us"))
+            ingestDelayUs = std::strtoul(v, nullptr, 10);
         else if (std::strcmp(arg, "--cache") == 0)
             cache = true;
         else if (const char *v = value(arg, "--fault-seed")) {
@@ -105,13 +134,17 @@ main(int argc, char **argv)
     if (storeDir.empty()) {
         std::fprintf(stderr,
                      "usage: clare_server --store DIR [--port N] "
-                     "[--workers N] [--cache] [fault knobs]\n");
+                     "[--workers N] [--cache] [--wal FILE "
+                     "[--ingest FILE] [--ingest-delay-us N]] "
+                     "[fault knobs]\n");
         return 2;
     }
 
     try {
         term::SymbolTable symbols;
-        crs::PredicateStore store = crs::loadStore(storeDir, symbols);
+        crs::StoreWalInfo walInfo;
+        crs::PredicateStore store =
+            crs::openStore(storeDir, symbols, &walInfo);
 
         support::FaultInjector diskInjector(diskFaults);
         if (haveDiskFaults)
@@ -119,6 +152,20 @@ main(int argc, char **argv)
         crsConfig.cache.enabled = cache;
 
         crs::ClauseRetrievalServer server(symbols, store, crsConfig);
+
+        std::unique_ptr<crs::LiveStore> live;
+        if (!walPath.empty()) {
+            live = std::make_unique<crs::LiveStore>(
+                store, symbols, walPath, walInfo.appliedLsn);
+            live->attachSink(&server);
+            std::printf("wal recovered %zu commits (%llu tail bytes "
+                        "discarded), head generation %llu\n",
+                        live->recoveredCommits(),
+                        static_cast<unsigned long long>(
+                            live->wal().truncatedBytes()),
+                        static_cast<unsigned long long>(
+                            store.headGeneration()));
+        }
 
         support::FaultInjector wireInjector(wireFaults);
         if (haveWireFaults)
@@ -132,10 +179,52 @@ main(int argc, char **argv)
 
         std::signal(SIGINT, onSignal);
         std::signal(SIGTERM, onSignal);
+
+        // Background ingest: stream clause lines through the live
+        // commit path, one durable commit each.  Progress lines let
+        // the crash smoke correlate a kill point with the number of
+        // commits the recovered store must serve.
+        std::thread ingest;
+        if (!ingestPath.empty() && live != nullptr) {
+            ingest = std::thread([&] {
+                try {
+                    std::ifstream in(ingestPath);
+                    term::TermReader reader(symbols);
+                    std::string line;
+                    std::size_t n = 0;
+                    while (!g_stop.load() && std::getline(in, line)) {
+                        if (line.empty())
+                            continue;
+                        live->assertz(reader.parseClause(line));
+                        std::printf("ingested %zu\n", ++n);
+                        std::fflush(stdout);
+                        if (ingestDelayUs != 0)
+                            std::this_thread::sleep_for(
+                                std::chrono::microseconds(
+                                    ingestDelayUs));
+                    }
+                    std::printf("ingest done\n");
+                    std::fflush(stdout);
+                } catch (const Error &e) {
+                    std::fprintf(stderr, "ingest: %s\n", e.what());
+                }
+            });
+        }
+
         while (!g_stop.load())
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(100));
+
+        // Graceful shutdown: drain connections, let the in-flight
+        // ingest commit finish, flush the WAL.  Every update a client
+        // saw acknowledged is durable when the process exits.
+        if (ingest.joinable())
+            ingest.join();
         netServer.stop();
+        if (live != nullptr)
+            live->wal().sync();
+        std::printf("shutdown complete\n");
+        std::fflush(stdout);
     } catch (const Error &e) {
         std::fprintf(stderr, "clare_server: %s\n", e.what());
         return 1;
