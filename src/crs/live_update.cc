@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "crs/store_io.hh"
+#include "storage/file_io.hh"
 #include "support/crc32.hh"
 #include "support/errors.hh"
 #include "support/logging.hh"
@@ -80,18 +81,21 @@ bodyConjunction(term::TermArena &arena, term::SymbolTable &symbols,
     return conj;
 }
 
-/** Write a small file in one shot (the CURRENT.tmp path). */
+/** Durably write a small file in one shot (the CURRENT.tmp path). */
 void
 writeFile(const std::string &path, const std::string &content)
 {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out)
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
         throw IoError(path, "cannot open for writing");
-    out.write(content.data(),
-              static_cast<std::streamsize>(content.size()));
-    out.flush();
-    if (!out)
+    if (!content.empty() &&
+        std::fwrite(content.data(), 1, content.size(), f) !=
+            content.size()) {
+        std::fclose(f);
         throw IoError(path, "short write");
+    }
+    storage::syncFile(f, path);
+    std::fclose(f);
 }
 
 } // namespace
@@ -112,6 +116,17 @@ LiveStore::LiveStore(PredicateStore &store, term::SymbolTable &symbols,
             break;
         }
     }
+
+    // A crash during checkpoint's reset() can leave a partial WAL
+    // header, which recovery rewrites with baseLsn = 0 while the
+    // manifest watermark already sits at appliedLsn.  Left alone, the
+    // next commits would take LSNs below the watermark and the *next*
+    // recovery would skip them as already applied — silent loss of
+    // committed data.  Rebase the empty log onto the watermark before
+    // accepting writes.  (A log with recovered records never needs
+    // this: its tail is exactly the watermark the manifest recorded.)
+    if (wal_->recovered().empty() && wal_->baseLsn() < appliedLsn_)
+        wal_->reset(appliedLsn_);
 
     // Recovery replay: every committed record past the checkpoint
     // watermark flows through the exact commit path a live writer
@@ -444,6 +459,18 @@ LiveStore::checkpoint(const std::string &root)
         }
     }
 
+    // Durability ordering: every checkpoint byte must be on stable
+    // storage before CURRENT can name the directory, or a power loss
+    // could publish a torn checkpoint.
+    for (const std::string &file : order) {
+        std::FILE *f = std::fopen(file.c_str(), "rb");
+        if (f == nullptr)
+            throw IoError(file, "cannot reopen checkpoint file to sync");
+        storage::syncFile(f, file);
+        std::fclose(f);
+    }
+    storage::syncDirectory(directory);
+
     // The commit point: CURRENT.tmp carries the checkpoint name and is
     // renamed over CURRENT atomically.  Before the rename a recovering
     // process sees the old store + the full WAL; after it, the new
@@ -465,6 +492,9 @@ LiveStore::checkpoint(const std::string &root)
     if (ec)
         throw IoError(root + "/CURRENT",
                       "cannot publish checkpoint: " + ec.message());
+    // The rename is the commit point; fsync the directory so it
+    // survives power loss too.
+    storage::syncDirectory(root);
 
     // Applied records are folded into the checkpoint; restart the log
     // (kill site "wal.checkpoint" — a crash here leaves either the

@@ -50,6 +50,19 @@ LockManager::upgrade(ClientId client, const term::PredicateId &pred)
 }
 
 void
+LockManager::downgrade(ClientId client, const term::PredicateId &pred)
+{
+    auto it = locks_.find(pred);
+    clare_assert(it != locks_.end() && it->second.exclusive &&
+                     it->second.exclusiveOwner == client,
+                 "client %u downgrading an unheld exclusive lock",
+                 client);
+    it->second.exclusive = false;
+    it->second.exclusiveOwner = 0;
+    it->second.sharers.insert(client);
+}
+
+void
 LockManager::release(ClientId client, const term::PredicateId &pred)
 {
     auto it = locks_.find(pred);
@@ -87,12 +100,21 @@ LockManager::releaseAll(ClientId client)
 bool
 LockManager::holds(ClientId client, const term::PredicateId &pred) const
 {
+    return heldKind(client, pred).has_value();
+}
+
+std::optional<LockKind>
+LockManager::heldKind(ClientId client,
+                      const term::PredicateId &pred) const
+{
     auto it = locks_.find(pred);
     if (it == locks_.end())
-        return false;
-    return (it->second.exclusive &&
-            it->second.exclusiveOwner == client) ||
-        it->second.sharers.count(client) != 0;
+        return std::nullopt;
+    if (it->second.exclusive && it->second.exclusiveOwner == client)
+        return LockKind::Exclusive;
+    if (it->second.sharers.count(client) != 0)
+        return LockKind::Shared;
+    return std::nullopt;
 }
 
 std::size_t
@@ -147,17 +169,25 @@ Transaction::acquireAll(std::vector<term::PredicateId> preds,
     std::sort(preds.begin(), preds.end());
     preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
     std::vector<term::PredicateId> got;
+    std::vector<term::PredicateId> upgraded;
     for (const auto &pred : preds) {
-        bool already = manager_.holds(client_, pred);
+        std::optional<LockKind> prior = manager_.heldKind(client_, pred);
         if (!manager_.acquire(client_, pred, kind)) {
-            // Roll back only locks this call newly created; one the
-            // transaction already held stays held on failure.
+            // Roll back only what this call changed: release the locks
+            // it newly created and downgrade the ones it strengthened
+            // in place — a lock the transaction already held stays
+            // held *at its prior strength* on failure.
             for (const auto &p : got)
                 manager_.release(client_, p);
+            for (const auto &p : upgraded)
+                manager_.downgrade(client_, p);
             return false;
         }
-        if (!already)
+        if (!prior)
             got.push_back(pred);
+        else if (*prior == LockKind::Shared &&
+                 kind == LockKind::Exclusive)
+            upgraded.push_back(pred);
     }
     for (const auto &pred : preds)
         recordHeld(pred, kind);

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -47,6 +48,13 @@ class LockManager
     /** Upgrade a held shared lock to exclusive (fails on conflict). */
     bool upgrade(ClientId client, const term::PredicateId &pred);
 
+    /**
+     * Downgrade the client's exclusive lock back to shared (the
+     * inverse of a sole-sharer upgrade; used to undo an in-place
+     * strengthen when a batched acquisition rolls back).
+     */
+    void downgrade(ClientId client, const term::PredicateId &pred);
+
     /** Release one lock (must be held by the client). */
     void release(ClientId client, const term::PredicateId &pred);
 
@@ -55,6 +63,10 @@ class LockManager
 
     /** Does the client hold a lock on the predicate? */
     bool holds(ClientId client, const term::PredicateId &pred) const;
+
+    /** Strength the client holds on the predicate, if any. */
+    std::optional<LockKind> heldKind(ClientId client,
+                                     const term::PredicateId &pred) const;
 
     /** Number of clients holding locks on the predicate. */
     std::size_t holders(const term::PredicateId &pred) const;

@@ -4,6 +4,11 @@
 #include <cstring>
 #include <memory>
 
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "support/crc32.hh"
 #include "support/logging.hh"
 
@@ -78,6 +83,29 @@ putPageCrcs(std::vector<std::uint8_t> &out,
 }
 
 } // namespace
+
+void
+syncFile(std::FILE *f, const std::string &path)
+{
+    if (std::fflush(f) != 0)
+        throw IoError(path, "cannot flush");
+#ifndef _WIN32
+    if (::fsync(::fileno(f)) != 0)
+        throw IoError(path, "cannot fsync");
+#endif
+}
+
+void
+syncDirectory(const std::string &path)
+{
+#ifndef _WIN32
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+#endif
+}
 
 void
 writeBytes(const std::string &path,

@@ -21,6 +21,7 @@
 #ifndef CLARE_STORAGE_FILE_IO_HH
 #define CLARE_STORAGE_FILE_IO_HH
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,21 @@ constexpr std::uint32_t kSymbolFileVersion = 2;
 /** Magic number of a framed raw-byte file ("CLFR"). */
 constexpr std::uint32_t kFramedMagic = 0x434c4652u;
 constexpr std::uint32_t kFramedVersion = 1;
+
+/**
+ * Flush @p f's stdio buffer and fsync its descriptor, so the written
+ * bytes survive an OS crash or power loss — not merely a process
+ * crash.  The stream stays open; the caller still fcloses it.
+ * @throws IoError (named after @p path)
+ */
+void syncFile(std::FILE *f, const std::string &path);
+
+/**
+ * fsync the directory at @p path so a just-created or just-renamed
+ * entry inside it is durable.  Best-effort: a no-op on platforms
+ * without directory descriptors.
+ */
+void syncDirectory(const std::string &path);
 
 /** Write raw bytes to a path.  @throws IoError */
 void writeBytes(const std::string &path,

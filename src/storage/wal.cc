@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <system_error>
 
+#include "storage/file_io.hh"
 #include "support/crc32.hh"
 #include "support/errors.hh"
 #include "support/logging.hh"
@@ -72,6 +73,14 @@ readWholeFile(const std::string &path)
     return bytes;
 }
 
+/** Directory holding @p path ("." when the path has no parent). */
+std::string
+parentDir(const std::string &path)
+{
+    fs::path parent = fs::path(path).parent_path();
+    return parent.empty() ? std::string(".") : parent.string();
+}
+
 } // namespace
 
 Wal::Wal(std::string path, const support::FaultInjector *faults)
@@ -91,8 +100,9 @@ Wal::Wal(std::string path, const support::FaultInjector *faults)
             std::fclose(f);
             throw IoError(path_, "short header write");
         }
-        std::fflush(f);
+        syncFile(f, path_);
         std::fclose(f);
+        syncDirectory(parentDir(path_));
         durableBytes_ = kWalHeaderBytes;
         return;
     }
@@ -126,7 +136,7 @@ Wal::recoverFrom(std::vector<std::uint8_t> image)
             std::fclose(f);
             throw IoError(path_, "short header write");
         }
-        std::fflush(f);
+        syncFile(f, path_);
         std::fclose(f);
         truncated_ = image.size();
         durableBytes_ = kWalHeaderBytes;
@@ -185,6 +195,14 @@ Wal::recoverFrom(std::vector<std::uint8_t> image)
         if (ec)
             throw IoError(path_, "cannot truncate torn tail: " +
                                      ec.message());
+        // Make the truncation itself durable, or a post-recovery
+        // power loss could resurrect the torn tail under appended
+        // records.
+        std::FILE *f = std::fopen(path_.c_str(), "rb+");
+        if (f == nullptr)
+            throw IoError(path_, "cannot reopen after truncation");
+        syncFile(f, path_);
+        std::fclose(f);
     }
     durableBytes_ = committed_end;
 }
@@ -267,7 +285,7 @@ Wal::reset(std::uint64_t applied_lsn)
         std::fclose(f);
         throw IoError(path_, "short header write");
     }
-    std::fflush(f);
+    syncFile(f, path_);
     std::fclose(f);
     cumulative_ += header.size();
     baseLsn_ = applied_lsn;
@@ -291,12 +309,17 @@ Wal::writeDurable(const std::uint8_t *data, std::size_t size,
         std::fclose(f);
         throw IoError(path_, "short append");
     }
-    std::fflush(f);
-    std::fclose(f);
     if (kill) {
+        // Simulated crash: the prefix reaches the file (the in-process
+        // fuzzers reread it immediately) but durability is deliberately
+        // not promised — a real crash makes none either.
+        std::fflush(f);
+        std::fclose(f);
         cumulative_ = *kill;
         throw CrashError(std::string(site), *kill);
     }
+    syncFile(f, path_);
+    std::fclose(f);
     cumulative_ += size;
 }
 

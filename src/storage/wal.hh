@@ -5,8 +5,10 @@
  * The PDBM store was built once and immutable; a production service
  * asserts and retracts online.  Durability protocol: every update
  * transaction appends its operation records followed by one Commit
- * record and syncs before the in-memory store publishes the new
- * generation, so any crash replays to exactly a commit boundary.
+ * record and syncs (fflush + fsync, so the bytes survive an OS crash
+ * or power loss, not just a process exit) before the in-memory store
+ * publishes the new generation, so any crash replays to exactly a
+ * commit boundary.
  *
  * Wire format (all integers little-endian):
  *
@@ -109,8 +111,9 @@ class Wal
                          const std::vector<std::uint8_t> &payload);
 
     /**
-     * Append a Commit record and durably flush everything buffered.
-     * On return the transaction is recoverable.  @return commit LSN
+     * Append a Commit record and durably flush everything buffered
+     * (fsynced: on return the transaction is recoverable across OS
+     * crash and power loss).  @return commit LSN
      * @throws CrashError at an armed kill point (prefix persisted),
      *         IoError on real write failures
      */

@@ -418,6 +418,35 @@ TEST(TransactionEdgeTest, FailedAcquireAllKeepsPriorLocks)
     EXPECT_EQ(lm.holders(b), 0u);
 }
 
+TEST(TransactionEdgeTest, FailedAcquireAllDowngradesInPlaceUpgrades)
+{
+    crs::LockManager lm;
+    CountingSink sink;
+    const term::PredicateId a{1, 1};
+    const term::PredicateId b{2, 1};
+    crs::Transaction blocker(lm, 1);
+    ASSERT_TRUE(blocker.acquire(b, crs::LockKind::Exclusive));
+    crs::Transaction tx(lm, 2, &sink);
+    ASSERT_TRUE(tx.acquire(a, crs::LockKind::Shared));
+    // The batch sorts to {a, b}: `a` is strengthened in place to
+    // exclusive, then `b` conflicts.  Rollback must restore `a` to
+    // Shared, not leave it escalated.
+    EXPECT_FALSE(tx.acquireAll({a, b}, crs::LockKind::Exclusive));
+    EXPECT_EQ(lm.heldKind(2, a), crs::LockKind::Shared);
+    // The proof of the downgrade: a co-sharer can join again (an
+    // escalated lock would refuse), and an exclusive grab cannot.
+    crs::Transaction sharer(lm, 3);
+    EXPECT_TRUE(sharer.acquire(a, crs::LockKind::Shared));
+    EXPECT_FALSE(lm.acquire(4, a, crs::LockKind::Exclusive));
+    sharer.abort();
+    // And the held record kept its pre-call strength: commit must not
+    // treat `a` as written.
+    tx.commit();
+    EXPECT_TRUE(sink.counts.empty());
+    EXPECT_EQ(lm.holders(a), 0u);
+    blocker.abort();
+}
+
 TEST(TransactionEdgeTest, DestructorAbortNeverInvalidates)
 {
     crs::LockManager lm;

@@ -786,6 +786,13 @@ TEST(WalKillPoints, CheckpointSweepAlwaysRecoversCommittedState)
     RetrievalResponse post_ref = serveOn(post_server, ref_reader,
                                          "edge(X, Y)",
                                          SearchMode::TwoStage);
+    // Reference for the post-recovery commit made inside runOne.
+    const std::string post2_text = post_text + "edge(e, b).\n";
+    auto post2_store = makeStore(ref_sym, ref_reader, post2_text, true);
+    ClauseRetrievalServer post2_server(ref_sym, *post2_store);
+    RetrievalResponse post2_ref = serveOn(post2_server, ref_reader,
+                                          "edge(X, Y)",
+                                          SearchMode::TwoStage);
 
     auto runOne = [&](const std::string &site, std::uint64_t kill_at,
                       bool &crashed) {
@@ -836,6 +843,28 @@ TEST(WalKillPoints, CheckpointSweepAlwaysRecoversCommittedState)
             EXPECT_TRUE(rec_info.present);
             EXPECT_EQ(rec.recoveredCommits(), 0u);
         }
+
+        // Regression: a commit made *after* the first recovery must
+        // survive the next recovery too.  A crash tearing the WAL
+        // header during reset() used to leave baseLsn = 0 under a
+        // manifest watermark of N, so this commit's LSNs fell below
+        // the watermark and the second replay silently skipped it —
+        // committed data lost with no error.
+        rec.assertz(rec_reader.parseClause("edge(e, b)."));
+        term::SymbolTable sym2;
+        term::TermReader reader2(sym2);
+        StoreWalInfo info2;
+        PredicateStore store2 = openStore(root.path, sym2, &info2);
+        LiveStore rec2(store2, sym2, root.path + "/wal.log",
+                       info2.appliedLsn);
+        EXPECT_GE(rec2.recoveredCommits(), 1u)
+            << site << " k=" << kill_at;
+        ClauseRetrievalServer server2(sym2, store2);
+        expectSameResponse(
+            serveOn(server2, reader2, "edge(X, Y)",
+                    SearchMode::TwoStage),
+            post2_ref,
+            site + " post-recovery commit k=" + std::to_string(kill_at));
     };
 
     // Sweep the checkpoint file stream at a byte stride (the stream is
