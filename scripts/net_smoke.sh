@@ -8,6 +8,16 @@
 # backend proves failover: its degraded responses are held by the
 # router in favor of a clean replica, so the client sees none.
 #
+# Stage two shards the store itself: clare_mkstore --shard splits the
+# same knowledge base into 3 per-predicate slices plus a catalog, six
+# slice-backed backends (3 shards x 2 replicas, one replica's slice
+# poisoned) boot behind a catalog-routed clare_router, and
+# clare_client --verify-local diffs both the single-request path and
+# the batched scatter/gather path against the *unsharded* store — the
+# split/merge must be invisible bit-for-bit.  Per-backend RSS and the
+# slice-vs-full store sizes are reported: the point of data sharding
+# is that each backend holds ~1/N of the store.
+#
 # Usage: scripts/net_smoke.sh [build-dir]
 set -euo pipefail
 
@@ -78,6 +88,89 @@ for pid in "${PIDS[@]}"; do
 done
 grep -q "shutdown complete" "$WORK/s1.log" || {
     echo "backend 1 skipped graceful shutdown" >&2; exit 1; }
+PIDS=()
+
+rss_kb() { # pid -> resident set, kB
+    awk '/^VmRSS:/{print $2}' "/proc/$1/status" 2>/dev/null || echo 0
+}
+
+echo "== net-smoke: sharding the store (3 shards x 2 replicas) =="
+"$TOOLS/clare_mkstore" --out-dir="$WORK/shards" --shard=3 \
+    --replication=2 --queries "$WORK/sq.txt" \
+    --predicates=12 --clauses=120 --num-queries=48 --seed=13
+
+echo "== net-smoke: booting 6 slice backends (slice 0 replica 0" \
+     "poisoned) =="
+SPIDS=()
+SLICE_PORTS=()
+for s in 0 1 2; do
+    for r in 0 1; do
+        log="$WORK/shard_${s}_${r}.log"
+        if [ "$s" = 0 ] && [ "$r" = 0 ]; then
+            "$TOOLS/clare_server" --store "$WORK/shards/slice-$s" \
+                --fault-seed=42 --fault-flip=0.5 > "$log" &
+        else
+            "$TOOLS/clare_server" --store "$WORK/shards/slice-$s" \
+                > "$log" &
+        fi
+        PIDS+=($!); SPIDS+=($!)
+    done
+done
+for s in 0 1 2; do
+    for r in 0 1; do
+        SLICE_PORTS+=("$(wait_port "$WORK/shard_${s}_${r}.log")")
+    done
+done
+
+echo "== net-smoke: booting catalog router =="
+BACKEND_ARGS=()
+for port in "${SLICE_PORTS[@]}"; do
+    BACKEND_ARGS+=(--backend "$port")
+done
+"$TOOLS/clare_router" "${BACKEND_ARGS[@]}" \
+    --catalog "$WORK/shards/catalog.json" > "$WORK/sr.log" &
+PIDS+=($!); ROUTER_PID=$!
+SRP="$(wait_port "$WORK/sr.log")"
+
+echo "== net-smoke: sharded cluster vs unsharded local serve() =="
+"$TOOLS/clare_client" --store "$WORK/shards/full" --port="$SRP" \
+    --queries "$WORK/sq.txt" --verify-local
+
+echo "== net-smoke: batched scatter/gather vs local serveBatch() =="
+"$TOOLS/clare_client" --store "$WORK/shards/full" --port="$SRP" \
+    --queries "$WORK/sq.txt" --verify-local --batch=16
+
+echo "== net-smoke: per-backend footprint (the point of sharding) =="
+# One reference backend loads the full unsharded store for the RSS
+# comparison; slice stores on disk must come in well under it.
+"$TOOLS/clare_server" --store "$WORK/shards/full" > "$WORK/sfull.log" &
+PIDS+=($!); FULL_PID=$!
+wait_port "$WORK/sfull.log" > /dev/null
+FULL_KB="$(du -sk "$WORK/shards/full" | awk '{print $1}')"
+i=0
+for pid in "${SPIDS[@]}"; do
+    s=$((i / 2)); r=$((i % 2))
+    SLICE_KB="$(du -sk "$WORK/shards/slice-$s" | awk '{print $1}')"
+    echo "  shard $s replica $r: rss $(rss_kb "$pid") kB," \
+         "slice store $SLICE_KB kB (full store $FULL_KB kB)"
+    if [ "$SLICE_KB" -ge "$FULL_KB" ]; then
+        echo "slice $s is not smaller than the full store" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+done
+echo "  full-store reference: rss $(rss_kb "$FULL_PID") kB"
+
+echo "== net-smoke: sharded graceful shutdown =="
+for pid in "${SPIDS[@]}" "$ROUTER_PID" "$FULL_PID"; do
+    kill -TERM "$pid" 2>/dev/null || true
+done
+for pid in "${SPIDS[@]}" "$ROUTER_PID" "$FULL_PID"; do
+    if ! wait "$pid"; then
+        echo "sharded process $pid did not shut down cleanly" >&2
+        exit 1
+    fi
+done
 PIDS=()
 
 echo "net-smoke OK"

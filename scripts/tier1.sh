@@ -39,6 +39,13 @@ ctest --test-dir "$ASAN_BUILD" -L wal --output-on-failure -j
 echo "== tier-1: ASan+UBSan build + sliced-equivalence tests =="
 ctest --test-dir "$ASAN_BUILD" -L sliced --output-on-failure -j
 
+echo "== tier-1: ASan+UBSan build + shard-labeled tests =="
+# The data-sharding suite runs a slice-backed 3x2 cluster with a
+# poisoned replica and concurrent sub-batch fan-out through the
+# router; running it sanitized proves the scatter/gather paths and
+# slice load/save walks are in-bounds, not just bit-identical.
+ctest --test-dir "$ASAN_BUILD" -L shard --output-on-failure -j
+
 echo "== tier-1: ASan+UBSan build + kernel-dispatch tests =="
 # The kernels-labeled suites internally sweep every FS1 kernel the
 # host supports (skipping the rest) and both FS2 dispatch targets, so
@@ -50,11 +57,14 @@ cmake -B "$TSAN_BUILD" -S . -DCLARE_SANITIZE=thread
 cmake --build "$TSAN_BUILD" -j
 ctest --test-dir "$TSAN_BUILD" -L cache --output-on-failure -j
 
-echo "== tier-1: loopback cluster smoke (3 backends + router) =="
+echo "== tier-1: loopback cluster smoke (replicated + sharded) =="
 # Boots a 3-replica clare_server cluster (one backend fault-poisoned)
 # behind clare_router and diffs every routed response against an
 # in-process serve() on the same store — answers and modeled ticks
-# must be bit-identical through the wire.
+# must be bit-identical through the wire.  Then shards the store
+# itself: 3 slices x 2 replicas behind a catalog-routed router, with
+# the single and batched paths diffed against the unsharded store and
+# per-backend footprint reported.
 scripts/net_smoke.sh "$BUILD"
 
 echo "== tier-1: crash-recovery smoke (kill -9 mid-ingest) =="

@@ -234,6 +234,18 @@ class ClauseRetrievalServer : public CacheInvalidationSink
      * answers, and elapsed are identical to calling serve() in a loop,
      * and each response's breakdown.queueWait reports the simulated
      * time its finished FS1 scan waited for the serial back half.
+     *
+     * Batch split contract (what the sharded scatter/gather relies
+     * on): all retrieval state — caches, MVCC version pins, batch
+     * cache prediction — is keyed per predicate, so any partition of
+     * a batch into sub-batches that preserves the relative order of
+     * same-predicate requests yields per-item responses identical to
+     * serving the whole batch, provided the pipeline is sequential
+     * (workers == 1, the serving default, where the modeled queue is
+     * empty and queueWait == 0 for every item).  With workers > 1 the
+     * modeled FS1/back-half queue couples items *across* predicates,
+     * so a sharded deployment that must stay bit-identical to a local
+     * serveBatch() pins sequential backends.
      */
     std::vector<RetrievalResponse>
     serveBatch(const std::vector<RetrievalRequest> &batch);

@@ -100,9 +100,17 @@ auditStoreDirectory(const std::string &directory,
 
 } // namespace
 
+namespace {
+
+/**
+ * Shared body of saveStore/saveStoreSlice: persist @p preds (every
+ * store predicate, or a slice's subset) plus the full symbol table.
+ */
 void
-saveStore(const std::string &directory, const PredicateStore &store,
-          const term::SymbolTable &symbols, const StoreWalInfo *wal)
+saveStoreImpl(const std::string &directory, const PredicateStore &store,
+              const term::SymbolTable &symbols,
+              const std::vector<term::PredicateId> &preds,
+              const StoreWalInfo *wal)
 {
     std::error_code ec;
     fs::create_directories(directory, ec);
@@ -123,7 +131,7 @@ saveStore(const std::string &directory, const PredicateStore &store,
              << ' ' << config.encodedArgs << ' ' << config.seed << '\n';
     if (wal != nullptr && wal->present)
         manifest << "wal " << wal->appliedLsn << '\n';
-    for (const term::PredicateId &pred : store.predicates()) {
+    for (const term::PredicateId &pred : preds) {
         const StoredPredicate &stored = store.predicate(pred);
         std::string stem = predicateFileStem(pred);
         std::string kbc = directory + "/" + stem + ".kbc";
@@ -161,6 +169,30 @@ saveStore(const std::string &directory, const PredicateStore &store,
                body.size())
         << '\n'
         << body;
+}
+
+} // namespace
+
+void
+saveStore(const std::string &directory, const PredicateStore &store,
+          const term::SymbolTable &symbols, const StoreWalInfo *wal)
+{
+    saveStoreImpl(directory, store, symbols, store.predicates(), wal);
+}
+
+void
+saveStoreSlice(const std::string &directory, const PredicateStore &store,
+               const term::SymbolTable &symbols,
+               const std::vector<term::PredicateId> &predicateSet,
+               const StoreWalInfo *wal)
+{
+    for (const term::PredicateId &pred : predicateSet)
+        if (!store.has(pred))
+            throw Error("slice predicate " +
+                        std::to_string(pred.functor) + "/" +
+                        std::to_string(pred.arity) +
+                        " is not in the store");
+    saveStoreImpl(directory, store, symbols, predicateSet, wal);
 }
 
 PredicateStore

@@ -48,6 +48,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "crs/store.hh"
 
@@ -75,6 +76,28 @@ std::string predicateFileStem(const term::PredicateId &pred);
 void saveStore(const std::string &directory, const PredicateStore &store,
                const term::SymbolTable &symbols,
                const StoreWalInfo *wal = nullptr);
+
+/**
+ * Persist a *slice* of a finalized store: only the predicates in
+ * @p predicateSet, but the **full** symbol table.  A slice directory
+ * is a complete, self-contained v4 store (same manifest + CRC
+ * framing; loadStore/openStore read it unchanged) whose manifest just
+ * lists fewer predicates — which is what makes per-backend memory
+ * scale down with the shard count while symbol ids round-trip exactly
+ * as they do for the whole store: every slice shares the schema the
+ * unsharded store would have persisted, so a goal encoded against any
+ * slice's table carries the same ids the full store's table would
+ * assign, and responses stay bit-identical across the split.
+ *
+ * @param predicateSet the predicates to include; each must exist in
+ *        @p store
+ * @throws Error when a requested predicate is not in the store
+ */
+void saveStoreSlice(const std::string &directory,
+                    const PredicateStore &store,
+                    const term::SymbolTable &symbols,
+                    const std::vector<term::PredicateId> &predicateSet,
+                    const StoreWalInfo *wal = nullptr);
 
 /**
  * Load a persisted store.

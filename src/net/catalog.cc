@@ -1,0 +1,219 @@
+#include "net/catalog.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/errors.hh"
+
+namespace clare::net {
+
+void
+ShardCatalog::assign(const term::PredicateId &pred, std::uint32_t shard)
+{
+    if (shard >= replicas_.size())
+        replicas_.resize(shard + 1);
+    assignments_[pred] = shard;
+}
+
+void
+ShardCatalog::setReplicas(std::uint32_t shard,
+                          std::vector<std::uint32_t> backendIndexes)
+{
+    if (shard >= replicas_.size())
+        replicas_.resize(shard + 1);
+    replicas_[shard] = std::move(backendIndexes);
+}
+
+std::optional<std::uint32_t>
+ShardCatalog::shardOf(const term::PredicateId &pred) const
+{
+    auto it = assignments_.find(pred);
+    if (it == assignments_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+const std::vector<std::uint32_t> *
+ShardCatalog::replicasOf(const term::PredicateId &pred) const
+{
+    auto it = assignments_.find(pred);
+    if (it == assignments_.end())
+        return nullptr;
+    return &replicas_[it->second];
+}
+
+void
+ShardCatalog::validate(std::size_t backendCount) const
+{
+    for (std::size_t shard = 0; shard < replicas_.size(); ++shard) {
+        if (replicas_[shard].empty())
+            throw Error("catalog shard " + std::to_string(shard) +
+                        " has no replicas");
+        for (std::uint32_t idx : replicas_[shard])
+            if (idx >= backendCount)
+                throw Error("catalog shard " + std::to_string(shard) +
+                            " names backend " + std::to_string(idx) +
+                            " but the deployment has " +
+                            std::to_string(backendCount) + " backends");
+    }
+    for (const auto &[pred, shard] : assignments_)
+        if (shard >= replicas_.size())
+            throw Error("catalog predicate " +
+                        std::to_string(pred.functor) + "/" +
+                        std::to_string(pred.arity) + " names shard " +
+                        std::to_string(shard) + " of " +
+                        std::to_string(replicas_.size()));
+}
+
+json::Value
+ShardCatalog::toJson() const
+{
+    json::Value doc = json::Value::object();
+    doc.set("clare-catalog", static_cast<std::uint64_t>(1));
+    doc.set("shards", static_cast<std::uint64_t>(replicas_.size()));
+    json::Value replicaList = json::Value::array();
+    for (const std::vector<std::uint32_t> &shard : replicas_) {
+        json::Value one = json::Value::array();
+        for (std::uint32_t idx : shard)
+            one.push(static_cast<std::uint64_t>(idx));
+        replicaList.push(std::move(one));
+    }
+    doc.set("replicas", std::move(replicaList));
+    json::Value preds = json::Value::array();
+    for (const auto &[pred, shard] : assignments_) {
+        json::Value one = json::Value::object();
+        one.set("functor", static_cast<std::uint64_t>(pred.functor));
+        one.set("arity", static_cast<std::uint64_t>(pred.arity));
+        one.set("shard", static_cast<std::uint64_t>(shard));
+        preds.push(std::move(one));
+    }
+    doc.set("predicates", std::move(preds));
+    return doc;
+}
+
+namespace {
+
+[[noreturn]] void
+badCatalog(const std::string &source, const std::string &why)
+{
+    throw CorruptionError(source, kNoFilePosition, kNoFilePosition,
+                          "shard catalog: " + why);
+}
+
+std::uint32_t
+u32Member(const json::Value &obj, const char *key,
+          const std::string &source)
+{
+    const json::Value *v = obj.find(key);
+    if (v == nullptr || !v->isNumber())
+        badCatalog(source,
+                   std::string("missing numeric '") + key + "' member");
+    double d = v->number();
+    if (d < 0 || d > 4294967295.0 ||
+        d != static_cast<double>(static_cast<std::uint64_t>(d)))
+        badCatalog(source,
+                   std::string("member '") + key +
+                       "' is not a 32-bit unsigned integer");
+    return static_cast<std::uint32_t>(d);
+}
+
+} // namespace
+
+ShardCatalog
+ShardCatalog::fromJson(const json::Value &doc, const std::string &source)
+{
+    if (!doc.isObject())
+        badCatalog(source, "document is not an object");
+    std::uint32_t version = u32Member(doc, "clare-catalog", source);
+    if (version != 1)
+        badCatalog(source, "unsupported catalog version " +
+                               std::to_string(version));
+    std::uint32_t shards = u32Member(doc, "shards", source);
+
+    ShardCatalog catalog;
+    const json::Value *replicas = doc.find("replicas");
+    if (replicas == nullptr || !replicas->isArray())
+        badCatalog(source, "missing 'replicas' array");
+    if (replicas->size() != shards)
+        badCatalog(source, "'replicas' lists " +
+                               std::to_string(replicas->size()) +
+                               " shards, header says " +
+                               std::to_string(shards));
+    for (std::size_t shard = 0; shard < replicas->size(); ++shard) {
+        const json::Value &one = replicas->at(shard);
+        if (!one.isArray())
+            badCatalog(source, "shard " + std::to_string(shard) +
+                                   " replicas is not an array");
+        std::vector<std::uint32_t> indexes;
+        indexes.reserve(one.size());
+        for (std::size_t i = 0; i < one.size(); ++i) {
+            const json::Value &idx = one.at(i);
+            if (!idx.isNumber() || idx.number() < 0)
+                badCatalog(source,
+                           "shard " + std::to_string(shard) +
+                               " has a non-numeric replica index");
+            indexes.push_back(
+                static_cast<std::uint32_t>(idx.number()));
+        }
+        catalog.setReplicas(static_cast<std::uint32_t>(shard),
+                            std::move(indexes));
+    }
+
+    const json::Value *preds = doc.find("predicates");
+    if (preds == nullptr || !preds->isArray())
+        badCatalog(source, "missing 'predicates' array");
+    for (std::size_t i = 0; i < preds->size(); ++i) {
+        const json::Value &one = preds->at(i);
+        if (!one.isObject())
+            badCatalog(source, "predicate entry " + std::to_string(i) +
+                                   " is not an object");
+        term::PredicateId pred{u32Member(one, "functor", source),
+                               u32Member(one, "arity", source)};
+        std::uint32_t shard = u32Member(one, "shard", source);
+        if (shard >= shards)
+            badCatalog(source,
+                       "predicate " + std::to_string(pred.functor) +
+                           "/" + std::to_string(pred.arity) +
+                           " names shard " + std::to_string(shard) +
+                           " of " + std::to_string(shards));
+        if (catalog.shardOf(pred))
+            badCatalog(source,
+                       "predicate " + std::to_string(pred.functor) +
+                           "/" + std::to_string(pred.arity) +
+                           " assigned twice");
+        catalog.assign(pred, shard);
+    }
+    // A trailing shard with replicas but no header coverage cannot
+    // happen (sizes checked above); an empty catalog (0 shards) is
+    // legal and routes nothing.
+    return catalog;
+}
+
+void
+ShardCatalog::save(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        throw IoError(path, "cannot open for writing");
+    out << toJson().dump(2) << '\n';
+    if (!out)
+        throw IoError(path, "write failed");
+}
+
+ShardCatalog
+ShardCatalog::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw IoError(path, "cannot open for reading");
+    std::ostringstream slurp;
+    slurp << in.rdbuf();
+    std::string error;
+    std::optional<json::Value> doc =
+        json::Value::parse(slurp.str(), &error);
+    if (!doc)
+        badCatalog(path, "not JSON: " + error);
+    return fromJson(*doc, path);
+}
+
+} // namespace clare::net

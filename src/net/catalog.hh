@@ -1,0 +1,136 @@
+/**
+ * @file
+ * ShardCatalog: the predicate → shard → replica-backend map of a
+ * data-sharded cluster.
+ *
+ * PR 7's router sharded *traffic* — every backend loaded the full
+ * store and `(hash(pred) + i) mod N` was just a cache-locality policy.
+ * With store slices (crs::saveStoreSlice) the placement becomes real:
+ * a backend only holds the predicates of its slice, so the router must
+ * route from an explicit catalog instead of a hash, and moving a slice
+ * between backends must be a catalog edit, not a rehash of the world.
+ *
+ * The catalog is a JSON document on disk:
+ *
+ *   {
+ *     "clare-catalog": 1,
+ *     "shards": 3,
+ *     "replicas": [[0, 1], [2, 3], [4, 5]],
+ *     "predicates": [
+ *       {"functor": 7, "arity": 2, "shard": 0},
+ *       ...
+ *     ]
+ *   }
+ *
+ * `replicas[s]` lists the backend *indexes* (positions in the
+ * router's --backend list, not ports — ports are deployment-local)
+ * holding shard s, in preference order.  Every predicate the cluster
+ * serves appears exactly once.  Rebalancing a replica is: copy the
+ * slice directory to the new backend's store path, edit the shard's
+ * replica list, and have the router reload — requests follow the
+ * catalog on the next lookup, and no other shard is disturbed.
+ *
+ * The router serves its loaded catalog (with ports resolved) in its
+ * health/admin JSON, so an operator can read the live placement from
+ * the same channel that reports backend health.
+ */
+
+#ifndef CLARE_NET_CATALOG_HH
+#define CLARE_NET_CATALOG_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/json.hh"
+#include "term/clause.hh"
+
+namespace clare::net {
+
+/** The predicate placement map of a sliced cluster. */
+class ShardCatalog
+{
+  public:
+    ShardCatalog() = default;
+
+    /** Shard count (replicas_.size()). */
+    std::uint32_t shardCount() const
+    {
+        return static_cast<std::uint32_t>(replicas_.size());
+    }
+
+    /** Predicates assigned, in functor/arity order. */
+    std::size_t predicateCount() const { return assignments_.size(); }
+
+    /**
+     * Assign @p pred to @p shard.  Shards are created implicitly up
+     * to @p shard; reassignment overwrites.
+     */
+    void assign(const term::PredicateId &pred, std::uint32_t shard);
+
+    /** Set shard @p shard's replica backend indexes (preference order). */
+    void setReplicas(std::uint32_t shard,
+                     std::vector<std::uint32_t> backendIndexes);
+
+    /** The shard holding @p pred, or nullopt when unassigned. */
+    std::optional<std::uint32_t>
+    shardOf(const term::PredicateId &pred) const;
+
+    /**
+     * The replica backend indexes serving @p pred, preference order;
+     * nullptr when the predicate is not in the catalog.
+     */
+    const std::vector<std::uint32_t> *
+    replicasOf(const term::PredicateId &pred) const;
+
+    /** Per-shard replica lists (index = shard). */
+    const std::vector<std::vector<std::uint32_t>> &replicas() const
+    {
+        return replicas_;
+    }
+
+    /** Assignments in iteration order (sorted by predicate id). */
+    const std::map<term::PredicateId, std::uint32_t> &assignments() const
+    {
+        return assignments_;
+    }
+
+    /**
+     * Structural validation against a deployment of @p backendCount
+     * backends: every shard has at least one replica, every replica
+     * index is in range, every assignment names an existing shard.
+     * @throws Error naming the first violation
+     */
+    void validate(std::size_t backendCount) const;
+
+    /** @name JSON round-trip (the on-disk and admin-channel form). */
+    /// @{
+    json::Value toJson() const;
+    /** @throws CorruptionError naming @p source on a malformed document */
+    static ShardCatalog fromJson(const json::Value &doc,
+                                 const std::string &source);
+    /// @}
+
+    /** @name Disk round-trip. */
+    /// @{
+    void save(const std::string &path) const;
+    /** @throws IoError / CorruptionError */
+    static ShardCatalog load(const std::string &path);
+    /// @}
+
+    bool operator==(const ShardCatalog &other) const
+    {
+        return replicas_ == other.replicas_ &&
+            assignments_ == other.assignments_;
+    }
+
+  private:
+    std::vector<std::vector<std::uint32_t>> replicas_;
+    std::map<term::PredicateId, std::uint32_t> assignments_;
+};
+
+} // namespace clare::net
+
+#endif // CLARE_NET_CATALOG_HH

@@ -73,6 +73,69 @@ NetClient::serve(const crs::RetrievalRequest &request)
     return std::move(response.response);
 }
 
+std::vector<crs::RetrievalResponse>
+NetClient::serveBatch(const std::vector<crs::RetrievalRequest> &batch)
+{
+    std::vector<std::vector<std::uint8_t>> items;
+    std::vector<std::uint64_t> ids;
+    items.reserve(batch.size());
+    ids.reserve(batch.size());
+    for (const crs::RetrievalRequest &request : batch) {
+        clare_assert(request.arena != nullptr,
+                     "NetClient::serveBatch needs a goal arena");
+        WireRequest wire;
+        wire.id = nextId_++;
+        const term::TermArena &arena = *request.arena;
+        if (arena.kind(request.goal) == term::TermKind::Atom)
+            wire.predicate = {arena.atomSymbol(request.goal), 0};
+        else
+            wire.predicate = {arena.functor(request.goal),
+                              arena.arity(request.goal)};
+        wire.goalPif = encodeGoal(arena, request.goal);
+        wire.mode = request.mode;
+        wire.bypassCache = request.bypassCache;
+        ids.push_back(wire.id);
+        items.push_back(encodeRequest(wire));
+    }
+
+    ReceivedFrame frame = callGuarded(FrameType::BatchRequest,
+                                      encodeBatchItems(items));
+    if (frame.type == FrameType::Error) {
+        WireError error = decodeError(frame.payload, peer_);
+        throw RemoteError(error.code, error.message);
+    }
+    if (frame.type != FrameType::BatchResponse) {
+        close();
+        throw CorruptionError(peer_, kNoFilePosition, 0,
+                              "unexpected frame type in reply to a "
+                              "batch request");
+    }
+    std::vector<std::vector<std::uint8_t>> replies =
+        decodeBatchItems(frame.payload, peer_);
+    if (replies.size() != batch.size()) {
+        close();
+        throw CorruptionError(peer_, kNoFilePosition, 0,
+                              "batch reply has " +
+                                  std::to_string(replies.size()) +
+                                  " items, request had " +
+                                  std::to_string(batch.size()));
+    }
+    std::vector<crs::RetrievalResponse> out;
+    out.reserve(replies.size());
+    for (std::size_t i = 0; i < replies.size(); ++i) {
+        WireResponse response = decodeResponse(replies[i], peer_);
+        if (response.id != ids[i]) {
+            close();
+            throw CorruptionError(peer_, kNoFilePosition, 0,
+                                  "batch reply item " +
+                                      std::to_string(i) +
+                                      " does not echo its request id");
+        }
+        out.push_back(std::move(response.response));
+    }
+    return out;
+}
+
 json::Value
 NetClient::health()
 {

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "crs/api.hh"
 #include "net/socket.hh"
@@ -61,6 +62,20 @@ class NetClient
      * @throws Error (encode), IoError, CorruptionError, RemoteError
      */
     crs::RetrievalResponse serve(const crs::RetrievalRequest &request);
+
+    /**
+     * Retrieve a batch over the wire in one BatchRequest frame — the
+     * wire-side twin of ClauseRetrievalServer::serveBatch().  The
+     * responses come back in batch order; against a sharded router
+     * the batch is scattered across the owning shards and the merged
+     * responses are bit-identical to a local serveBatch() of the same
+     * requests on the unsharded store.
+     *
+     * @throws Error (encode), IoError, CorruptionError, RemoteError
+     *         (a batch is one unit: any item failure fails the call)
+     */
+    std::vector<crs::RetrievalResponse>
+    serveBatch(const std::vector<crs::RetrievalRequest> &batch);
 
     /** Health probe; returns the peer's JSON status document. */
     json::Value health();

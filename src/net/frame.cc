@@ -33,6 +33,8 @@ isValidFrameType(std::uint8_t type)
       case FrameType::Error:
       case FrameType::Health:
       case FrameType::HealthReply:
+      case FrameType::BatchRequest:
+      case FrameType::BatchResponse:
         return true;
     }
     return false;

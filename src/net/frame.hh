@@ -26,11 +26,14 @@
  *
  * Payload shapes (see wire.hh for the TLV field codecs):
  *
- *   Request      tagged retrieval request (PIF-encoded goal)
- *   Response     tagged RetrievalResponse + StageBreakdown
- *   Error        error code byte + UTF-8 message
- *   Health       empty probe
- *   HealthReply  JSON document (control plane stays JSON)
+ *   Request        tagged retrieval request (PIF-encoded goal)
+ *   Response       tagged RetrievalResponse + StageBreakdown
+ *   Error          error code byte + UTF-8 message
+ *   Health         empty probe
+ *   HealthReply    JSON document (control plane stays JSON)
+ *   BatchRequest   length-prefixed list of Request payloads
+ *   BatchResponse  length-prefixed list of Response payloads, in the
+ *                  request order of the matching BatchRequest
  */
 
 #ifndef CLARE_NET_FRAME_HH
@@ -64,11 +67,13 @@ constexpr std::uint32_t kMaxFramePayload = 16u << 20;
 /** The frame types of protocol version 1. */
 enum class FrameType : std::uint8_t
 {
-    Request = 1,     ///< tagged retrieval request
-    Response = 2,    ///< tagged retrieval response
-    Error = 3,       ///< typed failure (code + message)
-    Health = 4,      ///< control-plane probe (empty payload)
-    HealthReply = 5, ///< control-plane status (JSON payload)
+    Request = 1,       ///< tagged retrieval request
+    Response = 2,      ///< tagged retrieval response
+    Error = 3,         ///< typed failure (code + message)
+    Health = 4,        ///< control-plane probe (empty payload)
+    HealthReply = 5,   ///< control-plane status (JSON payload)
+    BatchRequest = 6,  ///< list of Request payloads (wire.hh)
+    BatchResponse = 7, ///< list of Response payloads, request order
 };
 
 /** True for a type byte defined by protocol version 1. */

@@ -1,9 +1,12 @@
 #include "net/router.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <future>
 
+#include <poll.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
@@ -30,6 +33,50 @@ shardHash(const term::PredicateId &pred)
                pred.arity);
 }
 
+/**
+ * Send a whole frame on a freshly accepted (nonblocking) fd, bounded
+ * by @p timeoutMillis.  A bare ::send can take a prefix and leave a
+ * torn frame on the wire, which the peer reports as desync instead of
+ * the clean typed error the shed path means to deliver; looping (with
+ * a short poll on EAGAIN) to completion keeps the frame whole.  The
+ * frame is tens of bytes into an empty socket buffer, so the bound is
+ * a backstop, not a budget.
+ */
+void
+sendWholeFrame(int fd, const std::vector<std::uint8_t> &frame,
+               int timeoutMillis)
+{
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(timeoutMillis);
+    std::size_t at = 0;
+    while (at < frame.size()) {
+        ssize_t n = ::send(fd, frame.data() + at, frame.size() - at,
+                           MSG_NOSIGNAL);
+        if (n > 0) {
+            at += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            Clock::time_point now = Clock::now();
+            if (now >= deadline)
+                return; // bounded: give up, caller closes the fd
+            pollfd p{};
+            p.fd = fd;
+            p.events = POLLOUT;
+            int wait = static_cast<int>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - now)
+                    .count());
+            ::poll(&p, 1, wait > 0 ? wait : 1);
+            continue;
+        }
+        return; // hard error: nothing more to salvage
+    }
+}
+
 } // namespace
 
 Router::Router(RouterConfig config)
@@ -45,11 +92,13 @@ Router::Router(RouterConfig config)
             static_cast<std::uint32_t>(config_.backendPorts.size());
 
     for (std::uint16_t port : config_.backendPorts) {
-        Backend backend;
+        Backend &backend = backends_.emplace_back();
         backend.port = port;
         backend.name = "backend:" + std::to_string(port);
-        backends_.push_back(std::move(backend));
     }
+
+    if (!config_.catalogPath.empty())
+        setCatalog(ShardCatalog::load(config_.catalogPath));
 
     int efd = ::epoll_create1(0);
     if (efd < 0)
@@ -79,6 +128,7 @@ Router::start()
     if (running_.exchange(true))
         return;
     thread_ = std::thread([this] { run(); });
+    probeThread_ = std::thread([this] { probeLoop(); });
 }
 
 void
@@ -88,17 +138,58 @@ Router::stop()
         std::uint64_t one = 1;
         [[maybe_unused]] ssize_t n =
             ::write(wakeFd_.get(), &one, sizeof(one));
+        probeCv_.notify_all();
     }
     if (thread_.joinable())
         thread_.join();
+    if (probeThread_.joinable())
+        probeThread_.join();
     connections_.clear();
-    for (Backend &backend : backends_)
+    for (Backend &backend : backends_) {
+        std::lock_guard<std::mutex> lock(backend.streamMutex);
         backend.stream.reset();
+        backend.probeStream.reset();
+    }
+}
+
+void
+Router::setCatalog(ShardCatalog catalog)
+{
+    catalog.validate(backends_.size());
+    auto fresh = std::make_shared<const ShardCatalog>(std::move(catalog));
+    std::lock_guard<std::mutex> lock(catalogMutex_);
+    catalog_ = std::move(fresh);
+}
+
+void
+Router::reloadCatalog(const std::string &path)
+{
+    const std::string &from =
+        path.empty() ? config_.catalogPath : path;
+    if (from.empty())
+        throw Error("router has no catalog path to reload from");
+    setCatalog(ShardCatalog::load(from));
+    ++metrics_.counter("router.catalog_reloads",
+                       "catalog reloads applied");
+}
+
+std::shared_ptr<const ShardCatalog>
+Router::catalog() const
+{
+    std::lock_guard<std::mutex> lock(catalogMutex_);
+    return catalog_;
 }
 
 std::vector<std::uint32_t>
 Router::replicasOf(const term::PredicateId &pred) const
 {
+    std::shared_ptr<const ShardCatalog> cat = catalog();
+    if (cat) {
+        const std::vector<std::uint32_t> *replicas = cat->replicasOf(pred);
+        if (replicas == nullptr)
+            return {}; // not in the catalog: no replica can serve it
+        return *replicas;
+    }
     std::uint64_t base = shardHash(pred);
     std::size_t n = backends_.size();
     std::vector<std::uint32_t> replicas;
@@ -112,12 +203,9 @@ Router::replicasOf(const term::PredicateId &pred) const
 void
 Router::run()
 {
-    using Clock = std::chrono::steady_clock;
-    Clock::time_point lastProbe = Clock::now();
     epoll_event events[64];
     while (running_.load()) {
-        int n = ::epoll_wait(epollFd_.get(), events, 64,
-                             config_.probeIntervalMillis);
+        int n = ::epoll_wait(epollFd_.get(), events, 64, 200);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -148,12 +236,26 @@ Router::run()
             if (!alive)
                 closeConnection(fd);
         }
-        Clock::time_point now = Clock::now();
-        if (now - lastProbe >= std::chrono::milliseconds(
-                                   config_.probeIntervalMillis)) {
-            lastProbe = now;
-            probeBackends();
-        }
+    }
+}
+
+void
+Router::probeLoop()
+{
+    // Probes live on this thread, with their own connections: a dead
+    // or hung backend makes *this* thread wait out the timeout while
+    // the event loop keeps relaying for every healthy backend.
+    std::unique_lock<std::mutex> lock(probeMutex_);
+    while (running_.load()) {
+        probeCv_.wait_for(
+            lock,
+            std::chrono::milliseconds(config_.probeIntervalMillis),
+            [this] { return !running_.load(); });
+        if (!running_.load())
+            break;
+        lock.unlock();
+        probeBackends();
+        lock.lock();
     }
 }
 
@@ -172,9 +274,7 @@ Router::acceptPending()
                         encodeError(ErrorCode::Overloaded,
                                     "connection limit reached"),
                         frame);
-            [[maybe_unused]] ssize_t n =
-                ::send(fd.get(), frame.data(), frame.size(),
-                       MSG_NOSIGNAL);
+            sendWholeFrame(fd.get(), frame, 100);
             continue;
         }
         ++metrics_.counter("router.accepted", "connections accepted");
@@ -253,6 +353,9 @@ Router::dispatchFrame(Connection &conn,
       case FrameType::Request:
         relayRequest(conn, payload);
         break;
+      case FrameType::BatchRequest:
+        relayBatch(conn, payload);
+        break;
       case FrameType::Health: {
         std::string body = healthJson().dump();
         queueFrame(conn, FrameType::HealthReply,
@@ -263,6 +366,7 @@ Router::dispatchFrame(Connection &conn,
       case FrameType::Response:
       case FrameType::Error:
       case FrameType::HealthReply:
+      case FrameType::BatchResponse:
         ++metrics_.counter("router.bad_frames",
                            "client frames failing validation");
         return false;
@@ -272,21 +376,150 @@ Router::dispatchFrame(Connection &conn,
 }
 
 ReceivedFrame
-Router::callBackend(Backend &backend,
+Router::callBackend(Backend &backend, FrameType type,
                     const std::vector<std::uint8_t> &payload)
 {
+    // Concurrent sub-batches of one client batch may target the same
+    // backend; the stream is one framed connection, so calls must not
+    // interleave.
+    std::lock_guard<std::mutex> lock(backend.streamMutex);
     try {
         if (!backend.stream)
             backend.stream.emplace(backend.port, backend.name,
                                    config_.backendTimeoutMillis);
-        return backend.stream->call(FrameType::Request, payload);
+        return backend.stream->call(type, payload);
     } catch (const Error &) {
         // Transport fault or damaged frame: the stream is unusable
         // and the backend suspect until a probe clears it.
         backend.stream.reset();
-        backend.healthy = false;
+        backend.healthy.store(false);
         throw;
     }
+}
+
+Router::GroupOutcome
+Router::relayToReplicas(const std::vector<std::uint32_t> &replicas,
+                        const std::vector<std::vector<std::uint8_t>> &items)
+{
+    // A single item travels as a plain Request so the reply payload
+    // is byte-for-byte what a non-batched relay would have carried.
+    const bool batch = items.size() != 1;
+    const std::vector<std::uint8_t> payload =
+        batch ? encodeBatchItems(items) : items[0];
+    const FrameType sendType =
+        batch ? FrameType::BatchRequest : FrameType::Request;
+    const FrameType wantType =
+        batch ? FrameType::BatchResponse : FrameType::Response;
+
+    // Healthy replicas first; the ones marked down are a last resort
+    // (they may have recovered since the probe that marked them).
+    std::vector<std::uint32_t> order;
+    order.reserve(replicas.size());
+    for (std::uint32_t idx : replicas)
+        if (backends_[idx].healthy.load())
+            order.push_back(idx);
+    for (std::uint32_t idx : replicas)
+        if (!backends_[idx].healthy.load())
+            order.push_back(idx);
+
+    GroupOutcome outcome;
+    std::optional<std::vector<std::vector<std::uint8_t>>> degradedItems;
+    // Why the walk moved past the previous replica: a *failure* is a
+    // failover, a held degraded reply is a hunt for a clean replica —
+    // the counters keep the two apart.
+    enum class Advance { First, AfterFailure, AfterDegradedHold };
+    Advance advance = Advance::First;
+    for (std::uint32_t idx : order) {
+        Backend &backend = backends_[idx];
+        if (advance == Advance::AfterFailure)
+            ++metrics_.counter("router.failovers",
+                               "replica attempts after a failure");
+        else if (advance == Advance::AfterDegradedHold)
+            ++metrics_.counter(
+                "router.degraded_retries",
+                "replica attempts after a held degraded reply");
+        advance = Advance::AfterFailure;
+        ReceivedFrame frame;
+        try {
+            frame = callBackend(backend, sendType, payload);
+        } catch (const Error &) {
+            continue;
+        }
+        if (frame.type == FrameType::Error) {
+            WireError error;
+            try {
+                error = decodeError(frame.payload, backend.name);
+            } catch (const CorruptionError &) {
+                backend.healthy.store(false);
+                continue;
+            }
+            if (error.code == ErrorCode::BadRequest) {
+                // The request itself is at fault; no replica will
+                // disagree.  Relay the verdict.
+                outcome.kind = GroupOutcome::Kind::BadRequest;
+                outcome.errorPayload = std::move(frame.payload);
+                return outcome;
+            }
+            continue; // Overloaded/Unavailable/Internal: fail over
+        }
+        if (frame.type != wantType) {
+            std::lock_guard<std::mutex> lock(backend.streamMutex);
+            backend.stream.reset();
+            backend.healthy.store(false);
+            continue;
+        }
+        std::vector<std::vector<std::uint8_t>> replyItems;
+        bool degraded = false;
+        try {
+            if (batch) {
+                replyItems = decodeBatchItems(frame.payload,
+                                              backend.name);
+                if (replyItems.size() != items.size())
+                    throw CorruptionError(
+                        backend.name, kNoFilePosition, 0,
+                        "sub-batch reply has " +
+                            std::to_string(replyItems.size()) +
+                            " items, request had " +
+                            std::to_string(items.size()));
+            } else {
+                replyItems.push_back(std::move(frame.payload));
+            }
+            for (const std::vector<std::uint8_t> &item : replyItems) {
+                WireResponse reply = decodeResponse(item, backend.name);
+                degraded = degraded || reply.response.degraded;
+            }
+        } catch (const CorruptionError &) {
+            backend.healthy.store(false);
+            continue;
+        }
+        if (degraded) {
+            if (!degradedItems) {
+                // Hold the degraded answer, hunt for a clean replica.
+                ++metrics_.counter(
+                    "router.degraded_held",
+                    "degraded replies held pending a clean replica");
+                degradedItems = std::move(replyItems);
+            }
+            advance = Advance::AfterDegradedHold;
+            continue;
+        }
+        outcome.kind = GroupOutcome::Kind::Relayed;
+        outcome.items = std::move(replyItems);
+        return outcome;
+    }
+
+    if (degradedItems) {
+        // Every replica is degraded (or down): the degraded answer is
+        // still *correct* — host unification scrubbed the candidates —
+        // so return it rather than failing the query.
+        ++metrics_.counter("router.relayed_degraded",
+                           "degraded responses relayed");
+        outcome.kind = GroupOutcome::Kind::Relayed;
+        outcome.items = std::move(*degradedItems);
+        return outcome;
+    }
+    outcome.kind = GroupOutcome::Kind::Unavailable;
+    return outcome;
 }
 
 void
@@ -318,88 +551,20 @@ Router::relayRequest(Connection &conn,
         return;
     }
 
-    std::vector<std::uint32_t> replicas =
-        replicasOf(request.predicate);
-    // Healthy replicas first; the ones marked down are a last resort
-    // (they may have recovered since the probe that marked them).
-    std::vector<std::uint32_t> order;
-    order.reserve(replicas.size());
-    for (std::uint32_t idx : replicas)
-        if (backends_[idx].healthy)
-            order.push_back(idx);
-    for (std::uint32_t idx : replicas)
-        if (!backends_[idx].healthy)
-            order.push_back(idx);
-
-    std::optional<std::vector<std::uint8_t>> degradedPayload;
-    bool first = true;
-    for (std::uint32_t idx : order) {
-        Backend &backend = backends_[idx];
-        if (!first)
-            ++metrics_.counter("router.failovers",
-                               "replica attempts after a failure");
-        first = false;
-        ReceivedFrame frame;
-        try {
-            frame = callBackend(backend, payload);
-        } catch (const Error &) {
-            continue;
-        }
-        if (frame.type == FrameType::Error) {
-            WireError error;
-            try {
-                error = decodeError(frame.payload, backend.name);
-            } catch (const CorruptionError &) {
-                backend.healthy = false;
-                continue;
-            }
-            if (error.code == ErrorCode::BadRequest) {
-                // The request itself is at fault; no replica will
-                // disagree.  Relay the verdict.
-                ++metrics_.counter("router.bad_requests",
-                                   "requests failing validation");
-                queueFrame(conn, FrameType::Error, frame.payload);
-                return;
-            }
-            continue; // Overloaded/Unavailable/Internal: fail over
-        }
-        if (frame.type != FrameType::Response) {
-            backend.stream.reset();
-            backend.healthy = false;
-            continue;
-        }
-        bool degraded = false;
-        try {
-            WireResponse reply =
-                decodeResponse(frame.payload, backend.name);
-            degraded = reply.response.degraded;
-        } catch (const CorruptionError &) {
-            backend.healthy = false;
-            continue;
-        }
-        if (degraded && !degradedPayload) {
-            // Hold the degraded answer, hunt for a clean replica.
-            ++metrics_.counter(
-                "router.degraded_held",
-                "degraded replies held pending a clean replica");
-            degradedPayload = frame.payload;
-            continue;
-        }
-        if (degraded)
-            continue;
+    GroupOutcome outcome =
+        relayToReplicas(replicasOf(request.predicate), {payload});
+    switch (outcome.kind) {
+      case GroupOutcome::Kind::BadRequest:
+        ++metrics_.counter("router.bad_requests",
+                           "requests failing validation");
+        queueFrame(conn, FrameType::Error, outcome.errorPayload);
+        return;
+      case GroupOutcome::Kind::Relayed:
         ++metrics_.counter("router.relayed", "responses relayed");
-        queueFrame(conn, FrameType::Response, frame.payload);
+        queueFrame(conn, FrameType::Response, outcome.items[0]);
         return;
-    }
-
-    if (degradedPayload) {
-        // Every replica is degraded (or down): the degraded answer is
-        // still *correct* — host unification scrubbed the candidates —
-        // so return it rather than failing the query.
-        ++metrics_.counter("router.relayed_degraded",
-                           "degraded responses relayed");
-        queueFrame(conn, FrameType::Response, *degradedPayload);
-        return;
+      case GroupOutcome::Kind::Unavailable:
+        break;
     }
     ++metrics_.counter("router.unavailable",
                        "requests with no replica able to answer");
@@ -409,31 +574,161 @@ Router::relayRequest(Connection &conn,
 }
 
 void
+Router::relayBatch(Connection &conn,
+                   const std::vector<std::uint8_t> &payload)
+{
+    ++metrics_.counter("router.batches", "batch requests received");
+
+    if (conn.outbound.size() - conn.outboundAt >
+        config_.maxOutboundBytes) {
+        ++metrics_.counter("router.shed",
+                           "requests/connections shed");
+        queueFrame(conn, FrameType::Error,
+                   encodeError(ErrorCode::Overloaded,
+                               "outbound backlog limit reached"));
+        return;
+    }
+
+    std::vector<std::vector<std::uint8_t>> items;
+    try {
+        items = decodeBatchItems(payload, conn.peer);
+    } catch (const CorruptionError &e) {
+        ++metrics_.counter("router.bad_requests",
+                           "requests failing validation");
+        queueFrame(conn, FrameType::Error,
+                   encodeError(ErrorCode::BadRequest, e.what()));
+        return;
+    }
+    if (items.empty()) {
+        queueFrame(conn, FrameType::BatchResponse,
+                   encodeBatchItems({}));
+        return;
+    }
+    metrics_
+        .counter("router.batch_items", "batch items received")
+        .add(items.size());
+
+    // Scatter: group items by replica set, preserving batch order
+    // within each group (the merge rebuilds the original order from
+    // the group's index list).
+    struct Group
+    {
+        std::vector<std::uint32_t> replicas;
+        std::vector<std::size_t> itemIndex;
+    };
+    std::map<std::vector<std::uint32_t>, std::size_t> groupOf;
+    std::vector<Group> groups;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        WireRequest request;
+        try {
+            request = decodeRequest(items[i], conn.peer);
+        } catch (const CorruptionError &e) {
+            ++metrics_.counter("router.bad_requests",
+                               "requests failing validation");
+            queueFrame(conn, FrameType::Error,
+                       encodeError(ErrorCode::BadRequest, e.what()));
+            return;
+        }
+        std::vector<std::uint32_t> replicas =
+            replicasOf(request.predicate);
+        auto [it, fresh] =
+            groupOf.try_emplace(replicas, groups.size());
+        if (fresh)
+            groups.push_back(Group{std::move(replicas), {}});
+        groups[it->second].itemIndex.push_back(i);
+    }
+
+    // Issue the per-shard sub-batches concurrently; each fan-out task
+    // runs the same replica walk a single request does (the backend
+    // streams are mutex-guarded, so two shards sharing a backend
+    // serialize on its connection instead of interleaving frames).
+    metrics_
+        .counter("router.subbatches", "per-shard sub-batches issued")
+        .add(groups.size());
+    std::vector<std::future<GroupOutcome>> futures;
+    futures.reserve(groups.size());
+    for (const Group &group : groups)
+        futures.push_back(std::async(
+            std::launch::async, [this, &group, &items] {
+                std::vector<std::vector<std::uint8_t>> sub;
+                sub.reserve(group.itemIndex.size());
+                for (std::size_t i : group.itemIndex)
+                    sub.push_back(items[i]);
+                return relayToReplicas(group.replicas, sub);
+            }));
+    std::vector<GroupOutcome> outcomes;
+    outcomes.reserve(groups.size());
+    for (std::future<GroupOutcome> &f : futures)
+        outcomes.push_back(f.get());
+
+    // Gather: any sub-batch verdict of BadRequest or Unavailable
+    // fails the whole batch (a batch is one unit of work; partial
+    // answers would silently drop items).
+    for (const GroupOutcome &outcome : outcomes) {
+        if (outcome.kind == GroupOutcome::Kind::BadRequest) {
+            ++metrics_.counter("router.bad_requests",
+                               "requests failing validation");
+            queueFrame(conn, FrameType::Error, outcome.errorPayload);
+            return;
+        }
+    }
+    for (const GroupOutcome &outcome : outcomes) {
+        if (outcome.kind == GroupOutcome::Kind::Unavailable) {
+            ++metrics_.counter(
+                "router.unavailable",
+                "requests with no replica able to answer");
+            queueFrame(conn, FrameType::Error,
+                       encodeError(ErrorCode::Unavailable,
+                                   "no replica could answer a "
+                                   "sub-batch"));
+            return;
+        }
+    }
+
+    // Merge in original batch order: item payloads travel back
+    // verbatim, so the client decodes exactly the bytes the owning
+    // backend's serveBatch() produced.
+    std::vector<std::vector<std::uint8_t>> merged(items.size());
+    for (std::size_t g = 0; g < groups.size(); ++g)
+        for (std::size_t k = 0; k < groups[g].itemIndex.size(); ++k)
+            merged[groups[g].itemIndex[k]] =
+                std::move(outcomes[g].items[k]);
+    ++metrics_.counter("router.relayed", "responses relayed");
+    queueFrame(conn, FrameType::BatchResponse,
+               encodeBatchItems(merged));
+}
+
+void
 Router::probeBackends()
 {
     for (Backend &backend : backends_) {
+        // The probe stream is this thread's own connection; sharing
+        // the relay stream would serialize probes behind live traffic
+        // (and vice versa) and reintroduce the stall this thread
+        // exists to prevent.
         try {
-            if (!backend.stream)
-                backend.stream.emplace(backend.port, backend.name,
-                                       config_.backendTimeoutMillis);
+            if (!backend.probeStream)
+                backend.probeStream.emplace(
+                    backend.port, backend.name + ":probe",
+                    config_.backendTimeoutMillis);
             ReceivedFrame reply =
-                backend.stream->call(FrameType::Health, {});
+                backend.probeStream->call(FrameType::Health, {});
             bool ok = reply.type == FrameType::HealthReply;
-            if (ok && !backend.healthy)
+            if (ok && !backend.healthy.load())
                 ++metrics_.counter("router.recovered",
                                    "backends probed back to healthy");
-            backend.healthy = ok;
+            backend.healthy.store(ok);
             if (!ok)
-                backend.stream.reset();
+                backend.probeStream.reset();
         } catch (const Error &) {
-            backend.stream.reset();
-            backend.healthy = false;
+            backend.probeStream.reset();
+            backend.healthy.store(false);
         }
         ++metrics_.counter("router.probes", "health probes sent");
     }
     std::uint64_t healthy = 0;
     for (const Backend &backend : backends_)
-        healthy += backend.healthy ? 1 : 0;
+        healthy += backend.healthy.load() ? 1 : 0;
     metrics_.gauge("router.healthy_backends",
                    "backends currently healthy")
         .set(static_cast<double>(healthy));
@@ -451,10 +746,17 @@ Router::healthJson()
     for (const Backend &backend : backends_) {
         json::Value b = json::Value::object();
         b.set("port", static_cast<std::uint64_t>(backend.port));
-        b.set("healthy", backend.healthy);
+        b.set("healthy", backend.healthy.load());
         list.push(std::move(b));
     }
     doc.set("backends", std::move(list));
+    // The admin channel serves the live placement: with a catalog
+    // loaded, operators read predicate → shard → replica assignments
+    // from the same document that reports backend health.
+    std::shared_ptr<const ShardCatalog> cat = catalog();
+    doc.set("routing", cat ? "catalog" : "hash");
+    if (cat)
+        doc.set("catalog", cat->toJson());
     return doc;
 }
 

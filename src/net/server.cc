@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <deque>
 #include <string_view>
 
 #include <sys/epoll.h>
@@ -227,6 +228,9 @@ NetServer::dispatchFrame(Connection &conn,
       case FrameType::Request:
         serveRequest(conn, payload);
         break;
+      case FrameType::BatchRequest:
+        serveBatchRequest(conn, payload);
+        break;
       case FrameType::Health: {
         ++server_.metrics().counter("net.health_probes",
                                     "health probes answered");
@@ -239,6 +243,7 @@ NetServer::dispatchFrame(Connection &conn,
       case FrameType::Response:
       case FrameType::Error:
       case FrameType::HealthReply:
+      case FrameType::BatchResponse:
         // Only a server sends these; a client that does is confused.
         ++server_.metrics().counter(
             "net.bad_frames", "frames failing header/CRC validation");
@@ -326,6 +331,103 @@ NetServer::serveRequest(Connection &conn,
                                     "responses served");
         queueFrame(conn, FrameType::Response,
                    encodeResponse(request.id, response));
+    } catch (const Error &e) {
+        ++server_.metrics().counter("net.serve_errors",
+                                    "requests failing in the pipeline");
+        queueFrame(conn, FrameType::Error,
+                   encodeError(ErrorCode::Internal, e.what()));
+    }
+}
+
+void
+NetServer::serveBatchRequest(Connection &conn,
+                             const std::vector<std::uint8_t> &payload)
+{
+    ++server_.metrics().counter("net.batches",
+                                "batch requests received");
+
+    if (conn.outbound.size() - conn.outboundAt >
+        config_.maxOutboundBytes) {
+        ++server_.metrics().counter(
+            "net.shed",
+            "requests/connections shed by admission control");
+        queueFrame(conn, FrameType::Error,
+                   encodeError(ErrorCode::Overloaded,
+                               "outbound backlog limit reached"));
+        return;
+    }
+
+    std::vector<std::vector<std::uint8_t>> items;
+    try {
+        items = decodeBatchItems(payload, conn.peer);
+    } catch (const CorruptionError &e) {
+        ++server_.metrics().counter("net.bad_requests",
+                                    "requests failing validation");
+        queueFrame(conn, FrameType::Error,
+                   encodeError(ErrorCode::BadRequest, e.what()));
+        return;
+    }
+
+    // Validate every item before serving any: a batch is one unit of
+    // work, so one malformed item fails the frame with a typed error
+    // instead of a partial answer.  Arenas live in a deque — the
+    // requests hold pointers into them.
+    std::deque<term::TermArena> arenas;
+    std::vector<crs::RetrievalRequest> batch;
+    std::vector<std::uint64_t> ids;
+    batch.reserve(items.size());
+    ids.reserve(items.size());
+    for (const std::vector<std::uint8_t> &item : items) {
+        WireRequest request;
+        crs::RetrievalRequest local;
+        term::TermArena &arena = arenas.emplace_back();
+        try {
+            request = decodeRequest(item, conn.peer);
+            local.goal = decodeGoal(request.goalPif, symbols_, arena,
+                                    conn.peer);
+        } catch (const CorruptionError &e) {
+            ++server_.metrics().counter("net.bad_requests",
+                                        "requests failing validation");
+            queueFrame(conn, FrameType::Error,
+                       encodeError(ErrorCode::BadRequest, e.what()));
+            return;
+        }
+        if (goalPredicate(arena, local.goal) != request.predicate) {
+            ++server_.metrics().counter("net.bad_requests",
+                                        "requests failing validation");
+            queueFrame(conn, FrameType::Error,
+                       encodeError(ErrorCode::BadRequest,
+                                   "predicate field disagrees with "
+                                   "the goal"));
+            return;
+        }
+        if (!store_.has(request.predicate)) {
+            ++server_.metrics().counter("net.bad_requests",
+                                        "requests failing validation");
+            queueFrame(conn, FrameType::Error,
+                       encodeError(ErrorCode::BadRequest,
+                                   "unknown predicate"));
+            return;
+        }
+        local.arena = &arena;
+        local.mode = request.mode;
+        local.bypassCache = request.bypassCache;
+        batch.push_back(local);
+        ids.push_back(request.id);
+    }
+
+    try {
+        std::vector<crs::RetrievalResponse> responses =
+            server_.serveBatch(batch);
+        std::vector<std::vector<std::uint8_t>> replies;
+        replies.reserve(responses.size());
+        for (std::size_t i = 0; i < responses.size(); ++i)
+            replies.push_back(encodeResponse(ids[i], responses[i]));
+        served_ += responses.size();
+        ++server_.metrics().counter("net.responses",
+                                    "responses served");
+        queueFrame(conn, FrameType::BatchResponse,
+                   encodeBatchItems(replies));
     } catch (const Error &e) {
         ++server_.metrics().counter("net.serve_errors",
                                     "requests failing in the pipeline");

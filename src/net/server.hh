@@ -9,7 +9,11 @@
  * decoded Request through the wrapped server's serve() — the same
  * single authoritative code path local callers use, so a response over
  * the wire is bit-identical (answers *and* modeled StageBreakdown
- * ticks) to a local serve() of the same goal.
+ * ticks) to a local serve() of the same goal.  A BatchRequest goes
+ * through serveBatch() the same way: every item is validated first
+ * (a batch is one unit — any invalid item fails the frame with a
+ * typed BadRequest), then the whole sub-batch runs the local batch
+ * front door and the item responses travel back in request order.
  *
  * Admission control:
  *   - at most maxConnections concurrent connections; excess accepts
@@ -131,6 +135,8 @@ class NetServer
                        std::vector<std::uint8_t> payload);
     void serveRequest(Connection &conn,
                       const std::vector<std::uint8_t> &payload);
+    void serveBatchRequest(Connection &conn,
+                           const std::vector<std::uint8_t> &payload);
     json::Value healthJson() const;
 
     /**

@@ -444,6 +444,69 @@ decodeError(const std::vector<std::uint8_t> &payload,
     return error;
 }
 
+std::vector<std::uint8_t>
+encodeBatchItems(const std::vector<std::vector<std::uint8_t>> &items)
+{
+    std::size_t total = 4;
+    for (const std::vector<std::uint8_t> &item : items)
+        total += 4 + item.size();
+    std::vector<std::uint8_t> out;
+    out.reserve(total);
+    putU32(static_cast<std::uint32_t>(items.size()), out);
+    for (const std::vector<std::uint8_t> &item : items) {
+        putU32(static_cast<std::uint32_t>(item.size()), out);
+        out.insert(out.end(), item.begin(), item.end());
+    }
+    return out;
+}
+
+std::vector<std::vector<std::uint8_t>>
+decodeBatchItems(const std::vector<std::uint8_t> &payload,
+                 const std::string &peer)
+{
+    auto fail = [&](std::size_t at, const std::string &why)
+        -> CorruptionError {
+        return CorruptionError(peer, kNoFilePosition, at,
+                               "wire batch: " + why);
+    };
+    auto u32At = [&](std::size_t at) {
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(payload[at + i]) << (8 * i);
+        return v;
+    };
+    if (payload.size() < 4)
+        throw fail(0, "truncated item count");
+    std::uint32_t count = u32At(0);
+    // Each item costs at least its 4-byte length prefix, so a count a
+    // corrupted byte inflated past the payload is caught before any
+    // allocation is sized by it.
+    if (count > (payload.size() - 4) / 4)
+        throw fail(0, "item count " + std::to_string(count) +
+                          " overruns the payload");
+    std::vector<std::vector<std::uint8_t>> items;
+    items.reserve(count);
+    std::size_t at = 4;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        if (payload.size() - at < 4)
+            throw fail(at, "truncated item length");
+        std::uint32_t len = u32At(at);
+        at += 4;
+        if (payload.size() - at < len)
+            throw fail(at, "item of " + std::to_string(len) +
+                               " bytes overruns the payload");
+        items.emplace_back(payload.begin() +
+                               static_cast<std::ptrdiff_t>(at),
+                           payload.begin() +
+                               static_cast<std::ptrdiff_t>(at + len));
+        at += len;
+    }
+    if (at != payload.size())
+        throw fail(at, std::to_string(payload.size() - at) +
+                           " trailing bytes after the last item");
+    return items;
+}
+
 bool
 responsesIdentical(const crs::RetrievalResponse &a,
                    const crs::RetrievalResponse &b)

@@ -137,6 +137,23 @@ WireError decodeError(const std::vector<std::uint8_t> &payload,
                       const std::string &peer);
 /// @}
 
+/** @name Batch payload codec.
+ *
+ * A BatchRequest/BatchResponse payload is a u32 item count followed by
+ * count length-prefixed (u32) item payloads.  Each item is a complete
+ * Request or Response payload, byte-for-byte what a single-frame peer
+ * would have sent — so a router can scatter a batch across shards and
+ * gather the item payloads back verbatim, and the per-item bit-identity
+ * contract composes exactly as it does for single frames.
+ */
+/// @{
+std::vector<std::uint8_t>
+encodeBatchItems(const std::vector<std::vector<std::uint8_t>> &items);
+std::vector<std::vector<std::uint8_t>>
+decodeBatchItems(const std::vector<std::uint8_t> &payload,
+                 const std::string &peer);
+/// @}
+
 /**
  * Field-by-field equality of two responses, ignoring the server-local
  * trace handle (span ids never travel).  This is the wire round-trip

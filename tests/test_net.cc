@@ -23,9 +23,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "crs/server.hh"
@@ -762,6 +764,171 @@ TEST_F(NetClusterTest, BadRequestAnswersTypedAndKeepsConnection)
     EXPECT_EQ(wire.id, 2u);
     EXPECT_TRUE(net::responsesIdentical(wire.response,
                                         serveLocal(q, std::nullopt)));
+}
+
+// ---------------------------------------------------------------------
+// Router event-loop and shed-path regressions.
+// ---------------------------------------------------------------------
+
+TEST_F(NetClusterTest, HungBackendProbeDoesNotStallUnrelatedClients)
+{
+    // Backend 1 is a bound listener that never accepts: a connect
+    // parks in the backlog and a Health probe hangs until the backend
+    // timeout.  Probes run on a dedicated thread, so the hang must
+    // cost the event loop nothing — requests routed to the healthy
+    // backend 0 keep completing while the probe thread waits out its
+    // timeout.  (The regression: probes used to run inline on the
+    // epoll thread, stalling every client for backendTimeoutMillis.)
+    Backend &healthy = spawnBackend();
+    net::Listener hung(0);
+
+    net::RouterConfig router_config;
+    router_config.backendPorts = {healthy.net->port(), hung.port()};
+    router_config.backendTimeoutMillis = 1500;
+    router_config.probeIntervalMillis = 50;
+    net::Router router(router_config);
+
+    // Pin every predicate to backend 0 so no request touches the
+    // hung backend — only the probe thread does.
+    net::ShardCatalog catalog;
+    for (const term::PredicateId &pred : store_->predicates())
+        catalog.assign(pred, 0);
+    catalog.setReplicas(0, {0});
+    router.setCatalog(catalog);
+    router.start();
+
+    // Let the probe thread enter its first hang.
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+
+    net::NetClient client(router.port(), "test-client", 5000);
+    auto begin = std::chrono::steady_clock::now();
+    for (int round = 0; round < 10; ++round) {
+        const workload::GeneratedQuery &q = queries_[
+            static_cast<std::size_t>(round) % queries_.size()];
+        crs::RetrievalRequest request;
+        request.arena = &q.arena;
+        request.goal = q.goal;
+        crs::RetrievalResponse wire = client.serve(request);
+        EXPECT_TRUE(net::responsesIdentical(
+            wire, serveLocal(q, std::nullopt)));
+    }
+    auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - begin);
+    // Well under one backend timeout: a single inline probe stall
+    // would already blow this budget.
+    EXPECT_LT(elapsed.count(), 1200);
+    router.stop();
+}
+
+TEST_F(NetClusterTest, RouterShedsWithACompleteErrorFrame)
+{
+    Backend &backend = spawnBackend();
+    net::RouterConfig router_config;
+    router_config.backendPorts = {backend.net->port()};
+    router_config.maxConnections = 0; // every accept is shed
+    net::Router router(router_config);
+    router.start();
+
+    // The goodbye must be a complete, decodable Error(Overloaded)
+    // frame — never a torn header the client reports as corruption.
+    // (The regression: the shed path used a single ::send and could
+    // emit a partial frame.)
+    for (int i = 0; i < 8; ++i) {
+        net::NetClient client(router.port(), "shed-client", 1000);
+        crs::RetrievalRequest request;
+        request.arena = &queries_[0].arena;
+        request.goal = queries_[0].goal;
+        try {
+            client.serve(request);
+            FAIL() << "expected the shed goodbye";
+        } catch (const net::RemoteError &e) {
+            EXPECT_EQ(e.code(), net::ErrorCode::Overloaded);
+        } catch (const IoError &) {
+            // Close raced the send before the frame hit the socket —
+            // acceptable; a CorruptionError (torn frame) is not.
+        }
+    }
+    EXPECT_GT(router.metrics().counter("router.shed").value(), 0u);
+    router.stop();
+}
+
+TEST_F(NetClusterTest, FailoversAndDegradedRetriesCountSeparately)
+{
+    // Replica order [poisoned, clean]: every degraded reply from the
+    // poisoned replica is held while the clean twin is tried.  Those
+    // hunts are degraded_retries, NOT failovers — nothing failed.
+    support::FaultConfig fault_config;
+    fault_config.seed = 42;
+    fault_config.bitFlipRate = 0.5;
+    support::FaultInjector injector(fault_config);
+    crs::CrsConfig poisoned;
+    poisoned.faults = &injector;
+    spawnBackend(poisoned);
+    spawnBackend();
+
+    net::ShardCatalog catalog;
+    for (const term::PredicateId &pred : store_->predicates())
+        catalog.assign(pred, 0);
+
+    {
+        catalog.setReplicas(0, {0, 1});
+        net::RouterConfig router_config;
+        router_config.backendPorts = {backends_[0]->net->port(),
+                                      backends_[1]->net->port()};
+        router_config.probeIntervalMillis = 10000; // no probe interference
+        net::Router router(router_config);
+        router.setCatalog(catalog);
+        router.start();
+
+        net::NetClient client(router.port(), "test-client");
+        for (const workload::GeneratedQuery &q : queries_) {
+            crs::RetrievalRequest request;
+            request.arena = &q.arena;
+            request.goal = q.goal;
+            request.mode = crs::SearchMode::Fs1Only;
+            crs::RetrievalResponse wire = client.serve(request);
+            EXPECT_TRUE(net::responsesIdentical(
+                wire, serveLocal(q, crs::SearchMode::Fs1Only)));
+        }
+        EXPECT_GT(
+            router.metrics().counter("router.degraded_retries").value(),
+            0u);
+        EXPECT_EQ(router.metrics().counter("router.failovers").value(),
+                  0u);
+        router.stop();
+    }
+
+    // Replica order [dead, clean]: the connect failure is a real
+    // failover and must not count as a degraded retry.
+    std::uint16_t deadPort;
+    {
+        net::Listener ephemeral(0);
+        deadPort = ephemeral.port();
+    } // closed: connections now refused
+    {
+        net::RouterConfig router_config;
+        router_config.backendPorts = {deadPort,
+                                      backends_[1]->net->port()};
+        router_config.backendTimeoutMillis = 500;
+        router_config.probeIntervalMillis = 10000;
+        net::Router router(router_config);
+        router.setCatalog(catalog);
+        router.start();
+
+        net::NetClient client(router.port(), "test-client");
+        crs::RetrievalRequest request;
+        request.arena = &queries_[0].arena;
+        request.goal = queries_[0].goal;
+        crs::RetrievalResponse wire = client.serve(request);
+        EXPECT_TRUE(net::responsesIdentical(
+            wire, serveLocal(queries_[0], std::nullopt)));
+        EXPECT_GT(router.metrics().counter("router.failovers").value(),
+                  0u);
+        EXPECT_EQ(
+            router.metrics().counter("router.degraded_retries").value(),
+            0u);
+        router.stop();
+    }
 }
 
 } // namespace

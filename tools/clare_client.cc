@@ -15,17 +15,26 @@
  * Exit status: 0 when every query succeeded (and matched, under
  * --verify-local); 1 otherwise.
  *
+ * With --batch N the queries travel as BatchRequest frames of up to N
+ * items each (NetClient::serveBatch); --verify-local then compares
+ * against the local batch front door (serveBatch on the same store),
+ * which is the scatter/gather exactness check for a sharded router.
+ *
  * Usage:
  *   clare_client --store DIR --port N --queries FILE
  *                [--verify-local] [--mode auto|software|fs1|fs2|two]
+ *                [--batch N]
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "crs/server.hh"
 #include "crs/store_io.hh"
@@ -54,6 +63,7 @@ main(int argc, char **argv)
     std::string queriesPath;
     std::uint16_t port = 0;
     bool verifyLocal = false;
+    std::uint32_t batchSize = 0;
     std::optional<crs::SearchMode> mode;
 
     for (int i = 1; i < argc; ++i) {
@@ -71,6 +81,8 @@ main(int argc, char **argv)
                 static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
         else if (std::strcmp(arg, "--verify-local") == 0)
             verifyLocal = true;
+        else if (const char *v = value(arg, "--batch"))
+            batchSize = std::strtoul(v, nullptr, 10);
         else if (const char *v = value(arg, "--mode")) {
             if (std::strcmp(v, "auto") == 0)
                 mode.reset();
@@ -94,7 +106,8 @@ main(int argc, char **argv)
     if (storeDir.empty() || queriesPath.empty() || port == 0) {
         std::fprintf(stderr,
                      "usage: clare_client --store DIR --port N "
-                     "--queries FILE [--verify-local] [--mode M]\n");
+                     "--queries FILE [--verify-local] [--mode M] "
+                     "[--batch N]\n");
         return 2;
     }
 
@@ -116,47 +129,93 @@ main(int argc, char **argv)
         net::NetClient client(port, "server:" + std::to_string(port));
         term::TermReader reader(symbols);
 
-        std::uint64_t queries = 0, answers = 0, degraded = 0,
-                      mismatches = 0, failures = 0;
+        // Parse everything up front: batch items share the wire frame,
+        // so their goal arenas must all be alive at send time.
+        std::deque<term::ParsedTerm> parsedTerms;
+        std::vector<crs::RetrievalRequest> requests;
         std::string line;
         while (std::getline(file, line)) {
             if (line.empty())
                 continue;
-            term::ParsedTerm parsed = reader.parseTerm(line);
+            parsedTerms.push_back(reader.parseTerm(line));
             crs::RetrievalRequest request;
-            request.arena = &parsed.arena;
-            request.goal = parsed.root;
+            request.arena = &parsedTerms.back().arena;
+            request.goal = parsedTerms.back().root;
             request.mode = mode;
-            ++queries;
+            requests.push_back(request);
+        }
 
-            crs::RetrievalResponse remote;
-            try {
-                remote = client.serve(request);
-            } catch (const Error &e) {
-                std::fprintf(stderr, "query %llu failed: %s\n",
-                             static_cast<unsigned long long>(queries),
-                             e.what());
-                ++failures;
-                continue;
-            }
+        std::uint64_t queries = 0, answers = 0, degraded = 0,
+                      mismatches = 0, failures = 0;
+        auto tally = [&](const crs::RetrievalResponse &remote,
+                         const crs::RetrievalRequest &request,
+                         bool viaBatch) {
             answers += remote.answers.size();
             degraded += remote.degraded ? 1 : 0;
+            if (!local)
+                return;
+            // Verify against the matching local front door: batch
+            // items against serveBatch (same modeled queue), single
+            // requests against serve().
+            crs::RetrievalResponse expect;
+            if (viaBatch)
+                expect = std::move(local->serveBatch({request})[0]);
+            else
+                expect = local->serve(request);
+            if (!net::responsesIdentical(remote, expect)) {
+                std::fprintf(
+                    stderr,
+                    "query %llu: wire response differs from "
+                    "local serve() (%zu vs %zu answers, %llu vs "
+                    "%llu elapsed ticks)\n",
+                    static_cast<unsigned long long>(queries),
+                    remote.answers.size(), expect.answers.size(),
+                    static_cast<unsigned long long>(remote.elapsed),
+                    static_cast<unsigned long long>(expect.elapsed));
+                ++mismatches;
+            }
+        };
 
-            if (local) {
-                crs::RetrievalResponse expect = local->serve(request);
-                if (!net::responsesIdentical(remote, expect)) {
+        if (batchSize > 1) {
+            for (std::size_t at = 0; at < requests.size();
+                 at += batchSize) {
+                std::size_t end =
+                    std::min(requests.size(),
+                             at + static_cast<std::size_t>(batchSize));
+                std::vector<crs::RetrievalRequest> chunk(
+                    requests.begin() + static_cast<std::ptrdiff_t>(at),
+                    requests.begin() + static_cast<std::ptrdiff_t>(end));
+                std::vector<crs::RetrievalResponse> remote;
+                try {
+                    remote = client.serveBatch(chunk);
+                } catch (const Error &e) {
                     std::fprintf(
-                        stderr,
-                        "query %llu: wire response differs from "
-                        "local serve() (%zu vs %zu answers, %llu vs "
-                        "%llu elapsed ticks)\n",
-                        static_cast<unsigned long long>(queries),
-                        remote.answers.size(), expect.answers.size(),
-                        static_cast<unsigned long long>(remote.elapsed),
-                        static_cast<unsigned long long>(
-                            expect.elapsed));
-                    ++mismatches;
+                        stderr, "batch at query %zu failed: %s\n",
+                        at + 1, e.what());
+                    failures += chunk.size();
+                    queries += chunk.size();
+                    continue;
                 }
+                for (std::size_t i = 0; i < chunk.size(); ++i) {
+                    ++queries;
+                    tally(remote[i], chunk[i], true);
+                }
+            }
+        } else {
+            for (const crs::RetrievalRequest &request : requests) {
+                ++queries;
+                crs::RetrievalResponse remote;
+                try {
+                    remote = client.serve(request);
+                } catch (const Error &e) {
+                    std::fprintf(
+                        stderr, "query %llu failed: %s\n",
+                        static_cast<unsigned long long>(queries),
+                        e.what());
+                    ++failures;
+                    continue;
+                }
+                tally(remote, request, false);
             }
         }
 

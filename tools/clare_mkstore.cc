@@ -9,9 +9,23 @@
  * persists, and clare_server / clare_client that open the same
  * directory agree on every id.
  *
+ * With --shard N the same knowledge base is additionally split into N
+ * per-predicate store slices (round-robin assignment over the
+ * generated predicate order) under --out-dir, next to a shard catalog
+ * that maps every predicate to its owning shard and every shard to R
+ * replica backends (backend index = shard * R + replica, matching a
+ * clare_router --backend list where each shard's replicas are listed
+ * consecutively):
+ *
+ *   DIR/full/       the unsharded store (reference for bit-identity)
+ *   DIR/slice-<s>/  shard s's slice: full symbol table, its
+ *                   predicates only
+ *   DIR/catalog.json
+ *
  * Usage:
  *   clare_mkstore --out DIR [--queries FILE] [--predicates N]
  *                 [--clauses N] [--num-queries N] [--seed N]
+ *   clare_mkstore --out-dir DIR --shard N [--replication R] [...]
  */
 
 #include <cstdio>
@@ -21,6 +35,7 @@
 
 #include "crs/store.hh"
 #include "crs/store_io.hh"
+#include "net/catalog.hh"
 #include "term/term_writer.hh"
 #include "workload/kb_generator.hh"
 #include "workload/query_generator.hh"
@@ -44,11 +59,14 @@ main(int argc, char **argv)
     using namespace clare;
 
     std::string out;
+    std::string outDir;
     std::string queriesPath;
     std::uint32_t predicates = 8;
     std::uint32_t clauses = 200;
     std::uint32_t numQueries = 64;
     std::uint64_t seed = 1;
+    std::uint32_t shards = 0;
+    std::uint32_t replication = 1;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -56,6 +74,10 @@ main(int argc, char **argv)
             out = argv[++i];
         else if (const char *v = value(arg, "--out"))
             out = v;
+        else if (std::strcmp(arg, "--out-dir") == 0 && i + 1 < argc)
+            outDir = argv[++i];
+        else if (const char *v = value(arg, "--out-dir"))
+            outDir = v;
         else if (std::strcmp(arg, "--queries") == 0 && i + 1 < argc)
             queriesPath = argv[++i];
         else if (const char *v = value(arg, "--queries"))
@@ -68,16 +90,34 @@ main(int argc, char **argv)
             numQueries = std::strtoul(v, nullptr, 10);
         else if (const char *v = value(arg, "--seed"))
             seed = std::strtoull(v, nullptr, 10);
+        else if (const char *v = value(arg, "--shard"))
+            shards = std::strtoul(v, nullptr, 10);
+        else if (const char *v = value(arg, "--replication"))
+            replication = std::strtoul(v, nullptr, 10);
         else {
             std::fprintf(stderr, "unknown argument: %s\n", arg);
             return 2;
         }
     }
+    if (shards > 0 && outDir.empty()) {
+        std::fprintf(stderr,
+                     "clare_mkstore: --shard needs --out-dir DIR\n");
+        return 2;
+    }
+    if (shards > 0 && replication == 0) {
+        std::fprintf(stderr,
+                     "clare_mkstore: --replication must be >= 1\n");
+        return 2;
+    }
+    if (!outDir.empty() && shards > 0 && out.empty())
+        out = outDir + "/full";
     if (out.empty()) {
         std::fprintf(stderr,
                      "usage: clare_mkstore --out DIR [--queries FILE] "
                      "[--predicates N] [--clauses N] [--num-queries N] "
-                     "[--seed N]\n");
+                     "[--seed N]\n"
+                     "       clare_mkstore --out-dir DIR --shard N "
+                     "[--replication R] [...]\n");
         return 2;
     }
 
@@ -111,6 +151,35 @@ main(int argc, char **argv)
     store.addProgram(program);
     store.finalize();
     crs::saveStore(out, store, symbols);
+
+    if (shards > 0) {
+        // Round-robin predicates over the shards in generated order,
+        // then persist one self-contained slice per shard.  Every
+        // slice carries the full symbol table, so the catalog's
+        // backends and the clients all share the protocol schema.
+        const std::vector<term::PredicateId> &preds =
+            program.predicates();
+        net::ShardCatalog catalog;
+        std::vector<std::vector<term::PredicateId>> slicePreds(shards);
+        for (std::size_t i = 0; i < preds.size(); ++i) {
+            std::uint32_t shard =
+                static_cast<std::uint32_t>(i % shards);
+            catalog.assign(preds[i], shard);
+            slicePreds[shard].push_back(preds[i]);
+        }
+        for (std::uint32_t s = 0; s < shards; ++s) {
+            std::vector<std::uint32_t> replicas;
+            for (std::uint32_t r = 0; r < replication; ++r)
+                replicas.push_back(s * replication + r);
+            catalog.setReplicas(s, replicas);
+            crs::saveStoreSlice(outDir + "/slice-" + std::to_string(s),
+                                store, symbols, slicePreds[s]);
+        }
+        catalog.save(outDir + "/catalog.json");
+        std::printf("catalog: %s/catalog.json (%u shards x %u "
+                    "replicas)\n",
+                    outDir.c_str(), shards, replication);
+    }
 
     if (!queriesPath.empty()) {
         std::ofstream file(queriesPath);

@@ -8,6 +8,11 @@
  * Usage:
  *   clare_router --backend PORT [--backend PORT ...]
  *                [--port N] [--replication R] [--probe-ms N]
+ *                [--catalog FILE]
+ *
+ * With --catalog the router routes by the shard catalog (predicate →
+ * shard → replica backend indexes into the --backend list) instead of
+ * hashing the predicate over all backends.
  */
 
 #include <atomic>
@@ -62,6 +67,10 @@ main(int argc, char **argv)
             config.replication = std::strtoul(v, nullptr, 10);
         else if (const char *v = value(arg, "--probe-ms"))
             config.probeIntervalMillis = std::atoi(v);
+        else if (std::strcmp(arg, "--catalog") == 0 && i + 1 < argc)
+            config.catalogPath = argv[++i];
+        else if (const char *v = value(arg, "--catalog"))
+            config.catalogPath = v;
         else {
             std::fprintf(stderr, "unknown argument: %s\n", arg);
             return 2;
@@ -70,7 +79,8 @@ main(int argc, char **argv)
     if (config.backendPorts.empty()) {
         std::fprintf(stderr,
                      "usage: clare_router --backend PORT [--backend "
-                     "PORT ...] [--port N] [--replication R]\n");
+                     "PORT ...] [--port N] [--replication R] "
+                     "[--catalog FILE]\n");
         return 2;
     }
 
